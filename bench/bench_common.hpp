@@ -1,0 +1,35 @@
+#pragma once
+/// Shared helpers for the EXPERIMENTS.md bench harnesses. Each bench binary
+/// prints the paper-style table(s) for one experiment id; absolute numbers
+/// are simulator-specific, the *shapes* (ratios, crossovers, who-wins) are
+/// the reproduction targets.
+
+#include <iostream>
+#include <string>
+
+#include "core/balance_sort.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/workload.hpp"
+
+namespace balsort::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+    std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+/// Run Balance Sort on a fresh in-memory array; returns the report.
+inline SortReport run_balance_sort(const PdmConfig& cfg, Workload w, std::uint64_t seed,
+                                   SortOptions opt = {}) {
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(w, cfg.n, seed);
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+    if (!is_sorted_permutation_of(input, sorted)) {
+        std::cerr << "BENCH BUG: unsorted output\n";
+        std::abort();
+    }
+    return rep;
+}
+
+} // namespace balsort::bench

@@ -1,0 +1,55 @@
+// EXP-F2-PDM — Figure 2a/2b: scaling of the multiprocessor parallel disk
+// model. D sweep at fixed N (I/O steps fall ~1/D), P sweep (PRAM-charged
+// internal time falls ~1/P), and the D=P coupled sweep of Fig. 2b.
+#include "bench_common.hpp"
+
+using namespace balsort;
+using namespace balsort::bench;
+
+int main() {
+    banner("EXP-F2-PDM",
+           "Fig. 2: the parallel disk model with 1 CPU (a) and P CPUs (b).\n"
+           "Reproduction target: I/O steps scale ~1/D (independent disks stay busy);\n"
+           "charged internal time scales ~1/P; the coupled P=D machine scales both.");
+
+    const std::uint64_t n = 1 << 18;
+    {
+        Table t({"D", "I/O steps", "speedup vs D=1", "efficiency", "utilization"});
+        std::uint64_t base = 0;
+        for (std::uint32_t d : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            PdmConfig cfg{.n = n, .m = 1 << 12, .d = d, .b = 8, .p = 1};
+            auto rep = run_balance_sort(cfg, Workload::kUniform, d);
+            if (d == 1) base = rep.io.io_steps();
+            const double speedup = static_cast<double>(base) / rep.io.io_steps();
+            t.add_row({Table::num(d), Table::num(rep.io.io_steps()), Table::fixed(speedup, 2),
+                       Table::fixed(speedup / d, 2), Table::fixed(rep.io.utilization(d), 2)});
+        }
+        std::cout << "D sweep (P=1):\n";
+        t.print(std::cout);
+    }
+    {
+        Table t({"P", "PRAM time", "speedup vs P=1"});
+        double base = 0;
+        for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u}) {
+            PdmConfig cfg{.n = n, .m = 1 << 12, .d = 8, .b = 8, .p = p};
+            auto rep = run_balance_sort(cfg, Workload::kUniform, p);
+            if (p == 1) base = rep.pram_time;
+            t.add_row({Table::num(p), Table::fixed(rep.pram_time, 0),
+                       Table::fixed(base / rep.pram_time, 2)});
+        }
+        std::cout << "\nP sweep (D=8):\n";
+        t.print(std::cout);
+    }
+    {
+        Table t({"P = D", "I/O steps", "PRAM time"});
+        for (std::uint32_t pd : {1u, 2u, 4u, 8u, 16u}) {
+            PdmConfig cfg{.n = n, .m = 1 << 12, .d = pd, .b = 8, .p = pd};
+            auto rep = run_balance_sort(cfg, Workload::kUniform, pd + 100);
+            t.add_row({Table::num(pd), Table::num(rep.io.io_steps()),
+                       Table::fixed(rep.pram_time, 0)});
+        }
+        std::cout << "\nCoupled P=D sweep (Fig. 2b's machine):\n";
+        t.print(std::cout);
+    }
+    return 0;
+}

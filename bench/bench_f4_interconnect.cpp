@@ -1,0 +1,67 @@
+// EXP-F4-INTERCONNECT — Figure 4 / the T(H) terms of Theorems 2-3: the
+// executable hypercube's measured step counts for sorting (bitonic),
+// prefix scan, and monotone routing vs. the analytic T(H) curves (PRAM
+// log H, Sharesort log H (loglog H)^2, bitonic log^2 H).
+#include "bench_common.hpp"
+#include "core/hier_sort.hpp"
+#include "hypercube/bitonic.hpp"
+#include "util/random.hpp"
+
+using namespace balsort;
+using namespace balsort::bench;
+
+int main() {
+    banner("EXP-F4-INTERCONNECT",
+           "Fig. 4 interconnects: measured hypercube step counts vs the analytic T(H)\n"
+           "curves the theorems charge. Reproduction target: bitonic == d(d+1)/2 exactly;\n"
+           "scan == 1+log H; route <= 2 log H; analytic curves ordered PRAM <= Sharesort.");
+
+    {
+        Table t({"H", "bitonic steps", "log^2 H", "scan steps", "route steps",
+                 "T(H) PRAM", "T(H) Sharesort"});
+        for (std::size_t h = 4; h <= 4096; h <<= 2) {
+            Hypercube cube(h);
+            auto vals = generate(Workload::kUniform, h, h);
+            cube.load(vals);
+            const std::uint64_t sort_steps = hypercube_bitonic_sort(cube);
+
+            Hypercube cube2(h);
+            cube2.load(generate(Workload::kUniform, h, h + 1));
+            const std::uint64_t scan_steps = hypercube_prefix_sum(cube2);
+
+            Hypercube cube3(h);
+            std::vector<std::uint64_t> dest(h, kNoPacket);
+            // route the even nodes to the top half, a dense monotone route
+            for (std::size_t i = 0; i < h / 2; ++i) dest[2 * i] = h / 2 + i;
+            const std::uint64_t route_steps = hypercube_monotone_route(cube3, dest);
+
+            t.add_row({Table::num(h), Table::num(sort_steps),
+                       Table::fixed(InterconnectCost::bitonic(static_cast<double>(h)), 0),
+                       Table::num(scan_steps), Table::num(route_steps),
+                       Table::fixed(InterconnectCost::pram(static_cast<double>(h)), 0),
+                       Table::fixed(InterconnectCost::hypercube(static_cast<double>(h)), 0)});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        // What the T(H) choice costs a full P-HMM sort (Theorem 2's terms).
+        Table t({"interconnect", "T(64)", "interconnect charge", "total time"});
+        for (auto ic : {Interconnect::kPram, Interconnect::kHypercubePrecomp,
+                        Interconnect::kHypercube}) {
+            HierSortConfig cfg;
+            cfg.h = 64;
+            cfg.model = HierModelSpec::hmm(CostFn::log());
+            cfg.interconnect = ic;
+            auto input = generate(Workload::kUniform, 1 << 14, 3);
+            HierSortReport rep;
+            (void)hier_sort(input, cfg, &rep);
+            t.add_row({to_string(ic), Table::fixed(interconnect_time(ic, 64.0), 1),
+                       Table::fixed(rep.interconnect_charge, 0),
+                       Table::fixed(rep.total_time, 0)});
+        }
+        std::cout << "\nInterconnect choice inside a P-HMM sort (N=2^14, H=64):\n";
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+// EXP-T1-WORK — Theorem 1's second measure: internal processing time is
+// Theta((N/P) log N) on a PRAM interconnection. We sweep N (ratio flat)
+// and P (charged PRAM time scales down ~1/P until the log P collective
+// terms bite).
+#include "bench_common.hpp"
+
+using namespace balsort;
+using namespace balsort::bench;
+
+int main() {
+    banner("EXP-T1-WORK",
+           "Theorem 1: internal processing time Theta((N/P) log N) with a PRAM interconnect.\n"
+           "Reproduction target: charged-PRAM-time/formula flat in N; near-linear scaling in P.");
+
+    {
+        Table t({"N", "comparisons", "moves", "PRAM time", "(N/P)logN", "ratio"});
+        for (std::uint64_t n = 1 << 14; n <= (1 << 20); n <<= 1) {
+            PdmConfig cfg{.n = n, .m = 1 << 12, .d = 8, .b = 16, .p = 4};
+            auto rep = run_balance_sort(cfg, Workload::kUniform, n);
+            t.add_row({Table::num(n), Table::num(rep.comparisons), Table::num(rep.moves),
+                       Table::fixed(rep.pram_time, 0), Table::fixed(rep.optimal_work, 0),
+                       Table::fixed(rep.work_ratio, 2)});
+        }
+        std::cout << "N sweep at P=4 (ratio must stay flat):\n";
+        t.print(std::cout);
+    }
+
+    {
+        Table t({"P", "PRAM time", "speedup vs P=1", "efficiency"});
+        double t1 = 0;
+        for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 64u}) {
+            PdmConfig cfg{.n = 1 << 18, .m = 1 << 12, .d = 8, .b = 16, .p = p};
+            auto rep = run_balance_sort(cfg, Workload::kUniform, 42);
+            if (p == 1) t1 = rep.pram_time;
+            const double speedup = t1 / rep.pram_time;
+            t.add_row({Table::num(p), Table::fixed(rep.pram_time, 0),
+                       Table::fixed(speedup, 2), Table::fixed(speedup / p, 2)});
+        }
+        std::cout << "\nP sweep at N=2^18 (charged PRAM time; speedup ~P until collectives dominate):\n";
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+// EXP-T2-PHMM — Theorem 2: deterministic sorting time on P-HMM is
+// Theta((N/H) log(N/H) loglog(N/H)) for f = log x and
+// Theta((N/H)^(a+1) + (N/H) log N) for f = x^a, with the hypercube
+// interconnect substituting its T(H) into the comparison term. We sweep N
+// and show measured/formula flat; PRAM vs hypercube ordering.
+#include "bench_common.hpp"
+#include "core/hier_sort.hpp"
+
+using namespace balsort;
+using namespace balsort::bench;
+
+namespace {
+
+void sweep(const HierModelSpec& spec, Interconnect ic, const char* label) {
+    Table t({"N", "hier time", "interconnect", "total", "formula", "ratio"});
+    for (std::uint64_t n = 1 << 12; n <= (1 << 16); n <<= 1) {
+        HierSortConfig cfg;
+        cfg.h = 64;
+        cfg.model = spec;
+        cfg.interconnect = ic;
+        auto input = generate(Workload::kUniform, n, n);
+        HierSortReport rep;
+        auto sorted = hier_sort(input, cfg, &rep);
+        if (!is_sorted_permutation_of(input, sorted)) {
+            std::cerr << "BENCH BUG: unsorted hier output\n";
+            std::abort();
+        }
+        t.add_row({Table::num(n), Table::fixed(rep.hierarchy_time, 0),
+                   Table::fixed(rep.interconnect_charge, 0), Table::fixed(rep.total_time, 0),
+                   Table::fixed(rep.formula, 0), Table::fixed(rep.ratio, 2)});
+    }
+    std::cout << label << " (H=64; ratio must stay flat):\n";
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+    banner("EXP-T2-PHMM",
+           "Theorem 2: optimal deterministic sorting on P-HMM (Fig. 3a hierarchies, Fig. 4\n"
+           "parallelization). Reproduction target: charged-time/formula flat in N for\n"
+           "f(x)=log x and f(x)=x^a; hypercube pays its T(H) exactly in the comparison term.");
+
+    sweep(HierModelSpec::hmm(CostFn::log()), Interconnect::kPram, "f(x)=log x, EREW PRAM");
+    sweep(HierModelSpec::hmm(CostFn::log()), Interconnect::kHypercube, "f(x)=log x, hypercube");
+    sweep(HierModelSpec::hmm(CostFn::power(0.5)), Interconnect::kPram, "f(x)=x^0.5, EREW PRAM");
+    sweep(HierModelSpec::hmm(CostFn::power(1.0)), Interconnect::kPram, "f(x)=x^1, EREW PRAM");
+
+    {
+        Table t({"H", "total time (f=log)", "formula", "ratio"});
+        for (std::uint32_t h : {8u, 16u, 32u, 64u, 128u}) {
+            HierSortConfig cfg;
+            cfg.h = h;
+            cfg.model = HierModelSpec::hmm(CostFn::log());
+            auto input = generate(Workload::kUniform, 1 << 14, h);
+            HierSortReport rep;
+            (void)hier_sort(input, cfg, &rep);
+            t.add_row({Table::num(h), Table::fixed(rep.total_time, 0),
+                       Table::fixed(rep.formula, 0), Table::fixed(rep.ratio, 2)});
+        }
+        std::cout << "H sweep at N=2^14 (more hierarchies => faster):\n";
+        t.print(std::cout);
+    }
+    return 0;
+}

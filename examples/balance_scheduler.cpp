@@ -1,0 +1,149 @@
+// The paper's §6 outlook: "we expect our balance technique to be quite
+// useful ... not only for sorting but also for other load-balancing
+// applications on parallel disks and parallel memory hierarchies."
+//
+// This example uses the Balance machinery (histogram matrix X, auxiliary
+// matrix A, Fast-Partial-Match) as a standalone *placement scheduler*: a
+// stream of shards, each belonging to one of S tenants, must be spread
+// over D storage nodes so that EVERY tenant's shards are balanced across
+// nodes (so any single tenant can later be scanned at full parallelism).
+// Round-robin balances the total but not per tenant; random placement
+// balances per tenant only in expectation; the paper's machinery gives a
+// deterministic per-tenant guarantee of <= median + 1 (Invariant 2).
+//
+//   ./balance_scheduler [shards] [tenants] [nodes]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/matching.hpp"
+#include "core/matrices.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+using namespace balsort;
+
+namespace {
+
+/// Max over tenants of (max shards per node) / ceil(tenant total / nodes):
+/// 1.0 means every tenant is perfectly spread.
+double worst_tenant_skew(const std::vector<std::vector<std::uint32_t>>& counts,
+                         std::uint32_t nodes) {
+    double worst = 1.0;
+    for (const auto& row : counts) {
+        std::uint64_t total = 0, mx = 0;
+        for (std::uint32_t c : row) {
+            total += c;
+            mx = std::max<std::uint64_t>(mx, c);
+        }
+        if (total == 0) continue;
+        const double opt = static_cast<double>(ceil_div(total, nodes));
+        worst = std::max(worst, static_cast<double>(mx) / opt);
+    }
+    return worst;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t n_shards = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+    const std::uint32_t tenants = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 12;
+    const std::uint32_t nodes = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16;
+
+    std::cout << "Balance-as-a-scheduler: " << n_shards << " shards, " << tenants
+              << " tenants (skewed popularity), " << nodes << " storage nodes\n\n";
+
+    // Skewed tenant popularity (tenant 0 hottest), deterministic stream.
+    Xoshiro256 stream(2026);
+    auto tenant_of = [&]() -> std::uint32_t {
+        // geometric-ish popularity
+        std::uint32_t t = 0;
+        while (t + 1 < tenants && stream.below(100) < 55) ++t;
+        return t;
+    };
+
+    // --- Strategy 1: round-robin over nodes (ignores tenants). ---
+    std::vector<std::vector<std::uint32_t>> rr(tenants, std::vector<std::uint32_t>(nodes, 0));
+    // --- Strategy 2: uniform random node. ---
+    std::vector<std::vector<std::uint32_t>> rnd(tenants, std::vector<std::uint32_t>(nodes, 0));
+    // --- Strategy 3: the paper's balance machinery. ---
+    std::vector<std::vector<std::uint32_t>> bal(tenants, std::vector<std::uint32_t>(nodes, 0));
+    BalanceMatrices matrices(tenants, nodes);
+    Xoshiro256 rnd_rng(7), match_rng(13);
+
+    std::uint64_t matched = 0, deferred_retries = 0;
+    std::uint32_t rr_cursor = 0;
+    std::vector<std::uint32_t> pending_tenant; // shards of the current "track"
+    auto flush_track = [&]() {
+        // Assign this track's shards (<= nodes many, one per node) exactly
+        // like Balance assigns virtual blocks: tentative cyclic placement,
+        // ComputeAux, Fast-Partial-Match for offenders.
+        std::vector<std::uint32_t> assigned(pending_tenant.size());
+        for (std::size_t j = 0; j < pending_tenant.size(); ++j) {
+            assigned[j] = (rr_cursor + static_cast<std::uint32_t>(j)) % nodes;
+            matrices.increment(pending_tenant[j], assigned[j]);
+        }
+        rr_cursor = (rr_cursor + 1) % nodes;
+        matrices.compute_aux();
+        // Rebalance loop (same structure as Algorithm 5/6).
+        for (int round = 0; round < 4; ++round) {
+            std::vector<std::size_t> offender_js;
+            for (std::size_t j = 0; j < pending_tenant.size(); ++j) {
+                if (matrices.aux(pending_tenant[j], assigned[j]) >= 2) offender_js.push_back(j);
+            }
+            if (offender_js.empty()) break;
+            std::vector<std::vector<std::uint32_t>> cands;
+            std::vector<std::size_t> u;
+            for (std::size_t j : offender_js) {
+                if (u.size() >= std::max(1u, nodes / 2)) break;
+                std::vector<std::uint32_t> c;
+                for (std::uint32_t hn = 0; hn < nodes; ++hn) {
+                    if (matrices.aux(pending_tenant[j], hn) == 0) c.push_back(hn);
+                }
+                if (!c.empty()) {
+                    u.push_back(j);
+                    cands.push_back(std::move(c));
+                }
+            }
+            if (u.empty()) break;
+            auto match = fast_partial_match(cands, nodes, MatchStrategy::kGreedy, match_rng);
+            for (std::size_t i = 0; i < u.size(); ++i) {
+                if (match.matched[i] == MatchResult::kUnmatched) {
+                    ++deferred_retries;
+                    continue;
+                }
+                matrices.decrement(pending_tenant[u[i]], assigned[u[i]]);
+                matrices.increment(pending_tenant[u[i]], match.matched[i]);
+                assigned[u[i]] = match.matched[i];
+                ++matched;
+            }
+            matrices.compute_aux();
+        }
+        for (std::size_t j = 0; j < pending_tenant.size(); ++j) {
+            bal[pending_tenant[j]][assigned[j]] += 1;
+        }
+        pending_tenant.clear();
+    };
+
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+        const std::uint32_t t = tenant_of();
+        rr[t][s % nodes] += 1;
+        rnd[t][rnd_rng.below(nodes)] += 1;
+        pending_tenant.push_back(t);
+        if (pending_tenant.size() == nodes) flush_track();
+    }
+    flush_track();
+
+    Table t({"strategy", "worst tenant skew", "deterministic?"});
+    t.add_row({"round-robin", Table::fixed(worst_tenant_skew(rr, nodes), 3), "yes"});
+    t.add_row({"uniform random", Table::fixed(worst_tenant_skew(rnd, nodes), 3), "no"});
+    t.add_row({"Balance matrices + matching", Table::fixed(worst_tenant_skew(bal, nodes), 3),
+               "yes"});
+    t.print(std::cout);
+    std::cout << "\n(skew = max over tenants of its most-loaded node / optimal; 1.0 is perfect.\n"
+              << " The Balance scheduler re-placed " << matched << " shards via matching and\n"
+              << " retried " << deferred_retries << ".)\n"
+              << "\nInvariant 2 held at the end: " << (matrices.invariant2() ? "yes" : "NO")
+              << " — every tenant within median+1 per node, the Theorem 4 guarantee.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Explore the paper's parallel memory-hierarchy models (Figures 3-4):
+// sort the same data on P-HMM, P-BT, and P-UMH under both interconnects
+// and compare the charged sorting time against Theorems 2-3's formulas.
+//
+//   ./hierarchy_explorer [N] [H]
+//
+// Use this to answer "which machine model is my configuration bound by,
+// and what does the theory predict" for a given (N, H).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hier_sort.hpp"
+#include "util/table.hpp"
+#include "util/workload.hpp"
+
+using namespace balsort;
+
+int main(int argc, char** argv) {
+    const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1u << 14;
+    const std::uint32_t h = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 64;
+
+    std::cout << "Parallel memory hierarchy explorer: N=" << n << " records across H=" << h
+              << " hierarchies (H'=" << VirtualDisks::default_virtual_count(h)
+              << " virtual hierarchies after partial striping)\n\n";
+
+    auto input = generate(Workload::kUniform, n, 1);
+
+    struct Config {
+        HierModelSpec spec;
+        Interconnect ic;
+    };
+    const Config configs[] = {
+        {HierModelSpec::hmm(CostFn::log()), Interconnect::kPram},
+        {HierModelSpec::hmm(CostFn::log()), Interconnect::kHypercube},
+        {HierModelSpec::hmm(CostFn::power(0.5)), Interconnect::kPram},
+        {HierModelSpec::hmm(CostFn::power(1.0)), Interconnect::kPram},
+        {HierModelSpec::bt(CostFn::log()), Interconnect::kPram},
+        {HierModelSpec::bt(CostFn::power(0.5)), Interconnect::kPram},
+        {HierModelSpec::bt(CostFn::power(1.0)), Interconnect::kPram},
+        {HierModelSpec::bt(CostFn::power(1.5)), Interconnect::kPram},
+        {HierModelSpec::umh(4.0, 1.0), Interconnect::kPram},
+        {HierModelSpec::umh(4.0, 0.5), Interconnect::kPram},
+    };
+
+    Table t({"model", "interconnect", "hier time", "ic charge", "total", "theorem formula",
+             "ratio"});
+    for (const auto& c : configs) {
+        HierSortConfig cfg;
+        cfg.h = h;
+        cfg.model = c.spec;
+        cfg.interconnect = c.ic;
+        HierSortReport rep;
+        auto sorted = hier_sort(input, cfg, &rep);
+        if (!is_sorted_permutation_of(input, sorted)) {
+            std::cerr << "FAILED: unsorted output on " << c.spec.name() << '\n';
+            return 1;
+        }
+        t.add_row({c.spec.name(), to_string(c.ic), Table::fixed(rep.hierarchy_time, 0),
+                   Table::fixed(rep.interconnect_charge, 0), Table::fixed(rep.total_time, 0),
+                   Table::fixed(rep.formula, 0), Table::fixed(rep.ratio, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout <<
+        "\nReading the table:\n"
+        "  * 'hier time' is the access cost charged by the model's f(x) pricing rule;\n"
+        "    'ic charge' is the interconnect time (T(H) per track + base-case sorts).\n"
+        "  * 'theorem formula' is the Theorem 2/3 prediction for this (N, H, f);\n"
+        "    'ratio' should be a modest constant — and stay put when you grow N.\n"
+        "  * BT < HMM at equal f: block transfer amortizes the sequential phases.\n"
+        "  * UMH with nu<1 (decaying bus bandwidth) prices deep levels polynomially.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+/// \file greed_sort.hpp
+/// Greed Sort [NoV] — Nodine & Vitter's earlier deterministic optimal
+/// D-disk sorting algorithm, based on merge sort (paper §1, §3: the
+/// comparator Balance Sort improves upon for hierarchies).
+///
+/// Each merge pass merges R = Θ(sqrt(M/B)) runs. The disks operate
+/// *independently* (this is the whole point vs. striping): in every read
+/// step, each disk greedily fetches the most urgent block it holds — the
+/// one whose smallest key is least among that disk's pending run blocks.
+///
+/// Faithfulness note (DESIGN.md §2): the original emits an approximately
+/// merged sequence and repairs it with a Columnsort-style cleanup pass.
+/// This implementation instead keeps per-block fence keys (each block's
+/// minimum, recorded at run formation — standard merge metadata) and emits
+/// only safe records, so the output is exactly sorted with the same
+/// greedy, independent-disk read schedule and the same I/O-count shape:
+/// Θ((N/DB) log(N/B)/log(M/B)).
+
+#include <cstdint>
+
+#include "pdm/config.hpp"
+#include "pdm/io_stats.hpp"
+#include "pdm/striping.hpp"
+
+namespace balsort {
+
+struct GreedSortReport {
+    IoStats io;
+    std::uint32_t passes = 0;
+    std::uint32_t merge_degree = 0;  ///< R
+    std::uint64_t initial_runs = 0;
+    std::uint64_t peak_buffered = 0; ///< max records buffered during a merge
+    double optimal_ios = 0;
+    double io_ratio = 0;
+};
+
+/// Sort `input` with Greed Sort; returns the sorted striped run.
+BlockRun greed_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
+                    GreedSortReport* report = nullptr);
+
+/// The merge degree used: max(2, floor(sqrt(M/B))).
+std::uint32_t greed_merge_degree(const PdmConfig& cfg);
+
+struct GreedApproxReport {
+    IoStats io;
+    std::uint32_t passes = 0;          ///< approximate merge passes
+    std::uint32_t merge_degree = 0;
+    std::uint64_t max_displacement = 0;///< observed across all approx passes
+    std::uint64_t window = 0;          ///< cleanup window used
+    double optimal_ios = 0;
+    double io_ratio = 0;
+};
+
+/// The ORIGINAL two-phase Greed Sort structure of [NoV]: each merge pass
+/// emits the DB smallest buffered records per step *without* waiting for
+/// safety (producing an approximately sorted, L-regionally displaced run
+/// with L <= R*D*B), then a streaming cleanup pass — a sliding sorted
+/// window of 2L records emitting its lower half — repairs the
+/// displacement. One extra read+write pass per merge pass pays for the
+/// simpler greedy emission; the I/O-count *shape* is the same
+/// Θ((N/DB) log(N/B)/log(M/B)). The cleanup hard-checks sortedness
+/// (ModelViolation on a window underrun, which the L-bound precludes).
+BlockRun greed_sort_approximate(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
+                                GreedApproxReport* report = nullptr);
+
+} // namespace balsort

@@ -1,0 +1,185 @@
+#include "baselines/rand_dist.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "core/partition.hpp"
+#include "core/vrun.hpp"
+#include "pram/parallel_sort.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+namespace {
+
+constexpr Record kPadRecord{~std::uint64_t{0}, ~std::uint64_t{0}};
+
+struct RandState {
+    DiskArray& disks;
+    VirtualDisks vdisks; // D' = D, group = 1: plain one-block-per-disk steps
+    const PdmConfig& cfg;
+    ThreadPool pool;
+    Xoshiro256 rng;
+    RunWriter out;
+    RandDistReport* report;
+
+    RandState(DiskArray& d, const PdmConfig& c, std::uint64_t seed, RandDistReport* rep)
+        : disks(d), vdisks(d, d.num_disks()), cfg(c), pool(1), rng(seed), out(d), report(rep) {}
+};
+
+using SourceFactory = std::function<std::unique_ptr<RecordSource>()>;
+
+/// One distribution level: partition the stream into buckets, writing each
+/// full block to a randomly shifted disk (one block per disk per step).
+std::vector<BucketOutput> rand_distribute(RandState& st, RecordSource& input,
+                                          const PivotSet& pivots) {
+    const std::uint32_t s_eff = pivots.n_buckets();
+    const std::uint32_t d = st.disks.num_disks();
+    const std::uint32_t v = st.vdisks.vblock_records(); // == B
+
+    std::vector<BucketOutput> buckets(s_eff);
+    for (std::uint32_t b = 0; b < s_eff; ++b) {
+        buckets[b].is_equal_class = pivots.is_equal_class(b);
+    }
+    std::vector<std::vector<Record>> fill(s_eff);
+    std::deque<std::pair<std::uint32_t, std::vector<Record>>> ready;
+
+    auto flush_ready = [&](bool all) {
+        while (ready.size() >= d || (all && !ready.empty())) {
+            const std::uint32_t k =
+                static_cast<std::uint32_t>(std::min<std::size_t>(d, ready.size()));
+            // Random cyclic shift: block j of this step goes to disk
+            // (shift + j) mod D — the [ViSa] randomized placement.
+            const auto shift = static_cast<std::uint32_t>(st.rng.below(d));
+            std::vector<std::uint32_t> vds(k);
+            std::vector<Record> buf(static_cast<std::size_t>(k) * v, kPadRecord);
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> meta(k); // bucket, count
+            for (std::uint32_t j = 0; j < k; ++j) {
+                auto [bkt, data] = std::move(ready.front());
+                ready.pop_front();
+                vds[j] = (shift + j) % d;
+                std::copy(data.begin(), data.end(),
+                          buf.begin() + static_cast<std::ptrdiff_t>(j * v));
+                meta[j] = {bkt, static_cast<std::uint32_t>(data.size())};
+            }
+            auto vbs = st.vdisks.write_track(vds, buf);
+            for (std::uint32_t j = 0; j < k; ++j) {
+                buckets[meta[j].first].run.entries.push_back(
+                    VRun::Entry{vbs[j], meta[j].second});
+                buckets[meta[j].first].run.n_records += meta[j].second;
+            }
+        }
+    };
+
+    std::vector<Record> chunk;
+    while (input.remaining() > 0) {
+        chunk.resize(std::min<std::uint64_t>(st.cfg.m, input.remaining()));
+        const std::uint64_t got = input.read(chunk);
+        BS_MODEL_CHECK(got == chunk.size(), "rand_dist: short read");
+        for (std::uint64_t i = 0; i < got; ++i) {
+            const std::uint32_t b = pivots.bucket_of(chunk[i].key);
+            buckets[b].min_key = std::min(buckets[b].min_key, chunk[i].key);
+            buckets[b].max_key = std::max(buckets[b].max_key, chunk[i].key);
+            fill[b].push_back(chunk[i]);
+            if (fill[b].size() == v) {
+                ready.emplace_back(b, std::move(fill[b]));
+                fill[b].clear();
+            }
+        }
+        flush_ready(false);
+    }
+    for (std::uint32_t b = 0; b < s_eff; ++b) {
+        if (!fill[b].empty()) ready.emplace_back(b, std::move(fill[b]));
+    }
+    flush_ready(true);
+    return buckets;
+}
+
+void rand_rec(RandState& st, const SourceFactory& factory, std::uint64_t n,
+              std::uint32_t depth) {
+    if (n == 0) return;
+    if (st.report != nullptr) {
+        st.report->levels = std::max<std::uint32_t>(st.report->levels, depth + 1);
+    }
+    BS_MODEL_CHECK(depth <= 64, "rand_dist: recursion too deep");
+    if (n <= st.cfg.m) {
+        auto src = factory();
+        std::vector<Record> buf(n);
+        const std::uint64_t got = src->read(buf);
+        BS_MODEL_CHECK(got == n, "rand_dist base: short read");
+        std::sort(buf.begin(), buf.end(), KeyLess{});
+        st.out.append(std::span<const Record>(buf));
+        if (st.report != nullptr) st.report->base_cases += 1;
+        return;
+    }
+    const std::uint32_t s_target = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(iroot(std::max<std::uint64_t>(2, st.cfg.m / st.cfg.b), 4)));
+    PivotSet pivots;
+    {
+        auto src = factory();
+        pivots = compute_pivots_sampling(*src, n, st.cfg.m, s_target, st.pool);
+    }
+    BS_MODEL_CHECK(!pivots.keys.empty(), "rand_dist: no pivots on N > M input");
+    std::vector<BucketOutput> buckets;
+    {
+        auto src = factory();
+        buckets = rand_distribute(st, *src, pivots);
+    }
+    for (auto& bucket : buckets) {
+        if (bucket.run.n_records == 0) continue;
+        if (st.report != nullptr && bucket.run.entries.size() >= st.disks.num_disks()) {
+            const double ratio =
+                static_cast<double>(bucket.run.read_steps(st.disks.num_disks())) /
+                static_cast<double>(bucket.run.optimal_read_steps(st.disks.num_disks()));
+            st.report->worst_bucket_read_ratio =
+                std::max(st.report->worst_bucket_read_ratio, ratio);
+        }
+        const bool sorted_already = bucket.is_equal_class || bucket.min_key == bucket.max_key;
+        if (sorted_already) {
+            VRunSource src(st.vdisks, bucket.run);
+            std::vector<Record> buf;
+            while (src.remaining() > 0) {
+                buf.resize(std::min<std::uint64_t>(st.cfg.m, src.remaining()));
+                const std::uint64_t got = src.read(buf);
+                st.out.append(std::span<const Record>(buf.data(), got));
+            }
+            bucket.run.release(st.disks);
+            continue;
+        }
+        BS_MODEL_CHECK(bucket.run.n_records < n, "rand_dist: bucket did not shrink");
+        const VRun& run = bucket.run;
+        SourceFactory bucket_factory = [&st, &run]() -> std::unique_ptr<RecordSource> {
+            return std::make_unique<VRunSource>(st.vdisks, run);
+        };
+        rand_rec(st, bucket_factory, run.n_records, depth + 1);
+        bucket.run.release(st.disks);
+    }
+}
+
+} // namespace
+
+BlockRun rand_dist_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
+                        std::uint64_t seed, RandDistReport* report) {
+    cfg.validate();
+    BS_REQUIRE(input.n_records == cfg.n, "rand_dist_sort: cfg.n != input.n_records");
+    const IoStats before = disks.stats();
+    RandState st(disks, cfg, seed, report);
+    SourceFactory top = [&disks, &input]() -> std::unique_ptr<RecordSource> {
+        return std::make_unique<StripedSource>(disks, input);
+    };
+    rand_rec(st, top, cfg.n, 0);
+    BlockRun result = st.out.finish();
+    BS_MODEL_CHECK(result.n_records == cfg.n, "rand_dist: output record count mismatch");
+    if (report != nullptr) {
+        report->io = disks.stats() - before;
+        report->optimal_ios = cfg.optimal_ios();
+        report->io_ratio = report->optimal_ios > 0
+                               ? static_cast<double>(report->io.io_steps()) / report->optimal_ios
+                               : 0;
+    }
+    return result;
+}
+
+} // namespace balsort

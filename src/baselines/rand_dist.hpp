@@ -1,0 +1,33 @@
+#pragma once
+/// \file rand_dist.hpp
+/// The randomized Vitter–Shriver distribution sort [ViSa] (paper §1, §3):
+/// the algorithm Balance Sort derandomizes.
+///
+/// Same distribution-sort skeleton as Balance Sort (memoryload sampling
+/// for pivots, bucket blocks written one-per-disk per step, recursion on
+/// buckets), but bucket blocks are placed by a *random cyclic shift* per
+/// write step instead of the histogram/auxiliary-matrix machinery. Buckets
+/// end up balanced only with high probability; EXP-BASELINES contrasts its
+/// bucket-read tail with Balance Sort's deterministic <= ~2x bound.
+
+#include <cstdint>
+
+#include "core/balance_sort.hpp"
+
+namespace balsort {
+
+struct RandDistReport {
+    IoStats io;
+    std::uint32_t levels = 0;
+    std::uint64_t base_cases = 0;
+    double worst_bucket_read_ratio = 1.0; ///< the randomized tail
+    double optimal_ios = 0;
+    double io_ratio = 0;
+};
+
+/// Sort `input` with the randomized distribution sort; deterministic in
+/// `seed`. Returns the sorted striped run; `input` is left intact.
+BlockRun rand_dist_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
+                        std::uint64_t seed, RandDistReport* report = nullptr);
+
+} // namespace balsort

@@ -1,0 +1,40 @@
+#pragma once
+/// \file striped_merge.hpp
+/// The disk-striping baseline (paper §1): synchronize the D disks so every
+/// I/O touches the same relative position on each — "effectively
+/// transform[ing] the disks into a single disk with larger block size
+/// B' = DB" — and run a classic multiway external merge sort on top.
+///
+/// Deterministic and simple, but the merge fan-in shrinks from Θ(M/B) to
+/// Θ(M/(DB)), so the pass count (and I/O count) is inflated by a
+/// multiplicative Θ(log(M/B) / log(M/(DB))) factor as D grows — the gap
+/// Balance Sort closes (EXP-STRIPE measures it).
+
+#include <cstdint>
+
+#include "pdm/config.hpp"
+#include "pdm/io_stats.hpp"
+#include "pdm/striping.hpp"
+#include "util/work_meter.hpp"
+
+namespace balsort {
+
+struct StripedMergeReport {
+    IoStats io;
+    std::uint32_t passes = 0;       ///< merge passes after run formation
+    std::uint32_t fan_in = 0;       ///< runs merged at a time
+    std::uint64_t initial_runs = 0; ///< memoryload runs formed
+    std::uint64_t comparisons = 0;
+    double optimal_ios = 0;         ///< Theorem 1 formula (for the ratio)
+    double io_ratio = 0;
+};
+
+/// Sort `input` with disk-striped multiway merge sort; returns the sorted
+/// striped run. `input` is left intact.
+BlockRun striped_merge_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
+                            StripedMergeReport* report = nullptr);
+
+/// The fan-in used: max(2, M / (2*DB)).
+std::uint32_t striped_merge_fan_in(const PdmConfig& cfg);
+
+} // namespace balsort

@@ -1,0 +1,366 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "pram/hungarian.hpp"
+#include "pram/quantile_sketch.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+void BalanceStats::merge(const BalanceStats& o) {
+    tracks += o.tracks;
+    direct_blocks += o.direct_blocks;
+    matched_blocks += o.matched_blocks;
+    deferred_blocks += o.deferred_blocks;
+    rearrange_rounds += o.rearrange_rounds;
+    max_rounds_per_track = std::max(max_rounds_per_track, o.max_rounds_per_track);
+    match_draws += o.match_draws;
+    invariant1_held = invariant1_held && o.invariant1_held;
+    invariant2_held = invariant2_held && o.invariant2_held;
+}
+
+namespace {
+
+/// A bucket-homogeneous virtual block waiting to be placed.
+struct PendingBlock {
+    std::uint32_t bucket = 0;
+    std::vector<Record> data; // size <= V; remainder of a final block is pad
+};
+
+constexpr Record kPadRecord{~std::uint64_t{0}, ~std::uint64_t{0}};
+
+} // namespace
+
+std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivots,
+                                       VirtualDisks& vdisks, std::uint64_t memory_records,
+                                       const BalanceOptions& opt, ThreadPool& pool,
+                                       WorkMeter* meter, PramCost* cost, BalanceStats* stats,
+                                       std::uint32_t sketch_child_s) {
+    const std::uint32_t s_eff = pivots.n_buckets();
+    const std::uint32_t dv = vdisks.count();
+    const std::uint32_t v = vdisks.vblock_records();
+    BS_REQUIRE(memory_records >= v, "balance_pass: memoryload smaller than a virtual block");
+
+    BalanceMatrices matrices(s_eff, dv, opt.aux);
+    Xoshiro256 rng(opt.seed);
+    BalanceStats local_stats;
+
+    std::vector<BucketOutput> buckets(s_eff);
+    for (std::uint32_t b = 0; b < s_eff; ++b) {
+        buckets[b].is_equal_class = pivots.is_equal_class(b);
+    }
+    // Streaming-sketch pivots for the next level (PivotMethod::
+    // kStreamingSketch): one deterministic quantile sketch per open-range
+    // bucket, fed during partitioning below.
+    std::vector<std::unique_ptr<QuantileSketch>> sketches;
+    if (sketch_child_s >= 2) {
+        sketches.resize(s_eff);
+        const std::size_t k = std::max<std::size_t>(64, 32ull * sketch_child_s);
+        for (std::uint32_t b = 0; b < s_eff; ++b) {
+            if (!buckets[b].is_equal_class) {
+                sketches[b] = std::make_unique<QuantileSketch>(k);
+            }
+        }
+    }
+
+    std::vector<std::vector<Record>> fill(s_eff); // partial blocks being built
+    std::deque<PendingBlock> ready;               // full (or final) blocks to place
+    bool tails_flushed = false;
+    std::uint32_t rr_cursor = 0; // cyclic assignment cursor
+    std::uint64_t stalled_tracks = 0;
+
+    std::vector<Record> chunk;
+    std::vector<std::uint32_t> chunk_bucket;
+
+    auto append_output = [&](std::uint32_t b, std::uint32_t vdisk_unused,
+                             const VirtualDisks::VBlock& vb, std::uint32_t count) {
+        (void)vdisk_unused;
+        buckets[b].run.entries.push_back(VRun::Entry{vb, count});
+        buckets[b].run.n_records += count;
+    };
+
+    while (true) {
+        // ---- Refill the ready queue from the input (one memoryload). ----
+        if (ready.size() < dv && input.remaining() > 0) {
+            const std::uint64_t want = std::min<std::uint64_t>(memory_records, input.remaining());
+            chunk.resize(want);
+            const std::uint64_t got = input.read(chunk);
+            BS_MODEL_CHECK(got == want, "balance_pass: short read from source");
+            // Partition the memoryload into buckets (Algorithm 3 line (1)):
+            // bucket indices computed data-parallel, scatter sequential.
+            chunk_bucket.resize(got);
+            pool.parallel_for(0, got, [&](std::size_t lo, std::size_t hi, std::size_t) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    chunk_bucket[i] = pivots.bucket_of(chunk[i].key);
+                }
+            });
+            if (meter != nullptr) {
+                meter->add_comparisons(got * std::max<std::uint64_t>(1, ilog2_ceil(s_eff)));
+                meter->add_moves(got);
+            }
+            if (cost != nullptr) {
+                cost->charge_parallel_work(got * std::max<std::uint64_t>(1, ilog2_ceil(s_eff)));
+                cost->charge_collective();
+            }
+            for (std::uint64_t i = 0; i < got; ++i) {
+                const std::uint32_t b = chunk_bucket[i];
+                buckets[b].min_key = std::min(buckets[b].min_key, chunk[i].key);
+                buckets[b].max_key = std::max(buckets[b].max_key, chunk[i].key);
+                if (!sketches.empty() && sketches[b] != nullptr) {
+                    sketches[b]->add(chunk[i].key);
+                }
+                fill[b].push_back(chunk[i]);
+                if (fill[b].size() == v) {
+                    ready.push_back(PendingBlock{b, std::move(fill[b])});
+                    fill[b].clear();
+                }
+            }
+        }
+        // ---- Input exhausted: final partial blocks join the queue. ----
+        if (input.remaining() == 0 && !tails_flushed) {
+            for (std::uint32_t b = 0; b < s_eff; ++b) {
+                if (!fill[b].empty()) {
+                    ready.push_back(PendingBlock{b, std::move(fill[b])});
+                    fill[b].clear();
+                }
+            }
+            tails_flushed = true;
+        }
+        if (ready.empty()) {
+            if (input.remaining() == 0) break;
+            continue;
+        }
+
+        // ---- Form a track of up to D' blocks (Algorithm 3). ----
+        const std::uint32_t k = static_cast<std::uint32_t>(
+            std::min<std::size_t>(dv, ready.size()));
+        std::vector<PendingBlock> track;
+        track.reserve(k);
+        for (std::uint32_t j = 0; j < k; ++j) {
+            track.push_back(std::move(ready.front()));
+            ready.pop_front();
+        }
+        // Tentative assignment to distinct virtual disks.
+        std::vector<std::uint32_t> assigned(k);
+        if (opt.assign == AssignPolicy::kCyclic) {
+            for (std::uint32_t j = 0; j < k; ++j) assigned[j] = (rr_cursor + j) % dv;
+            rr_cursor = (rr_cursor + 1) % dv;
+        } else if (opt.assign == AssignPolicy::kMinCostMatching) {
+            // §6 conjecture: cost of placing block j (bucket b_j) on vdisk
+            // h is the current histogram load x_{b_j,h}; the Hungarian
+            // assignment spreads the track with globally minimal imbalance.
+            std::vector<std::int64_t> cost_matrix(static_cast<std::size_t>(k) * dv);
+            for (std::uint32_t j = 0; j < k; ++j) {
+                for (std::uint32_t h = 0; h < dv; ++h) {
+                    cost_matrix[static_cast<std::size_t>(j) * dv + h] =
+                        matrices.x(track[j].bucket, h);
+                }
+            }
+            assigned = min_cost_assignment(cost_matrix, k, dv);
+            if (cost != nullptr) cost->charge_collectives(k); // the matching work
+        } else {
+            std::vector<bool> used(dv, false);
+            for (std::uint32_t j = 0; j < k; ++j) {
+                std::uint32_t best = dv, best_x = ~std::uint32_t{0};
+                for (std::uint32_t h = 0; h < dv; ++h) {
+                    if (!used[h] && matrices.x(track[j].bucket, h) < best_x) {
+                        best = h;
+                        best_x = matrices.x(track[j].bucket, h);
+                    }
+                }
+                BS_MODEL_CHECK(best < dv, "assignment ran out of virtual disks");
+                used[best] = true;
+                assigned[j] = best;
+            }
+        }
+        for (std::uint32_t j = 0; j < k; ++j) {
+            matrices.increment(track[j].bucket, assigned[j]); // line (3)
+        }
+        matrices.compute_aux(); // Algorithm 4
+        if (cost != nullptr) {
+            cost->charge_parallel_work(static_cast<std::uint64_t>(s_eff) * dv);
+            cost->charge_collective();
+        }
+
+        // ---- Place every block of the track: direct writes, Rebalance
+        // (Algorithm 5) rounds of Rearrange (Algorithm 6), or deferral.
+        // A block's own status is aux(bucket, assigned-vdisk): <= 1 means
+        // its placement is acceptable (writable), >= 2 means it is an
+        // offender that must be matched away or deferred. Matched moves can
+        // raise a row's median and thereby *free* other offenders — those
+        // simply become writable in a later round.
+        auto write_blocks = [&](const std::vector<std::uint32_t>& js) {
+            if (js.empty()) return;
+            std::vector<Record> buf(js.size() * static_cast<std::size_t>(v), kPadRecord);
+            std::vector<std::uint32_t> hs(js.size());
+            for (std::size_t q = 0; q < js.size(); ++q) {
+                const auto& blk = track[js[q]];
+                std::copy(blk.data.begin(), blk.data.end(),
+                          buf.begin() + static_cast<std::ptrdiff_t>(q * v));
+                hs[q] = assigned[js[q]];
+            }
+            auto vbs = vdisks.write_track(hs, buf); // one parallel I/O step
+            for (std::size_t q = 0; q < js.size(); ++q) {
+                append_output(track[js[q]].bucket, hs[q], vbs[q],
+                              static_cast<std::uint32_t>(track[js[q]].data.size()));
+            }
+        };
+
+        std::vector<std::uint32_t> pending(k);
+        for (std::uint32_t j = 0; j < k; ++j) pending[j] = j;
+        std::vector<bool> was_matched(k, false);
+        std::uint64_t rounds = 0;
+        std::uint64_t written_this_track = 0;
+        const std::uint64_t defer_threshold = std::max<std::uint64_t>(1, dv / 2);
+        std::uint64_t safety = 0;
+        while (!pending.empty()) {
+            BS_MODEL_CHECK(++safety <= 4ull * dv + 16, "track placement failed to converge");
+            // Classify pending blocks by their own aux entry.
+            std::vector<std::uint32_t> writable, offender_js;
+            for (std::uint32_t j : pending) {
+                if (matrices.aux(track[j].bucket, assigned[j]) <= 1) {
+                    writable.push_back(j);
+                } else {
+                    offender_js.push_back(j);
+                }
+            }
+            // Write the writable ones — at most one per virtual disk per
+            // parallel step (vdisk duplicates wait one round; they only
+            // arise when a matched move targets a vdisk that still carries
+            // another pending block).
+            {
+                std::vector<bool> used(dv, false);
+                std::vector<std::uint32_t> now, later;
+                for (std::uint32_t j : writable) {
+                    if (!used[assigned[j]]) {
+                        used[assigned[j]] = true;
+                        now.push_back(j);
+                    } else {
+                        later.push_back(j);
+                    }
+                }
+                for (std::uint32_t j : now) {
+                    if (was_matched[j]) {
+                        local_stats.matched_blocks += 1;
+                    } else {
+                        local_stats.direct_blocks += 1;
+                    }
+                }
+                written_this_track += now.size();
+                write_blocks(now); // Algorithm 3 line (6) / Algorithm 6 line (5)
+                std::vector<std::uint32_t> next_pending = std::move(later);
+                next_pending.insert(next_pending.end(), offender_js.begin(), offender_js.end());
+                pending = std::move(next_pending);
+            }
+            if (offender_js.empty()) continue; // only vdisk collisions left
+            // ---- Rebalance decision (Algorithm 5). ----
+            const bool defer_now = opt.defer == DeferPolicy::kPaperDefer &&
+                                   offender_js.size() < defer_threshold;
+            // U := the next floor(D'/2) offenders with at least one
+            // candidate (capping |U| preserves Invariant 1's free-candidate
+            // guarantee under the paper rule; the [Arg] rule can produce
+            // candidate-less offenders, which are deferred).
+            std::vector<std::uint32_t> u;
+            std::vector<std::vector<std::uint32_t>> candidates;
+            if (!defer_now) {
+                for (std::uint32_t j : offender_js) {
+                    if (u.size() >= std::max<std::uint32_t>(1, dv / 2)) break;
+                    std::vector<std::uint32_t> cand;
+                    for (std::uint32_t h = 0; h < dv; ++h) {
+                        if (matrices.aux(track[j].bucket, h) == 0) cand.push_back(h);
+                    }
+                    if (!cand.empty()) {
+                        u.push_back(j);
+                        candidates.push_back(std::move(cand));
+                    }
+                }
+            }
+            if (defer_now || u.empty()) {
+                // Defer every remaining offender (Algorithm 3 line (7)):
+                // roll X back and conceptually return the block to the
+                // input. The entries removed sit above their row medians,
+                // so the rollback cannot create new 2s.
+                std::vector<std::uint32_t> still_pending;
+                for (std::uint32_t j : pending) {
+                    if (matrices.aux(track[j].bucket, assigned[j]) >= 2) {
+                        matrices.decrement(track[j].bucket, assigned[j]);
+                        ready.push_front(std::move(track[j]));
+                        local_stats.deferred_blocks += 1;
+                    } else {
+                        still_pending.push_back(j);
+                    }
+                }
+                pending = std::move(still_pending);
+                matrices.compute_aux();
+                continue;
+            }
+            MatchResult match = fast_partial_match(candidates, dv, opt.matching, rng);
+            local_stats.match_draws += match.draws;
+            if (cost != nullptr) cost->charge_collectives(2); // sort + route of §4.2
+            std::uint32_t applied = 0;
+            for (std::size_t i = 0; i < u.size(); ++i) {
+                if (match.matched[i] == MatchResult::kUnmatched) continue;
+                const std::uint32_t j = u[i];
+                const std::uint32_t h_to = match.matched[i];
+                matrices.decrement(track[j].bucket, assigned[j]);
+                matrices.increment(track[j].bucket, h_to);
+                assigned[j] = h_to;
+                was_matched[j] = true;
+                ++applied;
+            }
+            matrices.compute_aux();
+            ++rounds;
+            if (applied == 0) {
+                // Matcher stalled (possible under the randomized engine
+                // only via conflicts — retry is allowed next round; the
+                // safety counter above bounds the total).
+                continue;
+            }
+        }
+        local_stats.rearrange_rounds += rounds;
+        local_stats.max_rounds_per_track = std::max(local_stats.max_rounds_per_track, rounds);
+
+        // ---- Track bookkeeping & invariants. ----
+        // Invariant 1 is definitional only under the paper's median rule
+        // (the [Arg] ablation rule does not promise ceil(H'/2) zeros);
+        // Invariant 2 must hold after every track under either rule.
+        local_stats.tracks += 1;
+        if (opt.aux == AuxRule::kPaperMedian) {
+            local_stats.invariant1_held = local_stats.invariant1_held && matrices.invariant1();
+        }
+        local_stats.invariant2_held = local_stats.invariant2_held && matrices.invariant2();
+        if (opt.check_invariants) {
+            if (opt.aux == AuxRule::kPaperMedian) {
+                BS_MODEL_CHECK(matrices.invariant1(), "Invariant 1 violated after track");
+            }
+            BS_MODEL_CHECK(matrices.invariant2(), "Invariant 2 violated after track");
+        }
+        if (written_this_track == 0) {
+            BS_MODEL_CHECK(++stalled_tracks <= 4ull * dv + 8,
+                           "Balance made no progress for many consecutive tracks");
+        } else {
+            stalled_tracks = 0;
+        }
+    }
+
+    // Emit the per-bucket sketch pivots for the next level.
+    for (std::uint32_t b = 0; b < s_eff; ++b) {
+        if (sketches.empty() || sketches[b] == nullptr || buckets[b].run.n_records == 0) {
+            continue;
+        }
+        buckets[b].sketch_pivots.keys = sketches[b]->quantiles(sketch_child_s - 1);
+        buckets[b].has_sketch_pivots = !buckets[b].sketch_pivots.keys.empty();
+        if (meter != nullptr) {
+            // Sketch maintenance: amortized O(log(n/k)) comparisons/record.
+            meter->add_comparisons(buckets[b].run.n_records *
+                                   std::max<std::size_t>(1, sketches[b]->levels()));
+        }
+    }
+    if (stats != nullptr) stats->merge(local_stats);
+    return buckets;
+}
+
+} // namespace balsort

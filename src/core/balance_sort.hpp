@@ -1,0 +1,141 @@
+#pragma once
+/// \file balance_sort.hpp
+/// Balance Sort on the parallel disk model — the paper's Theorem 1
+/// algorithm (Algorithm 1 with the §5 adaptations) and the library's
+/// flagship entry point.
+///
+/// Recursion: while a level's input exceeds the memory capacity M, compute
+/// S-1 partition elements by memoryload sampling, run Balance to split the
+/// input into buckets spread evenly over the virtual disks, and recurse on
+/// each bucket in key order; a level with at most M records is read, sorted
+/// with the P internal processors, and appended to the (striped) output.
+///
+/// Measured quantities (`SortReport`) map one-to-one onto the paper's
+/// claims: parallel I/O steps (Theorem 1 / Eq. 1), internal work and PRAM
+/// time (Theorem 1), bucket read-balance ratios (Theorem 4), rebalancing
+/// effort (Theorem 5), and Invariants 1-2.
+
+#include <cstdint>
+
+#include "core/balance.hpp"
+#include "pdm/config.hpp"
+#include "pdm/io_stats.hpp"
+#include "pdm/striping.hpp"
+
+namespace balsort {
+
+/// How each level's partition elements are obtained.
+enum class PivotMethod {
+    /// §5 / [ViSa]: a dedicated read pass per level that multi-selects
+    /// centered stride samples from each memoryload. Paper-faithful.
+    kSamplingPass,
+    /// Extension: the parent's Balance pass feeds each bucket through a
+    /// deterministic Munro-Paterson quantile sketch, so recursive levels
+    /// skip their pivot read pass entirely — one full pass per level
+    /// saved, same determinism, with a self-correcting quality guarantee
+    /// (see quantile_sketch.hpp). The top level still pays one sampling
+    /// pass. Not available with BucketPolicy::kSqrtLevel (the child S is
+    /// unknown while the parent runs).
+    kStreamingSketch,
+};
+
+/// Which engine sorts a base-case memoryload with the P processors (§5's
+/// internal-processing toolbox: Cole's merge sort [Col] vs the
+/// Rajasekaran-Reif radix path [RaR]).
+enum class InternalSort {
+    kParallelMerge, ///< comparison-based, stable (default)
+    kParallelRadix, ///< LSD radix on the 64-bit keys, stable
+};
+
+/// How the bucket count S is chosen at each recursion level.
+enum class BucketPolicy {
+    /// The paper's PDM rule (§5): S = (M/B)^(1/4) at every level, clamped
+    /// so the staging buffers fit in memory. (Default when s_target == 0.)
+    kPaperPdm,
+    /// Fixed S = s_target at every level.
+    kFixed,
+    /// The hierarchy rule (§4.3): S = sqrt(n_level / D') re-evaluated per
+    /// level — the square-root decomposition giving loglog recursion depth.
+    kSqrtLevel,
+};
+
+struct SortOptions {
+    /// Bucket-count target S for BucketPolicy::kFixed; with the default
+    /// policy, 0 selects the paper's (M/B)^(1/4) (§5).
+    std::uint32_t s_target = 0;
+    /// Per-level S selection rule. kPaperPdm unless s_target != 0, in
+    /// which case kFixed is implied; set kSqrtLevel for hierarchies.
+    BucketPolicy bucket_policy = BucketPolicy::kPaperPdm;
+    /// Pivot computation method (see PivotMethod).
+    PivotMethod pivot_method = PivotMethod::kSamplingPass;
+    /// Base-case internal sorting engine (see InternalSort).
+    InternalSort internal_sort = InternalSort::kParallelMerge;
+    /// Number of virtual disks D'; 0 selects the divisor of D nearest
+    /// D^(1/3) (§4.1 partial striping). Must divide D when given.
+    std::uint32_t d_virtual = 0;
+    /// Balance knobs (matching strategy, aux rule, defer policy, ...).
+    BalanceOptions balance{};
+    /// Cap on real worker threads (the PRAM charge still uses cfg.p);
+    /// 0 = min(cfg.p, hardware threads).
+    std::uint32_t max_threads = 0;
+    /// §4.4: after Balance, rewrite each bucket that will recurse into
+    /// consecutive locations on each virtual disk/hierarchy (one extra
+    /// swept read + streamed write per level). On the Block-Transfer
+    /// hierarchies this repositioning is what keeps every subsequent
+    /// bucket access a cheap stream instead of an S-fold interleaved
+    /// sweep — the role the paper assigns to the [ACSa] generalized
+    /// matrix transposition. Costs extra I/O steps on the plain PDM, so
+    /// it is off by default; the hierarchy driver enables it for BT/UMH.
+    bool reposition_buckets = false;
+    /// §6: perform only fully striped (synchronized) write operations —
+    /// every bucket write step lands at one common block index across the
+    /// array (error-checking/parity friendly), trading disk space for the
+    /// property. I/O step counts are unchanged.
+    bool synchronized_writes = false;
+};
+
+struct SortReport {
+    // --- I/O measure (Theorem 1) ---
+    IoStats io;
+    double optimal_ios = 0;      ///< Eq. 1 formula for this instance
+    double io_ratio = 0;         ///< measured / formula
+
+    // --- internal-processing measure (Theorem 1) ---
+    std::uint64_t comparisons = 0;
+    std::uint64_t moves = 0;
+    double pram_time = 0;        ///< charged PRAM steps with P processors
+    double optimal_work = 0;     ///< (N/P) log N
+    double work_ratio = 0;       ///< pram_time / optimal_work
+
+    // --- structure ---
+    std::uint32_t s_used = 0;    ///< first-level bucket target S
+    std::uint32_t d_virtual = 0; ///< D' actually used
+    std::uint32_t levels = 0;    ///< recursion depth reached
+    std::uint64_t base_cases = 0;
+    std::uint64_t equal_class_records = 0; ///< emitted via equal-class fast path
+
+    // --- balance quality (Theorem 4, Invariants) ---
+    BalanceStats balance;
+    double worst_bucket_read_ratio = 1.0; ///< max over buckets: steps/optimal
+    std::uint64_t max_bucket_records = 0; ///< largest first-level bucket
+    std::uint64_t bucket_bound = 0;       ///< analytic bound for comparison
+};
+
+/// Sort `input` (a striped run on `disks`) under configuration `cfg`;
+/// returns the sorted output as a fresh striped run. `input` is left
+/// intact on disk. Throws ModelViolation if any machine-model rule or
+/// paper invariant would be broken.
+BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
+                      const SortOptions& opt = {}, SortReport* report = nullptr);
+
+/// Convenience for examples/tests: load `records` onto the array (striped),
+/// sort, and return the sorted records (also verifying the run layout).
+std::vector<Record> balance_sort_records(DiskArray& disks, std::vector<Record> records,
+                                         const PdmConfig& cfg, const SortOptions& opt = {},
+                                         SortReport* report = nullptr);
+
+/// The paper's default bucket count for the PDM: max(2, floor((M/B)^(1/4))),
+/// clamped so 2S virtual blocks of staging fit in M/2.
+std::uint32_t default_bucket_count(const PdmConfig& cfg, std::uint32_t vblock_records);
+
+} // namespace balsort

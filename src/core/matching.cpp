@@ -1,0 +1,140 @@
+#include "core/matching.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+const char* to_string(MatchStrategy s) {
+    switch (s) {
+        case MatchStrategy::kGreedy: return "greedy";
+        case MatchStrategy::kRandomized: return "randomized";
+        case MatchStrategy::kDerandomized: return "derandomized";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool is_candidate(const std::vector<std::uint32_t>& cands, std::uint32_t v) {
+    return std::binary_search(cands.begin(), cands.end(), v);
+}
+
+MatchResult match_greedy(const std::vector<std::vector<std::uint32_t>>& candidates,
+                         std::uint32_t n_vdisks) {
+    MatchResult r;
+    r.matched.assign(candidates.size(), MatchResult::kUnmatched);
+    std::vector<bool> taken(n_vdisks, false);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::uint32_t v : candidates[i]) {
+            if (!taken[v]) {
+                taken[v] = true;
+                r.matched[i] = v;
+                r.n_matched += 1;
+                break;
+            }
+        }
+    }
+    return r;
+}
+
+/// Resolve one "draw vector": pick[i] is the vertex U-vertex i selected (or
+/// kUnmatched if its draw missed its candidate set); smallest i wins each
+/// contested vertex (Algorithm 7 step (2)).
+MatchResult resolve_picks(const std::vector<std::uint32_t>& pick, std::uint32_t n_vdisks) {
+    MatchResult r;
+    r.matched.assign(pick.size(), MatchResult::kUnmatched);
+    std::vector<std::uint32_t> owner(n_vdisks, MatchResult::kUnmatched);
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+        const std::uint32_t v = pick[i];
+        if (v == MatchResult::kUnmatched) continue;
+        if (owner[v] == MatchResult::kUnmatched) {
+            owner[v] = static_cast<std::uint32_t>(i);
+            r.matched[i] = v;
+            r.n_matched += 1;
+        }
+    }
+    return r;
+}
+
+MatchResult match_randomized(const std::vector<std::vector<std::uint32_t>>& candidates,
+                             std::uint32_t n_vdisks, Xoshiro256& rng) {
+    // Algorithm 7 loop (1): each u redraws uniformly over V = {0..H'-1}
+    // until it picks an edge-adjacent vertex (expected <= 2 draws since
+    // each u has >= H'/2 candidates).
+    std::vector<std::uint32_t> pick(candidates.size(), MatchResult::kUnmatched);
+    std::uint64_t draws = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        BS_REQUIRE(!candidates[i].empty(), "fast_partial_match: U-vertex with no candidates");
+        while (true) {
+            auto v = static_cast<std::uint32_t>(rng.below(n_vdisks));
+            ++draws;
+            if (is_candidate(candidates[i], v)) {
+                pick[i] = v;
+                break;
+            }
+        }
+    }
+    MatchResult r = resolve_picks(pick, n_vdisks);
+    r.draws = draws;
+    return r;
+}
+
+MatchResult match_derandomized(const std::vector<std::vector<std::uint32_t>>& candidates,
+                               std::uint32_t n_vdisks) {
+    // One draw per u from h_{a,c}(u) = ((a*u + c) mod p) mod H'; a point of
+    // the pairwise-independent space that matches >= ceil(|U|/4) exists
+    // (Theorem 5); find the best point exhaustively. The space has p^2
+    // points with p = next_prime(H') — O(H'^3) total work, mirroring the
+    // paper's use of the H = (H')^3 processors to search it in parallel.
+    const std::uint64_t p = PairwiseHash::next_prime(std::max<std::uint32_t>(n_vdisks, 2));
+    MatchResult best;
+    best.matched.assign(candidates.size(), MatchResult::kUnmatched);
+    std::uint64_t probes = 0;
+    std::vector<std::uint32_t> pick(candidates.size());
+    for (std::uint64_t a = 1; a < p; ++a) {
+        for (std::uint64_t c = 0; c < p; ++c) {
+            PairwiseHash hash(a, c, p, n_vdisks);
+            for (std::size_t i = 0; i < candidates.size(); ++i) {
+                auto v = static_cast<std::uint32_t>(hash(i));
+                pick[i] = is_candidate(candidates[i], v) ? v : MatchResult::kUnmatched;
+            }
+            ++probes;
+            MatchResult r = resolve_picks(pick, n_vdisks);
+            if (r.n_matched > best.n_matched) {
+                best = std::move(r);
+                // The guarantee is ceil(|U|/4); a full match cannot improve.
+                if (best.n_matched == candidates.size()) {
+                    best.draws = probes;
+                    return best;
+                }
+            }
+        }
+    }
+    best.draws = probes;
+    return best;
+}
+
+} // namespace
+
+MatchResult fast_partial_match(const std::vector<std::vector<std::uint32_t>>& candidates,
+                               std::uint32_t n_vdisks, MatchStrategy strategy, Xoshiro256& rng) {
+    BS_REQUIRE(n_vdisks >= 1, "fast_partial_match: need at least one vdisk");
+    for (const auto& c : candidates) {
+        for (std::size_t k = 0; k < c.size(); ++k) {
+            BS_REQUIRE(c[k] < n_vdisks, "fast_partial_match: candidate out of range");
+            BS_REQUIRE(k == 0 || c[k] > c[k - 1], "fast_partial_match: candidates must be sorted");
+        }
+    }
+    switch (strategy) {
+        case MatchStrategy::kGreedy: return match_greedy(candidates, n_vdisks);
+        case MatchStrategy::kRandomized: return match_randomized(candidates, n_vdisks, rng);
+        case MatchStrategy::kDerandomized: return match_derandomized(candidates, n_vdisks);
+    }
+    BS_REQUIRE(false, "fast_partial_match: unknown strategy");
+    return {};
+}
+
+} // namespace balsort

@@ -1,0 +1,54 @@
+#pragma once
+/// \file matching.hpp
+/// Fast-Partial-Match (paper §4.2, Algorithm 7, Theorem 5).
+///
+/// Input: U = the (at most ⌊H'/2⌋) virtual disks carrying a 2 in the
+/// auxiliary matrix; for each u ∈ U, its *candidates* — the virtual disks
+/// h' with a_{b[u],h'} = 0, of which Invariant 1 guarantees at least
+/// ⌈H'/2⌉. Output: a partial matching U → V with all matched targets
+/// distinct; every matched pair removes one 2.
+///
+/// Three engines:
+///  * kGreedy — sequential first-fit. Because |U| <= ⌊H'/2⌋ and every u has
+///    >= ⌈H'/2⌉ candidates, a free candidate always exists, so greedy
+///    matches EVERY u (this is the library default: one Rearrange round,
+///    zero deferred blocks).
+///  * kRandomized — Algorithm 7 verbatim: each u draws uniform vertices of
+///    V until it hits a candidate; the smallest-numbered u wins each
+///    contested vertex. Expected matches >= H'/4 (Lemma 1).
+///  * kDerandomized — Luby-style ([Luba, Lubb]): one draw per u from the
+///    pairwise-independent family h_{a,c}(u) = ((a*u + c) mod p) mod H',
+///    exhausting the O(p^2) probability space and keeping the best point.
+///    Deterministic, and some point always matches >= ceil(|U|/4)
+///    (Theorem 5's argument, on which our property tests assert).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace balsort {
+
+enum class MatchStrategy { kGreedy, kRandomized, kDerandomized };
+
+const char* to_string(MatchStrategy s);
+
+struct MatchResult {
+    /// matched[i] = target vdisk for U-vertex i, or kUnmatched.
+    std::vector<std::uint32_t> matched;
+    /// Total matched pairs.
+    std::uint32_t n_matched = 0;
+    /// Random draws consumed (randomized engine; probes for derandomized).
+    std::uint64_t draws = 0;
+
+    static constexpr std::uint32_t kUnmatched = ~std::uint32_t{0};
+};
+
+/// Run one Fast-Partial-Match round.
+///   candidates[i] — sorted list of eligible target vdisks for U-vertex i
+///   n_vdisks      — |V| = H'
+///   rng           — consumed only by kRandomized
+MatchResult fast_partial_match(const std::vector<std::vector<std::uint32_t>>& candidates,
+                               std::uint32_t n_vdisks, MatchStrategy strategy, Xoshiro256& rng);
+
+} // namespace balsort

@@ -1,0 +1,93 @@
+#include "core/matrices.hpp"
+
+#include <algorithm>
+
+#include "pram/selection.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+BalanceMatrices::BalanceMatrices(std::uint32_t s, std::uint32_t h, AuxRule rule)
+    : s_(s), h_(h), rule_(rule) {
+    BS_REQUIRE(s >= 1, "BalanceMatrices: need at least one bucket");
+    BS_REQUIRE(h >= 1, "BalanceMatrices: need at least one virtual disk");
+    x_.assign(static_cast<std::size_t>(s) * h, 0);
+    a_.assign(static_cast<std::size_t>(s) * h, 0);
+    m_.assign(s, 0);
+    row_total_.assign(s, 0);
+}
+
+void BalanceMatrices::increment(std::uint32_t b, std::uint32_t h) {
+    x_[idx(b, h)] += 1;
+    row_total_[b] += 1;
+}
+
+void BalanceMatrices::decrement(std::uint32_t b, std::uint32_t h) {
+    BS_MODEL_CHECK(x_[idx(b, h)] > 0, "BalanceMatrices: decrement below zero");
+    x_[idx(b, h)] -= 1;
+    row_total_[b] -= 1;
+}
+
+void BalanceMatrices::compute_aux() {
+    std::vector<std::uint64_t> row(h_);
+    for (std::uint32_t b = 0; b < s_; ++b) {
+        const std::size_t base = static_cast<std::size_t>(b) * h_;
+        if (rule_ == AuxRule::kPaperMedian) {
+            for (std::uint32_t h = 0; h < h_; ++h) row[h] = x_[base + h];
+            // Paper median: the ceil(H'/2)-th smallest (deterministic
+            // selection — the BFP [BFP] routine the paper leans on).
+            const auto med = static_cast<std::uint32_t>(paper_median(row));
+            m_[b] = med;
+            for (std::uint32_t h = 0; h < h_; ++h) {
+                const std::uint32_t xv = x_[base + h];
+                const std::uint32_t raw = xv > med ? xv - med : 0;
+                a_[base + h] = std::min<std::uint32_t>(raw, 2);
+            }
+        } else {
+            // [Arg] rule: desired share = ceil(row_total / H'); an entry is
+            // over-full (2) past twice the share, crowded (1) past the
+            // share, and an eligible target (0) at or below it.
+            const auto desired =
+                static_cast<std::uint32_t>(ceil_div(row_total_[b], h_));
+            m_[b] = desired;
+            for (std::uint32_t h = 0; h < h_; ++h) {
+                const std::uint32_t xv = x_[base + h];
+                a_[base + h] = xv > 2 * desired ? 2 : (xv > desired ? 1 : 0);
+            }
+        }
+    }
+}
+
+std::vector<BalanceMatrices::Offender> BalanceMatrices::offenders() const {
+    std::vector<Offender> out;
+    for (std::uint32_t h = 0; h < h_; ++h) {
+        bool found = false;
+        for (std::uint32_t b = 0; b < s_; ++b) {
+            if (a_[static_cast<std::size_t>(b) * h_ + h] >= 2) {
+                BS_MODEL_CHECK(!found,
+                               "two buckets with a 2 on one virtual disk within a track");
+                out.push_back(Offender{h, b});
+                found = true;
+            }
+        }
+    }
+    return out;
+}
+
+bool BalanceMatrices::invariant1() const {
+    const std::uint32_t need = static_cast<std::uint32_t>(ceil_div(h_, 2));
+    for (std::uint32_t b = 0; b < s_; ++b) {
+        std::uint32_t zeros = 0;
+        for (std::uint32_t h = 0; h < h_; ++h) {
+            if (a_[static_cast<std::size_t>(b) * h_ + h] == 0) ++zeros;
+        }
+        if (zeros < need) return false;
+    }
+    return true;
+}
+
+bool BalanceMatrices::invariant2() const {
+    return std::all_of(a_.begin(), a_.end(), [](std::uint32_t v) { return v <= 1; });
+}
+
+} // namespace balsort

@@ -1,0 +1,90 @@
+#pragma once
+/// \file matrices.hpp
+/// The paper's balance bookkeeping: histogram matrix X, auxiliary matrix A
+/// (Algorithm 4, ComputeAux), and their invariants.
+///
+///   X = {x_bh}: number of virtual blocks of bucket b on virtual disk h.
+///   m_b: the paper's median of row b — the ⌈H'/2⌉-th *smallest* entry
+///        (footnote 3; NOT the statistics convention).
+///   A = {a_bh}: a_bh = max(0, x_bh − m_b).
+///
+/// Invariant 1: every row of A has at least ⌈H'/2⌉ zeros (immediate from
+/// the median definition).
+/// Invariant 2: after each track is processed (deferred blocks conceptually
+/// returned to the input), A is binary, hence x_bh <= m_b + 1 — which is
+/// what makes every bucket readable within ~2x optimal (Theorem 4).
+///
+/// An alternative auxiliary rule due to Arge (§4, [Arg]) is provided for
+/// the EXP-ABLATION bench: an entry is "2" (over-full) when the bucket has
+/// more than twice its evenly-balanced share on that virtual disk.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+/// Which auxiliary-matrix definition drives accept/reject decisions.
+enum class AuxRule {
+    kPaperMedian, ///< a_bh = max(0, x_bh - median_b)   (the paper's rule)
+    kArgTwiceAvg, ///< over-full when x_bh > 2*ceil(row_total/H')   ([Arg])
+};
+
+/// X and A for one recursion level: S buckets x H' virtual disks.
+class BalanceMatrices {
+public:
+    BalanceMatrices(std::uint32_t s, std::uint32_t h, AuxRule rule = AuxRule::kPaperMedian);
+
+    std::uint32_t buckets() const { return s_; }
+    std::uint32_t vdisks() const { return h_; }
+    AuxRule rule() const { return rule_; }
+
+    std::uint32_t x(std::uint32_t b, std::uint32_t h) const { return x_[idx(b, h)]; }
+    std::uint64_t row_total(std::uint32_t b) const { return row_total_[b]; }
+
+    /// Histogram updates (Algorithm 3 lines (3) and (7)).
+    void increment(std::uint32_t b, std::uint32_t h);
+    void decrement(std::uint32_t b, std::uint32_t h);
+
+    /// ComputeAux (Algorithm 4): recompute medians and A from X.
+    /// Cost: O(S*H') via deterministic selection per row.
+    void compute_aux();
+
+    /// a_bh after the last compute_aux(). Values are 0, 1, or 2+
+    /// (2+ is reported as 2: "must rebalance").
+    std::uint32_t aux(std::uint32_t b, std::uint32_t h) const { return a_[idx(b, h)]; }
+
+    /// The paper's median of row b as of the last compute_aux().
+    std::uint32_t median(std::uint32_t b) const { return m_[b]; }
+
+    /// Virtual disks h that currently have a 2 in some row, with that row:
+    /// Algorithm 6's U set and its b[h] map. The paper guarantees the
+    /// offending bucket is unique per vdisk within a track; `compute_aux`
+    /// must be current.
+    struct Offender {
+        std::uint32_t vdisk;
+        std::uint32_t bucket;
+    };
+    std::vector<Offender> offenders() const;
+
+    /// Invariant 1: every row of A has >= ceil(H'/2) zeros.
+    bool invariant1() const;
+    /// Invariant 2: A is binary (no entry >= 2).
+    bool invariant2() const;
+
+private:
+    std::size_t idx(std::uint32_t b, std::uint32_t h) const {
+        BS_REQUIRE(b < s_ && h < h_, "BalanceMatrices: index out of range");
+        return static_cast<std::size_t>(b) * h_ + h;
+    }
+
+    std::uint32_t s_, h_;
+    AuxRule rule_;
+    std::vector<std::uint32_t> x_;
+    std::vector<std::uint32_t> a_;
+    std::vector<std::uint32_t> m_;
+    std::vector<std::uint64_t> row_total_;
+};
+
+} // namespace balsort

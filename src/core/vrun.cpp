@@ -1,0 +1,83 @@
+#include "core/vrun.hpp"
+
+#include <algorithm>
+
+namespace balsort {
+
+std::uint64_t VRun::read_steps(std::uint32_t n_vdisks) const {
+    std::vector<std::uint64_t> per(n_vdisks, 0);
+    for (const auto& e : entries) {
+        BS_REQUIRE(e.vblock.vdisk < n_vdisks, "VRun::read_steps: vdisk out of range");
+        per[e.vblock.vdisk]++;
+    }
+    return per.empty() ? 0 : *std::max_element(per.begin(), per.end());
+}
+
+std::uint64_t VRun::optimal_read_steps(std::uint32_t n_vdisks) const {
+    return ceil_div(entries.size(), n_vdisks);
+}
+
+void VRun::release(DiskArray& disks) const {
+    for (const auto& e : entries) {
+        for (const auto& op : e.vblock.ops) disks.release(op);
+    }
+}
+
+VRunSource::VRunSource(VirtualDisks& vdisks, const VRun& run)
+    : vdisks_(vdisks), run_(run), remaining_(run.n_records) {}
+
+std::uint64_t VRunSource::read(std::span<Record> out) {
+    const std::uint64_t want = std::min<std::uint64_t>(out.size(), remaining_);
+    std::uint64_t got = 0;
+    while (got < want && carry_pos_ < carry_.size()) {
+        out[got++] = carry_[carry_pos_++];
+    }
+    if (carry_pos_ >= carry_.size()) {
+        carry_.clear();
+        carry_pos_ = 0;
+    }
+    if (got < want) {
+        // Decide how many whole virtual blocks cover the deficit.
+        const std::uint64_t need = want - got;
+        std::uint64_t covered = 0;
+        std::size_t last = next_entry_;
+        while (covered < need) {
+            BS_MODEL_CHECK(last < run_.entries.size(), "VRunSource: run exhausted prematurely");
+            covered += run_.entries[last].count;
+            ++last;
+        }
+        const std::size_t n_fetch = last - next_entry_;
+        const std::uint32_t v = vdisks_.vblock_records();
+        std::vector<VirtualDisks::VBlock> vbs;
+        vbs.reserve(n_fetch);
+        for (std::size_t e = next_entry_; e < last; ++e) vbs.push_back(run_.entries[e].vblock);
+        std::vector<Record> buf(n_fetch * v);
+        vdisks_.read_vblocks(vbs, buf);
+        // Concatenate the valid prefixes of each block.
+        std::vector<Record> valid;
+        valid.reserve(covered);
+        for (std::size_t k = 0; k < n_fetch; ++k) {
+            const auto& entry = run_.entries[next_entry_ + k];
+            valid.insert(valid.end(), buf.begin() + static_cast<std::ptrdiff_t>(k * v),
+                         buf.begin() + static_cast<std::ptrdiff_t>(k * v + entry.count));
+        }
+        next_entry_ = last;
+        std::copy_n(valid.begin(), need, out.begin() + static_cast<std::ptrdiff_t>(got));
+        got += need;
+        if (valid.size() > need) {
+            carry_.assign(valid.begin() + static_cast<std::ptrdiff_t>(need), valid.end());
+        }
+    }
+    remaining_ -= want;
+    return want;
+}
+
+std::uint64_t VectorSource::read(std::span<Record> out) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(out.size(), records_.size() - pos_);
+    std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(pos_), want, out.begin());
+    pos_ += want;
+    return want;
+}
+
+} // namespace balsort

@@ -1,0 +1,90 @@
+#pragma once
+/// \file vrun.hpp
+/// Record sources and virtual-block runs — the plumbing between recursion
+/// levels of Balance Sort.
+///
+/// The top-level input is a striped BlockRun; each recursive call's input
+/// is a bucket: a list of virtual blocks spread over the virtual disks by
+/// Balance. Both are exposed to the sorter through the `RecordSource`
+/// streaming interface. Reading a bucket costs max-blocks-per-vdisk steps,
+/// and Theorem 4 (via Invariant 2) bounds that within ~2x of optimal —
+/// `VRun::read_steps`/`optimal_read_steps` expose both numbers so tests
+/// and benches can check the bound directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdm/striping.hpp"
+
+namespace balsort {
+
+/// Streaming source of records (one recursion level's input).
+class RecordSource {
+public:
+    virtual ~RecordSource() = default;
+    /// Records not yet delivered.
+    virtual std::uint64_t remaining() const = 0;
+    /// Deliver up to out.size() records; returns the count delivered.
+    virtual std::uint64_t read(std::span<Record> out) = 0;
+};
+
+/// Adapts a striped BlockRun (the top-level input).
+class StripedSource final : public RecordSource {
+public:
+    StripedSource(DiskArray& disks, const BlockRun& run) : reader_(disks, run) {}
+    std::uint64_t remaining() const override { return reader_.remaining(); }
+    std::uint64_t read(std::span<Record> out) override { return reader_.read(out); }
+
+private:
+    RunReader reader_;
+};
+
+/// One bucket's storage: virtual blocks (with per-block valid-record
+/// counts) in the order Balance emitted them.
+struct VRun {
+    struct Entry {
+        VirtualDisks::VBlock vblock;
+        std::uint32_t count = 0; ///< valid records (rest of the block is pad)
+    };
+    std::vector<Entry> entries;
+    std::uint64_t n_records = 0;
+
+    /// Parallel I/O steps to read the whole run: max blocks on one vdisk.
+    std::uint64_t read_steps(std::uint32_t n_vdisks) const;
+    /// ceil(#vblocks / D'): the unavoidable minimum.
+    std::uint64_t optimal_read_steps(std::uint32_t n_vdisks) const;
+    /// Return every physical block of the run to the array's allocator
+    /// (call once the run has been fully consumed; keeps total simulated
+    /// space O(N), which the depth-priced hierarchy models rely on).
+    void release(DiskArray& disks) const;
+};
+
+/// Streams a VRun; fetches pending virtual blocks with maximal parallelism.
+class VRunSource final : public RecordSource {
+public:
+    VRunSource(VirtualDisks& vdisks, const VRun& run);
+    std::uint64_t remaining() const override { return remaining_; }
+    std::uint64_t read(std::span<Record> out) override;
+
+private:
+    VirtualDisks& vdisks_;
+    const VRun& run_;
+    std::size_t next_entry_ = 0;
+    std::uint64_t remaining_;
+    std::vector<Record> carry_;
+    std::size_t carry_pos_ = 0;
+};
+
+/// In-memory source (tests, the hierarchy driver's track feed).
+class VectorSource final : public RecordSource {
+public:
+    explicit VectorSource(std::vector<Record> records) : records_(std::move(records)) {}
+    std::uint64_t remaining() const override { return records_.size() - pos_; }
+    std::uint64_t read(std::span<Record> out) override;
+
+private:
+    std::vector<Record> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace balsort

@@ -1,0 +1,53 @@
+#include "hierarchy/access_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace balsort {
+
+double BtModel::access(std::uint32_t lane, std::uint64_t depth) {
+    BS_REQUIRE(lane < last_.size(), "BtModel: lane out of range");
+    const std::uint64_t prev = last_[lane];
+    last_[lane] = depth;
+    if (prev == kNone) return f_(static_cast<double>(depth + 1)) + 1.0;
+    const std::uint64_t gap = depth > prev ? depth - prev : prev - depth;
+    if (gap <= 1) return 1.0; // streaming (forward or backward)
+    // Bridging a gap: either sweep through it (the BT primitive touches
+    // x, x-1, ..., x-t at f(x)+t, so |gap| unit steps reach the target) or
+    // issue a fresh block transfer at full latency — the model takes the
+    // cheaper of the two.
+    return std::min(static_cast<double>(gap), f_(static_cast<double>(depth + 1)) + 1.0);
+}
+
+UmhModel::UmhModel(double rho, double nu) : rho_(rho), nu_(nu) {
+    BS_REQUIRE(rho >= 2.0, "UmhModel: rho must be >= 2");
+    BS_REQUIRE(nu > 0.0 && nu <= 1.0, "UmhModel: need 0 < nu <= 1");
+}
+
+std::uint32_t UmhModel::level_of(std::uint64_t depth) const {
+    std::uint32_t level = 0;
+    double reach = 1.0;
+    while (reach <= static_cast<double>(depth)) {
+        reach *= rho_;
+        ++level;
+    }
+    return level;
+}
+
+double UmhModel::access(std::uint32_t, std::uint64_t depth) {
+    const std::uint32_t levels = level_of(depth);
+    if (levels == 0) return 1.0;
+    if (nu_ == 1.0) return static_cast<double>(levels); // one unit per bus
+    // sum_{l=1..L} (1/nu)^l  (geometric)
+    const double r = 1.0 / nu_;
+    return (std::pow(r, levels + 1) - r) / (r - 1.0);
+}
+
+std::string UmhModel::name() const {
+    std::ostringstream os;
+    os << "UMH[rho=" << rho_ << ",nu=" << nu_ << "]";
+    return os.str();
+}
+
+} // namespace balsort

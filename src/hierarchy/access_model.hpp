@@ -1,0 +1,96 @@
+#pragma once
+/// \file access_model.hpp
+/// The three multilevel-hierarchy cost models of Figure 3, expressed as
+/// per-access pricing rules over a linear address space ("depth"):
+///
+///  * HMM  [AAC]  — touching location x costs f(x). No block transfer, so
+///    sequential and random accesses price the same.
+///  * BT   [ACSa] — locations x, x-1, ..., x-t can be accessed at cost
+///    f(x) + t: the first access of a *stream* pays the latency f(x), each
+///    subsequent sequential access pays 1, and a gap of g is bridged at
+///    min(g, f(x)+1) — sweep through the gap (the block-transfer
+///    primitive) or pay a fresh latency, whichever is cheaper. The model
+///    object tracks per-lane stream state.
+///  * UMH  [ACF]  — memory is a tower of levels; level l has blocks of
+///    size rho^l and a bus of bandwidth nu^l (nu <= 1) to the level below.
+///    Moving one record resident at depth x to the base costs
+///    sum_{l=1..L(x)} (1/nu)^l with L(x) = ceil(log_rho(x+1)): geometric in
+///    the level — logarithmic in x for nu = 1, polynomial for nu < 1.
+///
+/// These models price the access *pattern* an algorithm actually performs;
+/// the data itself lives in the DiskArray lanes (block size 1 == one
+/// record per depth per lane) and the HierarchyMeter (meter.hpp) listens to
+/// its I/O steps.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/cost_fn.hpp"
+
+namespace balsort {
+
+/// Per-lane pricing of a single-record access at a given depth.
+class AccessModel {
+public:
+    virtual ~AccessModel() = default;
+
+    /// Cost of lane `lane` touching depth `depth` next. Mutable because BT
+    /// tracks stream state per lane.
+    virtual double access(std::uint32_t lane, std::uint64_t depth) = 0;
+
+    /// Forget stream state (between experiment phases).
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// HMM: cost f(depth+1) per touch, position-independent of history.
+class HmmModel final : public AccessModel {
+public:
+    explicit HmmModel(CostFn f) : f_(f) {}
+    double access(std::uint32_t, std::uint64_t depth) override {
+        return f_(static_cast<double>(depth + 1));
+    }
+    void reset() override {}
+    std::string name() const override { return "HMM[f=" + f_.name() + "]"; }
+    const CostFn& f() const { return f_; }
+
+private:
+    CostFn f_;
+};
+
+/// BT: f(depth+1) + 1 when a lane jumps; 1 while it streams (forward or
+/// backward by one).
+class BtModel final : public AccessModel {
+public:
+    BtModel(CostFn f, std::uint32_t lanes) : f_(f), last_(lanes, kNone) {}
+    double access(std::uint32_t lane, std::uint64_t depth) override;
+    void reset() override { std::fill(last_.begin(), last_.end(), kNone); }
+    std::string name() const override { return "BT[f=" + f_.name() + "]"; }
+    const CostFn& f() const { return f_; }
+
+private:
+    static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    CostFn f_;
+    std::vector<std::uint64_t> last_;
+};
+
+/// UMH: per-record cost of crossing the L(depth) buses.
+class UmhModel final : public AccessModel {
+public:
+    /// rho >= 2 (block growth per level), 0 < nu <= 1 (bandwidth decay).
+    UmhModel(double rho, double nu);
+    double access(std::uint32_t, std::uint64_t depth) override;
+    void reset() override {}
+    std::string name() const override;
+
+    /// Level containing depth x: smallest L with rho^L > x.
+    std::uint32_t level_of(std::uint64_t depth) const;
+
+private:
+    double rho_, nu_;
+};
+
+} // namespace balsort

@@ -1,0 +1,14 @@
+#include "hierarchy/cost_fn.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace balsort {
+
+std::string CostFn::format_alpha() const {
+    std::ostringstream os;
+    os << std::setprecision(3) << alpha_;
+    return os.str();
+}
+
+} // namespace balsort

@@ -1,0 +1,53 @@
+#include "hierarchy/meter.hpp"
+
+#include <algorithm>
+
+namespace balsort {
+
+const char* to_string(Interconnect ic) {
+    switch (ic) {
+        case Interconnect::kPram: return "EREW-PRAM";
+        case Interconnect::kHypercube: return "hypercube";
+        case Interconnect::kHypercubePrecomp: return "hypercube+precomp";
+    }
+    return "unknown";
+}
+
+double interconnect_time(Interconnect ic, double h) {
+    switch (ic) {
+        case Interconnect::kPram: return InterconnectCost::pram(h);
+        case Interconnect::kHypercube: return InterconnectCost::hypercube(h);
+        case Interconnect::kHypercubePrecomp: return InterconnectCost::hypercube_precomp(h);
+    }
+    return 1.0;
+}
+
+HierarchyMeter::HierarchyMeter(std::unique_ptr<AccessModel> model, Interconnect ic,
+                               std::uint32_t lanes)
+    : model_(std::move(model)), ic_(ic), lanes_(lanes) {
+    BS_REQUIRE(model_ != nullptr, "HierarchyMeter: null model");
+    BS_REQUIRE(lanes_ >= 1, "HierarchyMeter: need at least one lane");
+}
+
+void HierarchyMeter::on_step(bool, std::span<const BlockOp> ops) {
+    double worst = 0;
+    for (const auto& op : ops) {
+        worst = std::max(worst, model_->access(op.disk, op.block));
+    }
+    hierarchy_time_ += worst;
+    interconnect_time_ += interconnect_time(ic_, static_cast<double>(lanes_));
+    tracks_ += 1;
+}
+
+void HierarchyMeter::charge_interconnect_units(double units) {
+    interconnect_time_ += units * interconnect_time(ic_, static_cast<double>(lanes_));
+}
+
+void HierarchyMeter::reset() {
+    hierarchy_time_ = 0;
+    interconnect_time_ = 0;
+    tracks_ = 0;
+    model_->reset();
+}
+
+} // namespace balsort

@@ -1,0 +1,59 @@
+#pragma once
+/// \file meter.hpp
+/// Parallel-hierarchy time accounting (Figure 4): H lanes running in
+/// lockstep, connected by a PRAM or hypercube.
+///
+/// The HierarchyMeter subscribes to a DiskArray's step observer. Each
+/// parallel I/O step is one *track* operation: its hierarchy cost is the
+/// maximum over the participating lanes of the model's per-access price at
+/// the touched depth (lanes run in parallel, the slowest gates the step),
+/// and each track additionally pays one interconnect charge T(H) for the
+/// partition/merge computation the paper performs on the track (§4.1).
+
+#include <cstdint>
+
+#include "hierarchy/access_model.hpp"
+#include "hypercube/hypercube.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace balsort {
+
+enum class Interconnect { kPram, kHypercube, kHypercubePrecomp };
+
+const char* to_string(Interconnect ic);
+
+/// T(H) for the chosen interconnect (Theorems 2-3's term).
+double interconnect_time(Interconnect ic, double h);
+
+class HierarchyMeter {
+public:
+    /// `lanes` = H. The meter prices every lane-step via `model` (owned).
+    HierarchyMeter(std::unique_ptr<AccessModel> model, Interconnect ic, std::uint32_t lanes);
+
+    /// DiskArray::StepObserver entry point.
+    void on_step(bool is_read, std::span<const BlockOp> ops);
+
+    /// Extra interconnect charges (e.g. base-case sorts: units * T(H)).
+    void charge_interconnect_units(double units);
+
+    double hierarchy_time() const { return hierarchy_time_; }
+    double interconnect_charges() const { return interconnect_time_; }
+    double total_time() const { return hierarchy_time_ + interconnect_time_; }
+    std::uint64_t tracks() const { return tracks_; }
+
+    AccessModel& model() { return *model_; }
+    std::uint32_t lanes() const { return lanes_; }
+    Interconnect interconnect() const { return ic_; }
+
+    void reset();
+
+private:
+    std::unique_ptr<AccessModel> model_;
+    Interconnect ic_;
+    std::uint32_t lanes_;
+    double hierarchy_time_ = 0;
+    double interconnect_time_ = 0;
+    std::uint64_t tracks_ = 0;
+};
+
+} // namespace balsort

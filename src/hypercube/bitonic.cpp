@@ -1,0 +1,221 @@
+#include "hypercube/bitonic.hpp"
+
+#include <algorithm>
+
+namespace balsort {
+
+std::uint64_t hypercube_bitonic_sort(Hypercube& cube) {
+    const unsigned d = cube.dimensions();
+    const std::uint64_t before = cube.steps();
+    // Standard bitonic network as dimension exchanges: stage k builds sorted
+    // runs of length 2^(k+1); within the stage the dimensions go k..0. The
+    // direction at pair-base node i is ascending iff bit (k+1) of i is 0
+    // (always true in the last stage, giving one fully ascending run).
+    for (unsigned k = 0; k < d; ++k) {
+        const std::size_t dir_mask = std::size_t{1} << (k + 1);
+        for (unsigned j = k + 1; j-- > 0;) {
+            cube.exchange_step(j, [&](std::size_t i, Record& lo, Record& hi) {
+                const bool ascending = (i & dir_mask) == 0;
+                const bool swap_needed = ascending ? (hi.key < lo.key) : (lo.key < hi.key);
+                if (swap_needed) std::swap(lo, hi);
+            });
+        }
+    }
+    return cube.steps() - before;
+}
+
+std::uint64_t hypercube_prefix_sum(Hypercube& cube) {
+    const unsigned d = cube.dimensions();
+    const std::uint64_t before = cube.steps();
+    // Dimension-sweep exclusive scan, (prefix, subcube-total) per node:
+    // key := exclusive prefix, payload := subcube total.
+    cube.local_step([](std::size_t, Record& r) {
+        r.payload = r.key;
+        r.key = 0;
+    });
+    for (unsigned j = 0; j < d; ++j) {
+        cube.exchange_step(j, [&](std::size_t, Record& lo, Record& hi) {
+            // hi's subcube follows lo's within the merged subcube.
+            const std::uint64_t lo_total = lo.payload;
+            const std::uint64_t merged = lo_total + hi.payload;
+            hi.key += lo_total;
+            lo.payload = hi.payload = merged;
+        });
+    }
+    return cube.steps() - before;
+}
+
+std::uint64_t hypercube_block_sort(std::size_t h, std::span<Record> blocks) {
+    BS_REQUIRE(h >= 1 && is_pow2(h), "block_sort: H must be a power of two");
+    BS_REQUIRE(blocks.size() % h == 0, "block_sort: records must split evenly over nodes");
+    const std::size_t k = blocks.size() / h;
+    if (k == 0) return 0;
+    Hypercube cube(h); // step counter + topology discipline
+    const unsigned d = cube.dimensions();
+
+    // Every node first sorts its own block (local work, one local step).
+    cube.local_step([&](std::size_t i, Record&) {
+        auto* base = blocks.data() + i * k;
+        std::sort(base, base + k, KeyLess{});
+    });
+
+    // Merge-split compare-exchange: lo keeps the k smallest of the merged
+    // 2k records, hi the k largest (or swapped for descending pairs).
+    std::vector<Record> merged(2 * k);
+    auto compare_split = [&](std::size_t lo_node, std::size_t hi_node, bool ascending) {
+        auto* lo = blocks.data() + lo_node * k;
+        auto* hi = blocks.data() + hi_node * k;
+        std::merge(lo, lo + k, hi, hi + k, merged.begin(), KeyLess{});
+        if (ascending) {
+            std::copy(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k), lo);
+            std::copy(merged.begin() + static_cast<std::ptrdiff_t>(k), merged.end(), hi);
+        } else {
+            std::copy(merged.begin() + static_cast<std::ptrdiff_t>(k), merged.end(), lo);
+            std::copy(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k), hi);
+        }
+    };
+    for (unsigned stage = 0; stage < d; ++stage) {
+        const std::size_t dir_mask = std::size_t{1} << (stage + 1);
+        for (unsigned j = stage + 1; j-- > 0;) {
+            cube.exchange_step(j, [&](std::size_t i, Record&, Record&) {
+                const bool ascending = (i & dir_mask) == 0;
+                compare_split(i, i | (std::size_t{1} << j), ascending);
+            });
+        }
+    }
+    BS_MODEL_CHECK(std::is_sorted(blocks.begin(), blocks.end(), KeyLess{}),
+                   "block_sort: merge-split network failed to sort");
+    return cube.steps();
+}
+
+namespace {
+
+/// One concentrate pass over `rank` (the target node of each occupied slot,
+/// equal to the packet's 0-based rank). Packets move by LSB-first
+/// bit-fixing, which is collision-free for concentration (Nassimi–Sahni).
+/// `swaps[j]` records which pair bases swapped at dimension j, so the
+/// schedule can be replayed in reverse for the distribute phase.
+/// `occupied[i]` / `target[i]` describe the packet currently at node i.
+struct ConcentrateSchedule {
+    std::vector<std::vector<std::size_t>> swaps; // per dimension: pair-base list
+};
+
+ConcentrateSchedule concentrate_positions(std::size_t h, unsigned d,
+                                          std::vector<std::uint64_t>& target) {
+    ConcentrateSchedule sched;
+    sched.swaps.resize(d);
+    for (unsigned j = 0; j < d; ++j) {
+        const std::size_t mask = std::size_t{1} << j;
+        for (std::size_t i = 0; i < h; ++i) {
+            if ((i & mask) != 0) continue;
+            std::uint64_t& lo = target[i];
+            std::uint64_t& hi = target[i | mask];
+            const bool lo_wants_hi = lo != kNoPacket && (lo & mask) != 0;
+            const bool hi_wants_lo = hi != kNoPacket && (hi & mask) == 0;
+            if (lo_wants_hi || hi_wants_lo) {
+                BS_MODEL_CHECK(lo_wants_hi || lo == kNoPacket,
+                               "concentrate: collision (lo occupied, not leaving)");
+                BS_MODEL_CHECK(hi_wants_lo || hi == kNoPacket,
+                               "concentrate: collision (hi occupied, not leaving)");
+                std::swap(lo, hi);
+                sched.swaps[j].push_back(i);
+            }
+        }
+    }
+    return sched;
+}
+
+} // namespace
+
+std::uint64_t hypercube_monotone_route(Hypercube& cube, const std::vector<std::uint64_t>& dest) {
+    BS_REQUIRE(dest.size() == cube.size(), "route: dest size mismatch");
+    const unsigned d = cube.dimensions();
+    const std::uint64_t before = cube.steps();
+    const std::size_t h = cube.size();
+
+    // Verify monotonicity of the partial permutation (the model rule that
+    // makes O(log H) routing possible, [Lei §3.4.3]).
+    std::size_t n_packets = 0;
+    {
+        std::uint64_t last = 0;
+        bool seen = false;
+        for (std::size_t i = 0; i < h; ++i) {
+            if (dest[i] == kNoPacket) continue;
+            BS_REQUIRE(dest[i] < h, "route: destination out of range");
+            BS_MODEL_CHECK(!seen || dest[i] > last, "route: destinations not monotone");
+            last = dest[i];
+            seen = true;
+            ++n_packets;
+        }
+    }
+    if (d == 0 || n_packets == 0) return 0;
+
+    // Phase A (concentrate): move packet #r to node r, LSB-first bit-fixing.
+    // The packet's concentrate target is its rank.
+    std::vector<std::uint64_t> rank_target(h, kNoPacket);
+    std::vector<std::uint64_t> final_dest_at(h, kNoPacket); // travels with packet
+    {
+        std::uint64_t r = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            if (dest[i] != kNoPacket) {
+                rank_target[i] = r++;
+                final_dest_at[i] = dest[i];
+            }
+        }
+    }
+    for (unsigned j = 0; j < d; ++j) {
+        const std::size_t mask = std::size_t{1} << j;
+        cube.exchange_step(j, [&](std::size_t i, Record& lo, Record& hi) {
+            std::uint64_t& tlo = rank_target[i];
+            std::uint64_t& thi = rank_target[i | mask];
+            const bool lo_wants_hi = tlo != kNoPacket && (tlo & mask) != 0;
+            const bool hi_wants_lo = thi != kNoPacket && (thi & mask) == 0;
+            if (lo_wants_hi || hi_wants_lo) {
+                BS_MODEL_CHECK(lo_wants_hi || tlo == kNoPacket,
+                               "route/concentrate: collision at lo");
+                BS_MODEL_CHECK(hi_wants_lo || thi == kNoPacket,
+                               "route/concentrate: collision at hi");
+                std::swap(tlo, thi);
+                std::swap(lo, hi);
+                std::swap(final_dest_at[i], final_dest_at[i | mask]);
+            }
+        });
+    }
+
+    // Phase B (distribute): ranks -> destinations. A distribute is the time
+    // reversal of concentrating packets *from* the destinations; compute
+    // that phantom schedule off-line (the router's switch settings), then
+    // replay it backwards on the real data.
+    std::vector<std::uint64_t> phantom(h, kNoPacket);
+    {
+        std::uint64_t r = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            if (dest[i] != kNoPacket) {
+                phantom[dest[i]] = r++; // packet sitting at its dest, rank r
+            }
+        }
+    }
+    ConcentrateSchedule sched = concentrate_positions(h, d, phantom);
+    for (unsigned j = d; j-- > 0;) {
+        const auto& bases = sched.swaps[j];
+        std::size_t cursor = 0;
+        const std::size_t mask = std::size_t{1} << j;
+        cube.exchange_step(j, [&](std::size_t i, Record& lo, Record& hi) {
+            if (cursor < bases.size() && bases[cursor] == i) {
+                std::swap(lo, hi);
+                std::swap(final_dest_at[i], final_dest_at[i | mask]);
+                ++cursor;
+            }
+        });
+        BS_MODEL_CHECK(cursor == bases.size(), "route/distribute: schedule replay incomplete");
+    }
+
+    for (std::size_t i = 0; i < h; ++i) {
+        if (final_dest_at[i] != kNoPacket) {
+            BS_MODEL_CHECK(final_dest_at[i] == i, "route: packet failed to reach destination");
+        }
+    }
+    return cube.steps() - before;
+}
+
+} // namespace balsort

@@ -1,0 +1,48 @@
+#pragma once
+/// \file bitonic.hpp
+/// Normal algorithms on the hypercube simulator: bitonic sort, prefix scan,
+/// and bit-fixing (monotone/greedy) routing — the three primitives §4.2
+/// needs from the interconnect ("we sort the messages according to their
+/// destination ... segmented prefix operation ... monotone routing").
+///
+/// Bitonic sort is the executable stand-in for the Sharesort of Cypher &
+/// Plaxton: it runs in exactly d(d+1)/2 exchange steps on H = 2^d nodes,
+/// i.e. Θ(log² H); the theorems' T(H) = O(log H (log log H)²) bound is
+/// modelled analytically by `InterconnectCost::hypercube`. Benches compare
+/// both curves (EXP-F4-INTERCONNECT).
+
+#include <cstdint>
+#include <vector>
+
+#include "hypercube/hypercube.hpp"
+
+namespace balsort {
+
+/// Sort the H node registers ascending by key. Returns steps consumed.
+std::uint64_t hypercube_bitonic_sort(Hypercube& cube);
+
+/// Exclusive prefix sum of the key fields across node order; payloads keep
+/// their values. Returns steps consumed (= 2 log H: up/down sweeps).
+std::uint64_t hypercube_prefix_sum(Hypercube& cube);
+
+/// Greedy bit-fixing routing: each node i holds a packet whose destination
+/// is `dest[i]` (a permutation, or partial with kNoPacket). For monotone
+/// routes — the only kind the paper's algorithms issue — bit-fixing is
+/// collision-free [Lei §3.4.3]; the router model-checks that no two packets
+/// ever contend for one node after any dimension, and throws ModelViolation
+/// otherwise. Returns steps consumed (= log H).
+inline constexpr std::uint64_t kNoPacket = ~std::uint64_t{0};
+std::uint64_t hypercube_monotone_route(Hypercube& cube, const std::vector<std::uint64_t>& dest);
+
+/// Block-granular hypercube sorting (N = H*k records, k per node): the
+/// standard merge-split bitonic network, where every compare-exchange of
+/// the one-record network becomes a compare-SPLIT — the two neighbours
+/// merge their sorted blocks and keep the lower/upper halves. Sorting all
+/// H*k records takes the same d(d+1)/2 exchange steps, each moving k
+/// records per channel; this is how the interconnect sorts tracks larger
+/// than H in Algorithm 1's base case. `blocks` is H*k records, node i
+/// owning [i*k, (i+1)*k). Returns exchange steps consumed (counted on a
+/// scratch cube of the same dimension).
+std::uint64_t hypercube_block_sort(std::size_t h, std::span<Record> blocks);
+
+} // namespace balsort

@@ -1,0 +1,45 @@
+#include "hypercube/hypercube.hpp"
+
+namespace balsort {
+
+Hypercube::Hypercube(std::size_t nodes) {
+    BS_REQUIRE(nodes >= 1 && is_pow2(nodes), "Hypercube: node count must be a power of two");
+    data_.resize(nodes);
+    dims_ = ilog2_floor(nodes);
+}
+
+Record& Hypercube::at(std::size_t node) {
+    BS_REQUIRE(node < data_.size(), "Hypercube::at: node out of range");
+    return data_[node];
+}
+
+const Record& Hypercube::at(std::size_t node) const {
+    BS_REQUIRE(node < data_.size(), "Hypercube::at: node out of range");
+    return data_[node];
+}
+
+void Hypercube::load(std::span<const Record> values) {
+    BS_REQUIRE(values.size() == data_.size(), "Hypercube::load: size mismatch");
+    std::copy(values.begin(), values.end(), data_.begin());
+}
+
+std::vector<Record> Hypercube::unload() const { return data_; }
+
+void Hypercube::exchange_step(unsigned dim,
+                              const std::function<void(std::size_t, Record&, Record&)>& f) {
+    BS_MODEL_CHECK(dims_ > 0 && dim < dims_, "exchange across nonexistent dimension");
+    const std::size_t mask = std::size_t{1} << dim;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if ((i & mask) == 0) {
+            f(i, data_[i], data_[i | mask]);
+        }
+    }
+    ++steps_;
+}
+
+void Hypercube::local_step(const std::function<void(std::size_t, Record&)>& f) {
+    for (std::size_t i = 0; i < data_.size(); ++i) f(i, data_[i]);
+    ++steps_;
+}
+
+} // namespace balsort

@@ -1,0 +1,66 @@
+#pragma once
+/// \file config.hpp
+/// Parallel-disk-model parameter bundle and the paper's analytic formulas.
+///
+/// Parameters follow §1 of the paper exactly:
+///   N = # records in the file          M = # records fitting in memory
+///   P = # CPUs                         B = # records per block
+///   D = # disks (blocks per I/O)
+/// with the model constraints  M < N,  1 <= P <= M,  1 <= DB <= M/2.
+
+#include <cstdint>
+
+#include "util/common.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+struct PdmConfig {
+    std::uint64_t n = 0; ///< records to sort
+    std::uint64_t m = 0; ///< internal memory capacity (records)
+    std::uint32_t d = 1; ///< number of disks
+    std::uint32_t b = 1; ///< block size (records)
+    std::uint32_t p = 1; ///< number of CPUs
+
+    /// Enforce the §1 constraints. `require_external` additionally demands
+    /// M < N (a genuinely external instance); tests often sort N <= M.
+    void validate(bool require_external = false) const {
+        BS_REQUIRE(n >= 1, "PdmConfig: N must be >= 1");
+        BS_REQUIRE(b >= 1, "PdmConfig: B must be >= 1");
+        BS_REQUIRE(d >= 1, "PdmConfig: D must be >= 1");
+        BS_REQUIRE(p >= 1 && p <= m, "PdmConfig: need 1 <= P <= M");
+        BS_REQUIRE(static_cast<std::uint64_t>(d) * b >= 1 &&
+                       static_cast<std::uint64_t>(d) * b <= m / 2,
+                   "PdmConfig: need 1 <= DB <= M/2");
+        if (require_external) BS_REQUIRE(m < n, "PdmConfig: need M < N (external instance)");
+    }
+
+    std::uint64_t blocks() const { return ceil_div(n, b); }
+    std::uint64_t memoryloads() const { return ceil_div(n, m); }
+
+    /// Theorem 1's optimal I/O count (Eq. 1, up to constants):
+    ///   (N / DB) * log(N/B) / log(M/B),  logs clamped per footnote 1.
+    double optimal_ios() const {
+        return static_cast<double>(n) / (static_cast<double>(d) * b) *
+               paper_log_ratio(static_cast<double>(n) / b, static_cast<double>(m) / b);
+    }
+
+    /// Theorem 1's optimal internal processing time: (N/P) log N.
+    double optimal_work() const {
+        return static_cast<double>(n) / p * paper_log(static_cast<double>(n));
+    }
+
+    /// I/O count of merge sort over *striped* disks (effective block size
+    /// B' = DB): (2N/DB) * (1 + ceil(log_{M/(2DB)}(N/M))) — the baseline the
+    /// paper says loses a multiplicative log(M/B) factor as D grows.
+    double striped_merge_ios() const {
+        const double fanin =
+            std::max(2.0, static_cast<double>(m) / (2.0 * static_cast<double>(d) * b));
+        const double passes =
+            1.0 + std::max(0.0, std::ceil(paper_log(static_cast<double>(n) / static_cast<double>(m)) /
+                                          paper_log(fanin)));
+        return 2.0 * static_cast<double>(n) / (static_cast<double>(d) * b) * passes;
+    }
+};
+
+} // namespace balsort

@@ -1,0 +1,39 @@
+#pragma once
+/// \file disk.hpp
+/// One simulated disk drive: a growable array of fixed-size blocks of
+/// `Record`s, addressed by block index. Backends: MemDisk (vectors) and
+/// FileDisk (one OS file per disk — the "simulate parallel disks with
+/// files" substitution; see DESIGN.md §2).
+///
+/// A Disk knows nothing about I/O steps; step semantics (one block per disk
+/// per step) live in DiskArray.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/record.hpp"
+
+namespace balsort {
+
+/// Abstract block device. Block size (in records) is fixed at construction.
+class Disk {
+public:
+    virtual ~Disk() = default;
+
+    /// Records per block.
+    virtual std::size_t block_size() const = 0;
+
+    /// Number of blocks currently allocated (writes may grow this).
+    virtual std::uint64_t size_blocks() const = 0;
+
+    /// Copy block `index` into `out` (out.size() == block_size()).
+    /// Reading beyond size_blocks() is a model violation.
+    virtual void read_block(std::uint64_t index, std::span<Record> out) const = 0;
+
+    /// Write `in` (in.size() == block_size()) to block `index`, growing the
+    /// disk as needed (gap blocks are zero-filled).
+    virtual void write_block(std::uint64_t index, std::span<const Record> in) = 0;
+};
+
+} // namespace balsort

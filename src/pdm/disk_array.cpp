@@ -1,0 +1,170 @@
+#include "pdm/disk_array.hpp"
+
+#include <algorithm>
+
+#include "pdm/file_disk.hpp"
+#include "pdm/mem_disk.hpp"
+
+namespace balsort {
+
+DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std::string file_dir,
+                     Constraint constraint)
+    : b_(b), constraint_(constraint) {
+    BS_REQUIRE(d >= 1, "DiskArray: need at least one disk");
+    BS_REQUIRE(b >= 1, "DiskArray: block size must be >= 1");
+    disks_.reserve(d);
+    for (std::uint32_t i = 0; i < d; ++i) {
+        if (backend == DiskBackend::kMemory) {
+            disks_.push_back(std::make_unique<MemDisk>(b));
+        } else {
+            disks_.push_back(std::make_unique<FileDisk>(
+                file_dir + "/balsort_disk_" + std::to_string(i) + ".bin", b));
+        }
+    }
+    next_free_.assign(d, 0);
+    free_list_.resize(d);
+}
+
+void DiskArray::check_step_legal(std::span<const BlockOp> ops) const {
+    BS_MODEL_CHECK(ops.size() <= disks_.size(), "I/O step moves more than D blocks");
+    if (constraint_ == Constraint::kIndependentDisks) {
+        std::vector<bool> used(disks_.size(), false);
+        for (const auto& op : ops) {
+            BS_REQUIRE(op.disk < disks_.size(), "I/O step names nonexistent disk");
+            BS_MODEL_CHECK(!used[op.disk], "two blocks on one disk in a single I/O step");
+            used[op.disk] = true;
+        }
+    } else {
+        for (const auto& op : ops) {
+            BS_REQUIRE(op.disk < disks_.size(), "I/O step names nonexistent disk");
+        }
+    }
+}
+
+void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffers) {
+    if (ops.empty()) return;
+    BS_REQUIRE(buffers.size() == ops.size() * b_, "read_step: buffer size mismatch");
+    check_step_legal(ops);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        disks_[ops[i].disk]->read_block(ops[i].block, buffers.subspan(i * b_, b_));
+    }
+    stats_.read_steps += 1;
+    stats_.blocks_read += ops.size();
+    if (observer_) observer_(true, ops);
+}
+
+void DiskArray::write_step(std::span<const BlockOp> ops, std::span<const Record> buffers) {
+    if (ops.empty()) return;
+    BS_REQUIRE(buffers.size() == ops.size() * b_, "write_step: buffer size mismatch");
+    check_step_legal(ops);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        disks_[ops[i].disk]->write_block(ops[i].block, buffers.subspan(i * b_, b_));
+        next_free_[ops[i].disk] = std::max(next_free_[ops[i].disk], ops[i].block + 1);
+    }
+    stats_.write_steps += 1;
+    stats_.blocks_written += ops.size();
+    if (observer_) observer_(false, ops);
+}
+
+namespace {
+
+/// Group `ops` into maximal legal steps: step t holds each disk's t-th op.
+/// Returns, per step, the list of (index into ops) it carries.
+std::vector<std::vector<std::size_t>> plan_steps(std::span<const BlockOp> ops, std::size_t d,
+                                                 Constraint constraint) {
+    std::vector<std::vector<std::size_t>> per_disk(d);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        BS_REQUIRE(ops[i].disk < d, "batch op names nonexistent disk");
+        per_disk[ops[i].disk].push_back(i);
+    }
+    std::vector<std::vector<std::size_t>> steps;
+    if (constraint == Constraint::kIndependentDisks) {
+        std::size_t max_len = 0;
+        for (const auto& v : per_disk) max_len = std::max(max_len, v.size());
+        steps.resize(max_len);
+        for (const auto& v : per_disk) {
+            for (std::size_t t = 0; t < v.size(); ++t) steps[t].push_back(v[t]);
+        }
+    } else {
+        // AgV model: any D blocks per step.
+        std::vector<std::size_t> flat;
+        flat.reserve(ops.size());
+        for (const auto& v : per_disk) flat.insert(flat.end(), v.begin(), v.end());
+        for (std::size_t i = 0; i < flat.size(); i += d) {
+            steps.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(i),
+                               flat.begin() + static_cast<std::ptrdiff_t>(std::min(i + d, flat.size())));
+        }
+    }
+    return steps;
+}
+
+} // namespace
+
+void DiskArray::read_batch(std::span<const BlockOp> ops, std::span<Record> dest) {
+    BS_REQUIRE(dest.size() == ops.size() * b_, "read_batch: buffer size mismatch");
+    auto steps = plan_steps(ops, disks_.size(), constraint_);
+    std::vector<BlockOp> step_ops;
+    std::vector<Record> step_buf;
+    for (const auto& idxs : steps) {
+        step_ops.clear();
+        for (std::size_t i : idxs) step_ops.push_back(ops[i]);
+        step_buf.resize(step_ops.size() * b_);
+        read_step(step_ops, step_buf);
+        for (std::size_t k = 0; k < idxs.size(); ++k) {
+            std::copy_n(step_buf.begin() + static_cast<std::ptrdiff_t>(k * b_), b_,
+                        dest.begin() + static_cast<std::ptrdiff_t>(idxs[k] * b_));
+        }
+    }
+}
+
+void DiskArray::write_batch(std::span<const BlockOp> ops, std::span<const Record> src) {
+    BS_REQUIRE(src.size() == ops.size() * b_, "write_batch: buffer size mismatch");
+    auto steps = plan_steps(ops, disks_.size(), constraint_);
+    std::vector<BlockOp> step_ops;
+    std::vector<Record> step_buf;
+    for (const auto& idxs : steps) {
+        step_ops.clear();
+        step_buf.clear();
+        for (std::size_t i : idxs) {
+            step_ops.push_back(ops[i]);
+            step_buf.insert(step_buf.end(), src.begin() + static_cast<std::ptrdiff_t>(i * b_),
+                            src.begin() + static_cast<std::ptrdiff_t>((i + 1) * b_));
+        }
+        write_step(step_ops, step_buf);
+    }
+}
+
+std::uint64_t DiskArray::allocate(std::uint32_t disk) {
+    BS_REQUIRE(disk < disks_.size(), "allocate: nonexistent disk");
+    if (!free_list_[disk].empty()) {
+        const std::uint64_t idx = free_list_[disk].top();
+        free_list_[disk].pop();
+        return idx;
+    }
+    return next_free_[disk]++;
+}
+
+std::uint64_t DiskArray::allocate(std::uint32_t disk, std::uint64_t n_blocks) {
+    BS_REQUIRE(disk < disks_.size(), "allocate: nonexistent disk");
+    std::uint64_t first = next_free_[disk];
+    next_free_[disk] += n_blocks;
+    return first;
+}
+
+void DiskArray::release(std::uint32_t disk, std::uint64_t block) {
+    BS_REQUIRE(disk < disks_.size(), "release: nonexistent disk");
+    BS_REQUIRE(block < next_free_[disk], "release: block was never allocated");
+    free_list_[disk].push(block);
+}
+
+std::uint64_t DiskArray::free_blocks(std::uint32_t disk) const {
+    BS_REQUIRE(disk < disks_.size(), "free_blocks: nonexistent disk");
+    return free_list_[disk].size();
+}
+
+std::uint64_t DiskArray::high_water(std::uint32_t disk) const {
+    BS_REQUIRE(disk < disks_.size(), "high_water: nonexistent disk");
+    return next_free_[disk];
+}
+
+} // namespace balsort

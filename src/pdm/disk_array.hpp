@@ -1,0 +1,116 @@
+#pragma once
+/// \file disk_array.hpp
+/// The D-disk parallel I/O engine (Fig. 2a) and its accounting.
+///
+/// Model rule (Vitter–Shriver D-disk model): in one I/O step, each of the D
+/// disks may transfer at most one block of B records. `read_step` /
+/// `write_step` enforce the rule with hard checks; `read_batch` /
+/// `write_batch` split arbitrary block lists into the minimum number of
+/// steps (max blocks-per-disk), which is how the algorithms pay for
+/// imbalance — the very quantity Balance Sort minimizes.
+///
+/// The weaker Aggarwal–Vitter model of Fig. 1 — any D blocks per I/O,
+/// regardless of disk — is available via `Constraint::kAggarwalVitter`
+/// (EXP-F1-AGV measures the gap).
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "pdm/disk.hpp"
+#include "pdm/io_stats.hpp"
+#include "util/common.hpp"
+
+namespace balsort {
+
+enum class DiskBackend { kMemory, kFile };
+
+/// Which I/O-step legality rule applies.
+enum class Constraint {
+    kIndependentDisks, ///< one block per disk per step (the D-disk model)
+    kAggarwalVitter,   ///< any <= D blocks per step (the [AgV] model, Fig. 1)
+};
+
+/// One block-granular operation within a parallel I/O step.
+struct BlockOp {
+    std::uint32_t disk = 0;
+    std::uint64_t block = 0;
+};
+
+class DiskArray {
+public:
+    /// For DiskBackend::kFile, `file_dir` must name a writable directory;
+    /// one scratch file per disk is created there (removed on destruction).
+    DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend = DiskBackend::kMemory,
+              std::string file_dir = ".", Constraint constraint = Constraint::kIndependentDisks);
+
+    std::uint32_t num_disks() const { return static_cast<std::uint32_t>(disks_.size()); }
+    std::uint32_t block_size() const { return b_; }
+    Constraint constraint() const { return constraint_; }
+
+    IoStats& stats() { return stats_; }
+    const IoStats& stats() const { return stats_; }
+
+    /// One parallel read step. `buffers` is ops.size()*B records, the i-th
+    /// chunk receiving the i-th op's block. Ops must respect `constraint()`.
+    void read_step(std::span<const BlockOp> ops, std::span<Record> buffers);
+
+    /// One parallel write step (same layout rules as read_step).
+    void write_step(std::span<const BlockOp> ops, std::span<const Record> buffers);
+
+    /// Read an arbitrary list of blocks using the fewest steps: blocks are
+    /// grouped per disk; step t issues each disk's t-th remaining op.
+    /// Costs max-per-disk steps. dest receives blocks in `ops` order.
+    void read_batch(std::span<const BlockOp> ops, std::span<Record> dest);
+
+    /// Write counterpart of read_batch.
+    void write_batch(std::span<const BlockOp> ops, std::span<const Record> src);
+
+    /// Allocate one block index on `disk`: the shallowest free (released)
+    /// index if any, else a fresh one past the high-water mark. Shallow
+    /// reuse keeps total space O(N) — essential for the memory-hierarchy
+    /// models, whose access cost grows with depth.
+    std::uint64_t allocate(std::uint32_t disk);
+    /// Bump-allocate `n_blocks` consecutive fresh indices (no free-list).
+    std::uint64_t allocate(std::uint32_t disk, std::uint64_t n_blocks);
+
+    /// Return a block to the allocator (it must not be referenced again
+    /// until re-allocated; tests fuzz this contract).
+    void release(std::uint32_t disk, std::uint64_t block);
+    void release(const BlockOp& op) { release(op.disk, op.block); }
+
+    /// Blocks currently free-listed on `disk` (observability for tests).
+    std::uint64_t free_blocks(std::uint32_t disk) const;
+
+    /// Next free block index per disk (for layout assertions in tests).
+    std::uint64_t high_water(std::uint32_t disk) const;
+
+    /// Direct (non-step-counted) access for test verification only.
+    const Disk& disk_for_testing(std::uint32_t d) const { return *disks_[d]; }
+
+    /// Observer invoked once per parallel I/O step (after it executes),
+    /// with is_read and the step's ops. Used by the memory-hierarchy
+    /// simulators to charge depth-dependent access costs (DESIGN.md §3:
+    /// lanes of a P-HMM/P-BT hierarchy are modelled as disks of block
+    /// size 1, and the observer prices each track by its depth).
+    using StepObserver = std::function<void(bool is_read, std::span<const BlockOp> ops)>;
+    void set_step_observer(StepObserver obs) { observer_ = std::move(obs); }
+
+private:
+    void check_step_legal(std::span<const BlockOp> ops) const;
+
+    std::uint32_t b_;
+    Constraint constraint_;
+    std::vector<std::unique_ptr<Disk>> disks_;
+    std::vector<std::uint64_t> next_free_;
+    /// Min-heaps of released block indices, one per disk.
+    std::vector<std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                                    std::greater<std::uint64_t>>>
+        free_list_;
+    IoStats stats_;
+    StepObserver observer_;
+};
+
+} // namespace balsort

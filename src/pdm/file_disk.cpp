@@ -1,0 +1,65 @@
+#include "pdm/file_disk.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+FileDisk::FileDisk(std::string path, std::size_t block_size, bool unlink_on_close)
+    : path_(std::move(path)), block_size_(block_size), unlink_on_close_(unlink_on_close) {
+    BS_REQUIRE(block_size >= 1, "FileDisk: block size must be >= 1");
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    if (fd_ < 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "FileDisk: cannot open " + path_);
+    }
+}
+
+FileDisk::~FileDisk() {
+    if (fd_ >= 0) ::close(fd_);
+    if (unlink_on_close_) ::unlink(path_.c_str());
+}
+
+void FileDisk::read_block(std::uint64_t index, std::span<Record> out) const {
+    BS_REQUIRE(out.size() == block_size_, "read_block: buffer size != block size");
+    BS_MODEL_CHECK(index < size_blocks_, "read_block: reading unallocated block");
+    const std::size_t bytes = block_size_ * sizeof(Record);
+    const auto offset = static_cast<off_t>(index * bytes);
+    std::size_t done = 0;
+    auto* dst = reinterpret_cast<char*>(out.data());
+    while (done < bytes) {
+        ssize_t n = ::pread(fd_, dst + done, bytes - done, offset + static_cast<off_t>(done));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+            throw std::system_error(errno, std::generic_category(),
+                                    "FileDisk: pread failed on " + path_);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void FileDisk::write_block(std::uint64_t index, std::span<const Record> in) {
+    BS_REQUIRE(in.size() == block_size_, "write_block: buffer size != block size");
+    const std::size_t bytes = block_size_ * sizeof(Record);
+    const auto offset = static_cast<off_t>(index * bytes);
+    std::size_t done = 0;
+    const auto* src = reinterpret_cast<const char*>(in.data());
+    while (done < bytes) {
+        ssize_t n = ::pwrite(fd_, src + done, bytes - done, offset + static_cast<off_t>(done));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+            throw std::system_error(errno, std::generic_category(),
+                                    "FileDisk: pwrite failed on " + path_);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (index + 1 > size_blocks_) size_blocks_ = index + 1;
+}
+
+} // namespace balsort

@@ -1,0 +1,41 @@
+#pragma once
+/// \file file_disk.hpp
+/// File-backed disk: one OS file per simulated drive, block-granular
+/// pread/pwrite. This realizes the reproduction guidance "simulate parallel
+/// disks with files": I/O-step counts are identical to MemDisk (the step
+/// accounting lives in DiskArray), but data actually flows through the
+/// filesystem, so wall-clock benches exercise a real I/O path
+/// (EXP-DISKFILE).
+
+#include <string>
+
+#include "pdm/disk.hpp"
+
+namespace balsort {
+
+class FileDisk final : public Disk {
+public:
+    /// Creates/truncates `path`. The file is removed on destruction when
+    /// `unlink_on_close` (default) — simulated scratch disks are ephemeral.
+    FileDisk(std::string path, std::size_t block_size, bool unlink_on_close = true);
+    ~FileDisk() override;
+
+    FileDisk(const FileDisk&) = delete;
+    FileDisk& operator=(const FileDisk&) = delete;
+
+    std::size_t block_size() const override { return block_size_; }
+    std::uint64_t size_blocks() const override { return size_blocks_; }
+    void read_block(std::uint64_t index, std::span<Record> out) const override;
+    void write_block(std::uint64_t index, std::span<const Record> in) override;
+
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    std::size_t block_size_;
+    std::uint64_t size_blocks_ = 0;
+    int fd_ = -1;
+    bool unlink_on_close_;
+};
+
+} // namespace balsort

@@ -1,0 +1,47 @@
+#pragma once
+/// \file io_stats.hpp
+/// I/O accounting for the parallel disk model — the paper's primary
+/// performance measure (Theorem 1): the number of parallel I/O steps, where
+/// one step moves at most one block of B records per disk.
+
+#include <cstdint>
+
+namespace balsort {
+
+struct IoStats {
+    std::uint64_t read_steps = 0;    ///< parallel read operations
+    std::uint64_t write_steps = 0;   ///< parallel write operations
+    std::uint64_t blocks_read = 0;   ///< total blocks transferred in
+    std::uint64_t blocks_written = 0;///< total blocks transferred out
+
+    /// The paper's "number of I/Os".
+    std::uint64_t io_steps() const { return read_steps + write_steps; }
+
+    /// Fraction of the D-disk bandwidth actually used, given D.
+    double utilization(std::uint64_t d) const {
+        const std::uint64_t steps = io_steps();
+        if (steps == 0 || d == 0) return 0.0;
+        return static_cast<double>(blocks_read + blocks_written) /
+               static_cast<double>(steps * d);
+    }
+
+    IoStats& operator+=(const IoStats& o) {
+        read_steps += o.read_steps;
+        write_steps += o.write_steps;
+        blocks_read += o.blocks_read;
+        blocks_written += o.blocks_written;
+        return *this;
+    }
+
+    friend IoStats operator-(IoStats a, const IoStats& b) {
+        a.read_steps -= b.read_steps;
+        a.write_steps -= b.write_steps;
+        a.blocks_read -= b.blocks_read;
+        a.blocks_written -= b.blocks_written;
+        return a;
+    }
+
+    void reset() { *this = IoStats{}; }
+};
+
+} // namespace balsort

@@ -1,0 +1,30 @@
+#include "pdm/mem_disk.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+MemDisk::MemDisk(std::size_t block_size) : block_size_(block_size) {
+    BS_REQUIRE(block_size >= 1, "MemDisk: block size must be >= 1");
+}
+
+std::uint64_t MemDisk::size_blocks() const { return data_.size() / block_size_; }
+
+void MemDisk::read_block(std::uint64_t index, std::span<Record> out) const {
+    BS_REQUIRE(out.size() == block_size_, "read_block: buffer size != block size");
+    BS_MODEL_CHECK(index < size_blocks(), "read_block: reading unallocated block");
+    const Record* src = data_.data() + index * block_size_;
+    std::copy(src, src + block_size_, out.begin());
+}
+
+void MemDisk::write_block(std::uint64_t index, std::span<const Record> in) {
+    BS_REQUIRE(in.size() == block_size_, "write_block: buffer size != block size");
+    if ((index + 1) * block_size_ > data_.size()) {
+        data_.resize((index + 1) * block_size_);
+    }
+    std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(index * block_size_));
+}
+
+} // namespace balsort

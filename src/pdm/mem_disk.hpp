@@ -1,0 +1,25 @@
+#pragma once
+/// \file mem_disk.hpp
+/// In-memory disk backend: fastest for tests and cost-model benches.
+
+#include <vector>
+
+#include "pdm/disk.hpp"
+
+namespace balsort {
+
+class MemDisk final : public Disk {
+public:
+    explicit MemDisk(std::size_t block_size);
+
+    std::size_t block_size() const override { return block_size_; }
+    std::uint64_t size_blocks() const override;
+    void read_block(std::uint64_t index, std::span<Record> out) const override;
+    void write_block(std::uint64_t index, std::span<const Record> in) override;
+
+private:
+    std::size_t block_size_;
+    std::vector<Record> data_; // contiguous blocks
+};
+
+} // namespace balsort

@@ -1,0 +1,197 @@
+#include "pdm/striping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace balsort {
+
+std::uint64_t BlockRun::read_steps(std::uint32_t d) const {
+    std::vector<std::uint64_t> per_disk(d, 0);
+    for (const auto& op : blocks) {
+        BS_REQUIRE(op.disk < d, "BlockRun::read_steps: disk out of range");
+        per_disk[op.disk]++;
+    }
+    return *std::max_element(per_disk.begin(), per_disk.end());
+}
+
+std::uint64_t BlockRun::optimal_read_steps(std::uint32_t d) const {
+    return ceil_div(blocks.size(), d);
+}
+
+RunWriter::RunWriter(DiskArray& disks, std::uint32_t start_disk)
+    : disks_(disks), next_disk_(start_disk % disks.num_disks()) {}
+
+void RunWriter::append(std::span<const Record> records) {
+    BS_REQUIRE(!finished_, "RunWriter::append after finish");
+    buffer_.insert(buffer_.end(), records.begin(), records.end());
+    run_.n_records += records.size();
+    flush_full_blocks(false);
+}
+
+void RunWriter::flush_full_blocks(bool final_flush) {
+    const std::uint32_t b = disks_.block_size();
+    const std::uint32_t d = disks_.num_disks();
+    if (final_flush && buffer_.size() % b != 0) {
+        buffer_.resize(round_up(buffer_.size(), b)); // zero-pad the tail block
+    }
+    // Write in stripes of up to D blocks; keep a partial stripe buffered
+    // unless finishing (a stripe = one parallel I/O step).
+    while (buffer_.size() >= static_cast<std::size_t>(b) &&
+           (final_flush || buffer_.size() >= static_cast<std::size_t>(b) * d)) {
+        const std::size_t stripe_blocks =
+            std::min<std::size_t>(buffer_.size() / b, d);
+        std::vector<BlockOp> ops;
+        ops.reserve(stripe_blocks);
+        for (std::size_t k = 0; k < stripe_blocks; ++k) {
+            const std::uint32_t disk = next_disk_;
+            next_disk_ = (next_disk_ + 1) % d;
+            ops.push_back(BlockOp{disk, disks_.allocate(disk)});
+        }
+        disks_.write_step(ops, std::span<const Record>(buffer_.data(), stripe_blocks * b));
+        run_.blocks.insert(run_.blocks.end(), ops.begin(), ops.end());
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(stripe_blocks * b));
+    }
+}
+
+BlockRun RunWriter::finish() {
+    BS_REQUIRE(!finished_, "RunWriter::finish called twice");
+    flush_full_blocks(true);
+    BS_MODEL_CHECK(buffer_.empty(), "RunWriter left unflushed records");
+    finished_ = true;
+    return std::move(run_);
+}
+
+RunReader::RunReader(DiskArray& disks, const BlockRun& run)
+    : disks_(disks), run_(run), remaining_(run.n_records) {}
+
+std::uint64_t RunReader::read(std::span<Record> out) {
+    const std::uint32_t b = disks_.block_size();
+    const std::uint64_t want = std::min<std::uint64_t>(out.size(), remaining_);
+    std::uint64_t got = 0;
+    // Serve from the carry (tail of the last fetched block) first.
+    while (got < want && carry_pos_ < carry_.size()) {
+        out[got++] = carry_[carry_pos_++];
+    }
+    if (carry_pos_ >= carry_.size()) {
+        carry_.clear();
+        carry_pos_ = 0;
+    }
+    if (got < want) {
+        // Carry is drained, so run position of block `next_block_` is
+        // exactly next_block_ * b.
+        const std::uint64_t need = want - got;
+        const std::uint64_t n_fetch = ceil_div(need, b);
+        BS_MODEL_CHECK(next_block_ + n_fetch <= run_.blocks.size(),
+                       "RunReader: run exhausted prematurely");
+        std::vector<BlockOp> ops(run_.blocks.begin() + static_cast<std::ptrdiff_t>(next_block_),
+                                 run_.blocks.begin() +
+                                     static_cast<std::ptrdiff_t>(next_block_ + n_fetch));
+        std::vector<Record> buf(n_fetch * b);
+        disks_.read_batch(ops, buf);
+        // Records in the fetched range that are real data (not pad).
+        const std::uint64_t range_begin = next_block_ * b;
+        const std::uint64_t range_end =
+            std::min<std::uint64_t>(range_begin + n_fetch * b, run_.n_records);
+        const std::uint64_t valid = range_end - range_begin;
+        BS_MODEL_CHECK(valid >= need, "RunReader: fetched range shorter than requested");
+        next_block_ += n_fetch;
+        std::copy_n(buf.begin(), need, out.begin() + static_cast<std::ptrdiff_t>(got));
+        got += need;
+        if (valid > need) {
+            carry_.assign(buf.begin() + static_cast<std::ptrdiff_t>(need),
+                          buf.begin() + static_cast<std::ptrdiff_t>(valid));
+        }
+    }
+    remaining_ -= want;
+    return want;
+}
+
+BlockRun write_striped(DiskArray& disks, std::span<const Record> records,
+                       std::uint32_t start_disk) {
+    RunWriter w(disks, start_disk);
+    w.append(records);
+    return w.finish();
+}
+
+std::vector<Record> read_run(DiskArray& disks, const BlockRun& run) {
+    std::vector<Record> out(run.n_records);
+    RunReader r(disks, run);
+    std::uint64_t got = r.read(out);
+    BS_MODEL_CHECK(got == run.n_records, "read_run: short read");
+    return out;
+}
+
+VirtualDisks::VirtualDisks(DiskArray& disks, std::uint32_t n_virtual, bool synchronized_writes)
+    : disks_(disks), n_virtual_(n_virtual), synchronized_writes_(synchronized_writes) {
+    BS_REQUIRE(n_virtual >= 1 && n_virtual <= disks.num_disks(),
+               "VirtualDisks: need 1 <= D' <= D");
+    BS_REQUIRE(disks.num_disks() % n_virtual == 0, "VirtualDisks: D' must divide D");
+    group_ = disks.num_disks() / n_virtual;
+}
+
+std::vector<VirtualDisks::VBlock> VirtualDisks::write_track(
+    std::span<const std::uint32_t> vdisks, std::span<const Record> data) {
+    BS_REQUIRE(data.size() == vdisks.size() * static_cast<std::size_t>(vblock_records()),
+               "write_track: data size mismatch");
+    std::vector<bool> used(n_virtual_, false);
+    std::vector<VBlock> out;
+    out.reserve(vdisks.size());
+    std::vector<BlockOp> ops;
+    ops.reserve(vdisks.size() * group_);
+    // Synchronized (fully striped) writes: one common index, free across
+    // the WHOLE array, so the step is a same-relative-position stripe.
+    std::uint64_t synced_index = 0;
+    if (synchronized_writes_) {
+        for (std::uint32_t d = 0; d < disks_.num_disks(); ++d) {
+            synced_index = std::max(synced_index, disks_.high_water(d));
+        }
+    }
+    for (std::size_t k = 0; k < vdisks.size(); ++k) {
+        const std::uint32_t h = vdisks[k];
+        BS_REQUIRE(h < n_virtual_, "write_track: vdisk out of range");
+        BS_MODEL_CHECK(!used[h], "write_track: two virtual blocks on one virtual disk");
+        used[h] = true;
+        VBlock vb;
+        vb.vdisk = h;
+        for (std::uint32_t g = 0; g < group_; ++g) {
+            const std::uint32_t disk = h * group_ + g;
+            const std::uint64_t index =
+                synchronized_writes_ ? synced_index : disks_.allocate(disk);
+            vb.ops.push_back(BlockOp{disk, index});
+            ops.push_back(vb.ops.back());
+        }
+        out.push_back(std::move(vb));
+    }
+    disks_.write_step(ops, data);
+    return out;
+}
+
+void VirtualDisks::read_vblocks(std::span<const VBlock> vblocks, std::span<Record> out) {
+    BS_REQUIRE(out.size() == vblocks.size() * static_cast<std::size_t>(vblock_records()),
+               "read_vblocks: buffer size mismatch");
+    std::vector<BlockOp> ops;
+    ops.reserve(vblocks.size() * group_);
+    for (const auto& vb : vblocks) {
+        BS_REQUIRE(vb.ops.size() == group_, "read_vblocks: malformed virtual block");
+        ops.insert(ops.end(), vb.ops.begin(), vb.ops.end());
+    }
+    disks_.read_batch(ops, out);
+}
+
+std::uint32_t VirtualDisks::default_virtual_count(std::uint32_t d, double exponent) {
+    BS_REQUIRE(d >= 1, "default_virtual_count: d must be >= 1");
+    const double target = std::pow(static_cast<double>(d), exponent);
+    std::uint32_t best = 1;
+    double best_dist = std::abs(1.0 - target);
+    for (std::uint32_t c = 1; c <= d; ++c) {
+        if (d % c != 0) continue;
+        const double dist = std::abs(static_cast<double>(c) - target);
+        if (dist < best_dist || (dist == best_dist && c > best)) {
+            best = c;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+} // namespace balsort

@@ -1,0 +1,87 @@
+#include "pdm/trace.hpp"
+
+#include <algorithm>
+
+namespace balsort {
+
+void IoTrace::attach(DiskArray& disks) {
+    BS_REQUIRE(attached_ == nullptr, "IoTrace: already attached");
+    attached_ = &disks;
+    disks.set_step_observer([this](bool is_read, std::span<const BlockOp> ops) {
+        Step s;
+        s.is_read = is_read;
+        s.ops.assign(ops.begin(), ops.end());
+        steps_.push_back(std::move(s));
+    });
+}
+
+void IoTrace::detach() {
+    if (attached_ != nullptr) {
+        attached_->set_step_observer(nullptr);
+        attached_ = nullptr;
+    }
+}
+
+IoTrace::~IoTrace() { detach(); }
+
+std::vector<std::uint64_t> IoTrace::per_disk_blocks(std::uint32_t d) const {
+    std::vector<std::uint64_t> per(d, 0);
+    for (const auto& s : steps_) {
+        for (const auto& op : s.ops) {
+            BS_REQUIRE(op.disk < d, "IoTrace: disk index out of range for analysis");
+            per[op.disk] += 1;
+        }
+    }
+    return per;
+}
+
+double IoTrace::mean_parallelism() const {
+    if (steps_.empty()) return 0.0;
+    std::uint64_t blocks = 0;
+    for (const auto& s : steps_) blocks += s.ops.size();
+    return static_cast<double>(blocks) / static_cast<double>(steps_.size());
+}
+
+std::vector<std::uint64_t> IoTrace::parallelism_histogram(std::uint32_t d) const {
+    std::vector<std::uint64_t> hist(static_cast<std::size_t>(d) + 1, 0);
+    for (const auto& s : steps_) {
+        BS_REQUIRE(s.ops.size() <= d, "IoTrace: step wider than D");
+        hist[s.ops.size()] += 1;
+    }
+    return hist;
+}
+
+double IoTrace::disk_imbalance(std::uint32_t d) const {
+    auto per = per_disk_blocks(d);
+    const auto mx = *std::max_element(per.begin(), per.end());
+    const auto mn = *std::min_element(per.begin(), per.end());
+    if (mn == 0) return mx == 0 ? 1.0 : static_cast<double>(mx);
+    return static_cast<double>(mx) / static_cast<double>(mn);
+}
+
+double IoTrace::sequential_fraction(std::uint32_t d) const {
+    std::vector<std::uint64_t> last(d, ~std::uint64_t{0});
+    std::uint64_t sequential = 0, total = 0;
+    for (const auto& s : steps_) {
+        for (const auto& op : s.ops) {
+            BS_REQUIRE(op.disk < d, "IoTrace: disk index out of range for analysis");
+            if (last[op.disk] != ~std::uint64_t{0} && op.block == last[op.disk] + 1) {
+                ++sequential;
+            }
+            last[op.disk] = op.block;
+            ++total;
+        }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(sequential) / static_cast<double>(total);
+}
+
+std::uint64_t IoTrace::read_steps() const {
+    return static_cast<std::uint64_t>(
+        std::count_if(steps_.begin(), steps_.end(), [](const Step& s) { return s.is_read; }));
+}
+
+std::uint64_t IoTrace::write_steps() const {
+    return steps_.size() - read_steps();
+}
+
+} // namespace balsort

@@ -1,0 +1,62 @@
+#pragma once
+/// \file trace.hpp
+/// Parallel I/O trace recording and analysis.
+///
+/// An IoTrace subscribes to a DiskArray's step observer and records every
+/// parallel I/O step (direction + the blocks moved). The analyses answer
+/// the questions a storage engineer asks of a real array: how parallel are
+/// the steps (blocks moved per step vs. D), how balanced is the per-disk
+/// traffic, and how sequential is each disk's access stream (the
+/// seek-avoidance that §1's blocking argument is about).
+
+#include <cstdint>
+#include <vector>
+
+#include "pdm/disk_array.hpp"
+
+namespace balsort {
+
+class IoTrace {
+public:
+    struct Step {
+        bool is_read = false;
+        std::vector<BlockOp> ops;
+    };
+
+    /// Start recording `disks`' steps (replaces any previous observer on
+    /// the array; detach() or destruction restores none).
+    void attach(DiskArray& disks);
+    void detach();
+    ~IoTrace();
+
+    const std::vector<Step>& steps() const { return steps_; }
+    void clear() { steps_.clear(); }
+
+    // ---- analyses ----
+
+    /// Total blocks moved per disk (read + write).
+    std::vector<std::uint64_t> per_disk_blocks(std::uint32_t d) const;
+
+    /// Average blocks moved per step (the effective parallelism; <= D).
+    double mean_parallelism() const;
+
+    /// histogram[k] = number of steps that moved exactly k blocks.
+    std::vector<std::uint64_t> parallelism_histogram(std::uint32_t d) const;
+
+    /// max/min of per-disk totals (1.0 = perfectly balanced traffic).
+    double disk_imbalance(std::uint32_t d) const;
+
+    /// Fraction of per-disk accesses at block index (previous + 1) — the
+    /// sequential accesses a real drive serves without seeking.
+    double sequential_fraction(std::uint32_t d) const;
+
+    /// Steps split by direction.
+    std::uint64_t read_steps() const;
+    std::uint64_t write_steps() const;
+
+private:
+    DiskArray* attached_ = nullptr;
+    std::vector<Step> steps_;
+};
+
+} // namespace balsort

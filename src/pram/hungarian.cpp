@@ -1,0 +1,69 @@
+#include "pram/hungarian.hpp"
+
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+// Classic shortest-augmenting-path formulation with row/column potentials
+// (the e-maxx/Jonker-Volgenant presentation), 1-indexed internally.
+std::vector<std::uint32_t> min_cost_assignment(const std::vector<std::int64_t>& cost,
+                                               std::uint32_t rows, std::uint32_t cols) {
+    BS_REQUIRE(rows >= 1 && cols >= rows, "min_cost_assignment: need 1 <= rows <= cols");
+    BS_REQUIRE(cost.size() == static_cast<std::size_t>(rows) * cols,
+               "min_cost_assignment: cost matrix size mismatch");
+    constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+    std::vector<std::int64_t> u(rows + 1, 0), v(cols + 1, 0);
+    std::vector<std::uint32_t> match(cols + 1, 0); // column -> row (1-based; 0 = free)
+    std::vector<std::uint32_t> way(cols + 1, 0);
+
+    for (std::uint32_t i = 1; i <= rows; ++i) {
+        match[0] = i;
+        std::uint32_t j0 = 0;
+        std::vector<std::int64_t> minv(cols + 1, kInf);
+        std::vector<bool> used(cols + 1, false);
+        do {
+            used[j0] = true;
+            const std::uint32_t i0 = match[j0];
+            std::int64_t delta = kInf;
+            std::uint32_t j1 = 0;
+            for (std::uint32_t j = 1; j <= cols; ++j) {
+                if (used[j]) continue;
+                const std::int64_t cur =
+                    cost[static_cast<std::size_t>(i0 - 1) * cols + (j - 1)] - u[i0] - v[j];
+                if (cur < minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if (minv[j] < delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for (std::uint32_t j = 0; j <= cols; ++j) {
+                if (used[j]) {
+                    u[match[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (match[j0] != 0);
+        do {
+            const std::uint32_t j1 = way[j0];
+            match[j0] = match[j1];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    std::vector<std::uint32_t> row_to_col(rows, 0);
+    for (std::uint32_t j = 1; j <= cols; ++j) {
+        if (match[j] != 0) row_to_col[match[j] - 1] = j - 1;
+    }
+    return row_to_col;
+}
+
+} // namespace balsort

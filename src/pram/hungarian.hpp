@@ -1,0 +1,24 @@
+#pragma once
+/// \file hungarian.hpp
+/// Minimum-cost assignment (Hungarian algorithm, O(n^2 m) Jonker–Volgenant
+/// style with potentials).
+///
+/// Used for the paper's §6 conjecture: "A promising approach to balancing
+/// ... is to do a greedy balance via min-cost matching on the placement
+/// matrix. We conjecture that such an approach results in globally
+/// balanced buckets." `AssignPolicy::kMinCostMatching` realizes it: each
+/// track's blocks are assigned to distinct virtual disks minimizing the
+/// total resulting histogram load (EXP-ABLATION measures the conjecture).
+
+#include <cstdint>
+#include <vector>
+
+namespace balsort {
+
+/// Solve min-cost assignment: rows 0..R-1 (R <= C) each pick a distinct
+/// column 0..C-1 minimizing total cost. cost is row-major R x C.
+/// Returns the column chosen per row.
+std::vector<std::uint32_t> min_cost_assignment(const std::vector<std::int64_t>& cost,
+                                               std::uint32_t rows, std::uint32_t cols);
+
+} // namespace balsort

@@ -1,0 +1,17 @@
+#include "pram/monotone_route.hpp"
+
+// All templates are header-defined; this TU exists to give the header a
+// compiled home and to instantiate the common Record specialization so
+// link errors surface early.
+
+#include "util/record.hpp"
+
+namespace balsort {
+
+template void monotone_route<Record>(std::span<const Record>, std::span<const std::uint32_t>,
+                                     std::span<const std::uint32_t>, std::span<Record>, PramCost*);
+template std::size_t monotone_compact<Record>(std::span<const Record>,
+                                              std::span<const std::uint8_t>, std::span<Record>,
+                                              PramCost*);
+
+} // namespace balsort

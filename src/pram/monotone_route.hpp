@@ -1,0 +1,79 @@
+#pragma once
+/// \file monotone_route.hpp
+/// Monotone routing [Lei §3.4.3], used by the paper in three places:
+/// Algorithm 3 step (9) (compact unprocessed virtual blocks), Algorithm 6
+/// step (4) (route reassigned virtual blocks), and the concurrent-write
+/// resolution of Fast-Partial-Match (§4.2).
+///
+/// A routing instance is *monotone* when the destinations of the (sorted)
+/// sources are strictly increasing; such instances route without collisions
+/// in O(log n) steps on a PRAM or hypercube. We validate monotonicity (that
+/// is the model rule the algorithm must respect) and perform the permutation
+/// directly, charging the collective cost.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/pram_cost.hpp"
+
+namespace balsort {
+
+/// Route items so that `items[src[k]]` moves to slot `dst[k]` of `out`.
+/// src must be strictly increasing; dst must be strictly increasing
+/// (the monotonicity condition). Slots of `out` not named by dst keep their
+/// previous contents. Charges one collective + the data-movement work.
+template <typename T>
+void monotone_route(std::span<const T> items, std::span<const std::uint32_t> src,
+                    std::span<const std::uint32_t> dst, std::span<T> out, PramCost* cost = nullptr);
+
+/// Stable compaction: move every item whose flag is set to the front of
+/// `out` (in order); returns the number kept. Implemented as a prefix sum +
+/// monotone route — exactly the primitive Algorithm 3 step (9) needs.
+template <typename T>
+std::size_t monotone_compact(std::span<const T> items, std::span<const std::uint8_t> keep,
+                             std::span<T> out, PramCost* cost = nullptr);
+
+// ---- implementation ----
+
+template <typename T>
+void monotone_route(std::span<const T> items, std::span<const std::uint32_t> src,
+                    std::span<const std::uint32_t> dst, std::span<T> out, PramCost* cost) {
+    BS_REQUIRE(src.size() == dst.size(), "monotone_route: src/dst size mismatch");
+    for (std::size_t k = 1; k < src.size(); ++k) {
+        BS_MODEL_CHECK(src[k] > src[k - 1], "monotone_route: sources not strictly increasing");
+        BS_MODEL_CHECK(dst[k] > dst[k - 1], "monotone_route: destinations not strictly increasing");
+    }
+    for (std::size_t k = 0; k < src.size(); ++k) {
+        BS_MODEL_CHECK(src[k] < items.size(), "monotone_route: source out of range");
+        BS_MODEL_CHECK(dst[k] < out.size(), "monotone_route: destination out of range");
+        out[dst[k]] = items[src[k]];
+    }
+    if (cost != nullptr) {
+        cost->charge_parallel_work(src.size());
+        cost->charge_collective();
+    }
+}
+
+template <typename T>
+std::size_t monotone_compact(std::span<const T> items, std::span<const std::uint8_t> keep,
+                             std::span<T> out, PramCost* cost) {
+    BS_REQUIRE(items.size() == keep.size(), "monotone_compact: size mismatch");
+    std::vector<std::uint32_t> src;
+    std::vector<std::uint32_t> dst;
+    src.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (keep[i] != 0) {
+            dst.push_back(static_cast<std::uint32_t>(src.size()));
+            src.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    if (cost != nullptr) {
+        cost->charge_parallel_work(items.size()); // flag scan (the prefix sum)
+        cost->charge_collective();
+    }
+    monotone_route<T>(items, src, dst, out, cost);
+    return src.size();
+}
+
+} // namespace balsort

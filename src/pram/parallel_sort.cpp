@@ -1,0 +1,241 @@
+#include "pram/parallel_sort.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/common.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+namespace {
+
+/// Estimated comparison count of std::stable_sort on n elements.
+std::uint64_t nlogn(std::uint64_t n) {
+    return n == 0 ? 0 : n * std::max<std::uint64_t>(1, ilog2_ceil(n | 1));
+}
+
+} // namespace
+
+void binary_merge(std::span<const Record> a, std::span<const Record> b, std::span<Record> out,
+                  WorkMeter* meter) {
+    BS_REQUIRE(out.size() == a.size() + b.size(), "binary_merge: output size mismatch");
+    std::size_t i = 0, j = 0, k = 0;
+    while (i < a.size() && j < b.size()) {
+        if (b[j].key < a[i].key) {
+            out[k++] = b[j++];
+        } else {
+            out[k++] = a[i++];
+        }
+    }
+    while (i < a.size()) out[k++] = a[i++];
+    while (j < b.size()) out[k++] = b[j++];
+    if (meter != nullptr) {
+        meter->add_comparisons(out.size());
+        meter->add_moves(out.size());
+    }
+}
+
+void parallel_merge_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter,
+                         PramCost* cost) {
+    const std::size_t n = records.size();
+    if (n <= 1) return;
+    const std::size_t p = std::min<std::size_t>(pool.size(), (n + 1) / 2);
+
+    // Phase 1: each processor stable-sorts its contiguous slice.
+    std::vector<std::pair<std::size_t, std::size_t>> run(p);
+    {
+        const std::size_t per = n / p, rem = n % p;
+        std::size_t off = 0;
+        for (std::size_t w = 0; w < p; ++w) {
+            std::size_t len = per + (w < rem ? 1 : 0);
+            run[w] = {off, off + len};
+            off += len;
+        }
+    }
+    pool.parallel_for(0, p, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t w = lo; w < hi; ++w) {
+            std::stable_sort(records.begin() + static_cast<std::ptrdiff_t>(run[w].first),
+                             records.begin() + static_cast<std::ptrdiff_t>(run[w].second),
+                             KeyLess{});
+        }
+    });
+    if (meter != nullptr) meter->add_comparisons(nlogn(n / std::max<std::size_t>(p, 1)) * p);
+    if (cost != nullptr) {
+        cost->charge_parallel_work(nlogn(n));
+        cost->charge_collective();
+    }
+
+    // Phase 2: log p rounds of pairwise merges (the Cole cascade in shape;
+    // each round is a parallel collective).
+    std::vector<Record> scratch(n);
+    std::span<Record> src = records;
+    std::span<Record> dst(scratch);
+    std::size_t n_runs = p;
+    std::vector<std::pair<std::size_t, std::size_t>> next_run;
+    while (n_runs > 1) {
+        next_run.clear();
+        const std::size_t pairs = n_runs / 2;
+        pool.parallel_for(0, pairs, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t q = lo; q < hi; ++q) {
+                auto [a_lo, a_hi] = run[2 * q];
+                auto [b_lo, b_hi] = run[2 * q + 1];
+                BS_MODEL_CHECK(a_hi == b_lo, "merge runs not adjacent");
+                binary_merge(src.subspan(a_lo, a_hi - a_lo), src.subspan(b_lo, b_hi - b_lo),
+                             dst.subspan(a_lo, b_hi - a_lo), nullptr);
+            }
+        });
+        for (std::size_t q = 0; q < pairs; ++q) {
+            next_run.emplace_back(run[2 * q].first, run[2 * q + 1].second);
+        }
+        if (n_runs % 2 == 1) {
+            auto [c_lo, c_hi] = run[n_runs - 1];
+            std::copy(src.begin() + static_cast<std::ptrdiff_t>(c_lo),
+                      src.begin() + static_cast<std::ptrdiff_t>(c_hi),
+                      dst.begin() + static_cast<std::ptrdiff_t>(c_lo));
+            next_run.emplace_back(c_lo, c_hi);
+        }
+        if (meter != nullptr) {
+            meter->add_comparisons(n);
+            meter->add_moves(n);
+        }
+        if (cost != nullptr) {
+            cost->charge_parallel_work(2 * n);
+            cost->charge_collective();
+        }
+        run = next_run;
+        n_runs = run.size();
+        std::swap(src, dst);
+    }
+    if (src.data() != records.data()) {
+        std::copy(src.begin(), src.end(), records.begin());
+    }
+}
+
+void parallel_radix_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter,
+                         PramCost* cost) {
+    const std::size_t n = records.size();
+    if (n <= 1) return;
+    constexpr unsigned kRadixBits = 11;
+    constexpr std::size_t kBuckets = std::size_t{1} << kRadixBits;
+    constexpr unsigned kPasses = (64 + kRadixBits - 1) / kRadixBits;
+
+    const std::size_t p = pool.size();
+    std::vector<Record> scratch(n);
+    std::span<Record> src = records;
+    std::span<Record> dst(scratch);
+    // Per-worker histograms: hist[w][digit].
+    std::vector<std::vector<std::uint64_t>> hist(p, std::vector<std::uint64_t>(kBuckets));
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(p, {0, 0});
+
+    for (unsigned pass = 0; pass < kPasses; ++pass) {
+        const unsigned shift = pass * kRadixBits;
+        for (auto& h : hist) std::fill(h.begin(), h.end(), 0);
+        pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+            ranges[w] = {lo, hi};
+            auto& h = hist[w];
+            for (std::size_t i = lo; i < hi; ++i) {
+                h[(src[i].key >> shift) & (kBuckets - 1)]++;
+            }
+        });
+        // Exclusive scan over (digit-major, worker-minor) layout so the
+        // scatter below is stable.
+        std::uint64_t acc = 0;
+        for (std::size_t d = 0; d < kBuckets; ++d) {
+            for (std::size_t w = 0; w < p; ++w) {
+                std::uint64_t c = hist[w][d];
+                hist[w][d] = acc;
+                acc += c;
+            }
+        }
+        pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+            BS_MODEL_CHECK(ranges[w] == std::make_pair(lo, hi),
+                           "radix chunking changed between passes");
+            auto& h = hist[w];
+            for (std::size_t i = lo; i < hi; ++i) {
+                dst[h[(src[i].key >> shift) & (kBuckets - 1)]++] = src[i];
+            }
+        });
+        if (meter != nullptr) meter->add_moves(2 * n);
+        if (cost != nullptr) {
+            cost->charge_parallel_work(2 * n);
+            cost->charge_collective();
+        }
+        std::swap(src, dst);
+    }
+    if (src.data() != records.data()) {
+        std::copy(src.begin(), src.end(), records.begin());
+    }
+}
+
+void multiway_merge(std::span<const std::span<const Record>> runs, std::span<Record> out,
+                    WorkMeter* meter) {
+    const std::size_t k = runs.size();
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    BS_REQUIRE(out.size() == total, "multiway_merge: output size mismatch");
+    if (k == 0) return;
+    if (k == 1) {
+        std::copy(runs[0].begin(), runs[0].end(), out.begin());
+        if (meter != nullptr) meter->add_moves(total);
+        return;
+    }
+
+    // Loser tree over k runs. Leaves hold the current head of each run.
+    const std::size_t width = std::size_t{1} << ilog2_ceil(k | 1);
+    constexpr std::uint64_t kInfKey = ~std::uint64_t{0};
+    struct Head {
+        std::uint64_t key;
+        std::uint32_t run;
+    };
+    std::vector<std::size_t> pos(k, 0);
+    auto head_key = [&](std::size_t r) -> std::uint64_t {
+        if (r >= k || pos[r] >= runs[r].size()) return kInfKey;
+        return runs[r][pos[r]].key;
+    };
+    // Simple winner tree (rebuilt path per pop): tree[i] = run index of winner.
+    std::vector<std::uint32_t> tree(2 * width, 0);
+    for (std::size_t i = 0; i < width; ++i) tree[width + i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = width - 1; i >= 1; --i) {
+        std::uint32_t a = tree[2 * i], b = tree[2 * i + 1];
+        tree[i] = head_key(a) <= head_key(b) ? a : b;
+        if (i == 1) break;
+    }
+    std::uint64_t comparisons = 0;
+    for (std::size_t o = 0; o < total; ++o) {
+        std::uint32_t r = tree[1];
+        BS_MODEL_CHECK(head_key(r) != kInfKey, "loser tree produced exhausted run");
+        out[o] = runs[r][pos[r]++];
+        // Replay the path from leaf r upward.
+        std::size_t node = (width + r) / 2;
+        while (node >= 1) {
+            std::uint32_t a = tree[2 * node], b = tree[2 * node + 1];
+            tree[node] = head_key(a) <= head_key(b) ? a : b;
+            ++comparisons;
+            if (node == 1) break;
+            node /= 2;
+        }
+    }
+    if (meter != nullptr) {
+        meter->add_comparisons(comparisons);
+        meter->add_moves(total);
+    }
+}
+
+std::vector<std::uint32_t> bucket_of(std::span<const Record> records,
+                                     std::span<const std::uint64_t> pivots, WorkMeter* meter) {
+    std::vector<std::uint32_t> idx(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        // bucket = number of pivots <= key (keys equal to a pivot go right,
+        // so bucket i covers [pivots[i-1], pivots[i]) exclusive of pivot).
+        auto it = std::upper_bound(pivots.begin(), pivots.end(), records[i].key);
+        idx[i] = static_cast<std::uint32_t>(it - pivots.begin());
+    }
+    if (meter != nullptr) {
+        meter->add_comparisons(records.size() *
+                               std::max<std::uint64_t>(1, ilog2_ceil(pivots.size() | 1)));
+    }
+    return idx;
+}
+
+} // namespace balsort

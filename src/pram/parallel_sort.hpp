@@ -1,0 +1,50 @@
+#pragma once
+/// \file parallel_sort.hpp
+/// Internal (in-memory) sorting used at the recursion base and inside
+/// Balance, with work metering and PRAM cost accounting.
+///
+/// Two engines, mirroring the paper's §5 toolbox:
+///  * `parallel_merge_sort` — Cole's EREW PRAM merge sort [Col] in
+///    structure: log(n/P) local phase + log P cascaded parallel merges,
+///    O(n log n) work, O((n/P) log n) charged PRAM time.
+///  * `parallel_radix_sort` — LSD radix sort playing the Rajasekaran–Reif
+///    [RaR] role: counting passes over digit chunks, O(n · ceil(64/r)) work.
+/// Plus `multiway_merge`, used by the merge-sort baselines and Algorithm 2's
+/// "binary merge sort" of sample sets.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/pram_cost.hpp"
+#include "pram/thread_pool.hpp"
+#include "util/record.hpp"
+#include "util/work_meter.hpp"
+
+namespace balsort {
+
+/// Stable parallel merge sort by key. Charges `cost` and `meter` if given.
+void parallel_merge_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter = nullptr,
+                         PramCost* cost = nullptr);
+
+/// LSD radix sort by key (radix 2^11, 6 passes). Stable.
+void parallel_radix_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter = nullptr,
+                         PramCost* cost = nullptr);
+
+/// Merge `runs` (each sorted by key) into `out` (sized to the total).
+/// Loser-tree k-way merge: O(n log k) comparisons.
+void multiway_merge(std::span<const std::span<const Record>> runs, std::span<Record> out,
+                    WorkMeter* meter = nullptr);
+
+/// Binary merge of exactly two sorted runs (Algorithm 1 step (3) helper).
+void binary_merge(std::span<const Record> a, std::span<const Record> b, std::span<Record> out,
+                  WorkMeter* meter = nullptr);
+
+/// Partition sorted-or-not `records` among `s` buckets delimited by
+/// `pivots` (sorted, size s-1): bucket i gets keys in [pivots[i-1], pivots[i]).
+/// Returns bucket index per record. O(n log s) comparisons via binary search.
+std::vector<std::uint32_t> bucket_of(std::span<const Record> records,
+                                     std::span<const std::uint64_t> pivots,
+                                     WorkMeter* meter = nullptr);
+
+} // namespace balsort

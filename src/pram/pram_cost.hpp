@@ -1,0 +1,55 @@
+#pragma once
+/// \file pram_cost.hpp
+/// Analytic PRAM step accounting.
+///
+/// Theorems 1–3 charge internal processing in PRAM steps: an EREW PRAM with
+/// P processors performs `w` operations of a data-parallel phase in
+/// ceil(w/P) steps, and each collective (prefix sum, broadcast, sort-step
+/// barrier, monotone route) costs Θ(log P) additional steps. CRCW is the
+/// same except concurrent writes collapse to O(1) where the algorithm uses
+/// them (the paper needs CRCW only when log(M/B) = o(log M), §5).
+
+#include <cstdint>
+
+#include "util/math.hpp"
+
+namespace balsort {
+
+enum class PramKind { kErew, kCrcw };
+
+/// Accumulates charged PRAM steps for a fixed processor count P.
+class PramCost {
+public:
+    explicit PramCost(std::uint64_t p, PramKind kind = PramKind::kErew)
+        : p_(p == 0 ? 1 : p), kind_(kind) {}
+
+    std::uint64_t processors() const { return p_; }
+    PramKind kind() const { return kind_; }
+
+    /// A data-parallel phase of `work` unit operations: ceil(work/P) steps.
+    void charge_parallel_work(std::uint64_t work) { steps_ += ceil_div(work, p_); }
+
+    /// One collective (scan/broadcast/barrier): ceil(log2 P) steps on EREW,
+    /// 1 step on CRCW for the combine-capable collectives.
+    void charge_collective() {
+        steps_ += (kind_ == PramKind::kCrcw) ? 1 : std::max<std::uint64_t>(1, ilog2_ceil(p_));
+    }
+
+    /// `n` such collectives at once.
+    void charge_collectives(std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; ++i) charge_collective();
+    }
+
+    /// Directly add raw PRAM steps (for sub-simulators that compute theirs).
+    void charge_steps(std::uint64_t s) { steps_ += s; }
+
+    std::uint64_t steps() const { return steps_; }
+    void reset() { steps_ = 0; }
+
+private:
+    std::uint64_t p_;
+    PramKind kind_;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace balsort

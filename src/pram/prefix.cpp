@@ -1,0 +1,73 @@
+#include "pram/prefix.hpp"
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+std::uint64_t exclusive_prefix_sum(std::span<std::uint64_t> values) {
+    std::uint64_t acc = 0;
+    for (auto& v : values) {
+        std::uint64_t next = acc + v;
+        v = acc;
+        acc = next;
+    }
+    return acc;
+}
+
+std::uint64_t exclusive_prefix_sum_parallel(std::span<std::uint64_t> values, ThreadPool& pool,
+                                            PramCost* cost) {
+    const std::size_t n = values.size();
+    if (n == 0) return 0;
+    const std::size_t p = pool.size();
+    if (cost != nullptr) {
+        cost->charge_parallel_work(2 * n); // up-sweep + down-sweep work
+        cost->charge_collective();         // the log P combine tree
+    }
+    if (p == 1 || n < 2 * p) return exclusive_prefix_sum(values);
+
+    // Pass 1: each worker scans its chunk, recording the chunk total.
+    std::vector<std::uint64_t> chunk_total(p, 0);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(p, {0, 0});
+    pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+        chunk_total[w] = acc;
+        ranges[w] = {lo, hi};
+    });
+    // Scan of chunk totals (p elements — sequential is the log-depth combine).
+    std::uint64_t total = exclusive_prefix_sum(std::span<std::uint64_t>(chunk_total));
+    // Pass 2: each worker re-scans with its offset.
+    pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+        BS_MODEL_CHECK(ranges[w] == std::make_pair(lo, hi),
+                       "parallel_for chunking changed between passes");
+        std::uint64_t acc = chunk_total[w];
+        for (std::size_t i = lo; i < hi; ++i) {
+            std::uint64_t next = acc + values[i];
+            values[i] = acc;
+            acc = next;
+        }
+    });
+    return total;
+}
+
+void segmented_prefix_sum(std::span<std::uint64_t> values, std::span<const std::uint8_t> flags) {
+    BS_REQUIRE(values.size() == flags.size(), "segmented_prefix_sum: size mismatch");
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (flags[i] != 0) acc = 0;
+        std::uint64_t next = acc + values[i];
+        values[i] = acc;
+        acc = next;
+    }
+}
+
+std::vector<std::uint32_t> segment_heads(std::span<const std::uint64_t> keys) {
+    std::vector<std::uint32_t> heads(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        heads[i] = (i == 0 || keys[i] != keys[i - 1]) ? static_cast<std::uint32_t>(i)
+                                                      : heads[i - 1];
+    }
+    return heads;
+}
+
+} // namespace balsort

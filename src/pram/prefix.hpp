@@ -1,0 +1,36 @@
+#pragma once
+/// \file prefix.hpp
+/// (Segmented) prefix sums — the workhorse collective of §4.2: after the
+/// concurrent-write resolution of Fast-Partial-Match, "we can do a segmented
+/// prefix operation for each unique key to compute how many destinations
+/// were selected".
+///
+/// Parallel variants use a ThreadPool (two-pass block-scan algorithm) and
+/// charge PRAM cost when a `PramCost` is supplied.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/pram_cost.hpp"
+#include "pram/thread_pool.hpp"
+
+namespace balsort {
+
+/// Exclusive prefix sum in place: out[i] = sum of in[0..i). Returns total.
+std::uint64_t exclusive_prefix_sum(std::span<std::uint64_t> values);
+
+/// Parallel exclusive prefix sum using `pool`; charges `cost` if non-null.
+std::uint64_t exclusive_prefix_sum_parallel(std::span<std::uint64_t> values, ThreadPool& pool,
+                                            PramCost* cost = nullptr);
+
+/// Segmented exclusive prefix sum: the scan restarts at every index i with
+/// flags[i] != 0. flags.size() == values.size().
+void segmented_prefix_sum(std::span<std::uint64_t> values, std::span<const std::uint8_t> flags);
+
+/// For sorted `keys`, compute for each position the index of its segment
+/// head (first occurrence of its key) — the "eliminate all but the first
+/// message in each segment" step of §4.2.
+std::vector<std::uint32_t> segment_heads(std::span<const std::uint64_t> keys);
+
+} // namespace balsort

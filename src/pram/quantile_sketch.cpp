@@ -1,0 +1,92 @@
+#include "pram/quantile_sketch.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+QuantileSketch::QuantileSketch(std::size_t buffer_size) : k_(buffer_size) {
+    BS_REQUIRE(buffer_size >= 2, "QuantileSketch: buffer size must be >= 2");
+    incoming_.reserve(k_);
+}
+
+void QuantileSketch::add(std::uint64_t key) {
+    incoming_.push_back(key);
+    ++count_;
+    if (incoming_.size() == k_) {
+        std::sort(incoming_.begin(), incoming_.end());
+        carry(std::move(incoming_), 0);
+        incoming_ = {};
+        incoming_.reserve(k_);
+    }
+}
+
+void QuantileSketch::carry(std::vector<std::uint64_t> buffer, std::size_t level) {
+    // Munro-Paterson collapse: two sorted weight-2^l buffers merge into
+    // one weight-2^(l+1) buffer holding every other element of the merge
+    // (odd positions — the deterministic unbiased choice).
+    while (true) {
+        if (levels_.size() <= level) levels_.resize(level + 1);
+        if (levels_[level].empty()) {
+            levels_[level] = std::move(buffer);
+            return;
+        }
+        std::vector<std::uint64_t> merged(levels_[level].size() + buffer.size());
+        std::merge(levels_[level].begin(), levels_[level].end(), buffer.begin(), buffer.end(),
+                   merged.begin());
+        levels_[level].clear();
+        std::vector<std::uint64_t> halved;
+        halved.reserve(merged.size() / 2);
+        for (std::size_t i = 1; i < merged.size(); i += 2) halved.push_back(merged[i]);
+        buffer = std::move(halved);
+        ++level;
+    }
+}
+
+std::vector<std::uint64_t> QuantileSketch::quantiles(std::uint32_t q) const {
+    std::vector<std::uint64_t> out;
+    if (count_ == 0 || q == 0) return out;
+    // Weighted merge of all buffers (incoming counts with weight 1).
+    struct Weighted {
+        std::uint64_t key;
+        std::uint64_t weight;
+    };
+    std::vector<Weighted> all;
+    all.reserve(incoming_.size() + k_ * (levels_.size() + 1));
+    for (std::uint64_t key : incoming_) all.push_back({key, 1});
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+        const std::uint64_t w = std::uint64_t{1} << (l + 1);
+        for (std::uint64_t key : levels_[l]) all.push_back({key, w});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Weighted& a, const Weighted& b) { return a.key < b.key; });
+    std::uint64_t total = 0;
+    for (const auto& w : all) total += w.weight;
+    // Pick keys at cumulative weights total*(i/(q+1)).
+    out.reserve(q);
+    std::size_t pos = 0;
+    std::uint64_t cum = 0;
+    for (std::uint32_t i = 1; i <= q; ++i) {
+        const std::uint64_t target = total * i / (q + 1);
+        while (pos + 1 < all.size() && cum + all[pos].weight < target) {
+            cum += all[pos].weight;
+            ++pos;
+        }
+        out.push_back(all[pos].key);
+    }
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::uint64_t QuantileSketch::rank_error_bound() const {
+    // Each collapse at level l introduces rank error <= 2^l per element
+    // pair; summed over levels the classic bound is (L/2 + 1) * 2^L-ish;
+    // we report the standard conservative form: count * L / k with
+    // L = #levels (plus the incoming buffer slack of k).
+    const std::uint64_t l = levels_.size();
+    return l == 0 ? k_ : (count_ * l) / k_ + k_;
+}
+
+} // namespace balsort

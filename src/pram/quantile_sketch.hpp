@@ -1,0 +1,55 @@
+#pragma once
+/// \file quantile_sketch.hpp
+/// Deterministic streaming quantile summary (Munro–Paterson multi-level
+/// buffer collapse).
+///
+/// Used by the optional `PivotMethod::kStreamingSketch`: while a parent
+/// level's Balance pass partitions records into buckets, each bucket feeds
+/// a sketch; the child level then draws its partition elements from the
+/// sketch instead of re-reading the bucket from disk — saving one full
+/// read pass per recursion level. The sketch is deterministic (no
+/// sampling), mergeable by construction, and its rank error is bounded by
+/// count * levels / buffer_size, where levels = ceil(log2(count /
+/// buffer_size)) — the classic Munro–Paterson bound. Pivot quality is
+/// additionally *self-correcting* downstream: sketch pivots are real keys
+/// from the bucket, so every child bucket strictly shrinks (the driver's
+/// progress model-check), and an unlucky split merely costs an extra
+/// level, never correctness.
+
+#include <cstdint>
+#include <vector>
+
+namespace balsort {
+
+class QuantileSketch {
+public:
+    /// buffer_size = k: the sketch keeps O(k log(n/k)) keys. Larger k,
+    /// sharper quantiles.
+    explicit QuantileSketch(std::size_t buffer_size);
+
+    void add(std::uint64_t key);
+
+    /// Total keys fed in.
+    std::uint64_t count() const { return count_; }
+
+    /// `q` approximately evenly spaced quantile keys (the (i/(q+1))-th
+    /// quantiles for i = 1..q), each a key that was actually added.
+    std::vector<std::uint64_t> quantiles(std::uint32_t q) const;
+
+    /// The maximum absolute rank error of any reported quantile, per the
+    /// Munro-Paterson bound (exposed so callers and tests can check it).
+    std::uint64_t rank_error_bound() const;
+
+    /// Number of collapse levels currently in use (observability).
+    std::size_t levels() const { return levels_.size(); }
+
+private:
+    void carry(std::vector<std::uint64_t> buffer, std::size_t level);
+
+    std::size_t k_;
+    std::uint64_t count_ = 0;
+    std::vector<std::uint64_t> incoming_;              // unsorted level-0 buffer
+    std::vector<std::vector<std::uint64_t>> levels_;   // levels_[i]: sorted, weight 2^i
+};
+
+} // namespace balsort

@@ -1,0 +1,119 @@
+#include "pram/selection.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+namespace {
+
+// In-place deterministic select on a scratch vector, 0-based k.
+std::uint64_t select_impl(std::vector<std::uint64_t>& v, std::size_t lo, std::size_t hi,
+                          std::size_t k, WorkMeter* meter) {
+    while (true) {
+        const std::size_t n = hi - lo;
+        if (n <= 10) {
+            std::sort(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                      v.begin() + static_cast<std::ptrdiff_t>(hi));
+            if (meter != nullptr) meter->add_comparisons(n * 4); // ~n log n, n<=10
+            return v[lo + k];
+        }
+        // Median of medians of groups of 5.
+        std::size_t n_groups = 0;
+        for (std::size_t g = lo; g < hi; g += 5) {
+            std::size_t ge = std::min(g + 5, hi);
+            std::sort(v.begin() + static_cast<std::ptrdiff_t>(g),
+                      v.begin() + static_cast<std::ptrdiff_t>(ge));
+            std::swap(v[lo + n_groups], v[g + (ge - g) / 2]);
+            ++n_groups;
+        }
+        if (meter != nullptr) meter->add_comparisons(n * 2);
+        std::uint64_t pivot =
+            select_impl(v, lo, lo + n_groups, (n_groups - 1) / 2, meter);
+        // 3-way partition around pivot.
+        std::size_t lt = lo, i = lo, gt = hi;
+        while (i < gt) {
+            if (v[i] < pivot) {
+                std::swap(v[lt++], v[i++]);
+            } else if (v[i] > pivot) {
+                std::swap(v[i], v[--gt]);
+            } else {
+                ++i;
+            }
+        }
+        if (meter != nullptr) {
+            meter->add_comparisons(n);
+            meter->add_moves(n);
+        }
+        const std::size_t n_lt = lt - lo;
+        const std::size_t n_eq = gt - lt;
+        if (k < n_lt) {
+            hi = lt;
+        } else if (k < n_lt + n_eq) {
+            return pivot;
+        } else {
+            k -= n_lt + n_eq;
+            lo = gt;
+        }
+    }
+}
+
+} // namespace
+
+std::uint64_t select_kth(std::span<const std::uint64_t> values, std::size_t k, WorkMeter* meter) {
+    BS_REQUIRE(k >= 1 && k <= values.size(), "select_kth: k out of range");
+    std::vector<std::uint64_t> scratch(values.begin(), values.end());
+    if (meter != nullptr) meter->add_moves(values.size());
+    return select_impl(scratch, 0, scratch.size(), k - 1, meter);
+}
+
+std::uint64_t paper_median(std::span<const std::uint64_t> values, WorkMeter* meter) {
+    BS_REQUIRE(!values.empty(), "paper_median: empty input");
+    return select_kth(values, ceil_div(values.size(), 2), meter);
+}
+
+namespace {
+
+// Recursive rank splitting: select the middle rank with nth_element
+// (introselect), then recurse into the two sides with the remaining ranks.
+// Depth O(log k) with O(n) work per depth level => O(n log k) total.
+void multi_select_impl(std::span<Record> records, std::span<const std::uint64_t> ranks,
+                       std::uint64_t rank_offset, std::vector<std::uint64_t>& out,
+                       WorkMeter* meter) {
+    if (ranks.empty()) return;
+    const std::size_t mid = ranks.size() / 2;
+    const std::uint64_t local = ranks[mid] - rank_offset; // 1-based within records
+    BS_MODEL_CHECK(local >= 1 && local <= records.size(),
+                   "multi_select: rank out of subrange");
+    auto nth = records.begin() + static_cast<std::ptrdiff_t>(local - 1);
+    std::nth_element(records.begin(), nth, records.end(), KeyLess{});
+    if (meter != nullptr) {
+        meter->add_comparisons(2 * records.size());
+        meter->add_moves(records.size() / 2);
+    }
+    multi_select_impl(records.first(local - 1), ranks.first(mid), rank_offset, out, meter);
+    out.push_back(nth->key);
+    multi_select_impl(records.subspan(local), ranks.subspan(mid + 1),
+                      rank_offset + local, out, meter);
+}
+
+} // namespace
+
+std::vector<std::uint64_t> multi_select_keys(std::span<Record> records,
+                                             std::span<const std::uint64_t> ranks,
+                                             WorkMeter* meter) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        BS_REQUIRE(ranks[i] >= 1 && ranks[i] <= records.size(),
+                   "multi_select_keys: rank out of range");
+        BS_REQUIRE(i == 0 || ranks[i] > ranks[i - 1],
+                   "multi_select_keys: ranks must be strictly increasing");
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(ranks.size());
+    multi_select_impl(records, ranks, 0, out, meter);
+    return out;
+}
+
+} // namespace balsort

@@ -1,0 +1,38 @@
+#pragma once
+/// \file selection.hpp
+/// Deterministic linear-time selection (Blum–Floyd–Pratt–Rivest–Tarjan
+/// [BFP], cited by the paper). Used by ComputeAux to find the median of a
+/// histogram row, and by partition-element selection.
+///
+/// Note the paper's median convention (§4, footnote 3): "the median is
+/// always the ⌈D/2⌉-th smallest element", *not* the statistics convention.
+/// `paper_median` implements exactly that.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/record.hpp"
+#include "util/work_meter.hpp"
+
+namespace balsort {
+
+/// Return the k-th smallest (1-based) of `values` using deterministic
+/// median-of-medians. Does not modify the input. O(n) comparisons.
+std::uint64_t select_kth(std::span<const std::uint64_t> values, std::size_t k,
+                         WorkMeter* meter = nullptr);
+
+/// The paper's median: the ⌈n/2⌉-th smallest element of the row.
+std::uint64_t paper_median(std::span<const std::uint64_t> values, WorkMeter* meter = nullptr);
+
+/// Deterministic multi-selection: the record keys at the given 1-based
+/// ranks (sorted ascending, in [1, records.size()]) in key order.
+/// Permutes `records`. O(n log k) comparisons — this is what keeps the
+/// pivot pass within Theorem 1's O((N/P) log N) total work budget: each
+/// memoryload is *selected at 8S ranks*, not fully sorted, so a level
+/// costs O(N log S) instead of O(N log M).
+std::vector<std::uint64_t> multi_select_keys(std::span<Record> records,
+                                             std::span<const std::uint64_t> ranks,
+                                             WorkMeter* meter = nullptr);
+
+} // namespace balsort

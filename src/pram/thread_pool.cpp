@@ -1,0 +1,112 @@
+#include "pram/thread_pool.hpp"
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+ThreadPool::ThreadPool(std::size_t p) {
+    if (p == 0) {
+        p = std::thread::hardware_concurrency();
+        if (p == 0) p = 1;
+    }
+    // The caller is worker 0; spawn p-1 helpers.
+    workers_.reserve(p - 1);
+    for (std::size_t i = 1; i < p; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(const Job& job, std::size_t chunk) {
+    const std::size_t n = job.end - job.begin;
+    const std::size_t per = n / job.n_chunks;
+    const std::size_t rem = n % job.n_chunks;
+    // First `rem` chunks get one extra element: contiguous, gap-free split.
+    const std::size_t lo = job.begin + chunk * per + std::min(chunk, rem);
+    const std::size_t hi = lo + per + (chunk < rem ? 1 : 0);
+    if (lo < hi) (*job.body)(lo, hi, chunk);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+    std::size_t seen_epoch = 0;
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_start_.wait(lock, [&] { return stop_ || job_.epoch > seen_epoch; });
+            if (stop_) return;
+            job = job_;
+            seen_epoch = job.epoch;
+        }
+        if (index < job.n_chunks) {
+            try {
+                run_chunk(job, index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!first_error_) first_error_ = std::current_exception();
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0) cv_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    if (begin >= end) return;
+    const std::size_t p = size();
+    const std::size_t n_chunks = std::min(p, end - begin);
+    if (n_chunks == 1 || workers_.empty()) {
+        body(begin, end, 0);
+        return;
+    }
+    Job job;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_.body = &body;
+        job_.begin = begin;
+        job_.end = end;
+        job_.n_chunks = n_chunks;
+        job_.epoch = ++epoch_;
+        pending_ = workers_.size();
+        first_error_ = nullptr;
+        job = job_;
+    }
+    cv_start_.notify_all();
+    // Caller executes chunk 0... but chunk indices for helpers are their
+    // worker index (1..); caller takes chunk 0 only if n_chunks >= 1.
+    try {
+        run_chunk(job, 0);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_done_.wait(lock, [&] { return pending_ == 0; });
+        if (first_error_) {
+            auto err = first_error_;
+            first_error_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+void ThreadPool::parallel_invoke(const std::function<void(std::size_t)>& body) {
+    parallel_for(0, size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+}
+
+} // namespace balsort

@@ -1,0 +1,65 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A fixed-size worker pool standing in for the paper's P interconnected
+/// processors (Fig. 2b). Work is submitted as index-range chunks
+/// (`parallel_for`), matching the data-parallel style of the algorithms:
+/// each "processor" owns a contiguous slice of each memoryload.
+///
+/// The pool runs real `std::thread`s (shared-memory fidelity) while the
+/// PRAM *cost* of each step is accounted separately via `PramCost`
+/// (pram_cost.hpp) — the paper charges analytic PRAM steps, never
+/// wall-clock.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace balsort {
+
+/// Fixed pool of `p` workers executing blocking fork-join parallel-for jobs.
+class ThreadPool {
+public:
+    /// p == 0 selects hardware_concurrency (at least 1).
+    explicit ThreadPool(std::size_t p = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size() + 1; } // +1: caller participates
+
+    /// Run body(chunk_begin, chunk_end, worker_index) over [begin, end),
+    /// split into size() contiguous chunks. Blocks until all chunks finish.
+    /// Exceptions from chunks are propagated (the first one wins).
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+    /// Run one task per worker: body(worker_index). Blocks until done.
+    void parallel_invoke(const std::function<void(std::size_t)>& body);
+
+private:
+    struct Job {
+        const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+        std::size_t begin = 0, end = 0;
+        std::size_t n_chunks = 1;
+        std::size_t epoch = 0;
+    };
+
+    void worker_loop(std::size_t index);
+    void run_chunk(const Job& job, std::size_t chunk);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    Job job_;
+    std::size_t pending_ = 0;
+    std::size_t epoch_ = 0;
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+} // namespace balsort

@@ -1,0 +1,54 @@
+#pragma once
+/// \file common.hpp
+/// Error-handling primitives shared by every balsort library.
+///
+/// Two failure categories (DESIGN.md §5.10):
+///  * `ModelViolation` — the simulated machine model was violated (two block
+///    operations on one disk in a single parallel I/O step, out-of-range
+///    block address, capacity overflow, ...). These indicate an algorithmic
+///    bug, so they are *always* checked, in every build type.
+///  * `std::invalid_argument` — ordinary API misuse (bad configuration).
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace balsort {
+
+/// Thrown when an algorithm breaks the rules of the simulated machine model.
+class ModelViolation : public std::logic_error {
+public:
+    explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_model_violation(const char* expr, const char* file, int line,
+                                               const std::string& msg) {
+    std::ostringstream os;
+    os << "model violation: " << msg << " [" << expr << "] at " << file << ':' << line;
+    throw ModelViolation(os.str());
+}
+
+[[noreturn]] inline void throw_invalid_argument(const char* file, int line, const std::string& msg) {
+    std::ostringstream os;
+    os << msg << " (at " << file << ':' << line << ')';
+    throw std::invalid_argument(os.str());
+}
+
+} // namespace detail
+
+/// Model-rule check; active in all build types.
+#define BS_MODEL_CHECK(cond, msg)                                                     \
+    do {                                                                              \
+        if (!(cond)) ::balsort::detail::throw_model_violation(#cond, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+/// API-argument check; active in all build types.
+#define BS_REQUIRE(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) ::balsort::detail::throw_invalid_argument(__FILE__, __LINE__, (msg)); \
+    } while (false)
+
+} // namespace balsort

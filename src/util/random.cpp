@@ -1,0 +1,37 @@
+#include "util/random.hpp"
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+namespace {
+
+bool is_prime(std::uint64_t n) {
+    if (n < 2) return false;
+    for (std::uint64_t d = 2; d * d <= n; ++d) {
+        if (n % d == 0) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t PairwiseHash::next_prime(std::uint64_t n) {
+    BS_REQUIRE(n >= 1, "next_prime: n must be >= 1");
+    std::uint64_t c = n < 2 ? 2 : n;
+    while (!is_prime(c)) ++c;
+    return c;
+}
+
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, std::uint64_t seed) {
+    std::vector<std::uint32_t> p(n);
+    for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+    Xoshiro256 rng(seed);
+    for (std::uint32_t i = n; i > 1; --i) {
+        auto j = static_cast<std::uint32_t>(rng.below(i));
+        std::swap(p[i - 1], p[j]);
+    }
+    return p;
+}
+
+} // namespace balsort

@@ -1,0 +1,112 @@
+#pragma once
+/// \file random.hpp
+/// Deterministic, seedable random-number machinery.
+///
+/// Everything in this library that uses randomness (workload generation, the
+/// randomized Fast-Partial-Match of Algorithm 7, the randomized
+/// Vitter–Shriver baseline) takes an explicit 64-bit seed, so every run is
+/// reproducible bit-for-bit (DESIGN.md §5.9).
+///
+/// Also provides the pairwise-independent hash family
+///     h_{a,b}(i) = ((a*i + b) mod p) mod m
+/// over a prime field — the probability space used to derandomize
+/// Fast-Partial-Match in the style of Luby [Luba, Lubb] (paper §4.2).
+
+#include <cstdint>
+#include <vector>
+
+namespace balsort {
+
+/// SplitMix64: used to seed other generators and hash seeds.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    constexpr std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: the main PRNG. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed) {
+        SplitMix64 sm(seed);
+        for (auto& s : s_) s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type operator()() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+    std::uint64_t below(std::uint64_t bound) {
+        if (bound <= 1) return 0;
+        // Rejection-free multiply-shift; bias negligible for 64-bit range but
+        // we add one rejection round for exactness on small bounds.
+        while (true) {
+            std::uint64_t x = (*this)();
+            __uint128_t m = static_cast<__uint128_t>(x) * bound;
+            auto lo = static_cast<std::uint64_t>(m);
+            if (lo >= bound || lo >= (-bound) % bound) return static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4];
+};
+
+/// Pairwise-independent hash family over Z_p, p prime:
+///     h(i) = ((a*i + b) mod p) mod m,  a in [1,p), b in [0,p).
+/// For any i != j the pair (h(i), h(j)) is (close to) uniform, which is all
+/// the analysis of Algorithm 7 needs; exhaustively enumerating (a, b) yields
+/// the deterministic matcher of Theorem 5.
+class PairwiseHash {
+public:
+    /// Smallest prime >= n (n <= ~2^31 expected in practice).
+    static std::uint64_t next_prime(std::uint64_t n);
+
+    PairwiseHash(std::uint64_t a, std::uint64_t b, std::uint64_t p, std::uint64_t m)
+        : a_(a), b_(b), p_(p), m_(m) {}
+
+    std::uint64_t operator()(std::uint64_t i) const {
+        return ((static_cast<__uint128_t>(a_) * (i % p_) + b_) % p_) % m_;
+    }
+
+    std::uint64_t a() const { return a_; }
+    std::uint64_t b() const { return b_; }
+    std::uint64_t p() const { return p_; }
+
+private:
+    std::uint64_t a_, b_, p_, m_;
+};
+
+/// A deterministic shuffle of [0, n) driven by `seed` (Fisher–Yates).
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, std::uint64_t seed);
+
+} // namespace balsort

@@ -1,0 +1,54 @@
+#pragma once
+/// \file record.hpp
+/// The record type sorted by every algorithm in this library.
+///
+/// A record is a 16-byte (key, payload) pair. Section 4.1 of the paper
+/// assumes distinct keys and notes the assumption "is easily realizable by
+/// appending to each key the record's initial location";
+/// `make_keys_distinct` implements exactly that trick for 32-bit user keys.
+
+#include <compare>
+#include <cstdint>
+#include <span>
+
+namespace balsort {
+
+/// One fixed-size record: sorted by `key`; `payload` travels along.
+struct Record {
+    std::uint64_t key = 0;
+    std::uint64_t payload = 0;
+
+    friend constexpr bool operator==(const Record& a, const Record& b) = default;
+    /// Records order by key alone; payload is a tiebreaker only so that
+    /// ordering is total (convenient for exact-equality checks in tests).
+    friend constexpr auto operator<=>(const Record& a, const Record& b) {
+        if (auto c = a.key <=> b.key; c != 0) return c;
+        return a.payload <=> b.payload;
+    }
+};
+
+static_assert(sizeof(Record) == 16, "Record must stay 16 bytes (PDM block math depends on it)");
+
+/// Strict-weak order on keys only (the comparator the algorithms use).
+struct KeyLess {
+    constexpr bool operator()(const Record& a, const Record& b) const { return a.key < b.key; }
+};
+
+/// Realize the paper's distinct-key assumption: rewrite each key as
+/// (key << 32) | index, preserving relative order of distinct 32-bit keys
+/// and making equal keys distinct & stable. Keys must fit in 32 bits.
+inline void make_keys_distinct(std::span<Record> records) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        records[i].key = (records[i].key << 32) | static_cast<std::uint32_t>(i);
+    }
+}
+
+/// True iff `records` is non-decreasing by key.
+inline bool is_sorted_by_key(std::span<const Record> records) {
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        if (records[i].key < records[i - 1].key) return false;
+    }
+    return true;
+}
+
+} // namespace balsort

@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+void Summary::add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+}
+
+double Summary::min() const {
+    BS_REQUIRE(!values_.empty(), "Summary::min on empty sample");
+    ensure_sorted();
+    return values_.front();
+}
+
+double Summary::max() const {
+    BS_REQUIRE(!values_.empty(), "Summary::max on empty sample");
+    ensure_sorted();
+    return values_.back();
+}
+
+double Summary::mean() const {
+    BS_REQUIRE(!values_.empty(), "Summary::mean on empty sample");
+    double s = 0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+    if (values_.size() < 2) return 0.0;
+    double m = mean();
+    double s = 0;
+    for (double v : values_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+    BS_REQUIRE(!values_.empty(), "Summary::percentile on empty sample");
+    BS_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+    ensure_sorted();
+    if (values_.size() == 1) return values_[0];
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q / 100.0 * static_cast<double>(values_.size())));
+    if (rank == 0) rank = 1;
+    return values_[rank - 1];
+}
+
+} // namespace balsort

@@ -1,0 +1,31 @@
+#pragma once
+/// \file stats.hpp
+/// Small summary-statistics helper used by benches and EXPERIMENTS tables.
+
+#include <cstddef>
+#include <vector>
+
+namespace balsort {
+
+/// Summary of a sample: min/max/mean/stddev and exact percentiles.
+class Summary {
+public:
+    void add(double x);
+
+    std::size_t count() const { return values_.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+    double stddev() const;
+    /// Exact percentile by nearest-rank (q in [0, 100]).
+    double percentile(double q) const;
+    double median() const { return percentile(50.0); }
+
+private:
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = true;
+    void ensure_sorted() const;
+};
+
+} // namespace balsort

@@ -1,0 +1,25 @@
+#pragma once
+/// \file timer.hpp
+/// Monotonic wall-clock stopwatch for benches and examples.
+
+#include <chrono>
+
+namespace balsort {
+
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace balsort

@@ -1,0 +1,67 @@
+#pragma once
+/// \file work_meter.hpp
+/// Counting of internal processing work (Theorem 1's second measure).
+///
+/// The paper's internal-processing bound is Θ((N/P) log N) comparisons/moves
+/// on a PRAM. `WorkMeter` tallies element comparisons, element moves, and
+/// collective operations (each collective is charged `log P` PRAM steps).
+/// The derived PRAM time is  ops/P + collectives * ceil(log2 P).
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/math.hpp"
+
+namespace balsort {
+
+/// Thread-safe accumulator of internal-processing work.
+class WorkMeter {
+public:
+    void add_comparisons(std::uint64_t n) { comparisons_.fetch_add(n, std::memory_order_relaxed); }
+    void add_moves(std::uint64_t n) { moves_.fetch_add(n, std::memory_order_relaxed); }
+    void add_collectives(std::uint64_t n) { collectives_.fetch_add(n, std::memory_order_relaxed); }
+
+    std::uint64_t comparisons() const { return comparisons_.load(std::memory_order_relaxed); }
+    std::uint64_t moves() const { return moves_.load(std::memory_order_relaxed); }
+    std::uint64_t collectives() const { return collectives_.load(std::memory_order_relaxed); }
+
+    /// Total sequential operations (comparisons + moves).
+    std::uint64_t ops() const { return comparisons() + moves(); }
+
+    /// Charged PRAM time with P processors: ops/P plus log P per collective.
+    double pram_time(std::uint64_t p) const {
+        if (p == 0) p = 1;
+        return static_cast<double>(ops()) / static_cast<double>(p) +
+               static_cast<double>(collectives()) * paper_log(static_cast<double>(p));
+    }
+
+    void reset() {
+        comparisons_.store(0, std::memory_order_relaxed);
+        moves_.store(0, std::memory_order_relaxed);
+        collectives_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> comparisons_{0};
+    std::atomic<std::uint64_t> moves_{0};
+    std::atomic<std::uint64_t> collectives_{0};
+};
+
+/// Comparator adaptor that counts comparisons into a WorkMeter.
+template <typename Less>
+class CountingLess {
+public:
+    CountingLess(Less less, WorkMeter* meter) : less_(less), meter_(meter) {}
+
+    template <typename T>
+    bool operator()(const T& a, const T& b) const {
+        if (meter_ != nullptr) meter_->add_comparisons(1);
+        return less_(a, b);
+    }
+
+private:
+    Less less_;
+    WorkMeter* meter_;
+};
+
+} // namespace balsort

@@ -1,0 +1,260 @@
+// End-to-end tests for Balance Sort on the parallel disk model: sorting
+// correctness across a parameter grid, Theorem 1 ratio sanity, Theorem 4
+// balance, determinism, report contents, and error handling.
+#include <gtest/gtest.h>
+
+#include "core/balance_sort.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+struct GridCase {
+    std::uint64_t n;
+    std::uint64_t m;
+    std::uint32_t d;
+    std::uint32_t b;
+    std::uint32_t p;
+};
+
+class SortGridTest : public ::testing::TestWithParam<std::tuple<Workload, GridCase>> {};
+
+TEST_P(SortGridTest, SortsCorrectlyWithInvariants) {
+    auto [w, g] = GetParam();
+    PdmConfig cfg{.n = g.n, .m = g.m, .d = g.d, .b = g.b, .p = g.p};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(w, cfg.n, 1234 + g.n);
+    SortOptions opt;
+    opt.balance.check_invariants = true;
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+    EXPECT_TRUE(is_sorted_permutation_of(input, sorted))
+        << to_string(w) << " N=" << g.n << " M=" << g.m << " D=" << g.d << " B=" << g.b;
+    EXPECT_TRUE(rep.balance.invariant1_held);
+    EXPECT_TRUE(rep.balance.invariant2_held);
+    if (cfg.n > cfg.m) {
+        EXPECT_GT(rep.io.io_steps(), 0u);
+        // All-equal input resolves entirely through the equal-class fast
+        // path at the first level; everything else must recurse.
+        EXPECT_GE(rep.levels, w == Workload::kAllEqual ? 1u : 2u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SortGridTest,
+    ::testing::Combine(::testing::ValuesIn(all_workloads()),
+                       ::testing::Values(GridCase{5000, 512, 4, 8, 2},
+                                         GridCase{20000, 1024, 8, 16, 4})),
+    [](const auto& pinfo) {
+        const auto& g = std::get<1>(pinfo.param);
+        std::string name = to_string(std::get<0>(pinfo.param)) + "_N" + std::to_string(g.n) +
+                           "_D" + std::to_string(g.d);
+        for (char& c : name) {
+            if (c == '-') c = '_';
+        }
+        return name;
+    });
+
+class SortShapeTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(SortShapeTest, UniformAcrossMachineShapes) {
+    const GridCase g = GetParam();
+    PdmConfig cfg{.n = g.n, .m = g.m, .d = g.d, .b = g.b, .p = g.p};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 777);
+    SortOptions opt;
+    opt.balance.check_invariants = true;
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+    EXPECT_TRUE(is_sorted_permutation_of(input, sorted))
+        << "N=" << g.n << " M=" << g.m << " D=" << g.d << " B=" << g.b << " P=" << g.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachineShapes, SortShapeTest,
+    ::testing::Values(GridCase{100, 512, 1, 1, 1},      // single disk, unit blocks
+                      GridCase{1000, 64, 1, 4, 1},      // deep recursion, 1 disk
+                      GridCase{1000, 64, 2, 4, 1},      // two disks
+                      GridCase{1000, 64, 3, 4, 2},      // prime disk count
+                      GridCase{5000, 128, 6, 4, 2},     // D' divisor choices
+                      GridCase{5000, 256, 16, 4, 4},    // many disks
+                      GridCase{3000, 4096, 4, 16, 4},   // N < M: pure base case
+                      GridCase{4097, 256, 5, 8, 3},     // odd N, odd D
+                      GridCase{1 << 15, 1 << 10, 8, 32, 8}, // powers of two
+                      GridCase{12345, 500, 7, 9, 5}));  // nothing divides anything
+
+TEST(BalanceSort, IoWithinConstantFactorOfTheorem1) {
+    PdmConfig cfg{.n = 1 << 18, .m = 1 << 13, .d = 8, .b = 32, .p = 4};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 42);
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, SortOptions{}, &rep);
+    ASSERT_TRUE(is_sorted_by_key(sorted));
+    EXPECT_GT(rep.io_ratio, 1.0);   // cannot beat the lower bound
+    EXPECT_LT(rep.io_ratio, 25.0);  // and stays a small constant above it
+    EXPECT_GT(rep.io.utilization(cfg.d), 0.5);
+}
+
+TEST(BalanceSort, IoRatioFlatInN) {
+    // Theorem 1's real claim: measured/formula is a constant independent
+    // of N. Sweep N over 16x and require the ratio band to stay tight.
+    double lo = 1e9, hi = 0;
+    for (std::uint64_t n : {std::uint64_t{1} << 15, std::uint64_t{1} << 17,
+                            std::uint64_t{1} << 19}) {
+        PdmConfig cfg{.n = n, .m = 1 << 12, .d = 8, .b = 16, .p = 2};
+        DiskArray disks(cfg.d, cfg.b);
+        auto input = generate(Workload::kUniform, n, n);
+        SortReport rep;
+        auto sorted = balance_sort_records(disks, input, cfg, SortOptions{}, &rep);
+        ASSERT_TRUE(is_sorted_by_key(sorted));
+        lo = std::min(lo, rep.io_ratio);
+        hi = std::max(hi, rep.io_ratio);
+    }
+    EXPECT_LT(hi / lo, 1.8) << "I/O ratio drifted with N: " << lo << " .. " << hi;
+}
+
+TEST(BalanceSort, Theorem4WorstBucketRatio) {
+    for (Workload w : {Workload::kUniform, Workload::kGaussian, Workload::kZipf}) {
+        PdmConfig cfg{.n = 1 << 17, .m = 1 << 12, .d = 8, .b = 16, .p = 2};
+        DiskArray disks(cfg.d, cfg.b);
+        auto input = generate(w, cfg.n, 5);
+        SortReport rep;
+        (void)balance_sort_records(disks, input, cfg, SortOptions{}, &rep);
+        EXPECT_LE(rep.worst_bucket_read_ratio, 2.25) << to_string(w);
+    }
+}
+
+TEST(BalanceSort, DeterministicAcrossRuns) {
+    PdmConfig cfg{.n = 30000, .m = 1024, .d = 8, .b = 8, .p = 2};
+    auto input = generate(Workload::kGaussian, cfg.n, 99);
+    SortReport r1, r2;
+    DiskArray d1(cfg.d, cfg.b), d2(cfg.d, cfg.b);
+    auto s1 = balance_sort_records(d1, input, cfg, SortOptions{}, &r1);
+    auto s2 = balance_sort_records(d2, input, cfg, SortOptions{}, &r2);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(r1.io.io_steps(), r2.io.io_steps());
+    EXPECT_EQ(r1.balance.tracks, r2.balance.tracks);
+    EXPECT_EQ(r1.balance.matched_blocks, r2.balance.matched_blocks);
+}
+
+TEST(BalanceSort, AllOptionCombinationsSort) {
+    PdmConfig cfg{.n = 12000, .m = 512, .d = 8, .b = 8, .p = 2};
+    auto input = generate(Workload::kZipf, cfg.n, 7);
+    for (auto strat : {MatchStrategy::kGreedy, MatchStrategy::kRandomized,
+                       MatchStrategy::kDerandomized}) {
+        for (auto aux : {AuxRule::kPaperMedian, AuxRule::kArgTwiceAvg}) {
+            for (auto defer : {DeferPolicy::kPaperDefer, DeferPolicy::kRebalanceAll}) {
+                DiskArray disks(cfg.d, cfg.b);
+                SortOptions opt;
+                opt.balance.matching = strat;
+                opt.balance.aux = aux;
+                opt.balance.defer = defer;
+                opt.balance.check_invariants = (aux == AuxRule::kPaperMedian);
+                SortReport rep;
+                auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+                EXPECT_TRUE(is_sorted_permutation_of(input, sorted))
+                    << to_string(strat) << " aux=" << static_cast<int>(aux)
+                    << " defer=" << static_cast<int>(defer);
+            }
+        }
+    }
+}
+
+TEST(BalanceSort, ExplicitSAndDVirtualOverrides) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 8, .b = 8, .p = 2};
+    auto input = generate(Workload::kUniform, cfg.n, 3);
+    for (std::uint32_t dv : {1u, 2u, 4u, 8u}) {
+        for (std::uint32_t s : {2u, 3u, 8u}) {
+            DiskArray disks(cfg.d, cfg.b);
+            SortOptions opt;
+            opt.d_virtual = dv;
+            opt.s_target = s;
+            SortReport rep;
+            auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+            EXPECT_TRUE(is_sorted_by_key(sorted)) << "dv=" << dv << " s=" << s;
+            EXPECT_EQ(rep.d_virtual, dv);
+        }
+    }
+}
+
+TEST(BalanceSort, EqualClassFastPathEngages) {
+    PdmConfig cfg{.n = 50000, .m = 1024, .d = 4, .b = 8, .p = 1};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kDuplicateHeavy, cfg.n, 11); // 16 keys
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, SortOptions{}, &rep);
+    EXPECT_TRUE(is_sorted_permutation_of(input, sorted));
+    // Nearly all mass should flow through equal-class streaming, keeping
+    // the recursion shallow despite N/M = 48 and massive duplication.
+    EXPECT_GT(rep.equal_class_records, cfg.n / 2);
+    EXPECT_LE(rep.levels, 4u);
+}
+
+TEST(BalanceSort, AllEqualInput) {
+    PdmConfig cfg{.n = 20000, .m = 512, .d = 4, .b = 8, .p = 1};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kAllEqual, cfg.n, 1);
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, SortOptions{}, &rep);
+    EXPECT_TRUE(is_sorted_permutation_of(input, sorted));
+    EXPECT_LE(rep.levels, 2u);
+}
+
+TEST(BalanceSort, ConfigValidationErrors) {
+    DiskArray disks(4, 8);
+    auto input = generate(Workload::kUniform, 100, 1);
+    // DB > M/2.
+    PdmConfig bad{.n = 100, .m = 32, .d = 4, .b = 8, .p = 1};
+    EXPECT_THROW(balance_sort_records(disks, input, bad, {}, nullptr),
+                 std::invalid_argument);
+    // cfg.n mismatch with the run.
+    PdmConfig ok{.n = 100, .m = 512, .d = 4, .b = 8, .p = 1};
+    BlockRun run = write_striped(disks, input);
+    PdmConfig wrong_n = ok;
+    wrong_n.n = 99;
+    EXPECT_THROW(balance_sort(disks, run, wrong_n, {}, nullptr), std::invalid_argument);
+    // d_virtual that does not divide D.
+    SortOptions opt;
+    opt.d_virtual = 3;
+    EXPECT_THROW(balance_sort(disks, run, ok, opt, nullptr), std::invalid_argument);
+}
+
+TEST(BalanceSort, WorkMetricsPopulated) {
+    PdmConfig cfg{.n = 40000, .m = 2048, .d = 8, .b = 16, .p = 4};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 17);
+    SortReport rep;
+    (void)balance_sort_records(disks, input, cfg, SortOptions{}, &rep);
+    EXPECT_GT(rep.comparisons, cfg.n); // at least one comparison per record
+    EXPECT_GT(rep.pram_time, 0.0);
+    EXPECT_GT(rep.optimal_work, 0.0);
+    EXPECT_GT(rep.work_ratio, 0.0);
+    // Work stays within a moderate constant of (N/P) log N.
+    EXPECT_LT(rep.work_ratio, 64.0);
+    EXPECT_GT(rep.s_used, 1u);
+    EXPECT_GT(rep.base_cases, 0u);
+    EXPECT_EQ(rep.bucket_bound, bucket_size_bound(cfg.n, cfg.m, rep.s_used));
+    EXPECT_LE(rep.max_bucket_records, rep.bucket_bound);
+}
+
+TEST(BalanceSort, LeavesInputIntact) {
+    PdmConfig cfg{.n = 5000, .m = 512, .d = 4, .b = 8, .p = 1};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 23);
+    BlockRun run = write_striped(disks, input);
+    (void)balance_sort(disks, run, cfg, {}, nullptr);
+    auto again = read_run(disks, run);
+    EXPECT_EQ(again, input);
+}
+
+TEST(BalanceSort, DefaultBucketCountFollowsPaper) {
+    // S = (M/B)^(1/4), at least 2.
+    PdmConfig cfg{.n = 1 << 20, .m = 1 << 16, .d = 8, .b = 16, .p = 1};
+    // M/B = 4096 -> S = 8 (with a vblock small enough not to clamp).
+    EXPECT_EQ(default_bucket_count(cfg, /*vblock=*/32), 8u);
+    PdmConfig tiny{.n = 100, .m = 64, .d = 2, .b = 8, .p = 1};
+    EXPECT_EQ(default_bucket_count(tiny, 8), 2u); // clamped to minimum
+}
+
+} // namespace
+} // namespace balsort

@@ -1,0 +1,238 @@
+// Tests for src/hierarchy + core/hier_sort: the HMM/BT/UMH access models,
+// the parallel-hierarchy meter, and Balance Sort on P-HMM/P-BT/P-UMH
+// (Theorems 2-3 observables).
+#include <gtest/gtest.h>
+
+#include "core/hier_sort.hpp"
+#include "hierarchy/access_model.hpp"
+#include "hierarchy/meter.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+TEST(CostFn, LogAndPower) {
+    CostFn lg = CostFn::log();
+    EXPECT_DOUBLE_EQ(lg(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(lg(8.0), 3.0);
+    EXPECT_DOUBLE_EQ(lg(0.5), 1.0); // clamp
+    CostFn sq = CostFn::power(0.5);
+    EXPECT_DOUBLE_EQ(sq(16.0), 4.0);
+    EXPECT_DOUBLE_EQ(sq(0.25), 1.0); // clamp
+    EXPECT_THROW(CostFn::power(0.0), std::invalid_argument);
+    EXPECT_EQ(lg.name(), "log x");
+}
+
+TEST(HmmModel, ChargesFOfDepth) {
+    HmmModel m(CostFn::log());
+    EXPECT_DOUBLE_EQ(m.access(0, 0), 1.0);   // f(1)
+    EXPECT_DOUBLE_EQ(m.access(0, 7), 3.0);   // f(8)
+    EXPECT_DOUBLE_EQ(m.access(3, 7), 3.0);   // lane-independent
+    // History-independent: same depth, same cost.
+    EXPECT_DOUBLE_EQ(m.access(0, 7), 3.0);
+}
+
+TEST(BtModel, StreamDetection) {
+    BtModel m(CostFn::power(1.0), /*lanes=*/2);
+    // First touch: latency f(1024+1)+1.
+    EXPECT_NEAR(m.access(0, 1023), 1025.0, 1e-9);
+    // Sequential forward: 1 per access.
+    EXPECT_DOUBLE_EQ(m.access(0, 1024), 1.0);
+    EXPECT_DOUBLE_EQ(m.access(0, 1025), 1.0);
+    // Long jump: latency (cheaper than sweeping the whole gap back).
+    EXPECT_NEAR(m.access(0, 9), 11.0, 1e-9);
+    // Backward streaming also counts as sequential.
+    EXPECT_DOUBLE_EQ(m.access(0, 8), 1.0);
+    // Short forward gap: sweeping beats a fresh latency (min rule).
+    EXPECT_DOUBLE_EQ(m.access(0, 11), 3.0); // gap 3 < f(12)+1 = 13
+    // Gap exactly tied or beyond: latency wins.
+    EXPECT_NEAR(m.access(0, 1000), 989.0, 1e-9); // min(989, f(1001)+1=1002)
+    // Lanes track independent streams.
+    EXPECT_NEAR(m.access(1, 1024), 1026.0, 1e-9);
+    m.reset();
+    EXPECT_NEAR(m.access(0, 9), 11.0, 1e-9); // state cleared
+}
+
+TEST(UmhModel, LevelsAndCosts) {
+    UmhModel m(4.0, 1.0);
+    EXPECT_EQ(m.level_of(0), 0u);
+    EXPECT_EQ(m.level_of(1), 1u);
+    EXPECT_EQ(m.level_of(3), 1u);
+    EXPECT_EQ(m.level_of(4), 2u);
+    EXPECT_EQ(m.level_of(63), 3u);
+    EXPECT_EQ(m.level_of(64), 4u);
+    // nu = 1: one unit per bus crossed.
+    EXPECT_DOUBLE_EQ(m.access(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.access(0, 63), 3.0);
+    // nu = 0.5: geometric sum 2 + 4 + 8 = 14 for level 3.
+    UmhModel decay(4.0, 0.5);
+    EXPECT_NEAR(decay.access(0, 63), 14.0, 1e-9);
+    EXPECT_THROW(UmhModel(1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(UmhModel(4.0, 0.0), std::invalid_argument);
+}
+
+TEST(Meter, PricesStepsByWorstLane) {
+    auto model = std::make_unique<HmmModel>(CostFn::log());
+    HierarchyMeter meter(std::move(model), Interconnect::kPram, 4);
+    std::vector<BlockOp> ops = {{0, 0}, {1, 255}, {2, 3}};
+    meter.on_step(true, ops);
+    // worst lane: f(256) = 8; interconnect: log2(4) = 2.
+    EXPECT_DOUBLE_EQ(meter.hierarchy_time(), 8.0);
+    EXPECT_DOUBLE_EQ(meter.interconnect_charges(), 2.0);
+    EXPECT_DOUBLE_EQ(meter.total_time(), 10.0);
+    EXPECT_EQ(meter.tracks(), 1u);
+    meter.charge_interconnect_units(3.0);
+    EXPECT_DOUBLE_EQ(meter.interconnect_charges(), 8.0);
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.total_time(), 0.0);
+}
+
+TEST(Meter, InterconnectFunctions) {
+    EXPECT_DOUBLE_EQ(interconnect_time(Interconnect::kPram, 256.0), 8.0);
+    EXPECT_DOUBLE_EQ(interconnect_time(Interconnect::kHypercube, 256.0), 8.0 * 3.0 * 3.0);
+    EXPECT_DOUBLE_EQ(interconnect_time(Interconnect::kHypercubePrecomp, 256.0), 24.0);
+    EXPECT_STREQ(to_string(Interconnect::kPram), "EREW-PRAM");
+}
+
+struct HierCase {
+    HierModelSpec spec;
+    Interconnect ic;
+    const char* label;
+};
+
+class HierSortTest : public ::testing::TestWithParam<HierCase> {};
+
+TEST_P(HierSortTest, SortsOnEveryModel) {
+    const auto& hc = GetParam();
+    HierSortConfig cfg;
+    cfg.h = 16;
+    cfg.model = hc.spec;
+    cfg.interconnect = hc.ic;
+    auto input = generate(Workload::kUniform, 3000, 71);
+    HierSortReport rep;
+    auto sorted = hier_sort(input, cfg, &rep);
+    EXPECT_TRUE(is_sorted_permutation_of(input, sorted)) << hc.label;
+    EXPECT_GT(rep.total_time, 0.0);
+    EXPECT_GT(rep.tracks, 0u);
+    EXPECT_GT(rep.formula, 0.0);
+    EXPECT_TRUE(rep.mechanics.balance.invariant2_held);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, HierSortTest,
+    ::testing::Values(
+        HierCase{HierModelSpec::hmm(CostFn::log()), Interconnect::kPram, "phmm_log_pram"},
+        HierCase{HierModelSpec::hmm(CostFn::power(0.5)), Interconnect::kPram, "phmm_pow_pram"},
+        HierCase{HierModelSpec::hmm(CostFn::log()), Interconnect::kHypercube, "phmm_log_hc"},
+        HierCase{HierModelSpec::bt(CostFn::log()), Interconnect::kPram, "pbt_log_pram"},
+        HierCase{HierModelSpec::bt(CostFn::power(0.5)), Interconnect::kPram, "pbt_a05_pram"},
+        HierCase{HierModelSpec::bt(CostFn::power(1.0)), Interconnect::kPram, "pbt_a1_pram"},
+        HierCase{HierModelSpec::bt(CostFn::power(1.5)), Interconnect::kHypercube, "pbt_a15_hc"},
+        HierCase{HierModelSpec::umh(4.0, 1.0), Interconnect::kPram, "pumh_pram"},
+        HierCase{HierModelSpec::umh(4.0, 0.5), Interconnect::kPram, "pumh_decay"}),
+    [](const auto& pinfo) { return pinfo.param.label; });
+
+TEST(HierSort, WorksAcrossSizesAndH) {
+    for (std::uint32_t h : {4u, 8u, 64u}) {
+        for (std::uint64_t n : {std::uint64_t{10}, std::uint64_t{3 * h},
+                                std::uint64_t{1000}}) {
+            HierSortConfig cfg;
+            cfg.h = h;
+            cfg.model = HierModelSpec::hmm(CostFn::log());
+            auto input = generate(Workload::kGaussian, n, h + n);
+            auto sorted = hier_sort(input, cfg, nullptr);
+            EXPECT_TRUE(is_sorted_permutation_of(input, sorted)) << "h=" << h << " n=" << n;
+        }
+    }
+}
+
+TEST(HierSort, RatioStableInN_PHmmLog) {
+    // Theorem 2 shape check: charged time / formula stays within a small
+    // band while N grows 16x.
+    double lo = 1e18, hi = 0;
+    for (std::uint64_t n : {std::uint64_t{4096}, std::uint64_t{16384},
+                            std::uint64_t{65536}}) {
+        HierSortConfig cfg;
+        cfg.h = 64;
+        cfg.model = HierModelSpec::hmm(CostFn::log());
+        auto input = generate(Workload::kUniform, n, n);
+        HierSortReport rep;
+        auto sorted = hier_sort(input, cfg, &rep);
+        ASSERT_TRUE(is_sorted_by_key(sorted));
+        lo = std::min(lo, rep.ratio);
+        hi = std::max(hi, rep.ratio);
+    }
+    EXPECT_LT(hi / lo, 4.0) << "P-HMM ratio drifted: " << lo << " .. " << hi;
+}
+
+TEST(HierSort, BtBenefitsFromStreaming) {
+    // At equal f, the BT model (block transfer amortization) must charge
+    // strictly less than HMM for the same sort: the sequential phases
+    // (run formation scans, appends) stream at unit cost. The win is
+    // bounded here because bucket reads jump between interleaved block
+    // ranges — the paper's §4.4 repositioning/touch machinery would
+    // amortize those too (documented deviation, EXPERIMENTS.md).
+    const auto input = generate(Workload::kUniform, 8000, 5);
+    auto run = [&](HierModelSpec spec) {
+        HierSortConfig cfg;
+        cfg.h = 16;
+        cfg.model = spec;
+        HierSortReport rep;
+        auto sorted = hier_sort(input, cfg, &rep);
+        EXPECT_TRUE(is_sorted_by_key(sorted));
+        return rep.hierarchy_time;
+    };
+    const double hmm = run(HierModelSpec::hmm(CostFn::power(1.0)));
+    const double bt = run(HierModelSpec::bt(CostFn::power(1.0)));
+    EXPECT_LT(bt, hmm * 0.8);
+}
+
+TEST(HierSort, HierBucketCount) {
+    // Square-root decomposition: S = sqrt(N/H') -> loglog recursion depth.
+    EXPECT_EQ(hier_bucket_count(1 << 20, 64, 4), 512u);
+    EXPECT_EQ(hier_bucket_count(100, 64, 64), 2u); // sqrt(100/64) ~ 1.25, clamped
+    EXPECT_EQ(hier_bucket_count(1 << 12, 64, 4), 32u);
+    EXPECT_GE(hier_bucket_count(2, 64, 64), 2u); // clamped minimum
+}
+
+TEST(HierSort, TheoremFormulaShapes) {
+    // Monotone in N; hypercube never cheaper than PRAM.
+    for (std::uint64_t n : {std::uint64_t{1} << 12, std::uint64_t{1} << 16}) {
+        EXPECT_LT(theorem2_time_log(n, 64, Interconnect::kPram),
+                  theorem2_time_log(4 * n, 64, Interconnect::kPram));
+        EXPECT_LE(theorem2_time_log(n, 64, Interconnect::kPram),
+                  theorem2_time_log(n, 64, Interconnect::kHypercube));
+        EXPECT_LE(theorem3_time_log(n, 64, Interconnect::kPram),
+                  theorem3_time_log(n, 64, Interconnect::kHypercube));
+    }
+    // Theorem 3's alpha regimes: alpha < 1 behaves like the log case
+    // ((N/H) log N); alpha > 1 adds the polynomial term.
+    const std::uint64_t n = 1 << 16;
+    EXPECT_DOUBLE_EQ(theorem3_time_power(n, 64, 0.5, Interconnect::kPram),
+                     theorem3_time_log(n, 64, Interconnect::kPram));
+    EXPECT_GT(theorem3_time_power(n, 16, 2.0, Interconnect::kPram),
+              theorem3_time_power(n, 16, 0.5, Interconnect::kPram));
+    // Theorem 2 power includes the (N/H)^(alpha+1) term.
+    EXPECT_GT(theorem2_time_power(n, 16, 1.0, Interconnect::kPram),
+              std::pow(static_cast<double>(n) / 16.0, 2.0) * 0.99);
+}
+
+TEST(HierSort, ModelSpecNamesAndFactory) {
+    EXPECT_EQ(HierModelSpec::hmm(CostFn::log()).name(), "P-HMM[f=log x]");
+    EXPECT_EQ(HierModelSpec::bt(CostFn::log()).name(), "P-BT[f=log x]");
+    EXPECT_EQ(HierModelSpec::umh(4, 1).name(), "P-UMH");
+    auto m = HierModelSpec::bt(CostFn::log()).make(8);
+    EXPECT_NE(dynamic_cast<BtModel*>(m.get()), nullptr);
+}
+
+TEST(HierSort, TinyInputs) {
+    HierSortConfig cfg;
+    cfg.h = 8;
+    auto one = hier_sort({Record{5, 0}}, cfg, nullptr);
+    ASSERT_EQ(one.size(), 1u);
+    auto zero = hier_sort({}, cfg, nullptr);
+    EXPECT_TRUE(zero.empty());
+}
+
+} // namespace
+} // namespace balsort

@@ -1,0 +1,249 @@
+// Tests for src/hypercube: topology, bitonic sort, prefix scan, monotone
+// routing (the §4.2 primitives), and the interconnect cost models.
+#include <gtest/gtest.h>
+
+#include "hypercube/bitonic.hpp"
+#include "hypercube/hypercube.hpp"
+#include "util/random.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+TEST(Hypercube, ConstructionRules) {
+    EXPECT_NO_THROW(Hypercube(1));
+    EXPECT_NO_THROW(Hypercube(64));
+    EXPECT_THROW(Hypercube(0), std::invalid_argument);
+    EXPECT_THROW(Hypercube(12), std::invalid_argument);
+    Hypercube c(32);
+    EXPECT_EQ(c.size(), 32u);
+    EXPECT_EQ(c.dimensions(), 5u);
+}
+
+TEST(Hypercube, ExchangeStepPairsAndCounts) {
+    Hypercube c(8);
+    for (std::size_t i = 0; i < 8; ++i) c.at(i) = {i, i};
+    c.exchange_step(1, [](std::size_t i, Record& lo, Record& hi) {
+        EXPECT_EQ(lo.key + 2, hi.key); // partner differs in bit 1
+        EXPECT_EQ(i & 2u, 0u);
+        std::swap(lo, hi);
+    });
+    EXPECT_EQ(c.steps(), 1u);
+    EXPECT_EQ(c.at(0).key, 2u);
+    EXPECT_EQ(c.at(2).key, 0u);
+}
+
+TEST(Hypercube, ExchangeRejectsBadDimension) {
+    Hypercube c(8);
+    EXPECT_THROW(c.exchange_step(3, [](std::size_t, Record&, Record&) {}), ModelViolation);
+}
+
+TEST(Hypercube, LocalStepVisitsEveryNode) {
+    Hypercube c(16);
+    c.local_step([](std::size_t i, Record& r) { r.key = i * 10; });
+    for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(c.at(i).key, i * 10);
+    EXPECT_EQ(c.steps(), 1u);
+}
+
+class BitonicTest : public ::testing::TestWithParam<std::tuple<std::size_t, Workload>> {};
+
+TEST_P(BitonicTest, SortsAndUsesExactStepCount) {
+    auto [h, w] = GetParam();
+    Hypercube cube(h);
+    auto in = generate(w, h, 99);
+    cube.load(in);
+    const std::uint64_t steps = hypercube_bitonic_sort(cube);
+    auto out = cube.unload();
+    EXPECT_TRUE(is_sorted_by_key(out)) << to_string(w) << " H=" << h;
+    EXPECT_TRUE(is_sorted_permutation_of(in, out));
+    // Exactly d(d+1)/2 exchange steps.
+    const std::uint64_t d = cube.dimensions();
+    EXPECT_EQ(steps, d * (d + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitonicTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                         std::size_t{16}, std::size_t{64}, std::size_t{256}),
+                       ::testing::Values(Workload::kUniform, Workload::kReverse,
+                                         Workload::kDuplicateHeavy, Workload::kAllEqual)));
+
+TEST(HypercubePrefix, ExclusiveScan) {
+    for (std::size_t h : {1u, 2u, 8u, 64u}) {
+        Hypercube cube(h);
+        std::vector<Record> vals(h);
+        Xoshiro256 rng(h);
+        for (auto& v : vals) v.key = rng.below(100);
+        cube.load(vals);
+        const std::uint64_t steps = hypercube_prefix_sum(cube);
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            EXPECT_EQ(cube.at(i).key, acc) << "h=" << h << " i=" << i;
+            acc += vals[i].key;
+        }
+        // payload carries the grand total at every node
+        for (std::size_t i = 0; i < h; ++i) EXPECT_EQ(cube.at(i).payload, acc);
+        EXPECT_EQ(steps, 1u + cube.dimensions());
+    }
+}
+
+TEST(HypercubeRoute, IdentityAndShift) {
+    Hypercube cube(8);
+    for (std::size_t i = 0; i < 8; ++i) cube.at(i) = {100 + i, i};
+    std::vector<std::uint64_t> dest(8);
+    for (std::size_t i = 0; i < 8; ++i) dest[i] = i;
+    hypercube_monotone_route(cube, dest);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(cube.at(i).key, 100 + i);
+}
+
+TEST(HypercubeRoute, PartialMonotone) {
+    Hypercube cube(8);
+    for (std::size_t i = 0; i < 8; ++i) cube.at(i) = {i, i};
+    std::vector<std::uint64_t> dest(8, kNoPacket);
+    dest[0] = 2;
+    dest[1] = 6;
+    dest[5] = 7;
+    hypercube_monotone_route(cube, dest);
+    EXPECT_EQ(cube.at(2).key, 0u);
+    EXPECT_EQ(cube.at(6).key, 1u);
+    EXPECT_EQ(cube.at(7).key, 5u);
+}
+
+TEST(HypercubeRoute, RejectsNonMonotone) {
+    Hypercube cube(4);
+    std::vector<std::uint64_t> dest = {3, 1, kNoPacket, kNoPacket};
+    EXPECT_THROW(hypercube_monotone_route(cube, dest), ModelViolation);
+}
+
+TEST(HypercubeRoute, RejectsOutOfRange) {
+    Hypercube cube(4);
+    std::vector<std::uint64_t> dest = {9, kNoPacket, kNoPacket, kNoPacket};
+    EXPECT_THROW(hypercube_monotone_route(cube, dest), std::invalid_argument);
+}
+
+// Exhaustive property check: every monotone partial route on small cubes
+// is delivered collision-free (the §4.2 model rule).
+TEST(HypercubeRoute, ExhaustiveSmallCubes) {
+    for (std::size_t h : {2u, 4u, 8u}) {
+        // enumerate all subsets of sources and, for each, a deterministic
+        // monotone destination assignment sampled a few ways
+        for (std::uint32_t mask = 0; mask < (1u << h); ++mask) {
+            const int k = __builtin_popcount(mask);
+            if (k == 0) continue;
+            for (std::uint64_t variant = 0; variant < 3; ++variant) {
+                // choose destinations: k increasing values out of h
+                Xoshiro256 rng(mask * 7919 + variant);
+                std::vector<std::uint64_t> all(h);
+                for (std::size_t i = 0; i < h; ++i) all[i] = i;
+                // sample k sorted destinations
+                for (std::size_t i = 0; i < h; ++i) {
+                    std::swap(all[i], all[i + rng.below(h - i)]);
+                }
+                std::vector<std::uint64_t> dst(all.begin(), all.begin() + k);
+                std::sort(dst.begin(), dst.end());
+                Hypercube cube(h);
+                std::vector<std::uint64_t> dest(h, kNoPacket);
+                std::size_t q = 0;
+                for (std::size_t i = 0; i < h; ++i) {
+                    if (mask & (1u << i)) {
+                        cube.at(i) = {1000 + i, i};
+                        dest[i] = dst[q++];
+                    }
+                }
+                hypercube_monotone_route(cube, dest);
+                q = 0;
+                for (std::size_t i = 0; i < h; ++i) {
+                    if (mask & (1u << i)) {
+                        EXPECT_EQ(cube.at(dst[q]).key, 1000 + i)
+                            << "h=" << h << " mask=" << mask << " variant=" << variant;
+                        ++q;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(HypercubeRoute, RandomLargeCubes) {
+    Xoshiro256 rng(4242);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t h = std::size_t{1} << (3 + rng.below(5)); // 8..128
+        const std::size_t k = 1 + rng.below(h);
+        auto src_perm = random_permutation(static_cast<std::uint32_t>(h), rng());
+        auto dst_perm = random_permutation(static_cast<std::uint32_t>(h), rng());
+        std::vector<std::uint64_t> srcs(src_perm.begin(), src_perm.begin() + k);
+        std::vector<std::uint64_t> dsts(dst_perm.begin(), dst_perm.begin() + k);
+        std::sort(srcs.begin(), srcs.end());
+        std::sort(dsts.begin(), dsts.end());
+        Hypercube cube(h);
+        std::vector<std::uint64_t> dest(h, kNoPacket);
+        for (std::size_t q = 0; q < k; ++q) {
+            cube.at(srcs[q]) = {5000 + q, q};
+            dest[srcs[q]] = dsts[q];
+        }
+        const std::uint64_t steps = hypercube_monotone_route(cube, dest);
+        for (std::size_t q = 0; q < k; ++q) {
+            ASSERT_EQ(cube.at(dsts[q]).key, 5000 + q) << "trial=" << trial;
+        }
+        // O(log H): concentrate + distribute = 2 log H steps.
+        EXPECT_LE(steps, 2 * cube.dimensions());
+    }
+}
+
+class BlockSortTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, Workload>> {};
+
+TEST_P(BlockSortTest, MergeSplitBitonicSortsBlocks) {
+    auto [h, k, w] = GetParam();
+    auto in = generate(w, h * k, 7 * h + k);
+    auto data = in;
+    const std::uint64_t steps = hypercube_block_sort(h, data);
+    EXPECT_TRUE(is_sorted_permutation_of(in, data))
+        << "H=" << h << " k=" << k << " " << to_string(w);
+    // Same network depth as the one-record bitonic sort, plus the local
+    // pre-sort step.
+    const std::uint64_t d = ilog2_floor(h);
+    EXPECT_EQ(steps, d * (d + 1) / 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockSortTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4}, std::size_t{16},
+                                         std::size_t{64}),
+                       ::testing::Values(std::size_t{1}, std::size_t{3}, std::size_t{16}),
+                       ::testing::Values(Workload::kUniform, Workload::kReverse,
+                                         Workload::kDuplicateHeavy)),
+    [](const auto& param_info) {
+        std::string s = "H" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+                        std::to_string(std::get<1>(param_info.param)) + "_" +
+                        to_string(std::get<2>(param_info.param));
+        for (char& c : s) {
+            if (c == '-') c = '_';
+        }
+        return s;
+    });
+
+TEST(BlockSort, Validation) {
+    std::vector<Record> recs(10);
+    EXPECT_THROW(hypercube_block_sort(3, recs), std::invalid_argument);  // H not pow2
+    EXPECT_THROW(hypercube_block_sort(4, recs), std::invalid_argument);  // 10 % 4 != 0
+    std::vector<Record> empty;
+    EXPECT_EQ(hypercube_block_sort(4, empty), 0u);
+}
+
+TEST(InterconnectCost, ShapesAndOrdering) {
+    // T(H) curves: pram <= hypercube_precomp <= hypercube always; bitonic
+    // (log^2 H) overtakes Sharesort (log H (log log H)^2) only once
+    // log H > (log log H)^2, i.e. for astronomically large H — check both
+    // regimes explicitly.
+    for (double h : {256.0, 4096.0, 65536.0}) {
+        EXPECT_LE(InterconnectCost::pram(h), InterconnectCost::hypercube_precomp(h));
+        EXPECT_LE(InterconnectCost::hypercube_precomp(h), InterconnectCost::hypercube(h));
+    }
+    EXPECT_DOUBLE_EQ(InterconnectCost::pram(1024.0), 10.0);
+    const double huge = std::pow(2.0, 300.0); // log H = 300 > (log log H)^2 ~ 68
+    EXPECT_LT(InterconnectCost::hypercube(huge), InterconnectCost::bitonic(huge));
+}
+
+} // namespace
+} // namespace balsort

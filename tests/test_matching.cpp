@@ -1,0 +1,183 @@
+// Tests for src/core/matching: the three Fast-Partial-Match engines and
+// Theorem 5's guarantees.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/matching.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+namespace {
+
+/// Build a paper-shaped instance: n_vdisks = H', |U| <= floor(H'/2), every
+/// U-vertex has >= ceil(H'/2) candidates. Returns candidates.
+std::vector<std::vector<std::uint32_t>> paper_instance(std::uint32_t h, std::size_t u_size,
+                                                       Xoshiro256& rng) {
+    std::vector<std::vector<std::uint32_t>> cands(u_size);
+    const std::uint32_t need = static_cast<std::uint32_t>(ceil_div(h, 2));
+    for (auto& c : cands) {
+        // random candidate set of size in [need, h]
+        const std::uint32_t size = need + static_cast<std::uint32_t>(rng.below(h - need + 1));
+        std::vector<std::uint32_t> all(h);
+        for (std::uint32_t i = 0; i < h; ++i) all[i] = i;
+        for (std::uint32_t i = 0; i < h; ++i) std::swap(all[i], all[i + rng.below(h - i)]);
+        c.assign(all.begin(), all.begin() + size);
+        std::sort(c.begin(), c.end());
+    }
+    return cands;
+}
+
+void check_valid_matching(const std::vector<std::vector<std::uint32_t>>& cands,
+                          const MatchResult& r) {
+    ASSERT_EQ(r.matched.size(), cands.size());
+    std::set<std::uint32_t> targets;
+    std::uint32_t count = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const std::uint32_t v = r.matched[i];
+        if (v == MatchResult::kUnmatched) continue;
+        ++count;
+        // target must be a candidate of i
+        EXPECT_TRUE(std::binary_search(cands[i].begin(), cands[i].end(), v))
+            << "u=" << i << " matched non-candidate " << v;
+        // targets distinct
+        EXPECT_TRUE(targets.insert(v).second) << "duplicate target " << v;
+    }
+    EXPECT_EQ(count, r.n_matched);
+}
+
+TEST(Matching, GreedyMatchesEveryVertexOnPaperInstances) {
+    // |U| <= floor(H'/2) and each u has >= ceil(H'/2) candidates =>
+    // greedy always finds a free candidate (DESIGN.md §5.4).
+    Xoshiro256 rng(1);
+    Xoshiro256 unused(0);
+    for (std::uint32_t h : {2u, 3u, 4u, 7u, 8u, 16u, 33u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const std::size_t u_size = 1 + rng.below(std::max<std::uint32_t>(1, h / 2));
+            auto cands = paper_instance(h, u_size, rng);
+            auto r = fast_partial_match(cands, h, MatchStrategy::kGreedy, unused);
+            check_valid_matching(cands, r);
+            EXPECT_EQ(r.n_matched, u_size) << "h=" << h;
+        }
+    }
+}
+
+TEST(Matching, RandomizedMeetsQuarterBound) {
+    // Theorem 5 / Lemma 1: >= ceil(|U|/4) matched (we assert the
+    // deterministic floor on every trial since conflicts only shrink the
+    // matching below |U|, and the expectation argument gives H'/4; any
+    // trial far below would indicate a bug).
+    Xoshiro256 rng(2);
+    std::uint64_t total_matched = 0, total_u = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint32_t h = 4 + static_cast<std::uint32_t>(rng.below(29));
+        const std::size_t u_size = 1 + rng.below(std::max<std::uint32_t>(1, h / 2));
+        auto cands = paper_instance(h, u_size, rng);
+        Xoshiro256 match_rng(trial);
+        auto r = fast_partial_match(cands, h, MatchStrategy::kRandomized, match_rng);
+        check_valid_matching(cands, r);
+        EXPECT_GE(r.n_matched, 1u);
+        EXPECT_GT(r.draws, 0u);
+        total_matched += r.n_matched;
+        total_u += u_size;
+    }
+    // On average well above the 1/4 guarantee.
+    EXPECT_GE(4 * total_matched, total_u);
+}
+
+TEST(Matching, DerandomizedMeetsQuarterBoundDeterministically) {
+    Xoshiro256 rng(3);
+    Xoshiro256 unused(0);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::uint32_t h = 2 + static_cast<std::uint32_t>(rng.below(15));
+        const std::size_t u_size = 1 + rng.below(std::max<std::uint32_t>(1, h / 2));
+        auto cands = paper_instance(h, u_size, rng);
+        auto r = fast_partial_match(cands, h, MatchStrategy::kDerandomized, unused);
+        check_valid_matching(cands, r);
+        EXPECT_GE(r.n_matched, ceil_div(u_size, 4)) << "h=" << h << " |U|=" << u_size;
+        // Deterministic: identical re-run gives identical result.
+        auto r2 = fast_partial_match(cands, h, MatchStrategy::kDerandomized, unused);
+        EXPECT_EQ(r.matched, r2.matched);
+    }
+}
+
+TEST(Matching, RandomizedIsDeterministicInSeed) {
+    Xoshiro256 gen(4);
+    auto cands = paper_instance(16, 8, gen);
+    Xoshiro256 a(99), b(99), c(100);
+    auto ra = fast_partial_match(cands, 16, MatchStrategy::kRandomized, a);
+    auto rb = fast_partial_match(cands, 16, MatchStrategy::kRandomized, b);
+    EXPECT_EQ(ra.matched, rb.matched);
+    auto rc = fast_partial_match(cands, 16, MatchStrategy::kRandomized, c);
+    (void)rc; // different seed may or may not differ; just must be valid
+    check_valid_matching(cands, rc);
+}
+
+TEST(Matching, SingleVertexSingleCandidate) {
+    Xoshiro256 rng(5);
+    std::vector<std::vector<std::uint32_t>> cands = {{2}};
+    for (auto strat : {MatchStrategy::kGreedy, MatchStrategy::kRandomized,
+                       MatchStrategy::kDerandomized}) {
+        auto r = fast_partial_match(cands, 4, strat, rng);
+        EXPECT_EQ(r.n_matched, 1u) << to_string(strat);
+        EXPECT_EQ(r.matched[0], 2u);
+    }
+}
+
+TEST(Matching, EmptyUMatchesNothing) {
+    Xoshiro256 rng(6);
+    std::vector<std::vector<std::uint32_t>> cands;
+    auto r = fast_partial_match(cands, 8, MatchStrategy::kGreedy, rng);
+    EXPECT_EQ(r.n_matched, 0u);
+}
+
+TEST(Matching, ConflictResolutionSmallestWins) {
+    // Two vertices with the identical single candidate: exactly one match,
+    // and for the randomized engine it must be u=0 (Algorithm 7 step (2)).
+    Xoshiro256 rng(7);
+    std::vector<std::vector<std::uint32_t>> cands = {{3}, {3}};
+    auto r = fast_partial_match(cands, 4, MatchStrategy::kRandomized, rng);
+    EXPECT_EQ(r.n_matched, 1u);
+    EXPECT_EQ(r.matched[0], 3u);
+    EXPECT_EQ(r.matched[1], MatchResult::kUnmatched);
+}
+
+TEST(Matching, InputValidation) {
+    Xoshiro256 rng(8);
+    std::vector<std::vector<std::uint32_t>> out_of_range = {{9}};
+    EXPECT_THROW(fast_partial_match(out_of_range, 4, MatchStrategy::kGreedy, rng),
+                 std::invalid_argument);
+    std::vector<std::vector<std::uint32_t>> unsorted = {{3, 1}};
+    EXPECT_THROW(fast_partial_match(unsorted, 4, MatchStrategy::kGreedy, rng),
+                 std::invalid_argument);
+    std::vector<std::vector<std::uint32_t>> empty_cands = {{}};
+    EXPECT_THROW(fast_partial_match(empty_cands, 4, MatchStrategy::kRandomized, rng),
+                 std::invalid_argument);
+}
+
+TEST(Matching, StrategyNames) {
+    EXPECT_STREQ(to_string(MatchStrategy::kGreedy), "greedy");
+    EXPECT_STREQ(to_string(MatchStrategy::kRandomized), "randomized");
+    EXPECT_STREQ(to_string(MatchStrategy::kDerandomized), "derandomized");
+}
+
+// Worst-case shaped instance: all U-vertices share the same minimal
+// candidate set (exactly ceil(H'/2) zeros) — the adversarial case for
+// conflicts.
+TEST(Matching, AdversarialSharedCandidates) {
+    Xoshiro256 rng(9);
+    for (std::uint32_t h : {4u, 8u, 12u, 16u}) {
+        const std::uint32_t need = static_cast<std::uint32_t>(ceil_div(h, 2));
+        std::vector<std::uint32_t> shared(need);
+        for (std::uint32_t i = 0; i < need; ++i) shared[i] = i;
+        std::vector<std::vector<std::uint32_t>> cands(h / 2, shared);
+        auto g = fast_partial_match(cands, h, MatchStrategy::kGreedy, rng);
+        EXPECT_EQ(g.n_matched, h / 2) << "greedy must still match all (|U| <= |shared|)";
+        auto d = fast_partial_match(cands, h, MatchStrategy::kDerandomized, rng);
+        EXPECT_GE(d.n_matched, ceil_div(h / 2, 4));
+        check_valid_matching(cands, d);
+    }
+}
+
+} // namespace
+} // namespace balsort

@@ -1,0 +1,167 @@
+// Tests for src/core/matrices: the histogram matrix X, auxiliary matrix A
+// (Algorithm 4 / ComputeAux), the paper's median convention, Invariants
+// 1-2, offender detection, and the [Arg] alternative rule.
+#include <gtest/gtest.h>
+
+#include "core/matrices.hpp"
+#include "util/random.hpp"
+
+namespace balsort {
+namespace {
+
+TEST(Matrices, StartsAtZeroAndBinary) {
+    BalanceMatrices m(3, 4);
+    m.compute_aux();
+    for (std::uint32_t b = 0; b < 3; ++b) {
+        EXPECT_EQ(m.row_total(b), 0u);
+        EXPECT_EQ(m.median(b), 0u);
+        for (std::uint32_t h = 0; h < 4; ++h) {
+            EXPECT_EQ(m.x(b, h), 0u);
+            EXPECT_EQ(m.aux(b, h), 0u);
+        }
+    }
+    EXPECT_TRUE(m.invariant1());
+    EXPECT_TRUE(m.invariant2());
+}
+
+TEST(Matrices, IncrementDecrement) {
+    BalanceMatrices m(2, 3);
+    m.increment(1, 2);
+    m.increment(1, 2);
+    m.increment(0, 0);
+    EXPECT_EQ(m.x(1, 2), 2u);
+    EXPECT_EQ(m.row_total(1), 2u);
+    m.decrement(1, 2);
+    EXPECT_EQ(m.x(1, 2), 1u);
+    EXPECT_THROW(m.decrement(0, 1), ModelViolation); // below zero
+    EXPECT_THROW(m.increment(5, 0), std::invalid_argument);
+}
+
+TEST(Matrices, PaperMedianIsCeilHalfSmallest) {
+    // Row {0, 1, 3, 9}: paper median = ceil(4/2)=2nd smallest = 1.
+    BalanceMatrices m(1, 4);
+    for (int i = 0; i < 1; ++i) m.increment(0, 1);
+    for (int i = 0; i < 3; ++i) m.increment(0, 2);
+    for (int i = 0; i < 9; ++i) m.increment(0, 3);
+    m.compute_aux();
+    EXPECT_EQ(m.median(0), 1u);
+    EXPECT_EQ(m.aux(0, 0), 0u);
+    EXPECT_EQ(m.aux(0, 1), 0u);
+    EXPECT_EQ(m.aux(0, 2), 2u); // 3-1=2
+    EXPECT_EQ(m.aux(0, 3), 2u); // capped at 2
+}
+
+TEST(Matrices, AuxIsMaxZeroXMinusMedian) {
+    BalanceMatrices m(1, 5);
+    // Row {2, 2, 3, 3, 4}: median = 3rd smallest = 3.
+    const std::uint32_t counts[5] = {2, 2, 3, 3, 4};
+    for (std::uint32_t h = 0; h < 5; ++h) {
+        for (std::uint32_t c = 0; c < counts[h]; ++c) m.increment(0, h);
+    }
+    m.compute_aux();
+    EXPECT_EQ(m.median(0), 3u);
+    EXPECT_EQ(m.aux(0, 0), 0u);
+    EXPECT_EQ(m.aux(0, 1), 0u);
+    EXPECT_EQ(m.aux(0, 2), 0u);
+    EXPECT_EQ(m.aux(0, 3), 0u);
+    EXPECT_EQ(m.aux(0, 4), 1u);
+    EXPECT_TRUE(m.invariant1());
+    EXPECT_TRUE(m.invariant2());
+}
+
+TEST(Matrices, Invariant1HoldsAlways) {
+    // Invariant 1 is definitional: for ANY X, at least ceil(H'/2) entries
+    // of each row of A are 0. Fuzz it.
+    Xoshiro256 rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint32_t s = 1 + static_cast<std::uint32_t>(rng.below(5));
+        const std::uint32_t h = 1 + static_cast<std::uint32_t>(rng.below(9));
+        BalanceMatrices m(s, h);
+        const int updates = static_cast<int>(rng.below(200));
+        for (int u = 0; u < updates; ++u) {
+            m.increment(static_cast<std::uint32_t>(rng.below(s)),
+                        static_cast<std::uint32_t>(rng.below(h)));
+        }
+        m.compute_aux();
+        EXPECT_TRUE(m.invariant1()) << "trial " << trial;
+    }
+}
+
+TEST(Matrices, OffendersFindsExactlyTheTwos) {
+    BalanceMatrices m(2, 4);
+    // Bucket 0: row {3, 1, 1, 1} -> median 1, aux {2,0,0,0}.
+    for (int i = 0; i < 3; ++i) m.increment(0, 0);
+    m.increment(0, 1);
+    m.increment(0, 2);
+    m.increment(0, 3);
+    // Bucket 1: flat row, no offenders.
+    for (std::uint32_t h = 0; h < 4; ++h) m.increment(1, h);
+    m.compute_aux();
+    auto off = m.offenders();
+    ASSERT_EQ(off.size(), 1u);
+    EXPECT_EQ(off[0].vdisk, 0u);
+    EXPECT_EQ(off[0].bucket, 0u);
+    EXPECT_FALSE(m.invariant2());
+}
+
+TEST(Matrices, OffendersRejectsTwoBucketsOnOneVdisk) {
+    BalanceMatrices m(2, 4);
+    for (int b = 0; b < 2; ++b) {
+        for (int i = 0; i < 3; ++i) m.increment(static_cast<std::uint32_t>(b), 0);
+        m.increment(static_cast<std::uint32_t>(b), 1);
+    }
+    m.compute_aux();
+    // Both rows have a 2 at vdisk 0: a within-track impossibility.
+    EXPECT_THROW(m.offenders(), ModelViolation);
+}
+
+TEST(Matrices, SingleVdiskNeverOffends) {
+    BalanceMatrices m(3, 1);
+    for (int i = 0; i < 100; ++i) m.increment(1, 0);
+    m.compute_aux();
+    // median of the single entry equals the entry -> aux always 0.
+    EXPECT_EQ(m.aux(1, 0), 0u);
+    EXPECT_TRUE(m.invariant2());
+}
+
+TEST(Matrices, ArgRuleThresholds) {
+    BalanceMatrices m(1, 4, AuxRule::kArgTwiceAvg);
+    // Row {5, 1, 1, 1}: total 8, desired = ceil(8/4) = 2.
+    for (int i = 0; i < 5; ++i) m.increment(0, 0);
+    m.increment(0, 1);
+    m.increment(0, 2);
+    m.increment(0, 3);
+    m.compute_aux();
+    EXPECT_EQ(m.median(0), 2u);   // "median" slot holds the desired share
+    EXPECT_EQ(m.aux(0, 0), 2u);   // 5 > 2*2: over-full
+    EXPECT_EQ(m.aux(0, 1), 0u);   // 1 <= 2: eligible target
+}
+
+TEST(Matrices, ArgRuleCrowdedBand) {
+    BalanceMatrices m(1, 4, AuxRule::kArgTwiceAvg);
+    // Row {3, 3, 1, 1}: total 8, desired 2; 3 in (2, 4] -> crowded (1).
+    for (int i = 0; i < 3; ++i) m.increment(0, 0);
+    for (int i = 0; i < 3; ++i) m.increment(0, 1);
+    m.increment(0, 2);
+    m.increment(0, 3);
+    m.compute_aux();
+    EXPECT_EQ(m.aux(0, 0), 1u);
+    EXPECT_EQ(m.aux(0, 2), 0u);
+    EXPECT_TRUE(m.invariant2());
+}
+
+TEST(Matrices, MedianMonotoneUnderBalancedGrowth) {
+    // Incrementing every column of a row lifts the median with it, so a
+    // uniformly-growing bucket never creates offenders (the all-one-bucket
+    // input case of Balance).
+    BalanceMatrices m(1, 6);
+    for (int round = 0; round < 10; ++round) {
+        for (std::uint32_t h = 0; h < 6; ++h) m.increment(0, h);
+        m.compute_aux();
+        EXPECT_EQ(m.median(0), static_cast<std::uint32_t>(round + 1));
+        EXPECT_TRUE(m.invariant2());
+    }
+}
+
+} // namespace
+} // namespace balsort

@@ -1,0 +1,82 @@
+// Tests for the IoTrace recorder and its analyses.
+#include <gtest/gtest.h>
+
+#include "core/balance_sort.hpp"
+#include "pdm/trace.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+TEST(IoTrace, RecordsStepsExactly) {
+    DiskArray disks(4, 2);
+    IoTrace trace;
+    trace.attach(disks);
+    std::vector<Record> buf(4, Record{1, 1});
+    std::vector<BlockOp> ops = {{0, 0}, {2, 0}};
+    disks.write_step(ops, buf);
+    std::vector<Record> in(4);
+    disks.read_step(ops, in);
+    trace.detach();
+    ASSERT_EQ(trace.steps().size(), 2u);
+    EXPECT_FALSE(trace.steps()[0].is_read);
+    EXPECT_TRUE(trace.steps()[1].is_read);
+    EXPECT_EQ(trace.steps()[0].ops.size(), 2u);
+    EXPECT_EQ(trace.read_steps(), 1u);
+    EXPECT_EQ(trace.write_steps(), 1u);
+    // Detached: further steps are not recorded.
+    disks.write_step(ops, buf);
+    EXPECT_EQ(trace.steps().size(), 2u);
+}
+
+TEST(IoTrace, Analyses) {
+    DiskArray disks(2, 2);
+    IoTrace trace;
+    trace.attach(disks);
+    std::vector<Record> buf2(4, Record{1, 1});
+    std::vector<Record> buf1(2, Record{1, 1});
+    // Step 1: both disks, blocks 0 (sequential baseline starts here).
+    disks.write_step(std::vector<BlockOp>{{0, 0}, {1, 0}}, buf2);
+    // Step 2: disk 0 only, block 1 (sequential on disk 0).
+    disks.write_step(std::vector<BlockOp>{{0, 1}}, buf1);
+    // Step 3: disk 0 only, block 5 (jump).
+    disks.write_step(std::vector<BlockOp>{{0, 5}}, buf1);
+    trace.detach();
+    EXPECT_DOUBLE_EQ(trace.mean_parallelism(), 4.0 / 3.0);
+    auto per = trace.per_disk_blocks(2);
+    EXPECT_EQ(per[0], 3u);
+    EXPECT_EQ(per[1], 1u);
+    EXPECT_DOUBLE_EQ(trace.disk_imbalance(2), 3.0);
+    // Sequential accesses: disk0 block1 after block0 -> 1 of 4 total.
+    EXPECT_DOUBLE_EQ(trace.sequential_fraction(2), 0.25);
+    auto hist = trace.parallelism_histogram(2);
+    EXPECT_EQ(hist[1], 2u);
+    EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(IoTrace, DoubleAttachRejected) {
+    DiskArray a(2, 2), b(2, 2);
+    IoTrace trace;
+    trace.attach(a);
+    EXPECT_THROW(trace.attach(b), std::invalid_argument);
+    trace.detach();
+    EXPECT_NO_THROW(trace.attach(b));
+}
+
+TEST(IoTrace, BalanceSortTrafficIsBalancedAndParallel) {
+    PdmConfig cfg{.n = 1 << 15, .m = 1 << 10, .d = 8, .b = 8, .p = 1};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 9);
+    BlockRun run = write_striped(disks, input);
+    IoTrace trace;
+    trace.attach(disks);
+    (void)balance_sort(disks, run, cfg, {}, nullptr);
+    trace.detach();
+    // The paper's whole point, visible in the trace: near-D parallelism
+    // and near-1 disk balance.
+    EXPECT_GT(trace.mean_parallelism(), 0.75 * cfg.d);
+    EXPECT_LT(trace.disk_imbalance(cfg.d), 1.2);
+}
+
+} // namespace
+} // namespace balsort

@@ -1,0 +1,239 @@
+// Tests for src/util: math helpers, records, RNG, stats, tables, workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/math.hpp"
+#include "util/random.hpp"
+#include "util/record.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+TEST(Math, CeilDiv) {
+    EXPECT_EQ(ceil_div(0, 3), 0u);
+    EXPECT_EQ(ceil_div(1, 3), 1u);
+    EXPECT_EQ(ceil_div(3, 3), 1u);
+    EXPECT_EQ(ceil_div(4, 3), 2u);
+    EXPECT_EQ(ceil_div(9, 3), 3u);
+}
+
+TEST(Math, RoundUp) {
+    EXPECT_EQ(round_up(0, 4), 0u);
+    EXPECT_EQ(round_up(1, 4), 4u);
+    EXPECT_EQ(round_up(4, 4), 4u);
+    EXPECT_EQ(round_up(5, 4), 8u);
+}
+
+TEST(Math, Ilog2) {
+    EXPECT_EQ(ilog2_floor(1), 0u);
+    EXPECT_EQ(ilog2_floor(2), 1u);
+    EXPECT_EQ(ilog2_floor(3), 1u);
+    EXPECT_EQ(ilog2_floor(1024), 10u);
+    EXPECT_EQ(ilog2_ceil(1), 0u);
+    EXPECT_EQ(ilog2_ceil(3), 2u);
+    EXPECT_EQ(ilog2_ceil(1024), 10u);
+    EXPECT_EQ(ilog2_ceil(1025), 11u);
+}
+
+TEST(Math, PaperLogClampsAtOne) {
+    // Footnote 1: log x := max{1, log2 x}.
+    EXPECT_DOUBLE_EQ(paper_log(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(paper_log(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(paper_log(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(paper_log(8.0), 3.0);
+}
+
+TEST(Math, Iroot) {
+    EXPECT_EQ(iroot(0, 3), 0u);
+    EXPECT_EQ(iroot(1, 5), 1u);
+    EXPECT_EQ(iroot(26, 3), 2u);
+    EXPECT_EQ(iroot(27, 3), 3u);
+    EXPECT_EQ(iroot(28, 3), 3u);
+    EXPECT_EQ(isqrt(15), 3u);
+    EXPECT_EQ(isqrt(16), 4u);
+    EXPECT_EQ(iroot(std::uint64_t{1} << 62, 62), 2u);
+}
+
+TEST(Math, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(64));
+    EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(Record, OrderingByKeyThenPayload) {
+    Record a{1, 5}, b{2, 0}, c{1, 6};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_TRUE(KeyLess{}(a, b));
+    EXPECT_FALSE(KeyLess{}(a, c)); // same key: KeyLess sees them equal
+}
+
+TEST(Record, MakeKeysDistinct) {
+    std::vector<Record> r = {{7, 0}, {7, 1}, {3, 2}};
+    make_keys_distinct(r);
+    std::set<std::uint64_t> keys;
+    for (const auto& rec : r) keys.insert(rec.key);
+    EXPECT_EQ(keys.size(), 3u);
+    // Relative order of distinct original keys is preserved.
+    EXPECT_GT(r[0].key, r[2].key);
+    // Equal original keys are ordered by position (stability).
+    EXPECT_LT(r[0].key, r[1].key);
+}
+
+TEST(Random, Deterministic) {
+    Xoshiro256 a(42), b(42), c(43);
+    EXPECT_EQ(a(), b());
+    Xoshiro256 a2(42);
+    (void)c();
+    EXPECT_NE(a2(), c());
+}
+
+TEST(Random, BelowIsInRange) {
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+    EXPECT_EQ(rng.below(1), 0u);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Random, Uniform01Bounds) {
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, NextPrime) {
+    EXPECT_EQ(PairwiseHash::next_prime(1), 2u);
+    EXPECT_EQ(PairwiseHash::next_prime(2), 2u);
+    EXPECT_EQ(PairwiseHash::next_prime(8), 11u);
+    EXPECT_EQ(PairwiseHash::next_prime(13), 13u);
+    EXPECT_EQ(PairwiseHash::next_prime(90), 97u);
+}
+
+TEST(Random, PairwiseHashInRange) {
+    const std::uint64_t p = PairwiseHash::next_prime(16);
+    PairwiseHash h(3, 5, p, 16);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_LT(h(i), 16u);
+    }
+}
+
+TEST(Random, PermutationIsPermutation) {
+    auto p = random_permutation(100, 5);
+    std::set<std::uint32_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Random, PermutationSeedSensitivity) {
+    EXPECT_NE(random_permutation(50, 1), random_permutation(50, 2));
+    EXPECT_EQ(random_permutation(50, 3), random_permutation(50, 3));
+}
+
+TEST(Stats, Basic) {
+    Summary s;
+    for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Stats, Percentile) {
+    Summary s;
+    for (int i = 1; i <= 100; ++i) s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, EmptyThrows) {
+    Summary s;
+    EXPECT_THROW(s.min(), std::invalid_argument);
+    EXPECT_THROW(s.percentile(50), std::invalid_argument);
+}
+
+TEST(Table, FormatsAndPrints) {
+    Table t({"A", "BB"});
+    t.add_row({"1", "2"});
+    t.add_separator();
+    t.add_row({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_NE(out.find("BB"), std::string::npos);
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+    EXPECT_EQ(Table::num(0), "0");
+    EXPECT_EQ(Table::num(999), "999");
+    EXPECT_EQ(Table::num(1000), "1,000");
+    EXPECT_EQ(Table::num(1234567), "1,234,567");
+    EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+}
+
+TEST(Workload, AllGeneratorsProduceRequestedCount) {
+    for (Workload w : all_workloads()) {
+        auto r = generate(w, 1000, 42);
+        EXPECT_EQ(r.size(), 1000u) << to_string(w);
+        // Payload records the initial index.
+        EXPECT_EQ(r[17].payload, 17u) << to_string(w);
+    }
+}
+
+TEST(Workload, SortedIsSorted) {
+    auto r = generate(Workload::kSorted, 500, 1);
+    EXPECT_TRUE(is_sorted_by_key(r));
+    auto rev = generate(Workload::kReverse, 500, 1);
+    EXPECT_FALSE(is_sorted_by_key(rev));
+}
+
+TEST(Workload, DistinctReallyDistinct) {
+    for (Workload w : all_workloads()) {
+        auto r = generate_distinct(w, 2000, 7);
+        std::set<std::uint64_t> keys;
+        for (const auto& rec : r) keys.insert(rec.key);
+        EXPECT_EQ(keys.size(), r.size()) << to_string(w);
+    }
+}
+
+TEST(Workload, DeterministicInSeed) {
+    auto a = generate(Workload::kUniform, 100, 5);
+    auto b = generate(Workload::kUniform, 100, 5);
+    auto c = generate(Workload::kUniform, 100, 6);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Workload, SortedPermutationChecker) {
+    auto in = generate(Workload::kUniform, 200, 3);
+    auto sorted = in;
+    std::sort(sorted.begin(), sorted.end(), KeyLess{});
+    EXPECT_TRUE(is_sorted_permutation_of(in, sorted));
+    sorted[0].key += 1; // corrupt
+    EXPECT_FALSE(is_sorted_permutation_of(in, sorted));
+}
+
+TEST(Workload, DuplicateHeavyHasFewKeys) {
+    auto r = generate(Workload::kDuplicateHeavy, 5000, 11);
+    std::set<std::uint64_t> keys;
+    for (const auto& rec : r) keys.insert(rec.key);
+    EXPECT_LE(keys.size(), 16u);
+}
+
+} // namespace
+} // namespace balsort
