@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_agv.dir/bench_f1_agv.cpp.o"
+  "CMakeFiles/bench_f1_agv.dir/bench_f1_agv.cpp.o.d"
+  "bench_f1_agv"
+  "bench_f1_agv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_agv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_hierarchies.dir/bench_f3_hierarchies.cpp.o"
+  "CMakeFiles/bench_f3_hierarchies.dir/bench_f3_hierarchies.cpp.o.d"
+  "bench_f3_hierarchies"
+  "bench_f3_hierarchies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_file_disks.cpp" "bench/CMakeFiles/bench_file_disks.dir/bench_file_disks.cpp.o" "gcc" "bench/CMakeFiles/bench_file_disks.dir/bench_file_disks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/balsort_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/balsort_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/balsort_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/balsort_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/balsort_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/balsort_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/balsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_disks.dir/bench_file_disks.cpp.o"
+  "CMakeFiles/bench_file_disks.dir/bench_file_disks.cpp.o.d"
+  "bench_file_disks"
+  "bench_file_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

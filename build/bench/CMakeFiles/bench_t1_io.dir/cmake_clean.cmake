@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_io.dir/bench_t1_io.cpp.o"
+  "CMakeFiles/bench_t1_io.dir/bench_t1_io.cpp.o.d"
+  "bench_t1_io"
+  "bench_t1_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

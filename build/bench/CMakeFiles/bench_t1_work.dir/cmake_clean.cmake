@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_work.dir/bench_t1_work.cpp.o"
+  "CMakeFiles/bench_t1_work.dir/bench_t1_work.cpp.o.d"
+  "bench_t1_work"
+  "bench_t1_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

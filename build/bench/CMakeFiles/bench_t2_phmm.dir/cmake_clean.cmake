@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_phmm.dir/bench_t2_phmm.cpp.o"
+  "CMakeFiles/bench_t2_phmm.dir/bench_t2_phmm.cpp.o.d"
+  "bench_t2_phmm"
+  "bench_t2_phmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_phmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_pbt.dir/bench_t3_pbt.cpp.o"
+  "CMakeFiles/bench_t3_pbt.dir/bench_t3_pbt.cpp.o.d"
+  "bench_t3_pbt"
+  "bench_t3_pbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_pbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_matching.dir/bench_t5_matching.cpp.o"
+  "CMakeFiles/bench_t5_matching.dir/bench_t5_matching.cpp.o.d"
+  "bench_t5_matching"
+  "bench_t5_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_scheduler.dir/balance_scheduler.cpp.o"
+  "CMakeFiles/balance_scheduler.dir/balance_scheduler.cpp.o.d"
+  "balance_scheduler"
+  "balance_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

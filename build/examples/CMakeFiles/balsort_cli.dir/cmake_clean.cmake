@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_cli.dir/balsort_cli.cpp.o"
+  "CMakeFiles/balsort_cli.dir/balsort_cli.cpp.o.d"
+  "balsort_cli"
+  "balsort_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

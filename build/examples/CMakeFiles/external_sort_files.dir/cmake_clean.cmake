@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_sort_files.dir/external_sort_files.cpp.o"
+  "CMakeFiles/external_sort_files.dir/external_sort_files.cpp.o.d"
+  "external_sort_files"
+  "external_sort_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_sort_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

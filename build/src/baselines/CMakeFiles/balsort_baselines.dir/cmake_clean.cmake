@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_baselines.dir/greed_sort.cpp.o"
+  "CMakeFiles/balsort_baselines.dir/greed_sort.cpp.o.d"
+  "CMakeFiles/balsort_baselines.dir/rand_dist.cpp.o"
+  "CMakeFiles/balsort_baselines.dir/rand_dist.cpp.o.d"
+  "CMakeFiles/balsort_baselines.dir/striped_merge.cpp.o"
+  "CMakeFiles/balsort_baselines.dir/striped_merge.cpp.o.d"
+  "libbalsort_baselines.a"
+  "libbalsort_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

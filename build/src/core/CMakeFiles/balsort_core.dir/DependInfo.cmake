@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance.cpp" "src/core/CMakeFiles/balsort_core.dir/balance.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/balance.cpp.o.d"
+  "/root/repo/src/core/balance_sort.cpp" "src/core/CMakeFiles/balsort_core.dir/balance_sort.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/balance_sort.cpp.o.d"
+  "/root/repo/src/core/hier_sort.cpp" "src/core/CMakeFiles/balsort_core.dir/hier_sort.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/hier_sort.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/balsort_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/matching.cpp.o.d"
+  "/root/repo/src/core/matrices.cpp" "src/core/CMakeFiles/balsort_core.dir/matrices.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/matrices.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/balsort_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/vrun.cpp" "src/core/CMakeFiles/balsort_core.dir/vrun.cpp.o" "gcc" "src/core/CMakeFiles/balsort_core.dir/vrun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/balsort_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/balsort_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/balsort_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/balsort_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/balsort_hypercube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_core.dir/balance.cpp.o"
+  "CMakeFiles/balsort_core.dir/balance.cpp.o.d"
+  "CMakeFiles/balsort_core.dir/balance_sort.cpp.o"
+  "CMakeFiles/balsort_core.dir/balance_sort.cpp.o.d"
+  "CMakeFiles/balsort_core.dir/hier_sort.cpp.o"
+  "CMakeFiles/balsort_core.dir/hier_sort.cpp.o.d"
+  "CMakeFiles/balsort_core.dir/matching.cpp.o"
+  "CMakeFiles/balsort_core.dir/matching.cpp.o.d"
+  "CMakeFiles/balsort_core.dir/matrices.cpp.o"
+  "CMakeFiles/balsort_core.dir/matrices.cpp.o.d"
+  "CMakeFiles/balsort_core.dir/partition.cpp.o"
+  "CMakeFiles/balsort_core.dir/partition.cpp.o.d"
+  "CMakeFiles/balsort_core.dir/vrun.cpp.o"
+  "CMakeFiles/balsort_core.dir/vrun.cpp.o.d"
+  "libbalsort_core.a"
+  "libbalsort_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbalsort_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/access_model.cpp" "src/hierarchy/CMakeFiles/balsort_hierarchy.dir/access_model.cpp.o" "gcc" "src/hierarchy/CMakeFiles/balsort_hierarchy.dir/access_model.cpp.o.d"
+  "/root/repo/src/hierarchy/cost_fn.cpp" "src/hierarchy/CMakeFiles/balsort_hierarchy.dir/cost_fn.cpp.o" "gcc" "src/hierarchy/CMakeFiles/balsort_hierarchy.dir/cost_fn.cpp.o.d"
+  "/root/repo/src/hierarchy/meter.cpp" "src/hierarchy/CMakeFiles/balsort_hierarchy.dir/meter.cpp.o" "gcc" "src/hierarchy/CMakeFiles/balsort_hierarchy.dir/meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/balsort_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/balsort_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/balsort_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/balsort_pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

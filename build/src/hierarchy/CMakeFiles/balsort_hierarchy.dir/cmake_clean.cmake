@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_hierarchy.dir/access_model.cpp.o"
+  "CMakeFiles/balsort_hierarchy.dir/access_model.cpp.o.d"
+  "CMakeFiles/balsort_hierarchy.dir/cost_fn.cpp.o"
+  "CMakeFiles/balsort_hierarchy.dir/cost_fn.cpp.o.d"
+  "CMakeFiles/balsort_hierarchy.dir/meter.cpp.o"
+  "CMakeFiles/balsort_hierarchy.dir/meter.cpp.o.d"
+  "libbalsort_hierarchy.a"
+  "libbalsort_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypercube/bitonic.cpp" "src/hypercube/CMakeFiles/balsort_hypercube.dir/bitonic.cpp.o" "gcc" "src/hypercube/CMakeFiles/balsort_hypercube.dir/bitonic.cpp.o.d"
+  "/root/repo/src/hypercube/hypercube.cpp" "src/hypercube/CMakeFiles/balsort_hypercube.dir/hypercube.cpp.o" "gcc" "src/hypercube/CMakeFiles/balsort_hypercube.dir/hypercube.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/balsort_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/balsort_pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_hypercube.dir/bitonic.cpp.o"
+  "CMakeFiles/balsort_hypercube.dir/bitonic.cpp.o.d"
+  "CMakeFiles/balsort_hypercube.dir/hypercube.cpp.o"
+  "CMakeFiles/balsort_hypercube.dir/hypercube.cpp.o.d"
+  "libbalsort_hypercube.a"
+  "libbalsort_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdm/disk_array.cpp" "src/pdm/CMakeFiles/balsort_pdm.dir/disk_array.cpp.o" "gcc" "src/pdm/CMakeFiles/balsort_pdm.dir/disk_array.cpp.o.d"
+  "/root/repo/src/pdm/file_disk.cpp" "src/pdm/CMakeFiles/balsort_pdm.dir/file_disk.cpp.o" "gcc" "src/pdm/CMakeFiles/balsort_pdm.dir/file_disk.cpp.o.d"
+  "/root/repo/src/pdm/mem_disk.cpp" "src/pdm/CMakeFiles/balsort_pdm.dir/mem_disk.cpp.o" "gcc" "src/pdm/CMakeFiles/balsort_pdm.dir/mem_disk.cpp.o.d"
+  "/root/repo/src/pdm/striping.cpp" "src/pdm/CMakeFiles/balsort_pdm.dir/striping.cpp.o" "gcc" "src/pdm/CMakeFiles/balsort_pdm.dir/striping.cpp.o.d"
+  "/root/repo/src/pdm/trace.cpp" "src/pdm/CMakeFiles/balsort_pdm.dir/trace.cpp.o" "gcc" "src/pdm/CMakeFiles/balsort_pdm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/balsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

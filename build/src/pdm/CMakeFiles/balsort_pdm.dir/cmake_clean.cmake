@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_pdm.dir/disk_array.cpp.o"
+  "CMakeFiles/balsort_pdm.dir/disk_array.cpp.o.d"
+  "CMakeFiles/balsort_pdm.dir/file_disk.cpp.o"
+  "CMakeFiles/balsort_pdm.dir/file_disk.cpp.o.d"
+  "CMakeFiles/balsort_pdm.dir/mem_disk.cpp.o"
+  "CMakeFiles/balsort_pdm.dir/mem_disk.cpp.o.d"
+  "CMakeFiles/balsort_pdm.dir/striping.cpp.o"
+  "CMakeFiles/balsort_pdm.dir/striping.cpp.o.d"
+  "CMakeFiles/balsort_pdm.dir/trace.cpp.o"
+  "CMakeFiles/balsort_pdm.dir/trace.cpp.o.d"
+  "libbalsort_pdm.a"
+  "libbalsort_pdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_pdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

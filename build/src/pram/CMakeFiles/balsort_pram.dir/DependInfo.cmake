@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pram/hungarian.cpp" "src/pram/CMakeFiles/balsort_pram.dir/hungarian.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/hungarian.cpp.o.d"
+  "/root/repo/src/pram/monotone_route.cpp" "src/pram/CMakeFiles/balsort_pram.dir/monotone_route.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/monotone_route.cpp.o.d"
+  "/root/repo/src/pram/parallel_sort.cpp" "src/pram/CMakeFiles/balsort_pram.dir/parallel_sort.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/parallel_sort.cpp.o.d"
+  "/root/repo/src/pram/prefix.cpp" "src/pram/CMakeFiles/balsort_pram.dir/prefix.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/prefix.cpp.o.d"
+  "/root/repo/src/pram/quantile_sketch.cpp" "src/pram/CMakeFiles/balsort_pram.dir/quantile_sketch.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/quantile_sketch.cpp.o.d"
+  "/root/repo/src/pram/selection.cpp" "src/pram/CMakeFiles/balsort_pram.dir/selection.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/selection.cpp.o.d"
+  "/root/repo/src/pram/thread_pool.cpp" "src/pram/CMakeFiles/balsort_pram.dir/thread_pool.cpp.o" "gcc" "src/pram/CMakeFiles/balsort_pram.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/balsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

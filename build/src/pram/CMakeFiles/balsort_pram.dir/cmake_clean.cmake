@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_pram.dir/hungarian.cpp.o"
+  "CMakeFiles/balsort_pram.dir/hungarian.cpp.o.d"
+  "CMakeFiles/balsort_pram.dir/monotone_route.cpp.o"
+  "CMakeFiles/balsort_pram.dir/monotone_route.cpp.o.d"
+  "CMakeFiles/balsort_pram.dir/parallel_sort.cpp.o"
+  "CMakeFiles/balsort_pram.dir/parallel_sort.cpp.o.d"
+  "CMakeFiles/balsort_pram.dir/prefix.cpp.o"
+  "CMakeFiles/balsort_pram.dir/prefix.cpp.o.d"
+  "CMakeFiles/balsort_pram.dir/quantile_sketch.cpp.o"
+  "CMakeFiles/balsort_pram.dir/quantile_sketch.cpp.o.d"
+  "CMakeFiles/balsort_pram.dir/selection.cpp.o"
+  "CMakeFiles/balsort_pram.dir/selection.cpp.o.d"
+  "CMakeFiles/balsort_pram.dir/thread_pool.cpp.o"
+  "CMakeFiles/balsort_pram.dir/thread_pool.cpp.o.d"
+  "libbalsort_pram.a"
+  "libbalsort_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsort_util.dir/random.cpp.o"
+  "CMakeFiles/balsort_util.dir/random.cpp.o.d"
+  "CMakeFiles/balsort_util.dir/stats.cpp.o"
+  "CMakeFiles/balsort_util.dir/stats.cpp.o.d"
+  "CMakeFiles/balsort_util.dir/table.cpp.o"
+  "CMakeFiles/balsort_util.dir/table.cpp.o.d"
+  "CMakeFiles/balsort_util.dir/workload.cpp.o"
+  "CMakeFiles/balsort_util.dir/workload.cpp.o.d"
+  "libbalsort_util.a"
+  "libbalsort_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsort_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

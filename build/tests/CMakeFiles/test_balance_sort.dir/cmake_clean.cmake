@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balance_sort.dir/test_balance_sort.cpp.o"
+  "CMakeFiles/test_balance_sort.dir/test_balance_sort.cpp.o.d"
+  "test_balance_sort"
+  "test_balance_sort.pdb"
+  "test_balance_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balance_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
