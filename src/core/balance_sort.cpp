@@ -44,7 +44,10 @@ struct DriverState {
           opt(o),
           pool(threads),
           cost(c.p),
-          out(d),
+          // §6: with synchronized writes even the output run is written in
+          // fully striped (common fresh index) stripes, so *every* write
+          // of the sort is parity-friendly, not just the bucket tracks.
+          out(d, 0, o.synchronized_writes),
           report(rep) {}
 };
 
@@ -252,6 +255,10 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
         report->work_ratio =
             report->optimal_work > 0 ? report->pram_time / report->optimal_work : 0;
         report->d_virtual = dv;
+        report->disks_failed = 0;
+        for (std::uint32_t i = 0; i < disks.num_disks(); ++i) {
+            if (!disks.health(i).alive) ++report->disks_failed;
+        }
     }
     return result;
 }

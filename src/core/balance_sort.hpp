@@ -114,6 +114,11 @@ struct SortReport {
     std::uint64_t base_cases = 0;
     std::uint64_t equal_class_records = 0; ///< emitted via equal-class fast path
 
+    // --- fault tolerance (DESIGN.md §8) ---
+    // The recovery counters themselves (retries, corruptions detected,
+    // parity reconstructions, degraded writes) arrive inside `io`.
+    std::uint32_t disks_failed = 0; ///< data disks permanently dead at the end
+
     // --- balance quality (Theorem 4, Invariants) ---
     BalanceStats balance;
     double worst_bucket_read_ratio = 1.0; ///< max over buckets: steps/optimal

@@ -1,0 +1,77 @@
+#include "pdm/checksum.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = kCrcTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+ChecksummedDisk::ChecksummedDisk(std::unique_ptr<Disk> inner, std::uint32_t disk_id)
+    : inner_(std::move(inner)), disk_id_(disk_id) {
+    BS_REQUIRE(inner_ != nullptr, "ChecksummedDisk: null inner disk");
+}
+
+void ChecksummedDisk::read_block(std::uint64_t index, std::span<Record> out) const {
+    if (index < lost_.size() && lost_[index]) {
+        std::ostringstream os;
+        os << "corrupt block: disk " << disk_id_ << " block " << index
+           << " holds a stale image (last write never landed)";
+        throw CorruptBlock(os.str(), disk_id_, index);
+    }
+    inner_->read_block(index, out);
+    if (!has_checksum(index)) return;
+    const std::uint32_t actual = crc32_records(out);
+    if (actual != crcs_[index]) {
+        std::ostringstream os;
+        os << "corrupt block: disk " << disk_id_ << " block " << index << " crc "
+           << std::hex << actual << " != recorded " << crcs_[index];
+        throw CorruptBlock(os.str(), disk_id_, index);
+    }
+}
+
+void ChecksummedDisk::write_block(std::uint64_t index, std::span<const Record> in) {
+    const std::uint32_t crc = crc32_records(in);
+    inner_->write_block(index, in); // may throw: keep sidecar untouched then
+    if (index >= has_crc_.size()) {
+        has_crc_.resize(index + 1, false);
+        crcs_.resize(index + 1, 0);
+    }
+    has_crc_[index] = true;
+    crcs_[index] = crc;
+    if (index < lost_.size()) lost_[index] = false;
+}
+
+void ChecksummedDisk::mark_lost(std::uint64_t index) {
+    if (index >= lost_.size()) lost_.resize(index + 1, false);
+    lost_[index] = true;
+}
+
+} // namespace balsort

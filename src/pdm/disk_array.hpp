@@ -20,12 +20,59 @@
 #include <vector>
 
 #include "pdm/disk.hpp"
+#include "pdm/faulty_disk.hpp"
 #include "pdm/io_stats.hpp"
 #include "util/common.hpp"
 
 namespace balsort {
 
 enum class DiskBackend { kMemory, kFile };
+
+/// Fault-tolerance configuration for a DiskArray (DESIGN.md §8).
+///
+/// Layering per disk (bottom to top):
+///   backend disk -> FaultInjectingDisk (if `inject` has faults)
+///                -> ChecksummedDisk    (if `checksums`)
+/// plus, with `parity`, one extra parity disk (same backend) holding the
+/// XOR of block i across all data disks — RAID-4 over the simulated array.
+/// The parity device is checksummed but never fault-injected (a trusted
+/// redundancy device; injecting there needs parity-of-parity, future work).
+struct FaultTolerance {
+    static constexpr std::uint32_t kNoDisk = 0xffffffffu;
+
+    /// Fault model applied to every data disk (all streams seeded from
+    /// `inject.seed` and the disk index). `inject.die_after_ops` is applied
+    /// only to `die_disk` — parity recovers at most one dead disk.
+    FaultSpec inject{};
+    /// Which data disk `inject.die_after_ops` kills (kNoDisk = none).
+    std::uint32_t die_disk = kNoDisk;
+
+    /// Retry budget for transient faults: total attempts = 1 + max_retries.
+    std::uint32_t max_retries = 3;
+    /// Exponential backoff between retries: sleep backoff_base_us << attempt
+    /// microseconds (0 = no sleeping; simulations and tests want 0).
+    std::uint32_t backoff_base_us = 0;
+
+    /// Keep a CRC-32 sidecar per block and verify every read.
+    bool checksums = false;
+    /// Maintain a parity disk and reconstruct lost/corrupt blocks from it.
+    bool parity = false;
+    /// After reconstructing a corrupt block on a live disk, write the
+    /// corrected image back (scrubbing) so later reads are clean.
+    bool scrub_on_reconstruct = true;
+
+    bool enabled() const { return checksums || parity || inject.any_faults(); }
+};
+
+/// Per-disk health counters (observability for SortReport consumers and
+/// the fault soak bench).
+struct DiskHealth {
+    bool alive = true;
+    std::uint64_t transient_retries = 0;
+    std::uint64_t corrupt_blocks = 0;
+    std::uint64_t reconstructions = 0;
+    std::uint64_t degraded_writes = 0;
+};
 
 /// Which I/O-step legality rule applies.
 enum class Constraint {
@@ -44,7 +91,8 @@ public:
     /// For DiskBackend::kFile, `file_dir` must name a writable directory;
     /// one scratch file per disk is created there (removed on destruction).
     DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend = DiskBackend::kMemory,
-              std::string file_dir = ".", Constraint constraint = Constraint::kIndependentDisks);
+              std::string file_dir = ".", Constraint constraint = Constraint::kIndependentDisks,
+              FaultTolerance ft = {});
 
     std::uint32_t num_disks() const { return static_cast<std::uint32_t>(disks_.size()); }
     std::uint32_t block_size() const { return b_; }
@@ -89,6 +137,27 @@ public:
 
     /// Direct (non-step-counted) access for test verification only.
     const Disk& disk_for_testing(std::uint32_t d) const { return *disks_[d]; }
+    /// Mutable variant: lets tests corrupt data underneath the decorator
+    /// stack (via ChecksummedDisk::inner()) to exercise recovery paths.
+    Disk& disk_for_testing(std::uint32_t d) { return *disks_[d]; }
+
+    // ---- fault tolerance (DESIGN.md §8) ----
+
+    const FaultTolerance& fault_tolerance() const { return ft_; }
+
+    /// Per-disk health counters; `health(d).alive == false` once disk `d`
+    /// failed permanently (the array then serves it in degraded mode).
+    const DiskHealth& health(std::uint32_t d) const;
+
+    /// The parity device (null unless FaultTolerance::parity).
+    const Disk* parity_disk_for_testing() const { return parity_.get(); }
+
+    /// Recompute block `index` of disk `d` from the parity stripe:
+    /// XOR of the parity block and every peer disk's block at `index`
+    /// (missing blocks count as zeros). Public so tests can exercise it;
+    /// the robust read path calls it automatically. Throws UnrecoverableIo
+    /// if parity is off or a peer read hits a non-transient fault.
+    void reconstruct_block(std::uint32_t d, std::uint64_t index, std::span<Record> out);
 
     /// Observer invoked once per parallel I/O step (after it executes),
     /// with is_read and the step's ops. Used by the memory-hierarchy
@@ -101,9 +170,33 @@ public:
 private:
     void check_step_legal(std::span<const BlockOp> ops) const;
 
+    /// Read with the full recovery ladder: bounded retry on transient
+    /// faults, then parity reconstruction (plus scrubbing) on death,
+    /// corruption, or exhausted retries.
+    void robust_read(const BlockOp& op, std::span<Record> out);
+    /// Write with bounded retry; a dead disk degrades the write into a
+    /// parity-only update (the data lives implicitly in the stripe).
+    /// Returns false iff the data write was absorbed by parity.
+    bool robust_write(const BlockOp& op, std::span<const Record> in);
+    /// Retry-only read used inside reconstruction and parity RMW: never
+    /// recurses into reconstruction; escalates to UnrecoverableIo instead.
+    void retrying_read(Disk& disk, std::uint32_t d, std::uint64_t index, std::span<Record> out,
+                       bool for_reconstruction);
+    /// Update the parity stripe for this step's writes. Must run before
+    /// the data writes land (it reads the old images).
+    void update_parity(std::span<const BlockOp> ops, std::span<const Record> buffers);
+    void backoff(std::uint32_t attempt) const;
+
     std::uint32_t b_;
     Constraint constraint_;
+    FaultTolerance ft_;
     std::vector<std::unique_ptr<Disk>> disks_;
+    std::unique_ptr<Disk> parity_;
+    std::vector<DiskHealth> health_;
+    /// Non-owning view of each disk's checksum layer (null without
+    /// FaultTolerance::checksums); lets the write path invalidate stale
+    /// images when a write fails permanently on a live disk.
+    std::vector<class ChecksummedDisk*> csum_;
     std::vector<std::uint64_t> next_free_;
     /// Min-heaps of released block indices, one per disk.
     std::vector<std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,

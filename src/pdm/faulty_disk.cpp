@@ -1,0 +1,98 @@
+#include "pdm/faulty_disk.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint32_t disk_id) {
+    // One SplitMix64 step keeps per-disk streams decorrelated even for
+    // adjacent ids.
+    return SplitMix64(base ^ (0x9e3779b97f4a7c15ULL * (disk_id + 1))).next();
+}
+
+} // namespace
+
+FaultInjectingDisk::FaultInjectingDisk(std::unique_ptr<Disk> inner, const FaultSpec& spec,
+                                       std::uint32_t disk_id)
+    : inner_(std::move(inner)), spec_(spec), disk_id_(disk_id),
+      rng_(mix_seed(spec.seed, disk_id)) {
+    BS_REQUIRE(inner_ != nullptr, "FaultInjectingDisk: null inner disk");
+    BS_REQUIRE(spec.read_transient_rate >= 0 && spec.read_transient_rate <= 1 &&
+                   spec.write_transient_rate >= 0 && spec.write_transient_rate <= 1 &&
+                   spec.torn_write_rate >= 0 && spec.torn_write_rate <= 1 &&
+                   spec.bit_flip_rate >= 0 && spec.bit_flip_rate <= 1,
+               "FaultSpec: rates must be probabilities in [0, 1]");
+}
+
+void FaultInjectingDisk::count_op_and_check_death(const char* what, std::uint64_t index) const {
+    ++ops_;
+    if (!dead_ && spec_.die_after_ops > 0 && ops_ > spec_.die_after_ops) dead_ = true;
+    if (dead_) {
+        std::ostringstream os;
+        os << "disk " << disk_id_ << " is dead (died after op " << spec_.die_after_ops
+           << "): " << what << " block " << index;
+        throw DiskFailed(os.str(), disk_id_, index);
+    }
+}
+
+void FaultInjectingDisk::read_block(std::uint64_t index, std::span<Record> out) const {
+    count_op_and_check_death("read", index);
+    const double u = rng_.uniform01();
+    if (u < spec_.read_transient_rate) {
+        ++injected_read_errors_;
+        std::ostringstream os;
+        os << "injected transient read error: disk " << disk_id_ << " block " << index;
+        throw TransientIoError(os.str(), disk_id_, index);
+    }
+    inner_->read_block(index, out);
+}
+
+void FaultInjectingDisk::write_block(std::uint64_t index, std::span<const Record> in) {
+    count_op_and_check_death("write", index);
+    const double u_err = rng_.uniform01();
+    const double u_torn = rng_.uniform01();
+    const double u_flip = rng_.uniform01();
+    if (u_err < spec_.write_transient_rate) {
+        ++injected_write_errors_;
+        std::ostringstream os;
+        os << "injected transient write error: disk " << disk_id_ << " block " << index;
+        throw TransientIoError(os.str(), disk_id_, index);
+    }
+    if (u_torn < spec_.torn_write_rate) {
+        // A torn write persists an intact prefix; the tail keeps whatever
+        // pattern the head left behind. Silent — only a checksum layer
+        // above can notice.
+        ++injected_torn_writes_;
+        std::vector<Record> torn(in.begin(), in.end());
+        const std::size_t keep = rng_.below(in.size()); // [0, size): at least one record torn
+        for (std::size_t i = keep; i < torn.size(); ++i) {
+            torn[i].key ^= 0xdeadbeefdeadbeefULL;
+            torn[i].payload ^= 0xfeedfacefeedfaceULL;
+        }
+        inner_->write_block(index, torn);
+        return;
+    }
+    if (u_flip < spec_.bit_flip_rate) {
+        // Silent single-bit rot in the written image.
+        ++injected_bit_flips_;
+        std::vector<Record> flipped(in.begin(), in.end());
+        const std::uint64_t bit = rng_.below(in.size() * 128); // 128 bits per record
+        auto& rec = flipped[bit / 128];
+        const std::uint64_t b = bit % 128;
+        if (b < 64) {
+            rec.key ^= 1ULL << b;
+        } else {
+            rec.payload ^= 1ULL << (b - 64);
+        }
+        inner_->write_block(index, flipped);
+        return;
+    }
+    inner_->write_block(index, in);
+}
+
+} // namespace balsort

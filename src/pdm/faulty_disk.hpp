@@ -1,0 +1,86 @@
+#pragma once
+/// \file faulty_disk.hpp
+/// Deterministic fault injection for the PDM layer (DESIGN.md §8).
+///
+/// `FaultInjectingDisk` decorates any `Disk` and injects the fault
+/// taxonomy a storage engineer plans for:
+///   * transient read/write errors   -> throws TransientIoError (retryable)
+///   * permanent disk death          -> throws DiskFailed forever after
+///   * torn writes                   -> silently persists only a prefix
+///   * silent bit flips              -> silently flips one bit of a write
+///
+/// Every decision comes from a private xoshiro256** stream seeded from
+/// (FaultSpec::seed, disk_id), so a given seed reproduces the *identical*
+/// fault sequence for an identical operation sequence — fault scenarios
+/// are as replayable as the sort itself (the library-wide determinism
+/// contract of DESIGN.md §5.9 extended to failures). To keep the stream
+/// alignment independent of which fault kinds are enabled, every read
+/// draws exactly one uniform and every write exactly three, plus extra
+/// draws only when a silent corruption actually fires.
+
+#include <cstdint>
+#include <memory>
+
+#include "pdm/disk.hpp"
+#include "util/random.hpp"
+
+namespace balsort {
+
+/// Per-disk fault model; all rates are probabilities in [0, 1].
+struct FaultSpec {
+    std::uint64_t seed = 0;          ///< base seed of the injection stream
+    double read_transient_rate = 0;  ///< P[read throws TransientIoError]
+    double write_transient_rate = 0; ///< P[write throws before persisting]
+    double torn_write_rate = 0;      ///< P[write persists only a prefix, silently]
+    double bit_flip_rate = 0;        ///< P[write lands with one bit flipped, silently]
+    std::uint64_t die_after_ops = 0; ///< permanent death after this many ops (0 = never)
+
+    bool any_faults() const {
+        return read_transient_rate > 0 || write_transient_rate > 0 || torn_write_rate > 0 ||
+               bit_flip_rate > 0 || die_after_ops > 0;
+    }
+};
+
+/// Disk decorator injecting `FaultSpec` faults deterministically.
+class FaultInjectingDisk final : public Disk {
+public:
+    FaultInjectingDisk(std::unique_ptr<Disk> inner, const FaultSpec& spec, std::uint32_t disk_id);
+
+    std::size_t block_size() const override { return inner_->block_size(); }
+    /// Metadata stays readable even after death (a controller knows the
+    /// geometry of a dead drive); only data transfers fail.
+    std::uint64_t size_blocks() const override { return inner_->size_blocks(); }
+
+    void read_block(std::uint64_t index, std::span<Record> out) const override;
+    void write_block(std::uint64_t index, std::span<const Record> in) override;
+
+    bool alive() const { return !dead_; }
+
+    // ---- observability (tests assert on these) ----
+    std::uint64_t ops_issued() const { return ops_; }
+    std::uint64_t injected_read_errors() const { return injected_read_errors_; }
+    std::uint64_t injected_write_errors() const { return injected_write_errors_; }
+    std::uint64_t injected_torn_writes() const { return injected_torn_writes_; }
+    std::uint64_t injected_bit_flips() const { return injected_bit_flips_; }
+
+    Disk& inner() { return *inner_; }
+    const Disk& inner() const { return *inner_; }
+
+private:
+    void count_op_and_check_death(const char* what, std::uint64_t index) const;
+
+    std::unique_ptr<Disk> inner_;
+    FaultSpec spec_;
+    std::uint32_t disk_id_;
+    // Mutable: read_block is const in the Disk interface, but injection
+    // consumes the RNG stream and advances the op clock.
+    mutable Xoshiro256 rng_;
+    mutable std::uint64_t ops_ = 0;
+    mutable bool dead_ = false;
+    mutable std::uint64_t injected_read_errors_ = 0;
+    std::uint64_t injected_write_errors_ = 0;
+    std::uint64_t injected_torn_writes_ = 0;
+    std::uint64_t injected_bit_flips_ = 0;
+};
+
+} // namespace balsort

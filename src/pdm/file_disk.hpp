@@ -6,6 +6,13 @@
 /// accounting lives in DiskArray), but data actually flows through the
 /// filesystem, so wall-clock benches exercise a real I/O path
 /// (EXP-DISKFILE).
+///
+/// Failure reporting: real OS errors surface as `IoError` (with the block
+/// index and byte offset in the message), a short read at end-of-file —
+/// the file was truncated underneath us — as `CorruptBlock`. Reading a
+/// block the model never wrote is still a `ModelViolation`.
+
+#include <sys/types.h>
 
 #include <string>
 
@@ -15,9 +22,13 @@ namespace balsort {
 
 class FileDisk final : public Disk {
 public:
-    /// Creates/truncates `path`. The file is removed on destruction when
-    /// `unlink_on_close` (default) — simulated scratch disks are ephemeral.
-    FileDisk(std::string path, std::size_t block_size, bool unlink_on_close = true);
+    /// Creates/truncates `path` (O_CLOEXEC: scratch fds must not leak into
+    /// children). The file is removed on destruction when `unlink_on_close`
+    /// (default) — simulated scratch disks are ephemeral. With
+    /// `fsync_on_close`, destruction flushes the file to stable storage
+    /// first (pointless for scratch, essential when a run's output is kept).
+    FileDisk(std::string path, std::size_t block_size, bool unlink_on_close = true,
+             bool fsync_on_close = false);
     ~FileDisk() override;
 
     FileDisk(const FileDisk&) = delete;
@@ -31,11 +42,15 @@ public:
     const std::string& path() const { return path_; }
 
 private:
+    /// `index * block_bytes` as off_t, rejecting overflow (BS_REQUIRE).
+    off_t block_offset(std::uint64_t index) const;
+
     std::string path_;
     std::size_t block_size_;
     std::uint64_t size_blocks_ = 0;
     int fd_ = -1;
     bool unlink_on_close_;
+    bool fsync_on_close_;
 };
 
 } // namespace balsort

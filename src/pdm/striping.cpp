@@ -18,8 +18,8 @@ std::uint64_t BlockRun::optimal_read_steps(std::uint32_t d) const {
     return ceil_div(blocks.size(), d);
 }
 
-RunWriter::RunWriter(DiskArray& disks, std::uint32_t start_disk)
-    : disks_(disks), next_disk_(start_disk % disks.num_disks()) {}
+RunWriter::RunWriter(DiskArray& disks, std::uint32_t start_disk, bool synchronized)
+    : disks_(disks), next_disk_(start_disk % disks.num_disks()), synchronized_(synchronized) {}
 
 void RunWriter::append(std::span<const Record> records) {
     BS_REQUIRE(!finished_, "RunWriter::append after finish");
@@ -42,10 +42,19 @@ void RunWriter::flush_full_blocks(bool final_flush) {
             std::min<std::size_t>(buffer_.size() / b, d);
         std::vector<BlockOp> ops;
         ops.reserve(stripe_blocks);
+        // §6 synchronized mode: the stripe shares one fresh index across
+        // the array (>= every disk's high-water mark), so each member
+        // block is at the same relative position — parity-friendly.
+        std::uint64_t synced_index = 0;
+        if (synchronized_) {
+            for (std::uint32_t k = 0; k < d; ++k) {
+                synced_index = std::max(synced_index, disks_.high_water(k));
+            }
+        }
         for (std::size_t k = 0; k < stripe_blocks; ++k) {
             const std::uint32_t disk = next_disk_;
             next_disk_ = (next_disk_ + 1) % d;
-            ops.push_back(BlockOp{disk, disks_.allocate(disk)});
+            ops.push_back(BlockOp{disk, synchronized_ ? synced_index : disks_.allocate(disk)});
         }
         disks_.write_step(ops, std::span<const Record>(buffer_.data(), stripe_blocks * b));
         run_.blocks.insert(run_.blocks.end(), ops.begin(), ops.end());

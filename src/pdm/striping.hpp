@@ -37,7 +37,13 @@ struct BlockRun {
 /// (D blocks) and writes it with a single parallel I/O step.
 class RunWriter {
 public:
-    explicit RunWriter(DiskArray& disks, std::uint32_t start_disk = 0);
+    /// With `synchronized` (paper §6), every stripe lands at one common
+    /// *fresh* block index across the whole array instead of per-disk
+    /// allocated indices — the fully striped writes that make parity
+    /// upkeep a single XOR per stripe with no read-modify-write (see
+    /// DiskArray::update_parity). Trades space (skipped disks keep gaps)
+    /// for the error-checking/correcting friendliness the paper notes.
+    explicit RunWriter(DiskArray& disks, std::uint32_t start_disk = 0, bool synchronized = false);
 
     void append(std::span<const Record> records);
     void append(const Record& r) { append(std::span<const Record>(&r, 1)); }
@@ -50,6 +56,7 @@ private:
 
     DiskArray& disks_;
     std::uint32_t next_disk_;
+    bool synchronized_;
     std::vector<Record> buffer_;
     BlockRun run_;
     bool finished_ = false;

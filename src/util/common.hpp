@@ -2,12 +2,17 @@
 /// \file common.hpp
 /// Error-handling primitives shared by every balsort library.
 ///
-/// Two failure categories (DESIGN.md §5.10):
+/// Three failure categories (DESIGN.md §5.10, §8):
 ///  * `ModelViolation` — the simulated machine model was violated (two block
 ///    operations on one disk in a single parallel I/O step, out-of-range
 ///    block address, capacity overflow, ...). These indicate an algorithmic
 ///    bug, so they are *always* checked, in every build type.
 ///  * `std::invalid_argument` — ordinary API misuse (bad configuration).
+///  * `IoError` and subclasses — *environmental* failures of the (simulated
+///    or real) storage devices: transient errors, permanent disk death,
+///    detected corruption. Unlike the first two, these are not bugs; the
+///    DiskArray recovery layer (retry, parity reconstruction) may handle
+///    them transparently (DESIGN.md §8, "Fault model & recovery").
 
 #include <cstdint>
 #include <sstream>
@@ -20,6 +25,55 @@ namespace balsort {
 class ModelViolation : public std::logic_error {
 public:
     explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Base of the storage-fault hierarchy: a block operation failed for an
+/// environmental reason (bad medium, dead device, torn write, ...). Carries
+/// the failing (disk, block) address when known so recovery layers and
+/// operators can localize the fault.
+class IoError : public std::runtime_error {
+public:
+    static constexpr std::uint32_t kUnknownDisk = 0xffffffffu;
+    static constexpr std::uint64_t kUnknownBlock = ~std::uint64_t{0};
+
+    explicit IoError(const std::string& what, std::uint32_t disk = kUnknownDisk,
+                     std::uint64_t block = kUnknownBlock)
+        : std::runtime_error(what), disk_(disk), block_(block) {}
+
+    std::uint32_t disk() const { return disk_; }
+    std::uint64_t block() const { return block_; }
+
+private:
+    std::uint32_t disk_;
+    std::uint64_t block_;
+};
+
+/// A fault that a bounded retry may clear (bus glitch, dropped request).
+class TransientIoError : public IoError {
+public:
+    using IoError::IoError;
+};
+
+/// The device is permanently gone; every subsequent operation fails too.
+/// Only parity reconstruction (degraded mode) can serve its blocks.
+class DiskFailed : public IoError {
+public:
+    using IoError::IoError;
+};
+
+/// A read returned data whose checksum does not match what was written
+/// (silent bit rot, torn write). Retrying re-reads the same bad medium, so
+/// recovery must come from redundancy, not repetition.
+class CorruptBlock : public IoError {
+public:
+    using IoError::IoError;
+};
+
+/// Recovery itself failed: retries exhausted and parity reconstruction was
+/// unavailable or hit a second fault (double failure). Terminal.
+class UnrecoverableIo : public IoError {
+public:
+    using IoError::IoError;
 };
 
 namespace detail {
