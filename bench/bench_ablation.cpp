@@ -37,6 +37,7 @@ int main() {
         for (std::uint32_t s : {2u, 4u, 8u, 16u}) {
             SortOptions opt;
             opt.s_target = s;
+            opt.bucket_policy = BucketPolicy::kFixed;
             auto rep = run_balance_sort(cfg, w, 2, opt);
             t.add_row({Table::num(s), Table::num(rep.levels), Table::num(rep.io.io_steps()),
                        Table::fixed(rep.pram_time, 0)});

@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "balsort.hpp"
+// This example drives scheduling internals below the public surface.
 #include "core/matching.hpp"
 #include "core/matrices.hpp"
 #include "util/math.hpp"

@@ -15,12 +15,12 @@
 #include <iostream>
 #include <string>
 
+#include "balsort.hpp"
+// Baselines are internals, not part of the facade: include them directly.
 #include "baselines/greed_sort.hpp"
 #include "baselines/striped_merge.hpp"
-#include "core/balance_sort.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
-#include "util/workload.hpp"
 
 using namespace balsort;
 

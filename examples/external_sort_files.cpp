@@ -13,10 +13,9 @@
 #include <iostream>
 #include <string>
 
-#include "core/balance_sort.hpp"
+#include "balsort.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
-#include "util/workload.hpp"
 
 using namespace balsort;
 

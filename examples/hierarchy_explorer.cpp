@@ -9,9 +9,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/hier_sort.hpp"
+#include "balsort.hpp"
 #include "util/table.hpp"
-#include "util/workload.hpp"
 
 using namespace balsort;
 

@@ -6,10 +6,9 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/balance_sort.hpp"
+#include "balsort.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
-#include "util/workload.hpp"
 
 int main(int argc, char** argv) {
     using namespace balsort;

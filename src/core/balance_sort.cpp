@@ -11,6 +11,19 @@
 
 namespace balsort {
 
+void SortOptions::validate(std::uint32_t d) const {
+    BS_REQUIRE(!(pivot_method == PivotMethod::kStreamingSketch &&
+                 bucket_policy == BucketPolicy::kSqrtLevel),
+               "SortOptions: PivotMethod::kStreamingSketch cannot be combined with "
+               "BucketPolicy::kSqrtLevel — the child level's S is unknown while the parent "
+               "runs, so no sketch can be sized for it");
+    BS_REQUIRE(s_target == 0 || bucket_policy == BucketPolicy::kFixed,
+               "SortOptions: s_target != 0 requires BucketPolicy::kFixed; set bucket_policy "
+               "explicitly instead of relying on an implied fixed policy");
+    BS_REQUIRE(d_virtual == 0 || (d_virtual <= d && d % d_virtual == 0),
+               "SortOptions: d_virtual must divide the number of disks D");
+}
+
 std::uint32_t default_bucket_count(const PdmConfig& cfg, std::uint32_t vblock_records) {
     const std::uint64_t mb = std::max<std::uint64_t>(2, cfg.m / cfg.b);
     auto s = static_cast<std::uint32_t>(iroot(mb, 4));
@@ -101,6 +114,30 @@ void stream_copy(DriverState& st, RecordSource& src) {
         st.meter.add_moves(got);
     }
 }
+
+/// Scoped enable/restore of the array's async engine around one sort, so a
+/// sort never leaks engine state into the caller's array (and nested /
+/// sequential sorts compose).
+class AsyncGuard {
+public:
+    AsyncGuard(DiskArray& disks, bool enable) : disks_(disks), prev_(disks.async_enabled()) {
+        disks_.set_async(enable);
+    }
+    ~AsyncGuard() {
+        try {
+            disks_.set_async(prev_);
+        } catch (...) {
+            // Unwinding: a deferred write failure was already surfaced (or
+            // will surface as the sort's own exception); don't mask it.
+        }
+    }
+    AsyncGuard(const AsyncGuard&) = delete;
+    AsyncGuard& operator=(const AsyncGuard&) = delete;
+
+private:
+    DiskArray& disks_;
+    bool prev_;
+};
 
 void sort_rec(DriverState& st, const SourceFactory& factory, std::uint64_t n,
               std::uint32_t depth, const PivotSet* premade_pivots = nullptr) {
@@ -223,6 +260,7 @@ void sort_rec(DriverState& st, const SourceFactory& factory, std::uint64_t n,
 BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
                       const SortOptions& opt, SortReport* report) {
     cfg.validate();
+    opt.validate(disks.num_disks());
     BS_REQUIRE(input.n_records == cfg.n, "balance_sort: cfg.n != input.n_records");
     const std::uint32_t dv = opt.d_virtual != 0
                                  ? opt.d_virtual
@@ -234,12 +272,20 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
     }
     DriverState st(disks, cfg, opt, dv, threads, report);
 
+    const bool async_on =
+        opt.async_io == AsyncIo::kOn ||
+        (opt.async_io == AsyncIo::kAuto && disks.backend() == DiskBackend::kFile);
+    AsyncGuard async_guard(disks, async_on);
+
     const IoStats before = disks.stats();
     SourceFactory top = [&disks, &input]() -> std::unique_ptr<RecordSource> {
         return std::make_unique<StripedSource>(disks, input);
     };
     sort_rec(st, top, cfg.n, 0);
     BlockRun result = st.out.finish();
+    // Land every write-behind stripe and settle stall/busy accounting
+    // before the report snapshot (and before callers read the output).
+    disks.drain_async();
     BS_MODEL_CHECK(result.n_records == cfg.n, "balance_sort: output record count mismatch");
 
     if (report != nullptr) {

@@ -59,6 +59,15 @@ enum class BucketPolicy {
     kSqrtLevel,
 };
 
+/// Whether the sort drives the array through the asynchronous
+/// request/completion engine (DESIGN.md §9). Model accounting is identical
+/// either way; only wall-clock changes.
+enum class AsyncIo {
+    kAuto, ///< on for DiskBackend::kFile, off for kMemory
+    kOn,
+    kOff,
+};
+
 struct SortOptions {
     /// Bucket-count target S for BucketPolicy::kFixed; with the default
     /// policy, 0 selects the paper's (M/B)^(1/4) (§5).
@@ -92,6 +101,18 @@ struct SortOptions {
     /// array (error-checking/parity friendly), trading disk space for the
     /// property. I/O step counts are unchanged.
     bool synchronized_writes = false;
+    /// Overlapped I/O through the per-disk worker engine: prefetched
+    /// memoryloads and write-behind bucket stripes (DESIGN.md §9).
+    /// io_steps(), structure counters, and the sorted output are
+    /// bit-identical to the synchronous path; only wall-clock changes.
+    AsyncIo async_io = AsyncIo::kAuto;
+
+    /// Reject incoherent option combinations with a clear message
+    /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S
+    /// unknown while the parent runs), s_target != 0 with a non-kFixed
+    /// policy (previously silently implied kFixed), d_virtual not
+    /// dividing d. Called by balance_sort()/hier_sort() on entry.
+    void validate(std::uint32_t d) const;
 };
 
 struct SortReport {

@@ -26,6 +26,69 @@ void VRun::release(DiskArray& disks) const {
 VRunSource::VRunSource(VirtualDisks& vdisks, const VRun& run)
     : vdisks_(vdisks), run_(run), remaining_(run.n_records) {}
 
+VRunSource::~VRunSource() {
+    if (pending_.ticket.valid()) {
+        try {
+            vdisks_.array().complete_read(pending_.ticket);
+        } catch (...) {
+        }
+    }
+}
+
+std::vector<BlockOp> VRunSource::entry_ops(std::size_t first, std::size_t n) const {
+    std::vector<BlockOp> ops;
+    ops.reserve(n * vdisks_.group_size());
+    for (std::size_t e = first; e < first + n; ++e) {
+        const auto& vb = run_.entries[e].vblock;
+        ops.insert(ops.end(), vb.ops.begin(), vb.ops.end());
+    }
+    return ops;
+}
+
+void VRunSource::fetch_entries(std::size_t first, std::size_t n, std::span<Record> buf) {
+    DiskArray& array = vdisks_.array();
+    const std::uint32_t v = vdisks_.vblock_records();
+    if (!array.async_enabled()) {
+        std::vector<VirtualDisks::VBlock> vbs;
+        vbs.reserve(n);
+        for (std::size_t e = first; e < first + n; ++e) vbs.push_back(run_.entries[e].vblock);
+        vdisks_.read_vblocks(vbs, buf);
+        return;
+    }
+    // One charge for the whole fetch — the exact batch the sync path reads.
+    array.charge_read_batch(entry_ops(first, n));
+    std::size_t served = 0;
+    if (pending_.n_entries > pending_.consumed) {
+        BS_MODEL_CHECK(pending_.first_entry + pending_.consumed == first,
+                       "VRunSource: prefetch out of sequence");
+        if (!pending_.waited) {
+            array.complete_read(pending_.ticket);
+            pending_.waited = true;
+        }
+        const std::size_t take = std::min(n, pending_.n_entries - pending_.consumed);
+        std::copy_n(pending_.buf.begin() + static_cast<std::ptrdiff_t>(pending_.consumed * v),
+                    take * v, buf.begin());
+        pending_.consumed += take;
+        served = take;
+    }
+    if (served < n) {
+        const std::vector<BlockOp> rest = entry_ops(first + served, n - served);
+        DiskArray::ReadTicket ticket = array.prefetch_read(rest, buf.subspan(served * v));
+        array.complete_read(ticket);
+    }
+    if (pending_.consumed >= pending_.n_entries) {
+        pending_ = Prefetch{};
+        const std::size_t next_first = first + n;
+        const std::size_t next_n = std::min(n, run_.entries.size() - next_first);
+        if (next_n > 0) {
+            pending_.buf.resize(next_n * v);
+            pending_.first_entry = next_first;
+            pending_.n_entries = next_n;
+            pending_.ticket = array.prefetch_read(entry_ops(next_first, next_n), pending_.buf);
+        }
+    }
+}
+
 std::uint64_t VRunSource::read(std::span<Record> out) {
     const std::uint64_t want = std::min<std::uint64_t>(out.size(), remaining_);
     std::uint64_t got = 0;
@@ -48,11 +111,8 @@ std::uint64_t VRunSource::read(std::span<Record> out) {
         }
         const std::size_t n_fetch = last - next_entry_;
         const std::uint32_t v = vdisks_.vblock_records();
-        std::vector<VirtualDisks::VBlock> vbs;
-        vbs.reserve(n_fetch);
-        for (std::size_t e = next_entry_; e < last; ++e) vbs.push_back(run_.entries[e].vblock);
         std::vector<Record> buf(n_fetch * v);
-        vdisks_.read_vblocks(vbs, buf);
+        fetch_entries(next_entry_, n_fetch, buf);
         // Concatenate the valid prefixes of each block.
         std::vector<Record> valid;
         valid.reserve(covered);

@@ -60,19 +60,41 @@ struct VRun {
 };
 
 /// Streams a VRun; fetches pending virtual blocks with maximal parallelism.
+/// Double-buffers through the array's async engine when it is enabled,
+/// charging model costs at consumption time exactly as the synchronous
+/// path would (see RunReader; DESIGN.md §9).
 class VRunSource final : public RecordSource {
 public:
     VRunSource(VirtualDisks& vdisks, const VRun& run);
+    ~VRunSource() override;
+    VRunSource(const VRunSource&) = delete;
+    VRunSource& operator=(const VRunSource&) = delete;
     std::uint64_t remaining() const override { return remaining_; }
     std::uint64_t read(std::span<Record> out) override;
 
 private:
+    /// Fetch entries [first, first+n) into buf (n * vblock_records()).
+    void fetch_entries(std::size_t first, std::size_t n, std::span<Record> buf);
+    /// Physical block ops of entries [first, first+n), in read order.
+    std::vector<BlockOp> entry_ops(std::size_t first, std::size_t n) const;
+
     VirtualDisks& vdisks_;
     const VRun& run_;
     std::size_t next_entry_ = 0;
     std::uint64_t remaining_;
     std::vector<Record> carry_;
     std::size_t carry_pos_ = 0;
+
+    /// The single in-flight prefetch (async engine only).
+    struct Prefetch {
+        DiskArray::ReadTicket ticket;
+        std::vector<Record> buf;
+        std::size_t first_entry = 0;
+        std::size_t n_entries = 0;
+        std::size_t consumed = 0;
+        bool waited = false;
+    };
+    Prefetch pending_;
 };
 
 /// In-memory source (tests, the hierarchy driver's track feed).

@@ -1,0 +1,174 @@
+#include "pdm/async_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/common.hpp"
+
+namespace balsort {
+
+/// Shared completion state of one submitted batch. Workers fill
+/// `completions` slots (each slot touched by exactly one worker);
+/// `remaining` is guarded by the engine mutex.
+struct AsyncBatch::State {
+    std::vector<IoCompletion> completions;
+    std::size_t remaining = 0;
+};
+
+struct AsyncEngine::WorkItem {
+    IoRequest request;
+    std::uint32_t request_index = 0;
+    std::shared_ptr<AsyncBatch::State> batch;
+};
+
+AsyncEngine::AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
+                         std::uint32_t backoff_base_us)
+    : disks_(std::move(disks)), max_retries_(max_retries), backoff_base_us_(backoff_base_us) {
+    BS_REQUIRE(!disks_.empty(), "AsyncEngine: need at least one disk");
+    for (const Disk* d : disks_) BS_REQUIRE(d != nullptr, "AsyncEngine: null disk");
+    queues_.resize(disks_.size());
+    workers_.reserve(disks_.size());
+    for (std::uint32_t i = 0; i < disks_.size(); ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+AsyncEngine::~AsyncEngine() {
+    std::vector<WorkItem> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        // Unexecuted requests must not run (the submitter is unwinding and
+        // its buffers or the disks may be going away) but their batches
+        // must still complete, or a stray wait would hang forever.
+        for (auto& q : queues_) {
+            for (auto& item : q) orphans.push_back(std::move(item));
+            q.clear();
+        }
+        for (auto& item : orphans) {
+            IoCompletion& c = item.batch->completions[item.request_index];
+            c.ok = false;
+            c.error = std::make_exception_ptr(
+                IoError("async engine stopped before request executed", item.request.disk,
+                        item.request.block));
+            --item.batch->remaining;
+            ++executed_;
+        }
+    }
+    cv_work_.notify_all();
+    cv_done_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+AsyncBatch AsyncEngine::submit(std::vector<IoRequest> requests) {
+    AsyncBatch batch;
+    batch.state_ = std::make_shared<AsyncBatch::State>();
+    batch.state_->completions.resize(requests.size());
+    batch.state_->remaining = requests.size();
+    if (requests.empty()) return batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BS_REQUIRE(!stop_, "AsyncEngine::submit after stop");
+        for (std::uint32_t i = 0; i < requests.size(); ++i) {
+            const IoRequest& r = requests[i];
+            BS_REQUIRE(r.disk < disks_.size(), "AsyncEngine: request names nonexistent disk");
+            IoCompletion& c = batch.state_->completions[i];
+            c.request_index = i;
+            c.disk = r.disk;
+            c.block = r.block;
+            queues_[r.disk].push_back(WorkItem{r, i, batch.state_});
+        }
+        submitted_ += requests.size();
+        peak_in_flight_ = std::max(peak_in_flight_, submitted_ - executed_);
+    }
+    cv_work_.notify_all();
+    return batch;
+}
+
+const std::vector<IoCompletion>& AsyncEngine::wait(AsyncBatch& batch) {
+    BS_REQUIRE(batch.valid(), "AsyncEngine::wait on empty batch handle");
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return batch.state_->remaining == 0; });
+    return batch.state_->completions;
+}
+
+bool AsyncEngine::done(const AsyncBatch& batch) const {
+    BS_REQUIRE(batch.valid(), "AsyncEngine::done on empty batch handle");
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batch.state_->remaining == 0;
+}
+
+void AsyncEngine::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return executed_ == submitted_; });
+}
+
+AsyncEngineMetrics AsyncEngine::metrics() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AsyncEngineMetrics m;
+    m.busy_seconds = busy_seconds_;
+    m.block_ops = executed_;
+    m.max_in_flight = peak_in_flight_;
+    return m;
+}
+
+void AsyncEngine::worker_loop(std::uint32_t disk_index) {
+    for (;;) {
+        WorkItem item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_work_.wait(lock, [&] { return stop_ || !queues_[disk_index].empty(); });
+            if (queues_[disk_index].empty()) return; // stop_ and no work left
+            item = std::move(queues_[disk_index].front());
+            queues_[disk_index].pop_front();
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        execute(disk_index, item);
+        const auto t1 = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            busy_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+            ++executed_;
+            --item.batch->remaining;
+        }
+        cv_done_.notify_all();
+    }
+}
+
+void AsyncEngine::execute(std::uint32_t disk_index, const WorkItem& item) {
+    Disk& disk = *disks_[disk_index];
+    const IoRequest& r = item.request;
+    IoCompletion& c = item.batch->completions[item.request_index];
+    const std::size_t b = disk.block_size();
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
+            if (r.kind == IoRequest::Kind::kRead) {
+                disk.read_block(r.block, std::span<Record>(r.read_buf, b));
+            } else {
+                disk.write_block(r.block, std::span<const Record>(r.write_data, b));
+            }
+            return; // c.ok stays true
+        } catch (const TransientIoError&) {
+            if (attempt >= max_retries_) {
+                c.ok = false;
+                c.error = std::current_exception();
+                return;
+            }
+            ++c.transient_retries;
+            if (backoff_base_us_ != 0) {
+                const std::uint64_t us = static_cast<std::uint64_t>(backoff_base_us_)
+                                         << std::min<std::uint32_t>(attempt, 10);
+                std::this_thread::sleep_for(std::chrono::microseconds(us));
+            }
+        } catch (...) {
+            // Non-transient (DiskFailed, CorruptBlock, IoError, model
+            // violations): defer to the submitter, who owns the shared
+            // recovery state.
+            c.ok = false;
+            c.error = std::current_exception();
+            return;
+        }
+    }
+}
+
+} // namespace balsort

@@ -1,0 +1,162 @@
+#pragma once
+/// \file async_engine.hpp
+/// Asynchronous request/completion I/O engine for the PDM layer
+/// (DESIGN.md §9).
+///
+/// The parallel disk model charges one I/O step for D blocks moving
+/// *concurrently* (§1, Theorem 1), but a sequential loop over the D
+/// per-disk transfers serializes exactly the parallelism the model counts
+/// as one step. The AsyncEngine restores the model's physics: one worker
+/// thread per disk, each draining a FIFO queue of block requests, so the
+/// D transfers of a step really do proceed in parallel and wall-clock can
+/// track `io_steps()`.
+///
+/// Division of labor (the invariants DiskArray relies on):
+///  * A worker touches ONLY its own disk's decorator stack plus local
+///    counters — never DiskArray shared state (stats, health, allocator,
+///    parity). Everything shared is mutated by the submitting thread when
+///    it reaps completions.
+///  * Per-disk FIFO: requests for one disk execute in submission order,
+///    so a read of a block submitted after its write always sees the
+///    written data, with no extra synchronization at the call sites.
+///  * Transient faults are retried on the worker (bounded, counted in the
+///    completion); any other failure is *deferred* — captured as an
+///    exception_ptr and returned to the submitter, who runs the PR-1
+///    recovery ladder (checksum verify, parity reconstruction, degraded
+///    mode) serially after `drain()`. Fault-free requests therefore run
+///    at full parallelism while recovery keeps its single-threaded,
+///    deterministic semantics.
+///
+/// The engine never performs model accounting: I/O steps are charged by
+/// DiskArray at submission time, keeping `io_steps()` bit-identical to
+/// the synchronous path (the wall-clock-vs-model-cost separation).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pdm/disk.hpp"
+
+namespace balsort {
+
+/// One block transfer handed to the engine. The buffer must stay valid
+/// until the request's batch completes (the submitter owns it).
+struct IoRequest {
+    enum class Kind : std::uint8_t { kRead, kWrite };
+    Kind kind = Kind::kRead;
+    std::uint32_t disk = 0;
+    std::uint64_t block = 0;
+    Record* read_buf = nullptr;        ///< kRead: receives block_size() records
+    const Record* write_data = nullptr;///< kWrite: block_size() records to persist
+};
+
+/// Outcome of one IoRequest, reported back to the submitting thread.
+struct IoCompletion {
+    std::uint32_t request_index = 0; ///< position within the submitted batch
+    std::uint32_t disk = 0;
+    std::uint64_t block = 0;
+    bool ok = true;
+    /// Deferred failure: the first non-transient exception (or the final
+    /// transient one once retries are exhausted). The submitter classifies
+    /// it and runs the recovery ladder.
+    std::exception_ptr error;
+    /// Transient faults retried on the worker while executing this request
+    /// (counted whether or not the request ultimately succeeded).
+    std::uint64_t transient_retries = 0;
+};
+
+/// Completion handle for one submitted batch of requests. Move-only;
+/// cheap to hold. Dropping a batch without waiting is safe — the engine
+/// keeps the shared completion state alive until every request executed.
+class AsyncBatch {
+public:
+    AsyncBatch() = default;
+    AsyncBatch(AsyncBatch&&) = default;
+    AsyncBatch& operator=(AsyncBatch&&) = default;
+    AsyncBatch(const AsyncBatch&) = delete;
+    AsyncBatch& operator=(const AsyncBatch&) = delete;
+
+    bool valid() const { return state_ != nullptr; }
+
+private:
+    friend class AsyncEngine;
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+/// Wall-clock observability (DESIGN.md §9): how much the engine worked,
+/// how long submitters stalled on it, and how deep the pipeline got.
+struct AsyncEngineMetrics {
+    double busy_seconds = 0;        ///< summed worker time executing requests
+    std::uint64_t block_ops = 0;    ///< requests executed
+    std::uint64_t max_in_flight = 0;///< peak submitted-but-not-executed depth
+};
+
+/// Per-disk worker threads + FIFO request queues + completion batches.
+class AsyncEngine {
+public:
+    /// `disks[d]` is the top of disk d's decorator stack; the engine does
+    /// not own the disks. Retry policy mirrors DiskArray's FaultTolerance:
+    /// total attempts = 1 + max_retries, exponential backoff of
+    /// `backoff_base_us << attempt` microseconds between them (0 = none).
+    AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
+                std::uint32_t backoff_base_us);
+    /// Stops the workers. Queued-but-unexecuted requests are completed
+    /// with an "engine stopped" error instead of running (destruction
+    /// during unwind must not touch possibly-dead disks).
+    ~AsyncEngine();
+
+    AsyncEngine(const AsyncEngine&) = delete;
+    AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+    std::uint32_t num_disks() const { return static_cast<std::uint32_t>(disks_.size()); }
+
+    /// Enqueue a batch of requests (any mix of disks/kinds; per-disk FIFO
+    /// order is the submission order). Buffers must outlive the batch.
+    AsyncBatch submit(std::vector<IoRequest> requests);
+
+    /// Block until every request of `batch` executed; returns completions
+    /// ordered by request_index. Idempotent (a second wait returns the
+    /// same completions).
+    const std::vector<IoCompletion>& wait(AsyncBatch& batch);
+
+    /// True once every request of `batch` executed (non-blocking).
+    bool done(const AsyncBatch& batch) const;
+
+    /// Block until the engine is fully idle: every submitted request has
+    /// executed. Completions stay with their batches (drain reaps
+    /// nothing); afterwards the submitting thread may safely touch the
+    /// disks directly (recovery ladder, parity RMW, direct test access).
+    void drain();
+
+    AsyncEngineMetrics metrics() const;
+
+private:
+    struct WorkItem;
+
+    void worker_loop(std::uint32_t disk_index);
+    void execute(std::uint32_t disk_index, const WorkItem& item);
+
+    std::vector<Disk*> disks_;
+    std::uint32_t max_retries_;
+    std::uint32_t backoff_base_us_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_work_;  ///< workers: queue non-empty or stop
+    std::condition_variable cv_done_;  ///< submitters: batch/engine completion
+    std::vector<std::deque<WorkItem>> queues_; ///< one FIFO per disk
+    std::uint64_t submitted_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t peak_in_flight_ = 0;
+    double busy_seconds_ = 0; ///< guarded by mutex_ (folded per request)
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_; ///< constructed last, joined first
+};
+
+} // namespace balsort

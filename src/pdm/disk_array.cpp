@@ -27,11 +27,43 @@ void xor_into(std::span<Record> acc, std::span<const Record> src) {
     }
 }
 
+/// Decorator charging DeviceModel wall-clock per block op, on whichever
+/// thread executes the op: serial under the sync path, concurrent under the
+/// engine's per-disk workers — exactly the contrast bench_async measures.
+/// Sits below the fault layers, so a retried op pays the device again only
+/// when it actually reaches the device.
+class ThrottledDisk final : public Disk {
+public:
+    ThrottledDisk(std::unique_ptr<Disk> inner, DeviceModel dev)
+        : inner_(std::move(inner)), dev_(dev) {}
+
+    std::size_t block_size() const override { return inner_->block_size(); }
+    std::uint64_t size_blocks() const override { return inner_->size_blocks(); }
+    void read_block(std::uint64_t index, std::span<Record> out) const override {
+        throttle();
+        inner_->read_block(index, out);
+    }
+    void write_block(std::uint64_t index, std::span<const Record> in) override {
+        throttle();
+        inner_->write_block(index, in);
+    }
+
+private:
+    void throttle() const {
+        const double us =
+            dev_.latency_us + dev_.us_per_record * static_cast<double>(inner_->block_size());
+        if (us > 0) std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+    }
+
+    std::unique_ptr<Disk> inner_;
+    DeviceModel dev_;
+};
+
 } // namespace
 
 DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std::string file_dir,
-                     Constraint constraint, FaultTolerance ft)
-    : b_(b), constraint_(constraint), ft_(ft) {
+                     Constraint constraint, FaultTolerance ft, DeviceModel dev)
+    : b_(b), backend_(backend), constraint_(constraint), ft_(ft), dev_(dev) {
     BS_REQUIRE(d >= 1, "DiskArray: need at least one disk");
     BS_REQUIRE(b >= 1, "DiskArray: block size must be >= 1");
     BS_REQUIRE(ft_.die_disk == FaultTolerance::kNoDisk || ft_.die_disk < d,
@@ -52,6 +84,7 @@ DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std:
     csum_.assign(d, nullptr);
     for (std::uint32_t i = 0; i < d; ++i) {
         auto disk = make_base("disk_" + std::to_string(i) + ".bin");
+        if (dev_.any()) disk = std::make_unique<ThrottledDisk>(std::move(disk), dev_);
         if (ft_.inject.any_faults()) {
             FaultSpec spec = ft_.inject;
             if (i != ft_.die_disk) spec.die_after_ops = 0;
@@ -66,6 +99,7 @@ DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std:
     }
     if (ft_.parity) {
         auto pd = make_base("parity.bin");
+        if (dev_.any()) pd = std::make_unique<ThrottledDisk>(std::move(pd), dev_);
         // The parity device is trusted (no injection) but still
         // checksummed when the array is, so bugs in parity upkeep surface
         // as CorruptBlock instead of silent bad reconstructions.
@@ -77,6 +111,17 @@ DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std:
     next_free_.assign(d, 0);
     free_list_.resize(d);
     health_.assign(d, DiskHealth{});
+    parity_carried_.resize(d);
+}
+
+DiskArray::~DiskArray() {
+    try {
+        drain_async();
+    } catch (...) {
+        // Destruction must not throw; a deferred write failure that nobody
+        // reaped dies with the array.
+    }
+    engine_.reset(); // workers must stop before buffers and disks go away
 }
 
 const DiskHealth& DiskArray::health(std::uint32_t d) const {
@@ -142,6 +187,17 @@ void DiskArray::reconstruct_block(std::uint32_t d, std::uint64_t index, std::spa
     std::vector<Record> buf(b_);
     for (std::uint32_t peer = 0; peer < disks_.size(); ++peer) {
         if (peer == d) continue;
+        if (!health_[peer].alive && parity_carried_[peer].count(index) != 0) {
+            // The stripe needs peer's block, but peer is dead and that
+            // block only ever existed inside parity (a post-death degraded
+            // write). Two unreadable contributors in one stripe is beyond
+            // single-parity recovery; treating the carried image as zeros
+            // would return garbage with a clean conscience.
+            throw UnrecoverableIo("double failure: dead peer disk " + std::to_string(peer) +
+                                      " holds only a parity-carried image at the stripe "
+                                      "needed for reconstruction",
+                                  peer, index);
+        }
         if (index >= disks_[peer]->size_blocks()) continue; // never written: zeros
         retrying_read(*disks_[peer], peer, index, buf, /*for_reconstruction=*/true);
         xor_into(out, buf);
@@ -230,6 +286,7 @@ bool DiskArray::robust_write(const BlockOp& op, std::span<const Record> in) {
     // Degraded write: parity (already updated with the intended image)
     // carries this block; reads will reconstruct it.
     if (h.alive && csum_[op.disk] != nullptr) csum_[op.disk]->mark_lost(op.block);
+    if (!h.alive) parity_carried_[op.disk].insert(op.block);
     ++h.degraded_writes;
     ++stats_.degraded_writes;
     return false;
@@ -297,6 +354,11 @@ void DiskArray::check_step_legal(std::span<const BlockOp> ops) const {
 void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffers) {
     if (ops.empty()) return;
     BS_REQUIRE(buffers.size() == ops.size() * b_, "read_step: buffer size mismatch");
+    if (engine_ != nullptr) {
+        ReadTicket ticket = read_stripe_async(ops, buffers);
+        complete_read(ticket);
+        return;
+    }
     check_step_legal(ops);
     for (std::size_t i = 0; i < ops.size(); ++i) {
         auto chunk = buffers.subspan(i * b_, b_);
@@ -314,6 +376,19 @@ void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffer
 void DiskArray::write_step(std::span<const BlockOp> ops, std::span<const Record> buffers) {
     if (ops.empty()) return;
     BS_REQUIRE(buffers.size() == ops.size() * b_, "write_step: buffer size mismatch");
+    if (engine_ != nullptr) {
+        if (!(ft_.parity && parity_ != nullptr)) {
+            write_stripe_async(ops, buffers);
+            return;
+        }
+        // Parity RMW reads the array's old images directly; every queued
+        // transfer (a prefetch of those very blocks, an earlier write of
+        // them) must land first, and write-behind would let a queued read
+        // observe a stale-but-valid image before mark_lost degrades a
+        // failed write. Parity mode therefore keeps the write path fully
+        // synchronous behind a drain.
+        drain_async();
+    }
     check_step_legal(ops);
     // Parity first: it must read the old images before they are replaced.
     if (ft_.parity && parity_ != nullptr) update_parity(ops, buffers);
@@ -367,6 +442,17 @@ std::vector<std::vector<std::size_t>> plan_steps(std::span<const BlockOp> ops, s
 
 void DiskArray::read_batch(std::span<const BlockOp> ops, std::span<Record> dest) {
     BS_REQUIRE(dest.size() == ops.size() * b_, "read_batch: buffer size mismatch");
+    if (engine_ != nullptr) {
+        if (ops.empty()) return;
+        // One submission for the whole batch: all disks stream their op
+        // lists concurrently instead of synchronizing at step boundaries.
+        // The model is still charged per planned step, identically to the
+        // loop below.
+        charge_read_batch(ops);
+        ReadTicket ticket = submit_read(ops, dest);
+        reap_read(ticket);
+        return;
+    }
     auto steps = plan_steps(ops, disks_.size(), constraint_);
     std::vector<BlockOp> step_ops;
     std::vector<Record> step_buf;
@@ -397,6 +483,274 @@ void DiskArray::write_batch(std::span<const BlockOp> ops, std::span<const Record
         }
         write_step(step_ops, step_buf);
     }
+}
+
+// ---- asynchronous request/completion path (DESIGN.md §9) ----
+//
+// Division of labor: engine workers touch only their own disk's decorator
+// stack; everything shared (stats_, health_, csum_, parity_, allocator) is
+// mutated here, on the submitting thread, at charge or reap time. Deferred
+// failures run the PR-1 recovery ladder serially after a full drain, so
+// reconstruction never races a worker on a peer disk.
+
+namespace {
+
+class StallTimer {
+public:
+    explicit StallTimer(double& acc) : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+    ~StallTimer() {
+        acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+    }
+
+private:
+    double& acc_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace
+
+void DiskArray::set_async(bool enabled) {
+    if (enabled == (engine_ != nullptr)) return;
+    if (!enabled) {
+        drain_async();
+        const AsyncEngineMetrics m = engine_->metrics();
+        folded_busy_seconds_ += m.busy_seconds;
+        folded_block_ops_ += m.block_ops;
+        folded_max_in_flight_ = std::max(folded_max_in_flight_, m.max_in_flight);
+        engine_.reset();
+        return;
+    }
+    std::vector<Disk*> tops;
+    tops.reserve(disks_.size());
+    for (auto& disk : disks_) tops.push_back(disk.get());
+    // The parity device is excluded: parity upkeep reads old images and is
+    // only ever touched synchronously (see write_step).
+    engine_ = std::make_unique<AsyncEngine>(std::move(tops), ft_.max_retries, ft_.backoff_base_us);
+}
+
+void DiskArray::drain_async() {
+    if (engine_ == nullptr) return;
+    reap_pending_writes(/*all=*/true);
+    StallTimer stall(stats_.engine_stall_seconds);
+    engine_->drain();
+}
+
+void DiskArray::refresh_engine_stats() const {
+    stats_.engine_busy_seconds = folded_busy_seconds_;
+    stats_.async_block_ops = folded_block_ops_;
+    stats_.max_in_flight = folded_max_in_flight_;
+    if (engine_ != nullptr) {
+        const AsyncEngineMetrics m = engine_->metrics();
+        stats_.engine_busy_seconds += m.busy_seconds;
+        stats_.async_block_ops += m.block_ops;
+        stats_.max_in_flight = std::max(stats_.max_in_flight, m.max_in_flight);
+    }
+}
+
+void DiskArray::charge_read_step(std::span<const BlockOp> ops) {
+    stats_.read_steps += 1;
+    stats_.blocks_read += ops.size();
+    if (observer_) observer_(true, ops);
+}
+
+void DiskArray::charge_write_step(std::span<const BlockOp> ops) {
+    for (const auto& op : ops) {
+        next_free_[op.disk] = std::max(next_free_[op.disk], op.block + 1);
+    }
+    stats_.write_steps += 1;
+    stats_.blocks_written += ops.size();
+    if (observer_) observer_(false, ops);
+}
+
+void DiskArray::charge_read_batch(std::span<const BlockOp> ops) {
+    auto steps = plan_steps(ops, disks_.size(), constraint_);
+    std::vector<BlockOp> step_ops;
+    for (const auto& idxs : steps) {
+        step_ops.clear();
+        for (std::size_t i : idxs) step_ops.push_back(ops[i]);
+        check_step_legal(step_ops);
+        charge_read_step(step_ops);
+    }
+}
+
+DiskArray::ReadTicket DiskArray::submit_read(std::span<const BlockOp> ops,
+                                             std::span<Record> dest) {
+    BS_REQUIRE(engine_ != nullptr, "submit_read: async engine is off");
+    BS_REQUIRE(dest.size() == ops.size() * b_, "submit_read: buffer size mismatch");
+    ReadTicket ticket;
+    ticket.ops_.assign(ops.begin(), ops.end());
+    ticket.dest_ = dest;
+    std::vector<IoRequest> requests(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        requests[i].kind = IoRequest::Kind::kRead;
+        requests[i].disk = ops[i].disk;
+        requests[i].block = ops[i].block;
+        requests[i].read_buf = dest.data() + i * b_;
+    }
+    ticket.batch_ = engine_->submit(std::move(requests));
+    return ticket;
+}
+
+DiskArray::ReadTicket DiskArray::read_stripe_async(std::span<const BlockOp> ops,
+                                                   std::span<Record> dest) {
+    BS_REQUIRE(engine_ != nullptr, "read_stripe_async: async engine is off");
+    if (ops.empty()) return ReadTicket{};
+    check_step_legal(ops);
+    charge_read_step(ops);
+    return submit_read(ops, dest);
+}
+
+DiskArray::ReadTicket DiskArray::prefetch_read(std::span<const BlockOp> ops,
+                                               std::span<Record> dest) {
+    // No legality check: a prefetch is a physical batch (several blocks of
+    // one disk are fine — they queue FIFO), not a model step. No charging:
+    // the consumer calls charge_read_batch over the same ops when the sync
+    // path would have read them.
+    if (ops.empty()) return ReadTicket{};
+    return submit_read(ops, dest);
+}
+
+void DiskArray::complete_read(ReadTicket& ticket) { reap_read(ticket); }
+
+void DiskArray::reap_read(ReadTicket& ticket) {
+    if (!ticket.batch_.valid()) return;
+    bool any_failed = false;
+    {
+        StallTimer stall(stats_.engine_stall_seconds);
+        const std::vector<IoCompletion>& comps = engine_->wait(ticket.batch_);
+        for (const IoCompletion& c : comps) {
+            if (c.transient_retries != 0) {
+                health_[c.disk].transient_retries += c.transient_retries;
+                stats_.transient_retries += c.transient_retries;
+            }
+            if (!c.ok) any_failed = true;
+        }
+    }
+    if (any_failed) {
+        // Quiesce the array, then run the ladder serially in request order
+        // — the same order the synchronous loop would have hit failures.
+        reap_pending_writes(/*all=*/true);
+        engine_->drain();
+        const std::vector<IoCompletion>& comps = engine_->wait(ticket.batch_);
+        for (const IoCompletion& c : comps) {
+            if (c.ok) continue;
+            handle_read_failure(ticket.ops_[c.request_index], c.error,
+                                ticket.dest_.subspan(c.request_index * b_, b_));
+        }
+    }
+    ticket = ReadTicket{};
+}
+
+void DiskArray::handle_read_failure(const BlockOp& op, const std::exception_ptr& error,
+                                    std::span<Record> out) {
+    DiskHealth& h = health_[op.disk];
+    bool corrupt = false;
+    // Classify exactly as robust_read's catch ladder does; anything outside
+    // the IoError family (model violations) propagates.
+    try {
+        std::rethrow_exception(error);
+    } catch (const TransientIoError&) {
+        // retries exhausted on the worker (already counted)
+    } catch (const DiskFailed&) {
+        h.alive = false;
+    } catch (const CorruptBlock&) {
+        ++h.corrupt_blocks;
+        ++stats_.corrupt_blocks;
+        corrupt = true;
+    } catch (const IoError&) {
+    }
+    if (!ft_.parity || parity_ == nullptr) std::rethrow_exception(error);
+    reconstruct_block(op.disk, op.block, out);
+    if (corrupt && h.alive && ft_.scrub_on_reconstruct) {
+        try {
+            disks_[op.disk]->write_block(op.block, out);
+        } catch (const IoError&) {
+        }
+    }
+}
+
+void DiskArray::write_stripe_async(std::span<const BlockOp> ops, std::span<const Record> src) {
+    BS_REQUIRE(engine_ != nullptr, "write_stripe_async: async engine is off");
+    BS_REQUIRE(!(ft_.parity && parity_ != nullptr),
+               "write_stripe_async: parity mode requires the synchronous write path");
+    if (ops.empty()) return;
+    BS_REQUIRE(src.size() == ops.size() * b_, "write_stripe_async: buffer size mismatch");
+    check_step_legal(ops);
+    charge_write_step(ops);
+    PendingWrite pending;
+    pending.ops.assign(ops.begin(), ops.end());
+    pending.data.assign(src.begin(), src.end());
+    std::vector<IoRequest> requests(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        requests[i].kind = IoRequest::Kind::kWrite;
+        requests[i].disk = ops[i].disk;
+        requests[i].block = ops[i].block;
+        requests[i].write_data = pending.data.data() + i * b_;
+    }
+    pending.batch = engine_->submit(std::move(requests));
+    pending_writes_.push_back(std::move(pending));
+    // Opportunistic reap keeps deferred failures from aging; the bound
+    // keeps buffered write-behind memory at O(D * B).
+    reap_pending_writes(/*all=*/false);
+    while (pending_writes_.size() > kMaxPendingWrites) reap_front_write();
+}
+
+void DiskArray::reap_pending_writes(bool all) {
+    if (engine_ == nullptr) return;
+    while (!pending_writes_.empty()) {
+        if (!all && !engine_->done(pending_writes_.front().batch)) break;
+        reap_front_write();
+    }
+}
+
+void DiskArray::reap_front_write() {
+    PendingWrite pending = std::move(pending_writes_.front());
+    pending_writes_.pop_front();
+    bool any_failed = false;
+    {
+        StallTimer stall(stats_.engine_stall_seconds);
+        const std::vector<IoCompletion>& comps = engine_->wait(pending.batch);
+        for (const IoCompletion& c : comps) {
+            if (c.transient_retries != 0) {
+                health_[c.disk].transient_retries += c.transient_retries;
+                stats_.transient_retries += c.transient_retries;
+            }
+            if (!c.ok) any_failed = true;
+        }
+    }
+    if (any_failed) {
+        engine_->drain(); // mark_lost must not race the disk's worker
+        const std::vector<IoCompletion>& comps = engine_->wait(pending.batch);
+        for (const IoCompletion& c : comps) {
+            if (!c.ok) handle_write_failure(pending.ops[c.request_index], c.error);
+        }
+    }
+}
+
+void DiskArray::handle_write_failure(const BlockOp& op, const std::exception_ptr& error) {
+    DiskHealth& h = health_[op.disk];
+    bool dead = false;
+    try {
+        std::rethrow_exception(error);
+    } catch (const TransientIoError&) {
+    } catch (const DiskFailed&) {
+        h.alive = false;
+        dead = true;
+    } catch (const IoError&) {
+    }
+    // Mirror robust_write's failure tail. Degrading into parity needs a
+    // parity stripe carrying the intended image — impossible here, since
+    // write-behind is only legal with parity off — so in practice every
+    // deferred write failure surfaces to the caller.
+    if (dead) {
+        if (!ft_.parity || parity_ == nullptr) std::rethrow_exception(error);
+    } else if (!(ft_.parity && parity_ != nullptr && csum_[op.disk] != nullptr)) {
+        std::rethrow_exception(error);
+    }
+    if (h.alive && csum_[op.disk] != nullptr) csum_[op.disk]->mark_lost(op.block);
+    if (!h.alive) parity_carried_[op.disk].insert(op.block);
+    ++h.degraded_writes;
+    ++stats_.degraded_writes;
 }
 
 std::uint64_t DiskArray::allocate(std::uint32_t disk) {

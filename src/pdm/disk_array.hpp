@@ -13,12 +13,15 @@
 /// regardless of disk — is available via `Constraint::kAggarwalVitter`
 /// (EXP-F1-AGV measures the gap).
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "pdm/async_engine.hpp"
 #include "pdm/disk.hpp"
 #include "pdm/faulty_disk.hpp"
 #include "pdm/io_stats.hpp"
@@ -27,6 +30,20 @@
 namespace balsort {
 
 enum class DiskBackend { kMemory, kFile };
+
+/// Optional wall-clock device model (DESIGN.md §9): every block operation
+/// occupies its executing thread for latency_us + B * us_per_record
+/// microseconds — positioning latency plus transfer time. Model accounting
+/// is untouched (a throttled array counts the same io_steps()); only
+/// wall-clock changes. Page-cached scratch files serve blocks at memcpy
+/// speed, which hides exactly the per-step serialization the async engine
+/// removes — the device model restores honest physics for sync-vs-async
+/// wall-clock comparisons (bench_async).
+struct DeviceModel {
+    std::uint32_t latency_us = 0; ///< fixed positioning cost per block op
+    double us_per_record = 0.0;   ///< streaming transfer cost
+    bool any() const { return latency_us > 0 || us_per_record > 0; }
+};
 
 /// Fault-tolerance configuration for a DiskArray (DESIGN.md §8).
 ///
@@ -90,16 +107,26 @@ class DiskArray {
 public:
     /// For DiskBackend::kFile, `file_dir` must name a writable directory;
     /// one scratch file per disk is created there (removed on destruction).
+    /// A non-trivial `dev` inserts a ThrottledDisk below the fault layers of
+    /// every disk (parity included), charging wall-clock per block op.
     DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend = DiskBackend::kMemory,
               std::string file_dir = ".", Constraint constraint = Constraint::kIndependentDisks,
-              FaultTolerance ft = {});
+              FaultTolerance ft = {}, DeviceModel dev = {});
+    ~DiskArray();
 
     std::uint32_t num_disks() const { return static_cast<std::uint32_t>(disks_.size()); }
     std::uint32_t block_size() const { return b_; }
     Constraint constraint() const { return constraint_; }
+    DiskBackend backend() const { return backend_; }
 
-    IoStats& stats() { return stats_; }
-    const IoStats& stats() const { return stats_; }
+    IoStats& stats() {
+        refresh_engine_stats();
+        return stats_;
+    }
+    const IoStats& stats() const {
+        refresh_engine_stats();
+        return stats_;
+    }
 
     /// One parallel read step. `buffers` is ops.size()*B records, the i-th
     /// chunk receiving the i-th op's block. Ops must respect `constraint()`.
@@ -115,6 +142,72 @@ public:
 
     /// Write counterpart of read_batch.
     void write_batch(std::span<const BlockOp> ops, std::span<const Record> src);
+
+    // ---- asynchronous request/completion API (DESIGN.md §9) ----
+    //
+    // With the engine enabled, read_step/write_step/read_batch/write_batch
+    // transparently route through it, so callers need nothing below unless
+    // they want explicit overlap (prefetch ahead of consumption). Model
+    // accounting is charged by the *submitting* thread using exactly the
+    // step decomposition of the synchronous path, so io_steps() and the
+    // step-observer sequence are bit-identical with the engine on or off.
+
+    /// Completion handle for one asynchronous stripe read. Move-only.
+    /// Obtain via read_stripe_async/prefetch_read; redeem via complete_read.
+    class ReadTicket {
+    public:
+        ReadTicket() = default;
+        ReadTicket(ReadTicket&&) = default;
+        ReadTicket& operator=(ReadTicket&&) = default;
+        bool valid() const { return batch_.valid(); }
+
+    private:
+        friend class DiskArray;
+        AsyncBatch batch_;
+        std::vector<BlockOp> ops_;
+        std::span<Record> dest_;
+    };
+
+    /// Start/stop the per-disk worker engine. Enabling is cheap; disabling
+    /// drains all in-flight work first and folds engine metrics into
+    /// stats(). No-op if already in the requested state.
+    void set_async(bool enabled);
+    bool async_enabled() const { return engine_ != nullptr; }
+
+    /// Complete all in-flight work: reap pending write-behind batches
+    /// (surfacing any deferred failures) and wait for the engine to idle.
+    /// After this, direct disk access (disk_for_testing, reconstruct_block)
+    /// is safe. No-op when the engine is off.
+    void drain_async();
+
+    /// Asynchronous read_step: charges one parallel read step now, submits
+    /// the transfers, returns a ticket. `dest` must stay valid until the
+    /// ticket is completed. Recovery (retry exhaustion, corruption, death)
+    /// happens inside complete_read, identical to the sync ladder.
+    ReadTicket read_stripe_async(std::span<const BlockOp> ops, std::span<Record> dest);
+
+    /// Submit transfers WITHOUT charging model costs — pair each prefetch
+    /// with a later charge_read_batch over the same ops at consumption
+    /// time. This is how RunReader/VRunSource overlap: physical I/O runs
+    /// ahead while the model is charged exactly when the sync path would.
+    ReadTicket prefetch_read(std::span<const BlockOp> ops, std::span<Record> dest);
+
+    /// Charge the model cost of reading `ops` as read_batch would (step
+    /// decomposition via per-disk grouping, observer callbacks included)
+    /// without touching any disk.
+    void charge_read_batch(std::span<const BlockOp> ops);
+
+    /// Wait for a ticket's transfers and run the recovery ladder on any
+    /// deferred failure (in request order, after draining the engine).
+    /// Idempotent: completing an empty/moved-from ticket is a no-op.
+    void complete_read(ReadTicket& ticket);
+
+    /// Asynchronous write_step (write-behind): charges one parallel write
+    /// step, copies `src` into an internally owned buffer, submits, and
+    /// returns immediately. Completed batches are reaped opportunistically;
+    /// at most a bounded number stay in flight. Requires parity OFF (parity
+    /// RMW must read old images — write_step falls back to sync there).
+    void write_stripe_async(std::span<const BlockOp> ops, std::span<const Record> src);
 
     /// Allocate one block index on `disk`: the shallowest free (released)
     /// index if any, else a fresh one past the high-water mark. Shallow
@@ -170,6 +263,37 @@ public:
 private:
     void check_step_legal(std::span<const BlockOp> ops) const;
 
+    // -- async internals (all called on the submitting thread) --
+    /// One write-behind batch: the engine writes from `data`, which we own
+    /// until the batch is reaped.
+    struct PendingWrite {
+        AsyncBatch batch;
+        std::vector<BlockOp> ops;
+        std::vector<Record> data;
+    };
+    static constexpr std::size_t kMaxPendingWrites = 8;
+
+    /// Model accounting for one parallel step (counters + observer).
+    void charge_read_step(std::span<const BlockOp> ops);
+    void charge_write_step(std::span<const BlockOp> ops);
+    /// Submit a read batch to the engine without charging (physical only).
+    ReadTicket submit_read(std::span<const BlockOp> ops, std::span<Record> dest);
+    /// Wait + fold retry counters + recovery ladder for deferred failures.
+    void reap_read(ReadTicket& ticket);
+    /// Ladder for one deferred read failure (mirrors robust_read's tail:
+    /// classify, then parity reconstruction + scrub or rethrow).
+    void handle_read_failure(const BlockOp& op, const std::exception_ptr& error,
+                             std::span<Record> out);
+    /// Reap completed (or, with `all`, every) pending write-behind batch.
+    void reap_pending_writes(bool all);
+    /// Blocking reap of the oldest pending write-behind batch.
+    void reap_front_write();
+    /// Classify + handle one failed async write op (mirrors robust_write's
+    /// failure tail: degrade into parity or rethrow).
+    void handle_write_failure(const BlockOp& op, const std::exception_ptr& error);
+    /// Fold live engine metrics into stats_ (const: stats_ is mutable).
+    void refresh_engine_stats() const;
+
     /// Read with the full recovery ladder: bounded retry on transient
     /// faults, then parity reconstruction (plus scrubbing) on death,
     /// corruption, or exhausted retries.
@@ -188,11 +312,20 @@ private:
     void backoff(std::uint32_t attempt) const;
 
     std::uint32_t b_;
+    DiskBackend backend_;
     Constraint constraint_;
     FaultTolerance ft_;
+    DeviceModel dev_;
     std::vector<std::unique_ptr<Disk>> disks_;
     std::unique_ptr<Disk> parity_;
     std::vector<DiskHealth> health_;
+    /// Blocks of a *dead* disk whose only image lives inside the parity
+    /// stripe (written after death via a degraded write). Reconstructing a
+    /// peer at such an index must fail as a double failure: the carried
+    /// image is a real, nonzero contributor that cannot be read back, and
+    /// assuming zeros (as for never-written blocks) would silently corrupt
+    /// the reconstruction — and, with scrubbing, re-checksum the garbage.
+    std::vector<std::unordered_set<std::uint64_t>> parity_carried_;
     /// Non-owning view of each disk's checksum layer (null without
     /// FaultTolerance::checksums); lets the write path invalidate stale
     /// images when a write fails permanently on a live disk.
@@ -202,8 +335,18 @@ private:
     std::vector<std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                                     std::greater<std::uint64_t>>>
         free_list_;
-    IoStats stats_;
+    /// Mutable: the const stats() accessor folds live engine metrics in.
+    mutable IoStats stats_;
     StepObserver observer_;
+
+    // -- async engine state (null / empty when the engine is off) --
+    std::unique_ptr<AsyncEngine> engine_; ///< destroyed before disks_
+    std::deque<PendingWrite> pending_writes_;
+    // Metrics of engines already torn down (set_async(false) folds them
+    // here so stats() stays monotone across enable/disable cycles).
+    double folded_busy_seconds_ = 0;
+    std::uint64_t folded_block_ops_ = 0;
+    std::uint64_t folded_max_in_flight_ = 0;
 };
 
 } // namespace balsort

@@ -15,12 +15,19 @@ std::uint64_t mix_seed(std::uint64_t base, std::uint32_t disk_id) {
     return SplitMix64(base ^ (0x9e3779b97f4a7c15ULL * (disk_id + 1))).next();
 }
 
+std::uint64_t mix_write_seed(std::uint64_t base, std::uint32_t disk_id) {
+    // The write stream is decorrelated from the read stream of the same
+    // (seed, disk) pair; see the header on why the two kinds are split.
+    return SplitMix64(mix_seed(base, disk_id) ^ 0xa5a5a5a55a5a5a5aULL).next();
+}
+
 } // namespace
 
 FaultInjectingDisk::FaultInjectingDisk(std::unique_ptr<Disk> inner, const FaultSpec& spec,
                                        std::uint32_t disk_id)
     : inner_(std::move(inner)), spec_(spec), disk_id_(disk_id),
-      rng_(mix_seed(spec.seed, disk_id)) {
+      read_rng_(mix_seed(spec.seed, disk_id)),
+      write_rng_(mix_write_seed(spec.seed, disk_id)) {
     BS_REQUIRE(inner_ != nullptr, "FaultInjectingDisk: null inner disk");
     BS_REQUIRE(spec.read_transient_rate >= 0 && spec.read_transient_rate <= 1 &&
                    spec.write_transient_rate >= 0 && spec.write_transient_rate <= 1 &&
@@ -42,7 +49,7 @@ void FaultInjectingDisk::count_op_and_check_death(const char* what, std::uint64_
 
 void FaultInjectingDisk::read_block(std::uint64_t index, std::span<Record> out) const {
     count_op_and_check_death("read", index);
-    const double u = rng_.uniform01();
+    const double u = read_rng_.uniform01();
     if (u < spec_.read_transient_rate) {
         ++injected_read_errors_;
         std::ostringstream os;
@@ -54,9 +61,9 @@ void FaultInjectingDisk::read_block(std::uint64_t index, std::span<Record> out) 
 
 void FaultInjectingDisk::write_block(std::uint64_t index, std::span<const Record> in) {
     count_op_and_check_death("write", index);
-    const double u_err = rng_.uniform01();
-    const double u_torn = rng_.uniform01();
-    const double u_flip = rng_.uniform01();
+    const double u_err = write_rng_.uniform01();
+    const double u_torn = write_rng_.uniform01();
+    const double u_flip = write_rng_.uniform01();
     if (u_err < spec_.write_transient_rate) {
         ++injected_write_errors_;
         std::ostringstream os;
@@ -69,7 +76,7 @@ void FaultInjectingDisk::write_block(std::uint64_t index, std::span<const Record
         // above can notice.
         ++injected_torn_writes_;
         std::vector<Record> torn(in.begin(), in.end());
-        const std::size_t keep = rng_.below(in.size()); // [0, size): at least one record torn
+        const std::size_t keep = write_rng_.below(in.size()); // [0, size): at least one record torn
         for (std::size_t i = keep; i < torn.size(); ++i) {
             torn[i].key ^= 0xdeadbeefdeadbeefULL;
             torn[i].payload ^= 0xfeedfacefeedfaceULL;
@@ -81,7 +88,7 @@ void FaultInjectingDisk::write_block(std::uint64_t index, std::span<const Record
         // Silent single-bit rot in the written image.
         ++injected_bit_flips_;
         std::vector<Record> flipped(in.begin(), in.end());
-        const std::uint64_t bit = rng_.below(in.size() * 128); // 128 bits per record
+        const std::uint64_t bit = write_rng_.below(in.size() * 128); // 128 bits per record
         auto& rec = flipped[bit / 128];
         const std::uint64_t b = bit % 128;
         if (b < 64) {

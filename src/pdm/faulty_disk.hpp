@@ -9,14 +9,20 @@
 ///   * torn writes                   -> silently persists only a prefix
 ///   * silent bit flips              -> silently flips one bit of a write
 ///
-/// Every decision comes from a private xoshiro256** stream seeded from
+/// Every decision comes from private xoshiro256** streams seeded from
 /// (FaultSpec::seed, disk_id), so a given seed reproduces the *identical*
 /// fault sequence for an identical operation sequence — fault scenarios
 /// are as replayable as the sort itself (the library-wide determinism
 /// contract of DESIGN.md §5.9 extended to failures). To keep the stream
 /// alignment independent of which fault kinds are enabled, every read
 /// draws exactly one uniform and every write exactly three, plus extra
-/// draws only when a silent corruption actually fires.
+/// draws only when a silent corruption actually fires. Reads and writes
+/// draw from *separate* streams: the async engine's prefetch reorders
+/// reads relative to writes on a disk (never reads relative to reads, or
+/// writes relative to writes), and per-kind streams keep the injected
+/// rate-fault sequence identical whether or not the engine is on
+/// (DESIGN.md §9). `die_after_ops` counts ops of both kinds and is the
+/// one knob that remains sensitive to cross-kind order.
 
 #include <cstdint>
 #include <memory>
@@ -74,7 +80,8 @@ private:
     std::uint32_t disk_id_;
     // Mutable: read_block is const in the Disk interface, but injection
     // consumes the RNG stream and advances the op clock.
-    mutable Xoshiro256 rng_;
+    mutable Xoshiro256 read_rng_;
+    Xoshiro256 write_rng_;
     mutable std::uint64_t ops_ = 0;
     mutable bool dead_ = false;
     mutable std::uint64_t injected_read_errors_ = 0;

@@ -27,6 +27,17 @@ struct IoStats {
     std::uint64_t parity_blocks_written = 0; ///< parity-disk block writes
     std::uint64_t rmw_reads = 0;           ///< old-data/old-parity reads for parity RMW
 
+    // --- async engine wall-clock metrics (DESIGN.md §9) ---
+    // Observability for the request/completion engine. These measure the
+    // real machine (seconds, queue depths), never model costs; a purely
+    // synchronous run leaves them zero. io_steps() is charged identically
+    // with and without the engine — the wall-clock-vs-model-cost
+    // separation.
+    double engine_busy_seconds = 0;   ///< summed per-disk worker execution time
+    double engine_stall_seconds = 0;  ///< submitter time blocked awaiting completions
+    std::uint64_t async_block_ops = 0;///< block transfers routed through the engine
+    std::uint64_t max_in_flight = 0;  ///< peak engine requests in flight (high-water)
+
     /// The paper's "number of I/Os".
     std::uint64_t io_steps() const { return read_steps + write_steps; }
 
@@ -55,6 +66,10 @@ struct IoStats {
         degraded_writes += o.degraded_writes;
         parity_blocks_written += o.parity_blocks_written;
         rmw_reads += o.rmw_reads;
+        engine_busy_seconds += o.engine_busy_seconds;
+        engine_stall_seconds += o.engine_stall_seconds;
+        async_block_ops += o.async_block_ops;
+        max_in_flight = max_in_flight > o.max_in_flight ? max_in_flight : o.max_in_flight;
         return *this;
     }
 
@@ -69,6 +84,11 @@ struct IoStats {
         a.degraded_writes -= b.degraded_writes;
         a.parity_blocks_written -= b.parity_blocks_written;
         a.rmw_reads -= b.rmw_reads;
+        a.engine_busy_seconds -= b.engine_busy_seconds;
+        a.engine_stall_seconds -= b.engine_stall_seconds;
+        a.async_block_ops -= b.async_block_ops;
+        // max_in_flight is a high-water mark, not a flow: interval deltas
+        // keep the left operand's peak unchanged.
         return a;
     }
 

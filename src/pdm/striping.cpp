@@ -73,6 +73,67 @@ BlockRun RunWriter::finish() {
 RunReader::RunReader(DiskArray& disks, const BlockRun& run)
     : disks_(disks), run_(run), remaining_(run.n_records) {}
 
+RunReader::~RunReader() {
+    // A dropped reader must not leave the engine writing into freed
+    // prefetch buffers; recovery failures of a run nobody reads die here.
+    if (pending_.ticket.valid()) {
+        try {
+            disks_.complete_read(pending_.ticket);
+        } catch (...) {
+        }
+    }
+}
+
+void RunReader::fetch_blocks(std::uint64_t first, std::uint64_t n, std::span<Record> buf) {
+    const std::uint32_t b = disks_.block_size();
+    const std::span<const BlockOp> ops(run_.blocks.data() + first, n);
+    if (!disks_.async_enabled()) {
+        disks_.read_batch(ops, buf);
+        return;
+    }
+    // Model cost of this fetch, charged as one batch exactly like the sync
+    // path (splitting it around the prefetch boundary could inflate the
+    // step count — two half-stripes cost two steps, one full stripe one).
+    disks_.charge_read_batch(ops);
+    std::uint64_t served = 0;
+    if (pending_.n_blocks > pending_.consumed) {
+        BS_MODEL_CHECK(pending_.first_block + pending_.consumed == first,
+                       "RunReader: prefetch out of sequence");
+        if (!pending_.waited) {
+            disks_.complete_read(pending_.ticket);
+            pending_.waited = true;
+        }
+        const std::uint64_t take = std::min<std::uint64_t>(n, pending_.n_blocks - pending_.consumed);
+        std::copy_n(pending_.buf.begin() + static_cast<std::ptrdiff_t>(pending_.consumed * b),
+                    take * b, buf.begin());
+        pending_.consumed += take;
+        served = take;
+    }
+    if (served < n) {
+        // The prefetch fell short (first fetch, or a grown request): issue
+        // the remainder as an uncharged physical read and wait for it.
+        DiskArray::ReadTicket rest =
+            disks_.prefetch_read(ops.subspan(served), buf.subspan(served * b));
+        disks_.complete_read(rest);
+    }
+    if (pending_.consumed >= pending_.n_blocks) {
+        // Pending exhausted: start the next prefetch, sized like this
+        // fetch and clamped to the run end, so a steady consumer always
+        // finds its next memoryload already in flight.
+        pending_ = Prefetch{};
+        const std::uint64_t next_first = first + n;
+        const std::uint64_t left = run_.blocks.size() - next_first;
+        const std::uint64_t next_n = std::min<std::uint64_t>(n, left);
+        if (next_n > 0) {
+            pending_.buf.resize(next_n * b);
+            pending_.first_block = next_first;
+            pending_.n_blocks = next_n;
+            pending_.ticket = disks_.prefetch_read(
+                std::span<const BlockOp>(run_.blocks.data() + next_first, next_n), pending_.buf);
+        }
+    }
+}
+
 std::uint64_t RunReader::read(std::span<Record> out) {
     const std::uint32_t b = disks_.block_size();
     const std::uint64_t want = std::min<std::uint64_t>(out.size(), remaining_);
@@ -92,11 +153,8 @@ std::uint64_t RunReader::read(std::span<Record> out) {
         const std::uint64_t n_fetch = ceil_div(need, b);
         BS_MODEL_CHECK(next_block_ + n_fetch <= run_.blocks.size(),
                        "RunReader: run exhausted prematurely");
-        std::vector<BlockOp> ops(run_.blocks.begin() + static_cast<std::ptrdiff_t>(next_block_),
-                                 run_.blocks.begin() +
-                                     static_cast<std::ptrdiff_t>(next_block_ + n_fetch));
         std::vector<Record> buf(n_fetch * b);
-        disks_.read_batch(ops, buf);
+        fetch_blocks(next_block_, n_fetch, buf);
         // Records in the fetched range that are real data (not pad).
         const std::uint64_t range_begin = next_block_ * b;
         const std::uint64_t range_end =

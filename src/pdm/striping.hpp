@@ -64,9 +64,18 @@ private:
 
 /// Streaming reader over a BlockRun; fetches blocks with maximal
 /// parallelism (read_batch), hands back records in run order.
+///
+/// With the array's async engine enabled, the reader double-buffers: while
+/// the caller consumes one fetch, the next fetch-sized range of the run is
+/// already in flight (DESIGN.md §9). Model costs are charged at consumption
+/// time over exactly the ranges the synchronous path would read, so
+/// io_steps() is identical either way.
 class RunReader {
 public:
     RunReader(DiskArray& disks, const BlockRun& run);
+    ~RunReader();
+    RunReader(const RunReader&) = delete;
+    RunReader& operator=(const RunReader&) = delete;
 
     std::uint64_t remaining() const { return remaining_; }
 
@@ -74,12 +83,27 @@ public:
     std::uint64_t read(std::span<Record> out);
 
 private:
+    /// Fetch blocks [first, first+n) of the run into buf, serving what the
+    /// in-flight prefetch already covers and starting the next prefetch.
+    void fetch_blocks(std::uint64_t first, std::uint64_t n, std::span<Record> buf);
+
     DiskArray& disks_;
     const BlockRun& run_;
     std::uint64_t next_block_ = 0;
     std::uint64_t remaining_;
     std::vector<Record> carry_; // records fetched but not yet returned
     std::size_t carry_pos_ = 0;
+
+    /// The single in-flight prefetch (async engine only).
+    struct Prefetch {
+        DiskArray::ReadTicket ticket;
+        std::vector<Record> buf;
+        std::uint64_t first_block = 0;
+        std::uint64_t n_blocks = 0;
+        std::uint64_t consumed = 0; ///< blocks already served to the caller
+        bool waited = false;
+    };
+    Prefetch pending_;
 };
 
 /// Convenience: write all of `records` as a striped run / read a whole run.

@@ -169,6 +169,7 @@ TEST(BalanceSort, ExplicitSAndDVirtualOverrides) {
             SortOptions opt;
             opt.d_virtual = dv;
             opt.s_target = s;
+            opt.bucket_policy = BucketPolicy::kFixed;
             SortReport rep;
             auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
             EXPECT_TRUE(is_sorted_by_key(sorted)) << "dv=" << dv << " s=" << s;

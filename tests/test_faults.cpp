@@ -303,6 +303,42 @@ TEST(DiskArrayFaults, SingleDiskDeathServedInDegradedMode) {
     EXPECT_GT(arr.health(2).reconstructions, 0u);
 }
 
+TEST(DiskArrayFaults, ParityCarriedBlockOfDeadDiskIsADoubleFailureForPeers) {
+    FaultTolerance ft;
+    ft.inject.seed = 31;
+    ft.inject.die_after_ops = 12;
+    ft.die_disk = 2;
+    ft.checksums = true;
+    ft.parity = true;
+    DiskArray arr(4, 4, DiskBackend::kMemory, ".", Constraint::kIndependentDisks, ft);
+    auto recs = generate(Workload::kUniform, 400, 9);
+    BlockRun run = write_striped(arr, recs); // disk 2 dies part-way through
+    ASSERT_FALSE(arr.health(2).alive);
+    ASSERT_GT(arr.health(2).degraded_writes, 0u);
+
+    // A stripe written after the death: disk 2's image there was absorbed
+    // by parity (degraded write) and exists nowhere else.
+    const std::uint64_t stored = arr.disk_for_testing(2).size_blocks();
+    std::uint64_t carried = ~std::uint64_t{0};
+    for (const auto& op : run.blocks) {
+        if (op.disk == 2 && op.block >= stored) {
+            carried = op.block;
+            break;
+        }
+    }
+    ASSERT_NE(carried, ~std::uint64_t{0});
+
+    // The carried block itself reconstructs fine — that is degraded mode.
+    std::vector<Record> buf(4);
+    arr.reconstruct_block(2, carried, buf);
+
+    // But reconstructing a *peer* at that stripe needs the carried image,
+    // which cannot be read back from the dead disk. Treating it as zeros
+    // (the never-written convention) would return garbage with a clean
+    // checksum; it must surface as a double failure instead.
+    EXPECT_THROW(arr.reconstruct_block(0, carried, buf), UnrecoverableIo);
+}
+
 TEST(DiskArrayFaults, ParityRequiresIndependentDisks) {
     FaultTolerance ft;
     ft.parity = true;
@@ -331,11 +367,12 @@ struct SoakResult {
 };
 
 SoakResult run_faulty_sort(const PdmConfig& cfg, const FaultTolerance& ft,
-                           std::uint64_t data_seed) {
+                           std::uint64_t data_seed, AsyncIo async_io = AsyncIo::kAuto) {
     DiskArray disks(cfg.d, cfg.b, DiskBackend::kMemory, ".", Constraint::kIndependentDisks, ft);
     auto input = generate(Workload::kUniform, cfg.n, data_seed);
     SortOptions opt;
     opt.synchronized_writes = true;
+    opt.async_io = async_io;
     SoakResult r;
     r.sorted = balance_sort_records(disks, input, cfg, opt, &r.report);
     return r;
@@ -346,7 +383,11 @@ TEST(BalanceSortFaults, SurvivesFaultStormAndSingleDiskDeath) {
     // single-disk failure mid-sort, synchronized writes + parity on.
     PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 4};
     FaultTolerance ft;
-    ft.inject.seed = 2026;
+    // Parity recovers any *single* failure per stripe; a storm seed must be
+    // one whose fault sequence never lands a bit flip on the stripe a dead
+    // disk needs for reconstruction (a genuine double failure no RAID-5
+    // survives). 2029 is such a seed for the split read/write streams.
+    ft.inject.seed = 2029;
     ft.inject.read_transient_rate = 5e-3;
     ft.inject.write_transient_rate = 5e-3;
     ft.inject.bit_flip_rate = 1e-3;
@@ -374,6 +415,145 @@ TEST(BalanceSortFaults, SurvivesFaultStormAndSingleDiskDeath) {
     EXPECT_EQ(a.report.io.corrupt_blocks, b.report.io.corrupt_blocks);
     EXPECT_EQ(a.report.io.reconstructions, b.report.io.reconstructions);
     EXPECT_EQ(a.report.io.degraded_writes, b.report.io.degraded_writes);
+}
+
+// --- async engine under faults (DESIGN.md §9) ---
+// Recovery runs on the submitting thread after drain(), per-disk FIFO
+// preserves each kind's submission order, and the injector draws reads
+// and writes from separate streams — so routing a faulty sort through the
+// completion queue reproduces the synchronous recovery counters exactly
+// for every rate-based fault, as long as recovery I/O does not itself
+// interleave with further random faults (transient-only and torn-writes
+// below). `die_after_ops` is an op-ORDER fault across both kinds, which
+// prefetch legitimately reorders: there the guarantee is the same failed
+// disk, the same model accounting, the same sorted output, and perfect
+// run-to-run determinism — checked for the death case and for the full
+// combined storm.
+
+TEST(BalanceSortFaults, AsyncTransientStormMatchesSyncCountersExactly) {
+    // Transients are retried in place on the owning disk's worker, at the
+    // same position in that disk's fault stream as the sync retry loop, so
+    // every counter — including the retry count — must match bit-for-bit.
+    PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 4};
+    const FaultTolerance ft = transient_ft(5e-3, 31);
+
+    auto sync = run_faulty_sort(cfg, ft, 81, AsyncIo::kOff);
+    auto async = run_faulty_sort(cfg, ft, 81, AsyncIo::kOn);
+
+    EXPECT_GT(sync.report.io.transient_retries, 0u); // the storm was real
+    EXPECT_EQ(async.sorted, sync.sorted);
+    EXPECT_EQ(async.report.io.io_steps(), sync.report.io.io_steps());
+    EXPECT_EQ(async.report.io.blocks_read, sync.report.io.blocks_read);
+    EXPECT_EQ(async.report.io.blocks_written, sync.report.io.blocks_written);
+    EXPECT_EQ(async.report.io.transient_retries, sync.report.io.transient_retries);
+    EXPECT_EQ(async.report.io.corrupt_blocks, 0u);
+    // ... and it really went through the engine.
+    EXPECT_GT(async.report.io.async_block_ops, 0u);
+    EXPECT_EQ(sync.report.io.async_block_ops, 0u);
+}
+
+TEST(BalanceSortFaults, AsyncMidSortDiskDeathDegradesIdenticallyToSync) {
+    // The death op count straddles reads and writes, so prefetch may shift
+    // the exact op it lands on; what must NOT shift: the same disk dies,
+    // the model's step accounting is untouched by recovery, the sort
+    // still completes with the identical output, and the async run is
+    // reproducible down to the last recovery counter.
+    PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 4};
+    FaultTolerance ft;
+    ft.inject.seed = 7;
+    ft.inject.die_after_ops = 300;
+    ft.die_disk = 1;
+    ft.checksums = true;
+    ft.parity = true;
+
+    auto sync = run_faulty_sort(cfg, ft, 82, AsyncIo::kOff);
+    auto async = run_faulty_sort(cfg, ft, 82, AsyncIo::kOn);
+
+    EXPECT_EQ(sync.report.disks_failed, 1u);
+    EXPECT_EQ(async.report.disks_failed, 1u);
+    EXPECT_GT(sync.report.io.reconstructions, 0u);
+    EXPECT_GT(async.report.io.reconstructions, 0u);
+    EXPECT_GT(sync.report.io.degraded_writes, 0u);
+    EXPECT_GT(async.report.io.degraded_writes, 0u);
+    EXPECT_EQ(async.sorted, sync.sorted);
+    EXPECT_EQ(async.report.io.io_steps(), sync.report.io.io_steps());
+    EXPECT_EQ(async.report.io.blocks_read, sync.report.io.blocks_read);
+    EXPECT_EQ(async.report.io.blocks_written, sync.report.io.blocks_written);
+    EXPECT_GT(async.report.io.async_block_ops, 0u);
+
+    auto again = run_faulty_sort(cfg, ft, 82, AsyncIo::kOn);
+    EXPECT_EQ(again.sorted, async.sorted);
+    EXPECT_EQ(again.report.io.reconstructions, async.report.io.reconstructions);
+    EXPECT_EQ(again.report.io.degraded_writes, async.report.io.degraded_writes);
+    EXPECT_EQ(again.report.io.parity_blocks_written, async.report.io.parity_blocks_written);
+}
+
+TEST(DiskArrayFaults, AsyncTornWritesMatchSyncCountersExactly) {
+    // Torn writes are decided at write time; write order per disk is the
+    // submission order in both modes (and with parity on, the async write
+    // path is the synchronous one anyway), so the same set of blocks tears.
+    // The read-back phase then detects and reconstructs the same set.
+    FaultTolerance ft;
+    ft.inject.seed = 12;
+    ft.inject.torn_write_rate = 0.05;
+    ft.checksums = true;
+    ft.parity = true;
+    ft.scrub_on_reconstruct = false; // keep each disk's op stream read-only here
+
+    auto recs = generate(Workload::kUniform, 1000, 9);
+    auto run_once = [&](bool use_async) {
+        DiskArray arr(4, 8, DiskBackend::kMemory, ".", Constraint::kIndependentDisks, ft);
+        if (use_async) arr.set_async(true);
+        BlockRun run = write_striped(arr, recs);
+        std::vector<Record> out = read_run(arr, run);
+        arr.drain_async();
+        return std::pair<std::vector<Record>, IoStats>(std::move(out), arr.stats());
+    };
+    auto [sync_out, sync_stats] = run_once(false);
+    auto [async_out, async_stats] = run_once(true);
+
+    EXPECT_EQ(sync_out, recs);
+    EXPECT_EQ(async_out, recs);
+    EXPECT_GT(sync_stats.corrupt_blocks, 0u); // some writes really tore
+    EXPECT_EQ(async_stats.corrupt_blocks, sync_stats.corrupt_blocks);
+    EXPECT_EQ(async_stats.reconstructions, sync_stats.reconstructions);
+    EXPECT_EQ(async_stats.read_steps, sync_stats.read_steps);
+    EXPECT_EQ(async_stats.write_steps, sync_stats.write_steps);
+}
+
+TEST(BalanceSortFaults, AsyncFaultStormIsDeterministic) {
+    // The full storm (transients + bit flips + mid-sort death) interleaves
+    // recovery I/O with randomly-faulting algorithmic I/O; there the async
+    // batch boundary can legitimately reorder recovery ops relative to
+    // peers' later reads, so cross-mode equality is not guaranteed. What
+    // is guaranteed — and what this pins down — is that the async path is
+    // itself perfectly reproducible and still sorts through the storm.
+    PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 4};
+    FaultTolerance ft;
+    ft.inject.seed = 2029; // survives as single failures in both modes
+    ft.inject.read_transient_rate = 5e-3;
+    ft.inject.write_transient_rate = 5e-3;
+    ft.inject.bit_flip_rate = 1e-3;
+    ft.inject.die_after_ops = 300;
+    ft.die_disk = 1;
+    ft.checksums = true;
+    ft.parity = true;
+
+    auto a = run_faulty_sort(cfg, ft, 77, AsyncIo::kOn);
+    EXPECT_TRUE(is_sorted_permutation_of(generate(Workload::kUniform, cfg.n, 77), a.sorted));
+    EXPECT_EQ(a.report.disks_failed, 1u);
+    EXPECT_GT(a.report.io.transient_retries, 0u);
+    EXPECT_GT(a.report.io.reconstructions, 0u);
+    EXPECT_GT(a.report.io.degraded_writes, 0u);
+    EXPECT_GT(a.report.io.async_block_ops, 0u);
+
+    auto b = run_faulty_sort(cfg, ft, 77, AsyncIo::kOn);
+    EXPECT_EQ(b.sorted, a.sorted);
+    EXPECT_EQ(b.report.io.io_steps(), a.report.io.io_steps());
+    EXPECT_EQ(b.report.io.transient_retries, a.report.io.transient_retries);
+    EXPECT_EQ(b.report.io.corrupt_blocks, a.report.io.corrupt_blocks);
+    EXPECT_EQ(b.report.io.reconstructions, a.report.io.reconstructions);
+    EXPECT_EQ(b.report.io.degraded_writes, a.report.io.degraded_writes);
 }
 
 TEST(BalanceSortFaults, SynchronizedWritesMakeParityRmwFree) {
