@@ -141,12 +141,18 @@ int run(const CliOptions& o) {
     IoStats io;
     std::uint64_t sorted_count = 0;
     BlockRun run_out;
+    PhaseProfile phases;
+    double sort_elapsed = 0;
+    bool have_phases = false;
     if (o.algo == "balance") {
         SortOptions opt;
         if (o.sketch) opt.pivot_method = PivotMethod::kStreamingSketch;
         SortReport rep;
         run_out = balance_sort(disks, run_in, cfg, opt, &rep);
         io = rep.io;
+        phases = rep.phases;
+        sort_elapsed = rep.elapsed_seconds;
+        have_phases = true;
     } else if (o.algo == "greed") {
         GreedSortReport rep;
         run_out = greed_sort(disks, run_in, cfg, &rep);
@@ -181,6 +187,16 @@ int run(const CliOptions& o) {
         t.add_row({"scratch bytes moved",
                    Table::num((io.blocks_read + io.blocks_written) * cfg.b * sizeof(Record))});
         t.add_row({"wall time (s)", Table::fixed(timer.seconds(), 2)});
+        if (have_phases) {
+            t.add_row({"sort elapsed (s)", Table::fixed(sort_elapsed, 2)});
+            t.add_row({"  pivot phase (s)", Table::fixed(phases.pivot_seconds, 2)});
+            t.add_row({"  balance phase (s)", Table::fixed(phases.balance_seconds, 2)});
+            t.add_row({"  base-case phase (s)", Table::fixed(phases.base_case_seconds, 2)});
+            t.add_row({"  emit phase (s)", Table::fixed(phases.emit_seconds, 2)});
+            t.add_row({"staged prefetches", Table::num(phases.staged_prefetches)});
+            t.add_row({"overlap hidden (s)", Table::fixed(phases.overlap_hidden_seconds, 3)});
+            t.add_row({"pool hit rate", Table::fixed(100.0 * phases.pool_hit_rate(), 1) + "%"});
+        }
         t.print(std::cout);
     }
     return 0;

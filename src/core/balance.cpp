@@ -38,7 +38,7 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
                                        VirtualDisks& vdisks, std::uint64_t memory_records,
                                        const BalanceOptions& opt, ThreadPool& pool,
                                        WorkMeter* meter, PramCost* cost, BalanceStats* stats,
-                                       std::uint32_t sketch_child_s) {
+                                       std::uint32_t sketch_child_s, BufferPool* buffers) {
     const std::uint32_t s_eff = pivots.n_buckets();
     const std::uint32_t dv = vdisks.count();
     const std::uint32_t v = vdisks.vblock_records();
@@ -72,7 +72,12 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
     std::uint32_t rr_cursor = 0; // cyclic assignment cursor
     std::uint64_t stalled_tracks = 0;
 
-    std::vector<Record> chunk;
+    // One memoryload of input staging plus one track of write staging,
+    // leased once per pass and reused across all tracks.
+    auto chunk = BufferPool::acquire_from(
+        buffers,
+        static_cast<std::size_t>(std::min<std::uint64_t>(memory_records, input.remaining())));
+    auto wbuf = BufferPool::acquire_from(buffers, static_cast<std::size_t>(dv) * v);
     std::vector<std::uint32_t> chunk_bucket;
 
     auto append_output = [&](std::uint32_t b, std::uint32_t vdisk_unused,
@@ -86,15 +91,15 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
         // ---- Refill the ready queue from the input (one memoryload). ----
         if (ready.size() < dv && input.remaining() > 0) {
             const std::uint64_t want = std::min<std::uint64_t>(memory_records, input.remaining());
-            chunk.resize(want);
-            const std::uint64_t got = input.read(chunk);
+            chunk->resize(want);
+            const std::uint64_t got = input.read(*chunk);
             BS_MODEL_CHECK(got == want, "balance_pass: short read from source");
             // Partition the memoryload into buckets (Algorithm 3 line (1)):
             // bucket indices computed data-parallel, scatter sequential.
             chunk_bucket.resize(got);
             pool.parallel_for(0, got, [&](std::size_t lo, std::size_t hi, std::size_t) {
                 for (std::size_t i = lo; i < hi; ++i) {
-                    chunk_bucket[i] = pivots.bucket_of(chunk[i].key);
+                    chunk_bucket[i] = pivots.bucket_of((*chunk)[i].key);
                 }
             });
             if (meter != nullptr) {
@@ -107,12 +112,12 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
             }
             for (std::uint64_t i = 0; i < got; ++i) {
                 const std::uint32_t b = chunk_bucket[i];
-                buckets[b].min_key = std::min(buckets[b].min_key, chunk[i].key);
-                buckets[b].max_key = std::max(buckets[b].max_key, chunk[i].key);
+                buckets[b].min_key = std::min(buckets[b].min_key, (*chunk)[i].key);
+                buckets[b].max_key = std::max(buckets[b].max_key, (*chunk)[i].key);
                 if (!sketches.empty() && sketches[b] != nullptr) {
-                    sketches[b]->add(chunk[i].key);
+                    sketches[b]->add((*chunk)[i].key);
                 }
-                fill[b].push_back(chunk[i]);
+                fill[b].push_back((*chunk)[i]);
                 if (fill[b].size() == v) {
                     ready.push_back(PendingBlock{b, std::move(fill[b])});
                     fill[b].clear();
@@ -194,15 +199,20 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
         // simply become writable in a later round.
         auto write_blocks = [&](const std::vector<std::uint32_t>& js) {
             if (js.empty()) return;
-            std::vector<Record> buf(js.size() * static_cast<std::size_t>(v), kPadRecord);
+            // Reuses the pass-level `wbuf` lease: each block's payload is
+            // copied in and only the tail of a final partial block needs
+            // pad (full blocks overwrite their slot entirely).
+            wbuf->resize(js.size() * static_cast<std::size_t>(v));
             std::vector<std::uint32_t> hs(js.size());
             for (std::size_t q = 0; q < js.size(); ++q) {
                 const auto& blk = track[js[q]];
-                std::copy(blk.data.begin(), blk.data.end(),
-                          buf.begin() + static_cast<std::ptrdiff_t>(q * v));
+                const auto dst = wbuf->begin() + static_cast<std::ptrdiff_t>(q * v);
+                std::copy(blk.data.begin(), blk.data.end(), dst);
+                std::fill(dst + static_cast<std::ptrdiff_t>(blk.data.size()),
+                          dst + static_cast<std::ptrdiff_t>(v), kPadRecord);
                 hs[q] = assigned[js[q]];
             }
-            auto vbs = vdisks.write_track(hs, buf); // one parallel I/O step
+            auto vbs = vdisks.write_track(hs, *wbuf); // one parallel I/O step
             for (std::size_t q = 0; q < js.size(); ++q) {
                 append_output(track[js[q]].bucket, hs[q], vbs[q],
                               static_cast<std::uint32_t>(track[js[q]].data.size()));

@@ -99,11 +99,15 @@ struct BucketOutput {
 ///   sketch_child_s — if nonzero, feed every non-equal-class bucket into a
 ///     deterministic quantile sketch while partitioning and emit
 ///     sketch_child_s-way pivots per bucket (PivotMethod::kStreamingSketch).
+///   buffers — if non-null, the memoryload chunk and the track write
+///     staging are leased from this pool instead of heap-allocated per
+///     pass (DESIGN.md §10).
 std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivots,
                                        VirtualDisks& vdisks, std::uint64_t memory_records,
                                        const BalanceOptions& opt, ThreadPool& pool,
                                        WorkMeter* meter = nullptr, PramCost* cost = nullptr,
                                        BalanceStats* stats = nullptr,
-                                       std::uint32_t sketch_child_s = 0);
+                                       std::uint32_t sketch_child_s = 0,
+                                       BufferPool* buffers = nullptr);
 
 } // namespace balsort

@@ -1,12 +1,10 @@
 #include "core/balance_sort.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
-#include <memory>
+#include <chrono>
 #include <thread>
 
-#include "pram/parallel_sort.hpp"
+#include "core/sort_pipeline.hpp"
 #include "util/math.hpp"
 
 namespace balsort {
@@ -36,85 +34,6 @@ std::uint32_t default_bucket_count(const PdmConfig& cfg, std::uint32_t vblock_re
 
 namespace {
 
-using SourceFactory = std::function<std::unique_ptr<RecordSource>()>;
-
-struct DriverState {
-    DiskArray& disks;
-    VirtualDisks vdisks;
-    const PdmConfig& cfg;
-    const SortOptions& opt;
-    ThreadPool pool;
-    WorkMeter meter;
-    PramCost cost;
-    RunWriter out;
-    SortReport* report;
-
-    DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o, std::uint32_t dv,
-                std::uint32_t threads, SortReport* rep)
-        : disks(d),
-          vdisks(d, dv, o.synchronized_writes),
-          cfg(c),
-          opt(o),
-          pool(threads),
-          cost(c.p),
-          // §6: with synchronized writes even the output run is written in
-          // fully striped (common fresh index) stripes, so *every* write
-          // of the sort is parity-friendly, not just the bucket tracks.
-          out(d, 0, o.synchronized_writes),
-          report(rep) {}
-};
-
-/// §4.4 repositioning: rewrite a bucket's virtual blocks into (nearly)
-/// consecutive locations on each virtual disk — a swept read plus a
-/// streamed cyclic write — so the recursion's two passes over the bucket
-/// stream instead of sweeping the whole level region. Returns the new run
-/// and releases the old one.
-VRun reposition_bucket(DriverState& st, const VRun& run) {
-    VRun fresh;
-    VRunSource src(st.vdisks, run);
-    const std::uint32_t dv = st.vdisks.count();
-    const std::uint32_t v = st.vdisks.vblock_records();
-    std::vector<Record> chunk;
-    std::uint32_t rr = 0;
-    while (src.remaining() > 0) {
-        // One track's worth (up to D' virtual blocks) per write step.
-        const std::uint64_t want =
-            std::min<std::uint64_t>(static_cast<std::uint64_t>(dv) * v, src.remaining());
-        chunk.assign(static_cast<std::size_t>(ceil_div(want, v)) * v,
-                     Record{~std::uint64_t{0}, ~std::uint64_t{0}});
-        const std::uint64_t got = src.read(std::span<Record>(chunk.data(), want));
-        BS_MODEL_CHECK(got == want, "reposition: short read");
-        const auto k = static_cast<std::uint32_t>(ceil_div(want, v));
-        std::vector<std::uint32_t> vds(k);
-        for (std::uint32_t j = 0; j < k; ++j) vds[j] = (rr + j) % dv;
-        rr = (rr + k) % dv;
-        auto vbs = st.vdisks.write_track(vds, chunk);
-        for (std::uint32_t j = 0; j < k; ++j) {
-            const std::uint32_t count = static_cast<std::uint32_t>(
-                std::min<std::uint64_t>(v, want - static_cast<std::uint64_t>(j) * v));
-            fresh.entries.push_back(VRun::Entry{vbs[j], count});
-            fresh.n_records += count;
-        }
-        st.meter.add_moves(got);
-    }
-    BS_MODEL_CHECK(fresh.n_records == run.n_records, "reposition: record count changed");
-    run.release(st.disks);
-    return fresh;
-}
-
-/// Copy an already-sorted source (equal-class bucket or single-key range)
-/// straight to the output, one memoryload at a time.
-void stream_copy(DriverState& st, RecordSource& src) {
-    std::vector<Record> buf;
-    while (src.remaining() > 0) {
-        buf.resize(std::min<std::uint64_t>(st.cfg.m, src.remaining()));
-        const std::uint64_t got = src.read(buf);
-        BS_MODEL_CHECK(got == buf.size(), "stream_copy: short read");
-        st.out.append(std::span<const Record>(buf.data(), got));
-        st.meter.add_moves(got);
-    }
-}
-
 /// Scoped enable/restore of the array's async engine around one sort, so a
 /// sort never leaks engine state into the caller's array (and nested /
 /// sequential sorts compose).
@@ -139,126 +58,11 @@ private:
     bool prev_;
 };
 
-void sort_rec(DriverState& st, const SourceFactory& factory, std::uint64_t n,
-              std::uint32_t depth, const PivotSet* premade_pivots = nullptr) {
-    if (n == 0) return;
-    if (st.report != nullptr) {
-        st.report->levels = std::max(st.report->levels, depth + 1);
-    }
-    BS_MODEL_CHECK(depth <= 64, "balance_sort: recursion too deep (pivots not splitting?)");
-
-    // ---- Base case: one memoryload, internal parallel sort. ----
-    if (n <= st.cfg.m) {
-        auto src = factory();
-        std::vector<Record> buf(n);
-        const std::uint64_t got = src->read(buf);
-        BS_MODEL_CHECK(got == n, "base case: short read");
-        if (st.opt.internal_sort == InternalSort::kParallelRadix) {
-            parallel_radix_sort(buf, st.pool, &st.meter, &st.cost);
-        } else {
-            parallel_merge_sort(buf, st.pool, &st.meter, &st.cost);
-        }
-        st.out.append(std::span<const Record>(buf));
-        if (st.report != nullptr) st.report->base_cases += 1;
-        return;
-    }
-
-    // ---- Pass 1: partition elements by memoryload sampling (§5, [ViSa]). ----
-    std::uint32_t s_target;
-    switch (st.opt.bucket_policy) {
-        case BucketPolicy::kSqrtLevel:
-            // §4.3 square-root decomposition, re-evaluated at every level.
-            s_target = std::max<std::uint32_t>(
-                2, static_cast<std::uint32_t>(
-                       std::sqrt(static_cast<double>(n) / st.vdisks.count())));
-            break;
-        case BucketPolicy::kFixed:
-        case BucketPolicy::kPaperPdm:
-        default:
-            s_target = st.opt.s_target != 0
-                           ? st.opt.s_target
-                           : default_bucket_count(st.cfg, st.vdisks.vblock_records());
-            break;
-    }
-    if (st.report != nullptr && depth == 0) st.report->s_used = s_target;
-    PivotSet pivots;
-    if (premade_pivots != nullptr && !premade_pivots->keys.empty()) {
-        pivots = *premade_pivots; // parent's sketch: skip the read pass
-    } else {
-        auto src = factory();
-        pivots = compute_pivots_sampling(*src, n, st.cfg.m, s_target, st.pool, &st.meter,
-                                         &st.cost);
-    }
-    BS_MODEL_CHECK(!pivots.keys.empty(), "pivot selection produced no pivots on N > M input");
-
-    // ---- Pass 2: Balance (Algorithms 3-6). ----
-    const bool sketch_children = st.opt.pivot_method == PivotMethod::kStreamingSketch &&
-                                 st.opt.bucket_policy != BucketPolicy::kSqrtLevel;
-    BalanceStats bstats;
-    std::vector<BucketOutput> buckets;
-    {
-        auto src = factory();
-        buckets = balance_pass(*src, pivots, st.vdisks, st.cfg.m, st.opt.balance, st.pool,
-                               &st.meter, &st.cost, &bstats,
-                               sketch_children ? s_target : 0);
-    }
-    if (st.report != nullptr) {
-        st.report->balance.merge(bstats);
-        for (const auto& bucket : buckets) {
-            // Theorem 4 observable: reading a bucket vs. its optimum. Only
-            // meaningful once a bucket spans at least one full round of the
-            // virtual disks.
-            if (bucket.run.entries.size() >= st.vdisks.count()) {
-                const double ratio =
-                    static_cast<double>(bucket.run.read_steps(st.vdisks.count())) /
-                    static_cast<double>(bucket.run.optimal_read_steps(st.vdisks.count()));
-                st.report->worst_bucket_read_ratio =
-                    std::max(st.report->worst_bucket_read_ratio, ratio);
-            }
-            if (depth == 0) {
-                st.report->max_bucket_records =
-                    std::max(st.report->max_bucket_records, bucket.run.n_records);
-            }
-        }
-        if (depth == 0) {
-            st.report->bucket_bound = bucket_size_bound(n, st.cfg.m, s_target);
-        }
-    }
-
-    // ---- Recurse on the buckets in key order (Algorithm 1 lines 7-9). ----
-    // Each bucket's blocks are released once it has been fully consumed,
-    // so the simulated footprint stays O(N) at every depth.
-    for (auto& bucket : buckets) {
-        if (bucket.run.n_records == 0) continue;
-        const bool sorted_already = bucket.is_equal_class || bucket.min_key == bucket.max_key;
-        if (sorted_already) {
-            VRunSource src(st.vdisks, bucket.run);
-            stream_copy(st, src);
-            if (st.report != nullptr) st.report->equal_class_records += bucket.run.n_records;
-            bucket.run.release(st.disks);
-            continue;
-        }
-        BS_MODEL_CHECK(bucket.run.n_records < n,
-                       "bucket did not shrink: partitioning made no progress");
-        if (st.opt.reposition_buckets && bucket.run.n_records > st.cfg.m) {
-            // Only buckets that will recurse benefit; base cases are read
-            // exactly once anyway (§4.4).
-            bucket.run = reposition_bucket(st, bucket.run);
-        }
-        const VRun& run = bucket.run; // lives until this iteration ends
-        SourceFactory bucket_factory = [&st, &run]() -> std::unique_ptr<RecordSource> {
-            return std::make_unique<VRunSource>(st.vdisks, run);
-        };
-        sort_rec(st, bucket_factory, run.n_records, depth + 1,
-                 bucket.has_sketch_pivots ? &bucket.sketch_pivots : nullptr);
-        bucket.run.release(st.disks);
-    }
-}
-
 } // namespace
 
 BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
                       const SortOptions& opt, SortReport* report) {
+    const auto t_entry = std::chrono::steady_clock::now();
     cfg.validate();
     opt.validate(disks.num_disks());
     BS_REQUIRE(input.n_records == cfg.n, "balance_sort: cfg.n != input.n_records");
@@ -281,7 +85,8 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
     SourceFactory top = [&disks, &input]() -> std::unique_ptr<RecordSource> {
         return std::make_unique<StripedSource>(disks, input);
     };
-    sort_rec(st, top, cfg.n, 0);
+    SortPipeline pipeline(st);
+    pipeline.run(top, cfg.n);
     BlockRun result = st.out.finish();
     // Land every write-behind stripe and settle stall/busy accounting
     // before the report snapshot (and before callers read the output).
@@ -305,6 +110,12 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
         for (std::uint32_t i = 0; i < disks.num_disks(); ++i) {
             if (!disks.health(i).alive) ++report->disks_failed;
         }
+        report->phases = st.profile;
+        const BufferPool::Stats pstats = st.buffers.stats();
+        report->phases.pool_hits = pstats.hits;
+        report->phases.pool_misses = pstats.misses;
+        report->elapsed_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t_entry).count();
     }
     return result;
 }

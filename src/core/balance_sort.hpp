@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "core/balance.hpp"
+#include "core/phase_profile.hpp"
 #include "pdm/config.hpp"
 #include "pdm/io_stats.hpp"
 #include "pdm/striping.hpp"
@@ -106,6 +107,18 @@ struct SortOptions {
     /// io_steps(), structure counters, and the sorted output are
     /// bit-identical to the synchronous path; only wall-clock changes.
     AsyncIo async_io = AsyncIo::kAuto;
+    /// Recycle record staging buffers (base-case loads, Balance staging,
+    /// stream-copy chunks, prefetch windows) through a per-sort BufferPool
+    /// sized to a few memoryloads (DESIGN.md §10). Off falls back to
+    /// hoisted per-pass buffers; results are identical either way.
+    bool pool_buffers = true;
+    /// Cross-bucket I/O–compute overlap (DESIGN.md §10): while one
+    /// bucket's base case sorts on the thread pool, the next bucket's
+    /// memoryload is physically prefetched through the async engine.
+    /// Model costs are charged at consumption, so io_steps(), the observer
+    /// sequence, and the output are bit-identical to the serial driver.
+    /// Only effective when the async engine is on.
+    bool cross_bucket_prefetch = true;
 
     /// Reject incoherent option combinations with a clear message
     /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S
@@ -145,6 +158,13 @@ struct SortReport {
     double worst_bucket_read_ratio = 1.0; ///< max over buckets: steps/optimal
     std::uint64_t max_bucket_records = 0; ///< largest first-level bucket
     std::uint64_t bucket_bound = 0;       ///< analytic bound for comparison
+
+    // --- staged pipeline observability (DESIGN.md §10) ---
+    /// Per-stage wall clock, buffer-pool hit/miss, cross-bucket overlap.
+    PhaseProfile phases;
+    /// Wall clock of the whole sort (entry to return). Always >=
+    /// phases.phase_seconds() - phases.overlap_hidden_seconds (tested).
+    double elapsed_seconds = 0;
 };
 
 /// Sort `input` (a striped run on `disks`) under configuration `cfg`;

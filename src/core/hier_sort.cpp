@@ -1,6 +1,7 @@
 #include "core/hier_sort.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "pram/parallel_sort.hpp"
@@ -28,20 +29,20 @@ std::string HierModelSpec::name() const {
     return "unknown";
 }
 
-std::uint32_t hier_bucket_count(std::uint64_t n, std::uint32_t h, std::uint32_t h_virtual) {
+std::uint32_t hier_bucket_count(std::uint64_t n, std::uint32_t h_virtual) {
     // §4.3's square-root decomposition: S ~ sqrt(N/H'), so each bucket has
     // ~sqrt(N*H') records and the recursion depth is O(log log N) — the
     // source of Theorem 2's loglog(N/H) factor. (The printed regime
     // constants min{.,.} are garbled in the SPAA scan; the loglog level
     // count pins this reading down.) Clamped to at least 2 buckets.
     const double hv = std::max<std::uint32_t>(h_virtual, 1);
-    (void)h;
     const double s = std::max(2.0, std::sqrt(static_cast<double>(n) / hv));
     return static_cast<std::uint32_t>(s);
 }
 
 std::vector<Record> hier_sort(std::vector<Record> records, const HierSortConfig& cfg,
                               HierSortReport* report) {
+    const auto t_entry = std::chrono::steady_clock::now();
     BS_REQUIRE(cfg.h >= 1, "hier_sort: need at least one hierarchy");
     const std::uint64_t n = records.size();
     if (n <= 1) return records;
@@ -126,6 +127,8 @@ std::vector<Record> hier_sort(std::vector<Record> records, const HierSortConfig&
         }
         report->formula = formula;
         report->ratio = formula > 0 ? report->total_time / formula : 0;
+        report->elapsed_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t_entry).count();
     }
     return sorted;
 }

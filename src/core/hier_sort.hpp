@@ -60,6 +60,9 @@ struct HierSortReport {
     double ratio = 0;             ///< total_time / formula
     std::uint64_t tracks = 0;
     SortReport mechanics;         ///< underlying Balance Sort observables
+                                  ///  (incl. PhaseProfile — the hierarchy
+                                  ///  driver runs the same staged pipeline)
+    double elapsed_seconds = 0;   ///< wall clock of the whole hier_sort
 };
 
 /// Sort `records` on the configured parallel hierarchy; returns them
@@ -68,8 +71,8 @@ std::vector<Record> hier_sort(std::vector<Record> records, const HierSortConfig&
                               HierSortReport* report = nullptr);
 
 /// §4.3's bucket count for P-HMM: min{ceil(sqrt(N/H')), sqrt(H')} family
-/// (clamped to >= 2).
-std::uint32_t hier_bucket_count(std::uint64_t n, std::uint32_t h, std::uint32_t h_virtual);
+/// (clamped to >= 2). Depends only on the level size and H'.
+std::uint32_t hier_bucket_count(std::uint64_t n, std::uint32_t h_virtual);
 
 /// Theorem 2 (P-HMM) predicted sorting time for f(x) = log x:
 ///   (N/H) log(N/H) log log(N/H)  [PRAM]; hypercube adds the T(H) term.

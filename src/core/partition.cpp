@@ -47,7 +47,7 @@ PivotSet select_pivots_from_sorted_samples(const std::vector<std::uint64_t>& sor
 
 PivotSet compute_pivots_sampling(RecordSource& input, std::uint64_t n, std::uint64_t m,
                                  std::uint32_t s_target, ThreadPool& pool, WorkMeter* meter,
-                                 PramCost* cost) {
+                                 PramCost* cost, BufferPool* buffers) {
     BS_REQUIRE(input.remaining() == n, "compute_pivots: n != input.remaining()");
     BS_REQUIRE(m >= 2, "compute_pivots: memory too small");
     (void)pool; // multi-selection is sequential today; the P processors
@@ -55,11 +55,12 @@ PivotSet compute_pivots_sampling(RecordSource& input, std::uint64_t n, std::uint
     const std::uint64_t t = sampling_stride(n, m, s_target);
     std::vector<std::uint64_t> samples;
     samples.reserve(n / t + 2);
-    std::vector<Record> load(std::min<std::uint64_t>(m, n));
+    auto load = BufferPool::acquire_from(
+        buffers, static_cast<std::size_t>(std::min<std::uint64_t>(m, n)));
     std::vector<std::uint64_t> ranks;
     while (input.remaining() > 0) {
-        const std::uint64_t got = input.read(load);
-        std::span<Record> span_load(load.data(), got);
+        const std::uint64_t got = input.read(*load);
+        std::span<Record> span_load(load->data(), got);
         // Every t-th order statistic of the memoryload, *centered* (ranks
         // (t+1)/2, (t+1)/2 + t, ...): the samples then sit at quantiles
         // (j+1/2)*t/M, whose pooled order statistics are unbiased

@@ -1,0 +1,46 @@
+#pragma once
+/// \file phase_profile.hpp
+/// Per-phase observability for the staged sort pipeline (DESIGN.md §10).
+///
+/// Model quantities (I/O steps, block counts, PRAM charges) live in IoStats
+/// and SortReport; everything here measures the *real machine* — wall-clock
+/// per pipeline stage, buffer-pool effectiveness, and how much engine time
+/// the cross-bucket prefetch hid behind base-case computation. These vary
+/// run to run; the model quantities never do.
+
+#include <cstdint>
+
+namespace balsort {
+
+struct PhaseProfile {
+    // --- per-stage wall clock (driver-thread intervals, disjoint) ---
+    double pivot_seconds = 0;     ///< PivotPhase: sampling read passes
+    double balance_seconds = 0;   ///< BalancePhase: partition + Balance placement
+    double base_case_seconds = 0; ///< BaseCasePhase: load + internal sort + append
+    double emit_seconds = 0;      ///< EmitPhase: equal-class stream-copy + §4.4 reposition
+
+    // --- cross-bucket I/O–compute overlap ---
+    /// Next-bucket memoryloads physically issued while a base case sorted.
+    std::uint64_t staged_prefetches = 0;
+    /// Seconds between issuing a staged prefetch and first waiting on it —
+    /// an estimate of engine time hidden behind the driver's computation.
+    double overlap_hidden_seconds = 0;
+
+    // --- buffer pool (util/buffer_pool.hpp) ---
+    std::uint64_t pool_hits = 0;   ///< acquisitions served from a recycled buffer
+    std::uint64_t pool_misses = 0; ///< acquisitions that had to allocate fresh
+
+    /// Sum of the per-stage driver-thread intervals. The stages are
+    /// disjoint wall-clock spans, so a sort's total elapsed time is always
+    /// >= phase_seconds() - overlap_hidden_seconds (tested).
+    double phase_seconds() const {
+        return pivot_seconds + balance_seconds + base_case_seconds + emit_seconds;
+    }
+
+    double pool_hit_rate() const {
+        const std::uint64_t total = pool_hits + pool_misses;
+        return total == 0 ? 0.0 : static_cast<double>(pool_hits) / static_cast<double>(total);
+    }
+};
+
+} // namespace balsort

@@ -1,0 +1,298 @@
+#include "core/sort_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/partition.hpp"
+#include "pram/parallel_sort.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+namespace {
+constexpr Record kPadRecord{~std::uint64_t{0}, ~std::uint64_t{0}};
+} // namespace
+
+DriverState::DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o, std::uint32_t dv,
+                         std::uint32_t threads, SortReport* rep)
+    : disks(d),
+      vdisks(d, dv, o.synchronized_writes),
+      cfg(c),
+      opt(o),
+      pool(threads),
+      cost(c.p),
+      // §6: with synchronized writes even the output run is written in
+      // fully striped (common fresh index) stripes, so *every* write of
+      // the sort is parity-friendly, not just the bucket tracks.
+      out(d, 0, o.synchronized_writes),
+      report(rep),
+      // Retain at most a few memoryloads of idle capacity — roughly the
+      // serial driver's peak live staging (base-case load + prefetch
+      // window + Balance chunk + a stream buffer); beyond that, returns
+      // free their memory instead of hoarding it.
+      buffers(4 * c.m) {}
+
+PhaseTimer::PhaseTimer(double& sink) : sink_(sink), t0_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() {
+    sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+std::uint32_t PivotPhase::choose_s(std::uint64_t n) const {
+    switch (st_.opt.bucket_policy) {
+        case BucketPolicy::kSqrtLevel:
+            // §4.3 square-root decomposition, re-evaluated at every level.
+            return std::max<std::uint32_t>(
+                2, static_cast<std::uint32_t>(
+                       std::sqrt(static_cast<double>(n) / st_.vdisks.count())));
+        case BucketPolicy::kFixed:
+        case BucketPolicy::kPaperPdm:
+        default:
+            return st_.opt.s_target != 0
+                       ? st_.opt.s_target
+                       : default_bucket_count(st_.cfg, st_.vdisks.vblock_records());
+    }
+}
+
+PivotSet PivotPhase::run(const std::function<std::unique_ptr<RecordSource>()>& take_source,
+                         std::uint64_t n, std::uint32_t s_target, const PivotSet* premade) {
+    PhaseTimer timer(st_.profile.pivot_seconds);
+    if (premade != nullptr && !premade->keys.empty()) {
+        return *premade; // parent's sketch: skip the read pass
+    }
+    auto src = take_source();
+    return compute_pivots_sampling(*src, n, st_.cfg.m, s_target, st_.pool, &st_.meter, &st_.cost,
+                                   st_.buffer_pool());
+}
+
+std::vector<BucketOutput> BalancePhase::run(
+    const std::function<std::unique_ptr<RecordSource>()>& take_source, const PivotSet& pivots,
+    std::uint32_t sketch_child_s, std::uint64_t n, std::uint32_t depth, std::uint32_t s_target) {
+    PhaseTimer timer(st_.profile.balance_seconds);
+    BalanceStats bstats;
+    std::vector<BucketOutput> buckets;
+    {
+        auto src = take_source();
+        buckets = balance_pass(*src, pivots, st_.vdisks, st_.cfg.m, st_.opt.balance, st_.pool,
+                               &st_.meter, &st_.cost, &bstats, sketch_child_s, st_.buffer_pool());
+    }
+    if (st_.report != nullptr) {
+        st_.report->balance.merge(bstats);
+        for (const auto& bucket : buckets) {
+            // Theorem 4 observable: reading a bucket vs. its optimum. Only
+            // meaningful once a bucket spans at least one full round of the
+            // virtual disks.
+            if (bucket.run.entries.size() >= st_.vdisks.count()) {
+                const double ratio =
+                    static_cast<double>(bucket.run.read_steps(st_.vdisks.count())) /
+                    static_cast<double>(bucket.run.optimal_read_steps(st_.vdisks.count()));
+                st_.report->worst_bucket_read_ratio =
+                    std::max(st_.report->worst_bucket_read_ratio, ratio);
+            }
+            if (depth == 0) {
+                st_.report->max_bucket_records =
+                    std::max(st_.report->max_bucket_records, bucket.run.n_records);
+            }
+        }
+        if (depth == 0) {
+            st_.report->bucket_bound = bucket_size_bound(n, st_.cfg.m, s_target);
+        }
+    }
+    return buckets;
+}
+
+void BaseCasePhase::run(RecordSource& src, std::uint64_t n,
+                        const std::function<void()>& after_load) {
+    PhaseTimer timer(st_.profile.base_case_seconds);
+    auto buf = BufferPool::acquire_from(st_.buffer_pool(), static_cast<std::size_t>(n));
+    const std::uint64_t got = src.read(*buf);
+    BS_MODEL_CHECK(got == n, "base case: short read");
+    // The scheduler's staging point: the next bucket's memoryload goes to
+    // the engine here, so its transfers run under the sort below.
+    if (after_load) after_load();
+    if (st_.opt.internal_sort == InternalSort::kParallelRadix) {
+        parallel_radix_sort(*buf, st_.pool, &st_.meter, &st_.cost);
+    } else {
+        parallel_merge_sort(*buf, st_.pool, &st_.meter, &st_.cost);
+    }
+    st_.out.append(std::span<const Record>(*buf));
+    if (st_.report != nullptr) st_.report->base_cases += 1;
+}
+
+void EmitPhase::stream_copy(RecordSource& src) {
+    PhaseTimer timer(st_.profile.emit_seconds);
+    auto buf = BufferPool::acquire_from(
+        st_.buffer_pool(),
+        static_cast<std::size_t>(std::min<std::uint64_t>(st_.cfg.m, src.remaining())));
+    while (src.remaining() > 0) {
+        buf->resize(static_cast<std::size_t>(std::min<std::uint64_t>(st_.cfg.m, src.remaining())));
+        const std::uint64_t got = src.read(*buf);
+        BS_MODEL_CHECK(got == buf->size(), "stream_copy: short read");
+        st_.out.append(std::span<const Record>(buf->data(), got));
+        st_.meter.add_moves(got);
+    }
+}
+
+VRun EmitPhase::reposition(const VRun& run) {
+    PhaseTimer timer(st_.profile.emit_seconds);
+    VRun fresh;
+    VRunSource src(st_.vdisks, run, st_.buffer_pool());
+    const std::uint32_t dv = st_.vdisks.count();
+    const std::uint32_t v = st_.vdisks.vblock_records();
+    auto chunk = BufferPool::acquire_from(st_.buffer_pool(), static_cast<std::size_t>(dv) * v);
+    std::uint32_t rr = 0;
+    while (src.remaining() > 0) {
+        // One track's worth (up to D' virtual blocks) per write step.
+        const std::uint64_t want =
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(dv) * v, src.remaining());
+        const auto k = static_cast<std::uint32_t>(ceil_div(want, v));
+        chunk->resize(static_cast<std::size_t>(k) * v);
+        const std::uint64_t got = src.read(std::span<Record>(chunk->data(), want));
+        BS_MODEL_CHECK(got == want, "reposition: short read");
+        // Only the final block's tail needs pad; the rest is overwritten.
+        std::fill(chunk->begin() + static_cast<std::ptrdiff_t>(want), chunk->end(), kPadRecord);
+        std::vector<std::uint32_t> vds(k);
+        for (std::uint32_t j = 0; j < k; ++j) vds[j] = (rr + j) % dv;
+        rr = (rr + k) % dv;
+        auto vbs = st_.vdisks.write_track(vds, *chunk);
+        for (std::uint32_t j = 0; j < k; ++j) {
+            const std::uint32_t count = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(v, want - static_cast<std::uint64_t>(j) * v));
+            fresh.entries.push_back(VRun::Entry{vbs[j], count});
+            fresh.n_records += count;
+        }
+        st_.meter.add_moves(got);
+    }
+    BS_MODEL_CHECK(fresh.n_records == run.n_records, "reposition: record count changed");
+    run.release(st_.disks);
+    return fresh;
+}
+
+SortPipeline::SortPipeline(DriverState& st)
+    : st_(st), pivot_(st), balance_(st), base_(st), emit_(st) {}
+
+void SortPipeline::run(const SourceFactory& top, std::uint64_t n) {
+    process_node(top, nullptr, n, 0, nullptr, {});
+}
+
+void SortPipeline::process_node(const SourceFactory& factory,
+                                std::unique_ptr<RecordSource> first_source, std::uint64_t n,
+                                std::uint32_t depth, const PivotSet* premade_pivots,
+                                const std::function<void()>& overlap_hook) {
+    if (n == 0) return;
+    if (st_.report != nullptr) {
+        st_.report->levels = std::max(st_.report->levels, depth + 1);
+    }
+    BS_MODEL_CHECK(depth <= 64, "balance_sort: recursion too deep (pivots not splitting?)");
+
+    // The node's *first* read pass may be served by a source the scheduler
+    // already staged through the engine; later passes re-open fresh.
+    auto take_source = [&]() -> std::unique_ptr<RecordSource> {
+        if (first_source != nullptr) return std::move(first_source);
+        return factory();
+    };
+
+    // ---- Base case: one memoryload, internal parallel sort. ----
+    if (n <= st_.cfg.m) {
+        auto src = take_source();
+        base_.run(*src, n, overlap_hook);
+        return;
+    }
+
+    // ---- Stage 1: partition elements (§5, [ViSa]). ----
+    const std::uint32_t s_target = pivot_.choose_s(n);
+    if (st_.report != nullptr && depth == 0) st_.report->s_used = s_target;
+    const PivotSet pivots = pivot_.run(take_source, n, s_target, premade_pivots);
+    BS_MODEL_CHECK(!pivots.keys.empty(), "pivot selection produced no pivots on N > M input");
+
+    // ---- Stage 2: Balance (Algorithms 3-6). ----
+    const bool sketch_children = st_.opt.pivot_method == PivotMethod::kStreamingSketch &&
+                                 st_.opt.bucket_policy != BucketPolicy::kSqrtLevel;
+    std::vector<BucketOutput> buckets =
+        balance_.run(take_source, pivots, sketch_children ? s_target : 0, n, depth, s_target);
+
+    // ---- Stages 3-4 over the buckets in key order (Algorithm 1 l. 7-9). ----
+    walk_buckets(buckets, n, depth);
+}
+
+void SortPipeline::walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_t n,
+                                std::uint32_t depth) {
+    // Cross-bucket staging slot (DESIGN.md §10): a source for bucket
+    // `index` whose first window is already in flight through the engine.
+    struct Staged {
+        std::unique_ptr<VRunSource> src;
+        std::size_t index = 0;
+    };
+    Staged staged;
+
+    auto sorted_already = [](const BucketOutput& b) {
+        return b.is_equal_class || b.min_key == b.max_key;
+    };
+    // §4.4: only buckets that will recurse are repositioned; base cases
+    // are read exactly once anyway.
+    auto will_reposition = [&](const BucketOutput& b) {
+        return st_.opt.reposition_buckets && !sorted_already(b) && b.run.n_records > st_.cfg.m;
+    };
+
+    // Each bucket's blocks are released once it has been fully consumed,
+    // so the simulated footprint stays O(N) at every depth.
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        auto& bucket = buckets[i];
+        if (bucket.run.n_records == 0) continue;
+
+        std::unique_ptr<VRunSource> first;
+        if (staged.src != nullptr && staged.index == i) first = std::move(staged.src);
+        staged = Staged{};
+
+        // Staging eligibility: the immediately-next non-empty bucket (the
+        // engine's per-disk queues are FIFO — staging further ahead would
+        // delay nearer reads), and never one that will be repositioned
+        // (repositioning rewrites and releases the staged storage).
+        std::function<void()> hook;
+        if (st_.opt.cross_bucket_prefetch) {
+            std::size_t j = i + 1;
+            while (j < buckets.size() && buckets[j].run.n_records == 0) ++j;
+            if (j < buckets.size() && !will_reposition(buckets[j])) {
+                BucketOutput& next = buckets[j];
+                hook = [this, &next, j, &staged]() {
+                    auto src =
+                        std::make_unique<VRunSource>(st_.vdisks, next.run, st_.buffer_pool());
+                    if (src->start_prefetch(st_.cfg.m, &st_.profile.overlap_hidden_seconds)) {
+                        st_.profile.staged_prefetches += 1;
+                        staged.src = std::move(src);
+                        staged.index = j;
+                    }
+                };
+            }
+        }
+
+        if (sorted_already(bucket)) {
+            // Equal-class bucket or single-key range: already sorted.
+            if (first != nullptr) {
+                emit_.stream_copy(*first);
+            } else {
+                VRunSource src(st_.vdisks, bucket.run, st_.buffer_pool());
+                emit_.stream_copy(src);
+            }
+            if (st_.report != nullptr) st_.report->equal_class_records += bucket.run.n_records;
+            bucket.run.release(st_.disks);
+            continue;
+        }
+        BS_MODEL_CHECK(bucket.run.n_records < n,
+                       "bucket did not shrink: partitioning made no progress");
+        if (will_reposition(bucket)) {
+            bucket.run = emit_.reposition(bucket.run);
+        }
+        const VRun& run = bucket.run; // lives until this iteration ends
+        SourceFactory bucket_factory = [this, &run]() -> std::unique_ptr<RecordSource> {
+            return std::make_unique<VRunSource>(st_.vdisks, run, st_.buffer_pool());
+        };
+        process_node(bucket_factory, std::move(first), run.n_records, depth + 1,
+                     bucket.has_sketch_pivots ? &bucket.sketch_pivots : nullptr, hook);
+        bucket.run.release(st_.disks);
+    }
+    // An unconsumed staged source (none in the current scheduling rules)
+    // completes its in-flight read in ~VRunSource before `staged` dies.
+}
+
+} // namespace balsort

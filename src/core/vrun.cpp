@@ -23,8 +23,8 @@ void VRun::release(DiskArray& disks) const {
     }
 }
 
-VRunSource::VRunSource(VirtualDisks& vdisks, const VRun& run)
-    : vdisks_(vdisks), run_(run), remaining_(run.n_records) {}
+VRunSource::VRunSource(VirtualDisks& vdisks, const VRun& run, BufferPool* buffers)
+    : vdisks_(vdisks), run_(run), buffers_(buffers), remaining_(run.n_records) {}
 
 VRunSource::~VRunSource() {
     if (pending_.ticket.valid()) {
@@ -45,6 +45,24 @@ std::vector<BlockOp> VRunSource::entry_ops(std::size_t first, std::size_t n) con
     return ops;
 }
 
+bool VRunSource::start_prefetch(std::uint64_t max_records, double* hidden_sink) {
+    DiskArray& array = vdisks_.array();
+    if (!array.async_enabled() || run_.entries.empty()) return false;
+    if (next_entry_ != 0 || pending_.n_entries != 0) return false; // reading already began
+    const std::uint32_t v = vdisks_.vblock_records();
+    const std::size_t n = std::min<std::size_t>(
+        run_.entries.size(),
+        static_cast<std::size_t>(std::max<std::uint64_t>(1, ceil_div(max_records, v))));
+    pending_.buf = BufferPool::acquire_from(buffers_, n * v);
+    pending_.first_entry = 0;
+    pending_.n_entries = n;
+    pending_.ticket = array.prefetch_read(entry_ops(0, n), std::span<Record>(*pending_.buf));
+    hidden_sink_ = hidden_sink;
+    staged_at_ = std::chrono::steady_clock::now();
+    staged_ = true;
+    return true;
+}
+
 void VRunSource::fetch_entries(std::size_t first, std::size_t n, std::span<Record> buf) {
     DiskArray& array = vdisks_.array();
     const std::uint32_t v = vdisks_.vblock_records();
@@ -62,11 +80,22 @@ void VRunSource::fetch_entries(std::size_t first, std::size_t n, std::span<Recor
         BS_MODEL_CHECK(pending_.first_entry + pending_.consumed == first,
                        "VRunSource: prefetch out of sequence");
         if (!pending_.waited) {
+            if (staged_) {
+                // The window between issuing the staged prefetch and this
+                // first wait is time the engine worked under the caller's
+                // computation (DESIGN.md §10).
+                if (hidden_sink_ != nullptr) {
+                    *hidden_sink_ += std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() - staged_at_)
+                                         .count();
+                }
+                staged_ = false;
+            }
             array.complete_read(pending_.ticket);
             pending_.waited = true;
         }
         const std::size_t take = std::min(n, pending_.n_entries - pending_.consumed);
-        std::copy_n(pending_.buf.begin() + static_cast<std::ptrdiff_t>(pending_.consumed * v),
+        std::copy_n(pending_.buf->begin() + static_cast<std::ptrdiff_t>(pending_.consumed * v),
                     take * v, buf.begin());
         pending_.consumed += take;
         served = take;
@@ -81,10 +110,11 @@ void VRunSource::fetch_entries(std::size_t first, std::size_t n, std::span<Recor
         const std::size_t next_first = first + n;
         const std::size_t next_n = std::min(n, run_.entries.size() - next_first);
         if (next_n > 0) {
-            pending_.buf.resize(next_n * v);
+            pending_.buf = BufferPool::acquire_from(buffers_, next_n * v);
             pending_.first_entry = next_first;
             pending_.n_entries = next_n;
-            pending_.ticket = array.prefetch_read(entry_ops(next_first, next_n), pending_.buf);
+            pending_.ticket =
+                array.prefetch_read(entry_ops(next_first, next_n), std::span<Record>(*pending_.buf));
         }
     }
 }
@@ -111,21 +141,21 @@ std::uint64_t VRunSource::read(std::span<Record> out) {
         }
         const std::size_t n_fetch = last - next_entry_;
         const std::uint32_t v = vdisks_.vblock_records();
-        std::vector<Record> buf(n_fetch * v);
-        fetch_entries(next_entry_, n_fetch, buf);
+        auto buf = BufferPool::acquire_from(buffers_, n_fetch * v);
+        fetch_entries(next_entry_, n_fetch, std::span<Record>(*buf));
         // Concatenate the valid prefixes of each block.
-        std::vector<Record> valid;
-        valid.reserve(covered);
+        auto valid = BufferPool::acquire_from(buffers_, 0);
+        valid->reserve(covered);
         for (std::size_t k = 0; k < n_fetch; ++k) {
             const auto& entry = run_.entries[next_entry_ + k];
-            valid.insert(valid.end(), buf.begin() + static_cast<std::ptrdiff_t>(k * v),
-                         buf.begin() + static_cast<std::ptrdiff_t>(k * v + entry.count));
+            valid->insert(valid->end(), buf->begin() + static_cast<std::ptrdiff_t>(k * v),
+                          buf->begin() + static_cast<std::ptrdiff_t>(k * v + entry.count));
         }
         next_entry_ = last;
-        std::copy_n(valid.begin(), need, out.begin() + static_cast<std::ptrdiff_t>(got));
+        std::copy_n(valid->begin(), need, out.begin() + static_cast<std::ptrdiff_t>(got));
         got += need;
-        if (valid.size() > need) {
-            carry_.assign(valid.begin() + static_cast<std::ptrdiff_t>(need), valid.end());
+        if (valid->size() > need) {
+            carry_.assign(valid->begin() + static_cast<std::ptrdiff_t>(need), valid->end());
         }
     }
     remaining_ -= want;

@@ -11,10 +11,12 @@
 /// `VRun::read_steps`/`optimal_read_steps` expose both numbers so tests
 /// and benches can check the bound directly.
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "pdm/striping.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace balsort {
 
@@ -62,15 +64,27 @@ struct VRun {
 /// Streams a VRun; fetches pending virtual blocks with maximal parallelism.
 /// Double-buffers through the array's async engine when it is enabled,
 /// charging model costs at consumption time exactly as the synchronous
-/// path would (see RunReader; DESIGN.md §9).
+/// path would (see RunReader; DESIGN.md §9). With `buffers`, staging
+/// memory is leased from the pool instead of heap-allocated per fetch.
 class VRunSource final : public RecordSource {
 public:
-    VRunSource(VirtualDisks& vdisks, const VRun& run);
+    VRunSource(VirtualDisks& vdisks, const VRun& run, BufferPool* buffers = nullptr);
     ~VRunSource() override;
     VRunSource(const VRunSource&) = delete;
     VRunSource& operator=(const VRunSource&) = delete;
     std::uint64_t remaining() const override { return remaining_; }
     std::uint64_t read(std::span<Record> out) override;
+
+    /// Cross-bucket staging (DESIGN.md §10): physically issue the first
+    /// ~`max_records` of the run through the async engine *now*, so the
+    /// transfers overlap whatever the caller computes before the first
+    /// read(). Charges nothing — model costs land at consumption time
+    /// exactly as without staging, so io_steps() and the observer sequence
+    /// are unchanged. `hidden_sink`, if given, accumulates the seconds
+    /// between issue and the first wait (engine time hidden behind the
+    /// caller's compute). Returns false (no-op) when the engine is off,
+    /// the run is empty, or reading has already begun.
+    bool start_prefetch(std::uint64_t max_records, double* hidden_sink = nullptr);
 
 private:
     /// Fetch entries [first, first+n) into buf (n * vblock_records()).
@@ -80,6 +94,7 @@ private:
 
     VirtualDisks& vdisks_;
     const VRun& run_;
+    BufferPool* buffers_;
     std::size_t next_entry_ = 0;
     std::uint64_t remaining_;
     std::vector<Record> carry_;
@@ -88,13 +103,18 @@ private:
     /// The single in-flight prefetch (async engine only).
     struct Prefetch {
         DiskArray::ReadTicket ticket;
-        std::vector<Record> buf;
+        BufferPool::Lease buf;
         std::size_t first_entry = 0;
         std::size_t n_entries = 0;
         std::size_t consumed = 0;
         bool waited = false;
     };
     Prefetch pending_;
+
+    /// Cross-bucket staging bookkeeping (start_prefetch).
+    double* hidden_sink_ = nullptr;
+    std::chrono::steady_clock::time_point staged_at_{};
+    bool staged_ = false;
 };
 
 /// In-memory source (tests, the hierarchy driver's track feed).

@@ -607,6 +607,7 @@ DiskArray::ReadTicket DiskArray::prefetch_read(std::span<const BlockOp> ops,
     // the consumer calls charge_read_batch over the same ops when the sync
     // path would have read them.
     if (ops.empty()) return ReadTicket{};
+    stats_.prefetch_block_ops += ops.size();
     return submit_read(ops, dest);
 }
 

@@ -37,6 +37,8 @@ struct IoStats {
     double engine_stall_seconds = 0;  ///< submitter time blocked awaiting completions
     std::uint64_t async_block_ops = 0;///< block transfers routed through the engine
     std::uint64_t max_in_flight = 0;  ///< peak engine requests in flight (high-water)
+    std::uint64_t prefetch_block_ops = 0; ///< block ops issued ahead of consumption
+                                          ///  (prefetch_read; model charge lands later)
 
     /// The paper's "number of I/Os".
     std::uint64_t io_steps() const { return read_steps + write_steps; }
@@ -70,6 +72,7 @@ struct IoStats {
         engine_stall_seconds += o.engine_stall_seconds;
         async_block_ops += o.async_block_ops;
         max_in_flight = max_in_flight > o.max_in_flight ? max_in_flight : o.max_in_flight;
+        prefetch_block_ops += o.prefetch_block_ops;
         return *this;
     }
 
@@ -87,6 +90,7 @@ struct IoStats {
         a.engine_busy_seconds -= b.engine_busy_seconds;
         a.engine_stall_seconds -= b.engine_stall_seconds;
         a.async_block_ops -= b.async_block_ops;
+        a.prefetch_block_ops -= b.prefetch_block_ops;
         // max_in_flight is a high-water mark, not a flow: interval deltas
         // keep the left operand's peak unchanged.
         return a;

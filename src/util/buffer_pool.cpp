@@ -1,0 +1,51 @@
+#include "util/buffer_pool.hpp"
+
+#include <algorithm>
+
+namespace balsort {
+
+BufferPool::Lease BufferPool::acquire(std::size_t n_records) {
+    std::vector<Record> buf;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            // Prefer the buffer whose capacity already covers the request
+            // (smallest such), falling back to the largest available — the
+            // resize below then reallocates at most once.
+            std::size_t best = free_.size();
+            std::size_t largest = 0;
+            for (std::size_t i = 0; i < free_.size(); ++i) {
+                if (free_[i].capacity() >= n_records &&
+                    (best == free_.size() || free_[i].capacity() < free_[best].capacity())) {
+                    best = i;
+                }
+                if (free_[i].capacity() > free_[largest].capacity()) largest = i;
+            }
+            if (best == free_.size()) best = largest;
+            buf = std::move(free_[best]);
+            free_[best] = std::move(free_.back());
+            free_.pop_back();
+            stats_.retained_records -= buf.capacity();
+            stats_.hits += 1;
+        } else {
+            stats_.misses += 1;
+        }
+    }
+    buf.resize(n_records);
+    return Lease{this, std::move(buf)};
+}
+
+void BufferPool::give_back(std::vector<Record>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_retained_records_ != 0 &&
+        stats_.retained_records + buf.capacity() > max_retained_records_) {
+        stats_.dropped += 1;
+        return; // buf frees on scope exit
+    }
+    stats_.retained_records += buf.capacity();
+    stats_.high_water_records = std::max(stats_.high_water_records, stats_.retained_records);
+    free_.push_back(std::move(buf));
+}
+
+} // namespace balsort

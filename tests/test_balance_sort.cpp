@@ -220,6 +220,57 @@ TEST(BalanceSort, ConfigValidationErrors) {
     EXPECT_THROW(balance_sort(disks, run, ok, opt, nullptr), std::invalid_argument);
 }
 
+TEST(BalanceSort, ValidateRejectsIncoherentOptions) {
+    // Streaming sketch + per-level sqrt policy: the child S is unknown
+    // while the parent runs, so no sketch can be sized for it.
+    SortOptions sketch_sqrt;
+    sketch_sqrt.pivot_method = PivotMethod::kStreamingSketch;
+    sketch_sqrt.bucket_policy = BucketPolicy::kSqrtLevel;
+    EXPECT_THROW(sketch_sqrt.validate(4), std::invalid_argument);
+
+    // s_target with a non-fixed policy (previously silently implied kFixed).
+    SortOptions s_no_fixed;
+    s_no_fixed.s_target = 8;
+    s_no_fixed.bucket_policy = BucketPolicy::kPaperPdm;
+    EXPECT_THROW(s_no_fixed.validate(4), std::invalid_argument);
+    s_no_fixed.bucket_policy = BucketPolicy::kSqrtLevel;
+    EXPECT_THROW(s_no_fixed.validate(4), std::invalid_argument);
+    s_no_fixed.bucket_policy = BucketPolicy::kFixed;
+    EXPECT_NO_THROW(s_no_fixed.validate(4));
+
+    // d_virtual must divide D (and not exceed it).
+    SortOptions dv;
+    dv.d_virtual = 3;
+    EXPECT_THROW(dv.validate(4), std::invalid_argument);
+    dv.d_virtual = 8;
+    EXPECT_THROW(dv.validate(4), std::invalid_argument);
+    dv.d_virtual = 2;
+    EXPECT_NO_THROW(dv.validate(4));
+
+    // The defaults are coherent for any D.
+    EXPECT_NO_THROW(SortOptions{}.validate(1));
+    EXPECT_NO_THROW(SortOptions{}.validate(16));
+}
+
+TEST(BalanceSort, EqualClassStreamCopyResolvesAllEqualWithoutRecursion) {
+    // N > M all-equal input: one Balance pass puts everything in the
+    // single pivot's equal class, which EmitPhase stream-copies to the
+    // output — no base case ever runs below the top level.
+    PdmConfig cfg{.n = 20000, .m = 512, .d = 4, .b = 8, .p = 2};
+    for (bool pool : {true, false}) {
+        DiskArray disks(cfg.d, cfg.b);
+        auto input = generate(Workload::kAllEqual, cfg.n, 3);
+        SortOptions opt;
+        opt.pool_buffers = pool;
+        SortReport rep;
+        auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+        EXPECT_TRUE(is_sorted_permutation_of(input, sorted)) << "pool=" << pool;
+        EXPECT_EQ(rep.equal_class_records, cfg.n);
+        EXPECT_EQ(rep.base_cases, 0u);
+        EXPECT_EQ(rep.levels, 1u);
+    }
+}
+
 TEST(BalanceSort, WorkMetricsPopulated) {
     PdmConfig cfg{.n = 40000, .m = 2048, .d = 8, .b = 16, .p = 4};
     DiskArray disks(cfg.d, cfg.b);

@@ -189,10 +189,10 @@ TEST(HierSort, BtBenefitsFromStreaming) {
 
 TEST(HierSort, HierBucketCount) {
     // Square-root decomposition: S = sqrt(N/H') -> loglog recursion depth.
-    EXPECT_EQ(hier_bucket_count(1 << 20, 64, 4), 512u);
-    EXPECT_EQ(hier_bucket_count(100, 64, 64), 2u); // sqrt(100/64) ~ 1.25, clamped
-    EXPECT_EQ(hier_bucket_count(1 << 12, 64, 4), 32u);
-    EXPECT_GE(hier_bucket_count(2, 64, 64), 2u); // clamped minimum
+    EXPECT_EQ(hier_bucket_count(1 << 20, 4), 512u);
+    EXPECT_EQ(hier_bucket_count(100, 64), 2u); // sqrt(100/64) ~ 1.25, clamped
+    EXPECT_EQ(hier_bucket_count(1 << 12, 4), 32u);
+    EXPECT_GE(hier_bucket_count(2, 64), 2u); // clamped minimum
 }
 
 TEST(HierSort, TheoremFormulaShapes) {

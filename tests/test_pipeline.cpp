@@ -1,0 +1,338 @@
+// Regression and observability tests for the staged sort pipeline
+// (DESIGN.md §10).
+//
+// The pre-refactor recursive driver (`sort_rec`) no longer exists, so the
+// bit-identical-accounting guarantee is pinned by goldens captured from it
+// before the refactor: full step-observer sequences (FNV-1a over
+// direction, fan-out, and every per-disk block address), output record
+// hashes, and the model counters, for representative configurations of
+// both entry points. Any change to io_steps(), the observer sequence, the
+// block counts, or the sorted output — from the stage split, the buffer
+// pool, or cross-bucket staging — fails these tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/balance_sort.hpp"
+#include "core/hier_sort.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+struct SortTrace {
+    IoStats io;
+    std::uint32_t levels = 0;
+    std::uint64_t base_cases = 0;
+    std::uint32_t s_used = 0;
+    std::uint64_t step_hash = kFnvOffset;
+    std::uint64_t out_hash = kFnvOffset;
+    SortReport report;
+};
+
+/// Run one sort while hashing the full parallel-step sequence the array
+/// observer sees and the sorted output records.
+SortTrace traced_sort(Workload w, const PdmConfig& cfg, const SortOptions& opt,
+                      DiskBackend backend) {
+    DiskArray disks = backend == DiskBackend::kFile
+                          ? DiskArray(cfg.d, cfg.b, DiskBackend::kFile,
+                                      std::filesystem::temp_directory_path().string())
+                          : DiskArray(cfg.d, cfg.b);
+    SortTrace t;
+    disks.set_step_observer([&t](bool is_read, std::span<const BlockOp> ops) {
+        t.step_hash = fnv1a(t.step_hash, is_read ? 1 : 2);
+        t.step_hash = fnv1a(t.step_hash, ops.size());
+        for (const auto& op : ops) {
+            t.step_hash = fnv1a(t.step_hash, op.disk);
+            t.step_hash = fnv1a(t.step_hash, op.block);
+        }
+    });
+    auto input = generate(w, cfg.n, 42);
+    auto sorted = balance_sort_records(disks, input, cfg, opt, &t.report);
+    for (const Record& r : sorted) {
+        t.out_hash = fnv1a(t.out_hash, r.key);
+        t.out_hash = fnv1a(t.out_hash, r.payload);
+    }
+    t.io = t.report.io;
+    t.levels = t.report.levels;
+    t.base_cases = t.report.base_cases;
+    t.s_used = t.report.s_used;
+    return t;
+}
+
+struct Golden {
+    std::uint64_t rs, ws, br, bw;
+    std::uint32_t levels;
+    std::uint64_t base_cases;
+    std::uint32_t s_used;
+    std::uint64_t step_hash, out_hash;
+};
+
+void expect_matches(const SortTrace& t, const Golden& g) {
+    EXPECT_EQ(t.io.read_steps, g.rs);
+    EXPECT_EQ(t.io.write_steps, g.ws);
+    EXPECT_EQ(t.io.blocks_read, g.br);
+    EXPECT_EQ(t.io.blocks_written, g.bw);
+    EXPECT_EQ(t.levels, g.levels);
+    EXPECT_EQ(t.base_cases, g.base_cases);
+    EXPECT_EQ(t.s_used, g.s_used);
+    EXPECT_EQ(t.step_hash, g.step_hash);
+    EXPECT_EQ(t.out_hash, g.out_hash);
+}
+
+// ---------------------------------------------------------------------------
+// Goldens captured from the pre-refactor recursive driver (commit 2a5d75e),
+// memory backend, input seed 42. Verified stable across repeated runs.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineGoldens, DefaultOptionsUniform) {
+    PdmConfig cfg{.n = 1 << 14, .m = 1 << 10, .d = 8, .b = 16, .p = 4};
+    const Golden g{1327, 749, 10396, 5776, 6, 23, 2,
+                   8400640918805680260ull, 9391579865765926199ull};
+    expect_matches(traced_sort(Workload::kUniform, cfg, {}, DiskBackend::kMemory), g);
+}
+
+TEST(PipelineGoldens, StreamingSketchZipf) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    SortOptions opt;
+    opt.pivot_method = PivotMethod::kStreamingSketch;
+    const Golden g{3052, 3156, 12142, 9642, 4, 21, 3,
+                   2001929164921609248ull, 4489769194646271066ull};
+    expect_matches(traced_sort(Workload::kZipf, cfg, opt, DiskBackend::kMemory), g);
+}
+
+TEST(PipelineGoldens, SynchronizedWritesReverse) {
+    PdmConfig cfg{.n = 12000, .m = 512, .d = 8, .b = 8, .p = 2};
+    SortOptions opt;
+    opt.synchronized_writes = true;
+    const Golden g{2139, 1165, 16748, 9208, 6, 32, 2,
+                   15301356196869035716ull, 11783058181912304141ull};
+    expect_matches(traced_sort(Workload::kReverse, cfg, opt, DiskBackend::kMemory), g);
+}
+
+TEST(PipelineGoldens, HierSortHmmLog) {
+    HierSortConfig hc;
+    hc.h = 16;
+    hc.model = HierModelSpec::hmm(CostFn::log());
+    HierSortReport rep;
+    auto recs = generate(Workload::kUniform, 4096, 7);
+    auto sorted = hier_sort(recs, hc, &rep);
+    EXPECT_NEAR(rep.total_time, 34771.655764, 1e-3);
+    EXPECT_EQ(rep.tracks, 2742u);
+    EXPECT_EQ(rep.mechanics.io.read_steps, 1571u);
+    EXPECT_EQ(rep.mechanics.io.write_steps, 1171u);
+    std::uint64_t oh = kFnvOffset;
+    for (const Record& r : sorted) {
+        oh = fnv1a(oh, r.key);
+        oh = fnv1a(oh, r.payload);
+    }
+    EXPECT_EQ(oh, 5414309037085656959ull);
+    // Satellite: hier_sort populates elapsed_seconds like balance_sort.
+    EXPECT_GT(rep.elapsed_seconds, 0.0);
+    EXPECT_GT(rep.mechanics.elapsed_seconds, 0.0);
+    EXPECT_LE(rep.mechanics.elapsed_seconds, rep.elapsed_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Mode matrix: every combination of backend, engine, pooling, and staging
+// must produce identical model quantities, observer sequences, and output.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineModes, AccountingIdenticalAcrossAllModes) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    SortOptions ref_opt;
+    ref_opt.async_io = AsyncIo::kOff;
+    ref_opt.pool_buffers = false;
+    ref_opt.cross_bucket_prefetch = false;
+    const SortTrace ref = traced_sort(Workload::kUniform, cfg, ref_opt, DiskBackend::kMemory);
+    ASSERT_GT(ref.io.io_steps(), 0u);
+
+    for (DiskBackend backend : {DiskBackend::kMemory, DiskBackend::kFile}) {
+        for (AsyncIo async : {AsyncIo::kOff, AsyncIo::kOn}) {
+            for (bool pool : {false, true}) {
+                for (bool stage : {false, true}) {
+                    SortOptions opt;
+                    opt.async_io = async;
+                    opt.pool_buffers = pool;
+                    opt.cross_bucket_prefetch = stage;
+                    const SortTrace t = traced_sort(Workload::kUniform, cfg, opt, backend);
+                    SCOPED_TRACE(std::string(backend == DiskBackend::kFile ? "file" : "mem") +
+                                 (async == AsyncIo::kOn ? "+async" : "+sync") +
+                                 (pool ? "+pool" : "") + (stage ? "+stage" : ""));
+                    EXPECT_EQ(t.io.read_steps, ref.io.read_steps);
+                    EXPECT_EQ(t.io.write_steps, ref.io.write_steps);
+                    EXPECT_EQ(t.io.blocks_read, ref.io.blocks_read);
+                    EXPECT_EQ(t.io.blocks_written, ref.io.blocks_written);
+                    EXPECT_EQ(t.levels, ref.levels);
+                    EXPECT_EQ(t.base_cases, ref.base_cases);
+                    EXPECT_EQ(t.step_hash, ref.step_hash);
+                    EXPECT_EQ(t.out_hash, ref.out_hash);
+                    EXPECT_EQ(t.report.equal_class_records, ref.report.equal_class_records);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PhaseProfile
+// ---------------------------------------------------------------------------
+
+TEST(PhaseProfileTest, PopulatedForEverySort) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 11);
+    SortReport rep;
+    balance_sort_records(disks, input, cfg, {}, &rep);
+    const PhaseProfile& ph = rep.phases;
+    // All four stages ran on a recursing instance.
+    EXPECT_GT(ph.pivot_seconds, 0.0);
+    EXPECT_GT(ph.balance_seconds, 0.0);
+    EXPECT_GT(ph.base_case_seconds, 0.0);
+    EXPECT_GT(ph.phase_seconds(), 0.0);
+    // Stage intervals are disjoint driver-thread time: their sum (minus
+    // engine time hidden under compute) can never exceed the wall clock.
+    EXPECT_GT(rep.elapsed_seconds, 0.0);
+    EXPECT_GE(rep.elapsed_seconds, ph.phase_seconds() - ph.overlap_hidden_seconds);
+    // Memory backend, AsyncIo::kAuto: the engine is off, so no staging.
+    EXPECT_EQ(ph.staged_prefetches, 0u);
+    EXPECT_EQ(ph.overlap_hidden_seconds, 0.0);
+    // Pooling is on by default and the sort recurses, so reuse happened.
+    EXPECT_GT(ph.pool_hits + ph.pool_misses, 0u);
+    EXPECT_GT(ph.pool_hits, 0u);
+    EXPECT_GT(ph.pool_hit_rate(), 0.0);
+}
+
+TEST(PhaseProfileTest, PoolCountersZeroWhenPoolingOff) {
+    PdmConfig cfg{.n = 5000, .m = 512, .d = 4, .b = 8, .p = 2};
+    DiskArray disks(cfg.d, cfg.b);
+    auto input = generate(Workload::kUniform, cfg.n, 12);
+    SortOptions opt;
+    opt.pool_buffers = false;
+    SortReport rep;
+    balance_sort_records(disks, input, cfg, opt, &rep);
+    EXPECT_EQ(rep.phases.pool_hits, 0u);
+    EXPECT_EQ(rep.phases.pool_misses, 0u);
+    EXPECT_EQ(rep.phases.pool_hit_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-bucket staging
+// ---------------------------------------------------------------------------
+
+TEST(CrossBucketStaging, EngagesOnAsyncBackend) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile,
+                    std::filesystem::temp_directory_path().string());
+    auto input = generate(Workload::kUniform, cfg.n, 13);
+    SortReport rep;
+    balance_sort_records(disks, input, cfg, {}, &rep); // kAuto -> engine on
+    EXPECT_GT(rep.phases.staged_prefetches, 0u);
+    EXPECT_GT(rep.io.prefetch_block_ops, 0u);
+    EXPECT_GT(rep.io.async_block_ops, 0u);
+}
+
+TEST(CrossBucketStaging, DisabledByOption) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile,
+                    std::filesystem::temp_directory_path().string());
+    auto input = generate(Workload::kUniform, cfg.n, 13);
+    SortOptions opt;
+    opt.cross_bucket_prefetch = false;
+    SortReport rep;
+    balance_sort_records(disks, input, cfg, opt, &rep);
+    EXPECT_EQ(rep.phases.staged_prefetches, 0u);
+    EXPECT_EQ(rep.phases.overlap_hidden_seconds, 0.0);
+    // Intra-run double buffering (DESIGN.md §9) still prefetches.
+    EXPECT_GT(rep.io.prefetch_block_ops, 0u);
+}
+
+TEST(CrossBucketStaging, NoOpWithoutEngine) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    DiskArray disks(cfg.d, cfg.b); // memory backend, kAuto -> engine off
+    auto input = generate(Workload::kUniform, cfg.n, 13);
+    SortReport rep;
+    balance_sort_records(disks, input, cfg, {}, &rep);
+    EXPECT_EQ(rep.phases.staged_prefetches, 0u);
+    EXPECT_EQ(rep.io.prefetch_block_ops, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolTest, RecyclesCapacity) {
+    BufferPool pool;
+    {
+        auto a = pool.acquire(100);
+        EXPECT_EQ(a->size(), 100u);
+    }
+    auto s = pool.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_GE(s.retained_records, 100u);
+    EXPECT_GE(s.high_water_records, 100u);
+    {
+        auto b = pool.acquire(50); // served from the retained buffer
+        EXPECT_EQ(b->size(), 50u);
+    }
+    s = pool.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(BufferPoolTest, CapDropsReturns) {
+    BufferPool pool(/*max_retained_records=*/10);
+    { auto a = pool.acquire(100); }
+    const auto s = pool.stats();
+    EXPECT_EQ(s.dropped, 1u);
+    EXPECT_EQ(s.retained_records, 0u);
+}
+
+TEST(BufferPoolTest, UnpooledFallback) {
+    auto lease = BufferPool::acquire_from(nullptr, 64);
+    EXPECT_EQ(lease->size(), 64u);
+    lease->at(0) = Record{1, 2};
+    // Destruction of an unpooled lease must not touch any pool.
+}
+
+TEST(BufferPoolTest, LeaseMoveTransfersOwnership) {
+    BufferPool pool;
+    auto a = pool.acquire(32);
+    auto* data = a->data();
+    BufferPool::Lease b = std::move(a);
+    EXPECT_EQ(b->data(), data);
+    EXPECT_EQ(b->size(), 32u);
+    b = BufferPool::Lease{}; // early return to the pool
+    const auto s = pool.stats();
+    EXPECT_GE(s.retained_records, 32u);
+}
+
+TEST(BufferPoolTest, PicksSmallestSufficientBuffer) {
+    BufferPool pool;
+    { auto a = pool.acquire(1000); }
+    { auto b = pool.acquire(100); } // recycles the 1000-cap buffer
+    {
+        // Both retained: 1000-cap and (the shrunk-but-capacity-1000) — the
+        // pool tracks capacity, so just assert hits keep happening.
+        auto c = pool.acquire(500);
+        const auto s = pool.stats();
+        EXPECT_EQ(s.misses, 1u);
+        EXPECT_EQ(s.hits, 2u);
+    }
+}
+
+} // namespace
+} // namespace balsort
