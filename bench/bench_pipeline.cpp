@@ -10,11 +10,15 @@
 // pool serves nearly all staging acquisitions from recycled buffers.
 //
 // Flags: --smoke (CI-sized instance, relaxed wall-clock gate — shared
-// runners are noisy), --json PATH (machine-readable row dump).
+// runners are noisy), --json PATH (machine-readable row dump), --trace PATH
+// (Chrome trace of the defaults variant; open in Perfetto), --metrics PATH
+// (latency-histogram snapshot of the defaults variant).
 #include <cstring>
 #include <fstream>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "pdm/disk_array.hpp"
 
 using namespace balsort;
@@ -35,13 +39,15 @@ struct RunResult {
 };
 
 RunResult run_one(const PdmConfig& cfg, const std::vector<Record>& input, const Variant& v,
-                  DeviceModel dev) {
+                  DeviceModel dev, Tracer* trace = nullptr, MetricsRegistry* metrics = nullptr) {
     DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile, "/tmp", Constraint::kIndependentDisks, {},
                     dev);
     SortOptions opt;
     opt.async_io = AsyncIo::kOn;
     opt.pool_buffers = v.pool;
     opt.cross_bucket_prefetch = v.stage;
+    opt.trace = trace;
+    opt.metrics = metrics;
     RunResult r;
     Timer timer;
     r.sorted = balance_sort_records(disks, input, cfg, opt, &r.rep);
@@ -64,9 +70,13 @@ bool model_identical(const RunResult& a, const RunResult& b) {
 int main(int argc, char** argv) {
     bool smoke = false;
     const char* json_path = nullptr;
+    const char* trace_path = nullptr;
+    const char* metrics_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) trace_path = argv[++i];
+        if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) metrics_path = argv[++i];
     }
 
     banner("EXP-PIPELINE",
@@ -91,9 +101,25 @@ int main(int argc, char** argv) {
 
     Table t({"variant", "wall (s)", "I/O steps", "blocks", "pivot (s)", "balance (s)",
              "base (s)", "emit (s)", "staged", "hidden (s)", "pool hit%", "speedup"});
+    // Observability rides on the defaults variant only, so the other three
+    // rows stay untouched comparisons (tracing is free on model quantities
+    // anyway — model_identical() below re-proves it every run).
+    Tracer tracer;
+    MetricsRegistry metrics_reg;
     RunResult results[4];
     for (int i = 0; i < 4; ++i) {
-        results[i] = run_one(cfg, input, variants[i], dev);
+        const bool instrumented = i == 3;
+        results[i] = run_one(cfg, input, variants[i], dev,
+                             instrumented && trace_path != nullptr ? &tracer : nullptr,
+                             instrumented && metrics_path != nullptr ? &metrics_reg : nullptr);
+    }
+    if (trace_path != nullptr) {
+        tracer.write_chrome_trace_file(trace_path);
+        std::cout << "wrote " << trace_path << " (" << tracer.event_count() << " events)\n";
+    }
+    if (metrics_path != nullptr) {
+        metrics_reg.write_json_file(metrics_path);
+        std::cout << "wrote " << metrics_path << "\n";
     }
     const RunResult& base = results[0];
     if (!is_sorted_permutation_of(input, base.sorted)) {

@@ -6,9 +6,15 @@
 //
 //   balsort_cli <input.bin> <output.bin> [--mem RECORDS] [--disks D]
 //               [--block RECORDS] [--scratch DIR] [--algo balance|greed|merge]
-//               [--sketch] [--stats]
+//               [--sketch] [--stats] [--trace OUT.json] [--metrics-json OUT.json]
+//               [--manifest OUT.json]
 //
 //   balsort_cli --selftest        # generate, sort, verify, clean up
+//
+// --trace writes a Chrome trace_event timeline (open in Perfetto or
+// chrome://tracing), --metrics-json a latency-histogram snapshot, and
+// --manifest a RunManifest bundling config, report, and metrics
+// (DESIGN.md §11).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -33,6 +39,7 @@ struct CliOptions {
     std::uint32_t block = 256;
     std::string scratch = "/tmp";
     std::string algo = "balance";
+    std::string trace_path, metrics_path, manifest_path;
     bool sketch = false;
     bool stats = false;
     bool selftest = false;
@@ -42,6 +49,7 @@ struct CliOptions {
     std::cerr << "usage: " << argv0
               << " <input.bin> <output.bin> [--mem R] [--disks D] [--block R]\n"
                  "          [--scratch DIR] [--algo balance|greed|merge] [--sketch] [--stats]\n"
+                 "          [--trace OUT.json] [--metrics-json OUT.json] [--manifest OUT.json]\n"
                  "       "
               << argv0 << " --selftest\n";
     std::exit(2);
@@ -66,6 +74,12 @@ CliOptions parse(int argc, char** argv) {
             o.scratch = next();
         } else if (a == "--algo") {
             o.algo = next();
+        } else if (a == "--trace") {
+            o.trace_path = next();
+        } else if (a == "--metrics-json") {
+            o.metrics_path = next();
+        } else if (a == "--manifest") {
+            o.manifest_path = next();
         } else if (a == "--sketch") {
             o.sketch = true;
         } else if (a == "--stats") {
@@ -127,6 +141,17 @@ int run(const CliOptions& o) {
     cfg.validate();
 
     DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile, o.scratch);
+
+    // Observability (DESIGN.md §11): install the tracer/registry for the
+    // whole run so the layout and read-back I/O is captured too, not just
+    // the sort. The manifest embeds the metrics snapshot, so --manifest
+    // alone also turns collection on.
+    const bool want_metrics = !o.metrics_path.empty() || !o.manifest_path.empty();
+    Tracer tracer;
+    MetricsRegistry metrics_reg;
+    TracerInstallGuard trace_guard(o.trace_path.empty() ? nullptr : &tracer);
+    MetricsInstallGuard metrics_guard(want_metrics ? &metrics_reg : nullptr);
+
     Timer timer;
     BlockRun run_in;
     {
@@ -144,23 +169,27 @@ int run(const CliOptions& o) {
     PhaseProfile phases;
     double sort_elapsed = 0;
     bool have_phases = false;
+    SortReport report; // fed to --manifest; fully populated by balance only
     if (o.algo == "balance") {
         SortOptions opt;
         if (o.sketch) opt.pivot_method = PivotMethod::kStreamingSketch;
-        SortReport rep;
-        run_out = balance_sort(disks, run_in, cfg, opt, &rep);
-        io = rep.io;
-        phases = rep.phases;
-        sort_elapsed = rep.elapsed_seconds;
+        opt.trace = o.trace_path.empty() ? nullptr : &tracer;
+        opt.metrics = want_metrics ? &metrics_reg : nullptr;
+        run_out = balance_sort(disks, run_in, cfg, opt, &report);
+        io = report.io;
+        phases = report.phases;
+        sort_elapsed = report.elapsed_seconds;
         have_phases = true;
     } else if (o.algo == "greed") {
         GreedSortReport rep;
         run_out = greed_sort(disks, run_in, cfg, &rep);
         io = rep.io;
+        report.io = io;
     } else if (o.algo == "merge") {
         StripedMergeReport rep;
         run_out = striped_merge_sort(disks, run_in, cfg, &rep);
         io = rep.io;
+        report.io = io;
     } else {
         std::cerr << "unknown --algo " << o.algo << '\n';
         return 2;
@@ -179,6 +208,19 @@ int run(const CliOptions& o) {
         }
         write_file(o.output, out);
     }
+
+    if (!o.trace_path.empty()) tracer.write_chrome_trace_file(o.trace_path);
+    if (!o.metrics_path.empty()) metrics_reg.write_json_file(o.metrics_path);
+    if (!o.manifest_path.empty()) {
+        RunManifest manifest;
+        manifest.tool = "balsort_cli";
+        manifest.algo = o.algo + (o.sketch ? "+sketch" : "");
+        manifest.cfg = cfg;
+        manifest.report = report;
+        manifest.metrics = want_metrics ? &metrics_reg : nullptr;
+        manifest.write_json_file(o.manifest_path);
+    }
+
     if (o.stats) {
         Table t({"metric", "value"});
         t.add_row({"records", Table::num(n)});
@@ -186,6 +228,8 @@ int run(const CliOptions& o) {
         t.add_row({"parallel I/O steps", Table::num(io.io_steps())});
         t.add_row({"scratch bytes moved",
                    Table::num((io.blocks_read + io.blocks_written) * cfg.b * sizeof(Record))});
+        t.add_row({"disk utilization", Table::fixed(100.0 * io.utilization(cfg.d), 1) + "%"});
+        t.add_row({"recovery blocks", Table::num(io.recovery_blocks())});
         t.add_row({"wall time (s)", Table::fixed(timer.seconds(), 2)});
         if (have_phases) {
             t.add_row({"sort elapsed (s)", Table::fixed(sort_elapsed, 2)});

@@ -19,6 +19,10 @@
 ///    memory-hierarchy drivers (core/hier_sort.hpp);
 ///  * `IoStats`, `IoTrace` — step accounting and tracing
 ///    (pdm/io_stats.hpp, pdm/trace.hpp);
+///  * `Tracer`, `Span`, `MetricsRegistry`, `RunManifest` — the wall-clock
+///    observability layer: Chrome-trace span export, latency histograms,
+///    and run manifests (obs/tracer.hpp, obs/metrics.hpp,
+///    obs/run_manifest.hpp; DESIGN.md §11);
 ///  * `Record`, `Workload`, `generate` — record type and test workloads
 ///    (util/record.hpp, util/workload.hpp).
 ///
@@ -29,6 +33,9 @@
 
 #include "core/balance_sort.hpp"
 #include "core/hier_sort.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_manifest.hpp"
+#include "obs/tracer.hpp"
 #include "pdm/config.hpp"
 #include "pdm/disk_array.hpp"
 #include "pdm/io_stats.hpp"

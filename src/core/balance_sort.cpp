@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "core/sort_pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/math.hpp"
 
 namespace balsort {
@@ -74,7 +76,17 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
         const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
         threads = std::min<std::uint32_t>(cfg.p, std::max(hw, 1u) * 2);
     }
+    // Observability first: DriverState binds the installed tracer at
+    // construction and the AsyncGuard below creates the engine (which binds
+    // its instruments in its constructor), so both must see opt.trace /
+    // opt.metrics already published. Null options leave any ambient
+    // installation (e.g. the CLI's whole-run guard) untouched.
+    TracerInstallGuard trace_guard(opt.trace);
+    MetricsInstallGuard metrics_guard(opt.metrics);
     DriverState st(disks, cfg, opt, dv, threads, report);
+    Span sort_span(st.tracer, "balance_sort", "sort",
+                   st.tracer != nullptr ? st.tracer->lane("sort") : 0);
+    sort_span.arg("records", static_cast<std::int64_t>(cfg.n));
 
     const bool async_on =
         opt.async_io == AsyncIo::kOn ||

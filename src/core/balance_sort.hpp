@@ -25,6 +25,9 @@
 
 namespace balsort {
 
+class MetricsRegistry;
+class Tracer;
+
 /// How each level's partition elements are obtained.
 enum class PivotMethod {
     /// §5 / [ViSa]: a dedicated read pass per level that multi-selects
@@ -119,6 +122,14 @@ struct SortOptions {
     /// sequence, and the output are bit-identical to the serial driver.
     /// Only effective when the async engine is on.
     bool cross_bucket_prefetch = true;
+    /// Observability (DESIGN.md §11), both off (null) by default. When set,
+    /// balance_sort installs them process-wide for the sort's duration:
+    /// pipeline phases emit timeline spans, engine workers emit per-disk op
+    /// spans, the array records per-op latency histograms. Tracing observes,
+    /// never perturbs — io_steps(), the observer sequence, and the output
+    /// are bit-identical with these on or off (tested).
+    Tracer* trace = nullptr;
+    MetricsRegistry* metrics = nullptr;
 
     /// Reject incoherent option combinations with a clear message
     /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S

@@ -78,6 +78,8 @@ std::vector<Record> hier_sort(std::vector<Record> records, const HierSortConfig&
         opt.bucket_policy = BucketPolicy::kSqrtLevel; // §4.3, per level
     }
     opt.balance = cfg.balance;
+    opt.trace = cfg.trace;
+    opt.metrics = cfg.metrics;
     opt.validate(cfg.h); // reject incoherent hierarchy configs up front
     // NOTE on §4.4: the paper repositions buckets on BT hierarchies via
     // the [ACSa] generalized matrix transposition, whose O((N/H)

@@ -50,6 +50,11 @@ struct HierSortConfig {
     Interconnect interconnect = Interconnect::kPram;
     std::uint32_t s_target = 0;    ///< bucket count; 0 = §4.3's choice
     BalanceOptions balance{};
+    /// Observability passthrough (DESIGN.md §11): forwarded into the
+    /// underlying balance_sort's SortOptions. Charged model quantities are
+    /// unaffected; spans/histograms describe the simulated lane traffic.
+    Tracer* trace = nullptr;
+    MetricsRegistry* metrics = nullptr;
 };
 
 struct HierSortReport {

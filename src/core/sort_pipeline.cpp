@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/partition.hpp"
+#include "obs/tracer.hpp"
 #include "pram/parallel_sort.hpp"
 #include "util/math.hpp"
 
@@ -11,6 +12,35 @@ namespace balsort {
 
 namespace {
 constexpr Record kPadRecord{~std::uint64_t{0}, ~std::uint64_t{0}};
+
+/// Phase-span bookkeeping: captures the pre-phase io_steps() so the span
+/// can carry the phase's model-I/O delta alongside bucket id and record
+/// count. Pure observation — stats() is only *read*, on the driver thread.
+class PhaseSpan {
+public:
+    PhaseSpan(DriverState& st, const char* name, std::uint32_t lane, std::uint64_t records)
+        : st_(st), span_(st.tracer, name, "phase", lane) {
+        if (st_.tracer != nullptr) {
+            steps_before_ = st_.disks.stats().io_steps();
+            span_.arg("bucket", st_.cur_bucket);
+            span_.arg("records", static_cast<std::int64_t>(records));
+        }
+    }
+    ~PhaseSpan() {
+        if (st_.tracer != nullptr) {
+            span_.arg("io_steps",
+                      static_cast<std::int64_t>(st_.disks.stats().io_steps() - steps_before_));
+        }
+    }
+    PhaseSpan(const PhaseSpan&) = delete;
+    PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+private:
+    DriverState& st_;
+    Span span_;
+    std::uint64_t steps_before_ = 0;
+};
+
 } // namespace
 
 DriverState::DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o, std::uint32_t dv,
@@ -30,7 +60,15 @@ DriverState::DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o,
       // serial driver's peak live staging (base-case load + prefetch
       // window + Balance chunk + a stream buffer); beyond that, returns
       // free their memory instead of hoarding it.
-      buffers(4 * c.m) {}
+      buffers(4 * c.m) {
+    tracer = balsort::tracer();
+    if (tracer != nullptr) {
+        lane_pivot = tracer->lane("phase:pivot");
+        lane_balance = tracer->lane("phase:balance");
+        lane_base = tracer->lane("phase:base_case");
+        lane_emit = tracer->lane("phase:emit");
+    }
+}
 
 PhaseTimer::PhaseTimer(double& sink) : sink_(sink), t0_(std::chrono::steady_clock::now()) {}
 
@@ -60,6 +98,7 @@ PivotSet PivotPhase::run(const std::function<std::unique_ptr<RecordSource>()>& t
     if (premade != nullptr && !premade->keys.empty()) {
         return *premade; // parent's sketch: skip the read pass
     }
+    PhaseSpan span(st_, "pivot", st_.lane_pivot, n);
     auto src = take_source();
     return compute_pivots_sampling(*src, n, st_.cfg.m, s_target, st_.pool, &st_.meter, &st_.cost,
                                    st_.buffer_pool());
@@ -69,6 +108,7 @@ std::vector<BucketOutput> BalancePhase::run(
     const std::function<std::unique_ptr<RecordSource>()>& take_source, const PivotSet& pivots,
     std::uint32_t sketch_child_s, std::uint64_t n, std::uint32_t depth, std::uint32_t s_target) {
     PhaseTimer timer(st_.profile.balance_seconds);
+    PhaseSpan span(st_, "balance", st_.lane_balance, n);
     BalanceStats bstats;
     std::vector<BucketOutput> buckets;
     {
@@ -104,6 +144,7 @@ std::vector<BucketOutput> BalancePhase::run(
 void BaseCasePhase::run(RecordSource& src, std::uint64_t n,
                         const std::function<void()>& after_load) {
     PhaseTimer timer(st_.profile.base_case_seconds);
+    PhaseSpan span(st_, "base_case", st_.lane_base, n);
     auto buf = BufferPool::acquire_from(st_.buffer_pool(), static_cast<std::size_t>(n));
     const std::uint64_t got = src.read(*buf);
     BS_MODEL_CHECK(got == n, "base case: short read");
@@ -121,6 +162,7 @@ void BaseCasePhase::run(RecordSource& src, std::uint64_t n,
 
 void EmitPhase::stream_copy(RecordSource& src) {
     PhaseTimer timer(st_.profile.emit_seconds);
+    PhaseSpan span(st_, "stream_copy", st_.lane_emit, src.remaining());
     auto buf = BufferPool::acquire_from(
         st_.buffer_pool(),
         static_cast<std::size_t>(std::min<std::uint64_t>(st_.cfg.m, src.remaining())));
@@ -135,6 +177,7 @@ void EmitPhase::stream_copy(RecordSource& src) {
 
 VRun EmitPhase::reposition(const VRun& run) {
     PhaseTimer timer(st_.profile.emit_seconds);
+    PhaseSpan span(st_, "reposition", st_.lane_emit, run.n_records);
     VRun fresh;
     VRunSource src(st_.vdisks, run, st_.buffer_pool());
     const std::uint32_t dv = st_.vdisks.count();
@@ -239,6 +282,7 @@ void SortPipeline::walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         auto& bucket = buckets[i];
         if (bucket.run.n_records == 0) continue;
+        st_.cur_bucket = static_cast<std::int64_t>(i);
 
         std::unique_ptr<VRunSource> first;
         if (staged.src != nullptr && staged.index == i) first = std::move(staged.src);

@@ -42,6 +42,8 @@
 
 namespace balsort {
 
+class Tracer;
+
 /// Re-opens one level's input from the start (each pass over a level needs
 /// a fresh stream: pivot pass, then Balance pass).
 using SourceFactory = std::function<std::unique_ptr<RecordSource>()>;
@@ -63,6 +65,18 @@ struct DriverState {
     /// never grows past what the serial driver would have had live.
     BufferPool buffers;
     PhaseProfile profile;
+
+    // Observability (DESIGN.md §11): the installed tracer bound once at
+    // construction (balance_sort publishes opt.trace first) plus one
+    // timeline lane per pipeline phase. All phases no-op on a null tracer.
+    Tracer* tracer = nullptr;
+    std::uint32_t lane_pivot = 0;
+    std::uint32_t lane_balance = 0;
+    std::uint32_t lane_base = 0;
+    std::uint32_t lane_emit = 0;
+    /// Key-order index of the bucket the pipeline is currently inside
+    /// (span arg; -1 = the top-level node).
+    std::int64_t cur_bucket = -1;
 
     DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o, std::uint32_t dv,
                 std::uint32_t threads, SortReport* rep);

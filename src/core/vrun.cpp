@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
+
 namespace balsort {
+
+namespace {
+
+/// Close a staged-prefetch trace pair (issue..first-wait) if one is open.
+void end_staged_span(std::uint64_t& id) {
+    if (id == 0) return;
+    if (Tracer* t = tracer(); t != nullptr) {
+        t->async_end("staged_prefetch", "staging", id, t->lane("staging"));
+    }
+    id = 0;
+}
+
+} // namespace
 
 std::uint64_t VRun::read_steps(std::uint32_t n_vdisks) const {
     std::vector<std::uint64_t> per(n_vdisks, 0);
@@ -27,6 +42,7 @@ VRunSource::VRunSource(VirtualDisks& vdisks, const VRun& run, BufferPool* buffer
     : vdisks_(vdisks), run_(run), buffers_(buffers), remaining_(run.n_records) {}
 
 VRunSource::~VRunSource() {
+    end_staged_span(staged_trace_id_);
     if (pending_.ticket.valid()) {
         try {
             vdisks_.array().complete_read(pending_.ticket);
@@ -60,6 +76,11 @@ bool VRunSource::start_prefetch(std::uint64_t max_records, double* hidden_sink) 
     hidden_sink_ = hidden_sink;
     staged_at_ = std::chrono::steady_clock::now();
     staged_ = true;
+    if (Tracer* t = tracer(); t != nullptr) {
+        staged_trace_id_ = t->next_async_id();
+        t->async_begin("staged_prefetch", "staging", staged_trace_id_, t->lane("staging"),
+                       {{"vblocks", static_cast<std::int64_t>(n)}});
+    }
     return true;
 }
 
@@ -90,6 +111,7 @@ void VRunSource::fetch_entries(std::size_t first, std::size_t n, std::span<Recor
                                          .count();
                 }
                 staged_ = false;
+                end_staged_span(staged_trace_id_);
             }
             array.complete_read(pending_.ticket);
             pending_.waited = true;

@@ -115,6 +115,8 @@ private:
     double* hidden_sink_ = nullptr;
     std::chrono::steady_clock::time_point staged_at_{};
     bool staged_ = false;
+    /// Async trace pair spanning staged-issue to first-wait (0 = untraced).
+    std::uint64_t staged_trace_id_ = 0;
 };
 
 /// In-memory source (tests, the hierarchy driver's track feed).

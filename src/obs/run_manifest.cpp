@@ -1,0 +1,104 @@
+#include "obs/run_manifest.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace balsort {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+            os << c;
+        }
+    }
+}
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+} // namespace
+
+void RunManifest::write_json(std::ostream& os) const {
+    const IoStats& io = report.io;
+    const PhaseProfile& ph = report.phases;
+    const BalanceStats& bal = report.balance;
+    os << "{\"tool\":\"";
+    write_escaped(os, tool);
+    os << "\",\"algo\":\"";
+    write_escaped(os, algo);
+    os << "\",\"config\":{\"n\":" << cfg.n << ",\"m\":" << cfg.m << ",\"d\":" << cfg.d
+       << ",\"b\":" << cfg.b << ",\"p\":" << cfg.p << "}";
+    os << ",\"io\":{\"read_steps\":" << io.read_steps << ",\"write_steps\":" << io.write_steps
+       << ",\"io_steps\":" << io.io_steps() << ",\"blocks_read\":" << io.blocks_read
+       << ",\"blocks_written\":" << io.blocks_written
+       << ",\"utilization\":" << io.utilization(cfg.d)
+       << ",\"transient_retries\":" << io.transient_retries
+       << ",\"corrupt_blocks\":" << io.corrupt_blocks
+       << ",\"reconstructions\":" << io.reconstructions
+       << ",\"degraded_writes\":" << io.degraded_writes
+       << ",\"parity_blocks_written\":" << io.parity_blocks_written
+       << ",\"rmw_reads\":" << io.rmw_reads << ",\"recovery_blocks\":" << io.recovery_blocks()
+       << ",\"engine_busy_seconds\":" << io.engine_busy_seconds
+       << ",\"engine_stall_seconds\":" << io.engine_stall_seconds
+       << ",\"async_block_ops\":" << io.async_block_ops
+       << ",\"max_in_flight\":" << io.max_in_flight
+       << ",\"prefetch_block_ops\":" << io.prefetch_block_ops << "}";
+    os << ",\"report\":{\"optimal_ios\":" << report.optimal_ios
+       << ",\"io_ratio\":" << report.io_ratio << ",\"comparisons\":" << report.comparisons
+       << ",\"moves\":" << report.moves << ",\"pram_time\":" << report.pram_time
+       << ",\"optimal_work\":" << report.optimal_work << ",\"work_ratio\":" << report.work_ratio
+       << ",\"s_used\":" << report.s_used << ",\"d_virtual\":" << report.d_virtual
+       << ",\"levels\":" << report.levels << ",\"base_cases\":" << report.base_cases
+       << ",\"equal_class_records\":" << report.equal_class_records
+       << ",\"disks_failed\":" << report.disks_failed
+       << ",\"worst_bucket_read_ratio\":" << report.worst_bucket_read_ratio
+       << ",\"max_bucket_records\":" << report.max_bucket_records
+       << ",\"bucket_bound\":" << report.bucket_bound
+       << ",\"elapsed_seconds\":" << report.elapsed_seconds << "}";
+    os << ",\"phases\":{\"pivot_seconds\":" << ph.pivot_seconds
+       << ",\"balance_seconds\":" << ph.balance_seconds
+       << ",\"base_case_seconds\":" << ph.base_case_seconds
+       << ",\"emit_seconds\":" << ph.emit_seconds
+       << ",\"staged_prefetches\":" << ph.staged_prefetches
+       << ",\"overlap_hidden_seconds\":" << ph.overlap_hidden_seconds
+       << ",\"pool_hits\":" << ph.pool_hits << ",\"pool_misses\":" << ph.pool_misses
+       << ",\"pool_hit_rate\":" << ph.pool_hit_rate() << "}";
+    os << ",\"balance\":{\"tracks\":" << bal.tracks << ",\"direct_blocks\":" << bal.direct_blocks
+       << ",\"matched_blocks\":" << bal.matched_blocks
+       << ",\"deferred_blocks\":" << bal.deferred_blocks
+       << ",\"rearrange_rounds\":" << bal.rearrange_rounds
+       << ",\"max_rounds_per_track\":" << bal.max_rounds_per_track
+       << ",\"match_draws\":" << bal.match_draws
+       << ",\"invariant1_held\":" << json_bool(bal.invariant1_held)
+       << ",\"invariant2_held\":" << json_bool(bal.invariant2_held) << "}";
+    if (metrics != nullptr) {
+        // write_json terminates with '\n'; splice the object in bare.
+        std::string snap = metrics->to_json();
+        while (!snap.empty() && (snap.back() == '\n' || snap.back() == ' ')) snap.pop_back();
+        os << ",\"metrics\":" << snap;
+    }
+    os << "}\n";
+}
+
+std::string RunManifest::to_json() const {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+bool RunManifest::write_json_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    write_json(os);
+    return os.good();
+}
+
+} // namespace balsort

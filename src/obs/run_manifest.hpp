@@ -1,0 +1,39 @@
+#pragma once
+// Run manifest: one machine-readable artifact per sort run.
+//
+// Bundles the instance configuration (PdmConfig), the model and quality
+// measures (SortReport: IoStats, ratios, structure counters, BalanceStats),
+// the real-machine profile (PhaseProfile, elapsed wall clock), and an
+// optional metrics snapshot into a single JSON document that benches and CI
+// consume — the common export path ISSUE 4 asks for on top of the five
+// ad-hoc observability structs.
+//
+// This header lives in the obs layer but deliberately reads only plain
+// struct fields and inline/header-only members of the core and pdm types,
+// so balsort_obs links nothing beyond Threads (no dependency cycle).
+#include <iosfwd>
+#include <string>
+
+#include "core/balance_sort.hpp"
+#include "pdm/config.hpp"
+
+namespace balsort {
+
+class MetricsRegistry;
+
+struct RunManifest {
+    std::string tool;     ///< producing binary, e.g. "balsort_cli"
+    std::string algo;     ///< "balance", "greed", "merge", ...
+    PdmConfig cfg{};
+    SortReport report{};
+    /// Optional: snapshot of the installed registry at export time.
+    const MetricsRegistry* metrics = nullptr;
+
+    /// The full bundle as a JSON object: {"tool", "algo", "config",
+    /// "io", "report", "phases", "balance", "metrics"?}.
+    void write_json(std::ostream& os) const;
+    std::string to_json() const;
+    bool write_json_file(const std::string& path) const;
+};
+
+} // namespace balsort

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/common.hpp"
 
 namespace balsort {
@@ -27,6 +30,23 @@ AsyncEngine::AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
     BS_REQUIRE(!disks_.empty(), "AsyncEngine: need at least one disk");
     for (const Disk* d : disks_) BS_REQUIRE(d != nullptr, "AsyncEngine: null disk");
     queues_.resize(disks_.size());
+    tracer_ = balsort::tracer();
+    if (MetricsRegistry* reg = balsort::metrics(); reg != nullptr) {
+        read_latency_.reserve(disks_.size());
+        write_latency_.reserve(disks_.size());
+        for (std::size_t d = 0; d < disks_.size(); ++d) {
+            const std::string prefix = "disk" + std::to_string(d);
+            read_latency_.push_back(&reg->histogram(prefix + ".read_latency_us"));
+            write_latency_.push_back(&reg->histogram(prefix + ".write_latency_us"));
+        }
+        queue_depth_ = &reg->histogram("engine.queue_depth");
+    }
+    if (tracer_ != nullptr) {
+        lane_tids_.reserve(disks_.size());
+        for (std::size_t d = 0; d < disks_.size(); ++d) {
+            lane_tids_.push_back(tracer_->lane("disk " + std::to_string(d) + " io"));
+        }
+    }
     workers_.reserve(disks_.size());
     for (std::uint32_t i = 0; i < disks_.size(); ++i) {
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -79,7 +99,9 @@ AsyncBatch AsyncEngine::submit(std::vector<IoRequest> requests) {
             queues_[r.disk].push_back(WorkItem{r, i, batch.state_});
         }
         submitted_ += requests.size();
-        peak_in_flight_ = std::max(peak_in_flight_, submitted_ - executed_);
+        const std::uint64_t in_flight = submitted_ - executed_;
+        peak_in_flight_ = std::max(peak_in_flight_, in_flight);
+        if (queue_depth_ != nullptr) queue_depth_->record(in_flight);
     }
     cv_work_.notify_all();
     return batch;
@@ -125,6 +147,24 @@ void AsyncEngine::worker_loop(std::uint32_t disk_index) {
         const auto t0 = std::chrono::steady_clock::now();
         execute(disk_index, item);
         const auto t1 = std::chrono::steady_clock::now();
+        const bool is_read = item.request.kind == IoRequest::Kind::kRead;
+        const auto latency_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+        if (!read_latency_.empty()) {
+            (is_read ? read_latency_ : write_latency_)[disk_index]->record(latency_us);
+        }
+        if (tracer_ != nullptr) {
+            TraceEvent ev;
+            ev.name = is_read ? "read" : "write";
+            ev.cat = "io";
+            ev.tid = lane_tids_[disk_index];
+            ev.ts_us = tracer_->ts_us(t0);
+            ev.dur_us = static_cast<std::int64_t>(latency_us);
+            ev.args[0] = {"disk", static_cast<std::int64_t>(item.request.disk)};
+            ev.args[1] = {"block", static_cast<std::int64_t>(item.request.block)};
+            ev.n_args = 2;
+            tracer_->emit(ev);
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             busy_seconds_ += std::chrono::duration<double>(t1 - t0).count();

@@ -44,6 +44,9 @@
 
 namespace balsort {
 
+class Histogram;
+class Tracer;
+
 /// One block transfer handed to the engine. The buffer must stay valid
 /// until the request's batch completes (the submitter owns it).
 struct IoRequest {
@@ -145,6 +148,16 @@ private:
     std::vector<Disk*> disks_;
     std::uint32_t max_retries_;
     std::uint32_t backoff_base_us_;
+
+    // Observability (DESIGN.md §11), bound once at construction from the
+    // installed tracer/metrics (balance_sort installs them before enabling
+    // the engine). All null when observability is off; workers check one
+    // pointer per op. Never touches model accounting.
+    Tracer* tracer_ = nullptr;
+    std::vector<std::uint32_t> lane_tids_;   ///< per-disk "disk N io" lanes
+    std::vector<Histogram*> read_latency_;   ///< per-disk, microseconds
+    std::vector<Histogram*> write_latency_;
+    Histogram* queue_depth_ = nullptr;       ///< sampled at each submit
 
     mutable std::mutex mutex_;
     std::condition_variable cv_work_;  ///< workers: queue non-empty or stop

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "pdm/checksum.hpp"
 #include "pdm/file_disk.hpp"
 #include "pdm/mem_disk.hpp"
@@ -19,6 +21,17 @@ namespace {
 
 /// Exception label for the parity device (it has no data-disk index).
 constexpr std::uint32_t kParityDiskId = 0xfffffffeu;
+
+/// One tick on the "faults" trace lane when tracing is on. Fault paths are
+/// rare, so reading the installed-tracer atomic here is free in the common
+/// case and the lane lookup only ever runs during actual recovery.
+void fault_instant(const char* name, std::uint32_t disk, std::uint64_t block) {
+    if (Tracer* t = tracer(); t != nullptr) {
+        t->instant(name, "fault", t->lane("faults"),
+                   {{"disk", static_cast<std::int64_t>(disk)},
+                    {"block", static_cast<std::int64_t>(block)}});
+    }
+}
 
 void xor_into(std::span<Record> acc, std::span<const Record> src) {
     for (std::size_t i = 0; i < acc.size(); ++i) {
@@ -151,6 +164,7 @@ void DiskArray::retrying_read(Disk& disk, std::uint32_t d, std::uint64_t index,
             }
             if (d < health_.size()) ++health_[d].transient_retries;
             ++stats_.transient_retries;
+            fault_instant("transient_retry", d, index);
             backoff(attempt);
         } catch (const DiskFailed&) {
             if (d < health_.size()) health_[d].alive = false;
@@ -164,6 +178,7 @@ void DiskArray::retrying_read(Disk& disk, std::uint32_t d, std::uint64_t index,
             if (d < health_.size()) {
                 ++health_[d].corrupt_blocks;
                 ++stats_.corrupt_blocks;
+                fault_instant("corrupt_block", d, index);
             }
             if (for_reconstruction) {
                 throw UnrecoverableIo("double failure: peer disk " + std::to_string(d) +
@@ -208,6 +223,7 @@ void DiskArray::reconstruct_block(std::uint32_t d, std::uint64_t index, std::spa
     }
     ++health_[d].reconstructions;
     ++stats_.reconstructions;
+    fault_instant("reconstruct", d, index);
 }
 
 void DiskArray::robust_read(const BlockOp& op, std::span<Record> out) {
@@ -226,6 +242,7 @@ void DiskArray::robust_read(const BlockOp& op, std::span<Record> out) {
             }
             ++h.transient_retries;
             ++stats_.transient_retries;
+            fault_instant("transient_retry", op.disk, op.block);
             backoff(attempt);
         } catch (const DiskFailed&) {
             h.alive = false;
@@ -234,6 +251,7 @@ void DiskArray::robust_read(const BlockOp& op, std::span<Record> out) {
         } catch (const CorruptBlock&) {
             ++h.corrupt_blocks;
             ++stats_.corrupt_blocks;
+            fault_instant("corrupt_block", op.disk, op.block);
             corrupt = true;
             failure = std::current_exception();
             break;
@@ -273,6 +291,7 @@ bool DiskArray::robust_write(const BlockOp& op, std::span<const Record> in) {
             }
             ++h.transient_retries;
             ++stats_.transient_retries;
+            fault_instant("transient_retry", op.disk, op.block);
             backoff(attempt);
         } catch (const DiskFailed&) {
             h.alive = false;
@@ -289,6 +308,7 @@ bool DiskArray::robust_write(const BlockOp& op, std::span<const Record> in) {
     if (!h.alive) parity_carried_[op.disk].insert(op.block);
     ++h.degraded_writes;
     ++stats_.degraded_writes;
+    fault_instant("degraded_write", op.disk, op.block);
     return false;
 }
 
@@ -351,6 +371,22 @@ void DiskArray::check_step_legal(std::span<const BlockOp> ops) const {
     }
 }
 
+void DiskArray::bind_obs() {
+    MetricsRegistry* reg = metrics();
+    if (reg == obs_registry_) return;
+    obs_registry_ = reg;
+    obs_read_latency_.clear();
+    obs_write_latency_.clear();
+    if (reg == nullptr) return;
+    obs_read_latency_.reserve(disks_.size());
+    obs_write_latency_.reserve(disks_.size());
+    for (std::size_t d = 0; d < disks_.size(); ++d) {
+        const std::string prefix = "disk" + std::to_string(d);
+        obs_read_latency_.push_back(&reg->histogram(prefix + ".read_latency_us"));
+        obs_write_latency_.push_back(&reg->histogram(prefix + ".write_latency_us"));
+    }
+}
+
 void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffers) {
     if (ops.empty()) return;
     BS_REQUIRE(buffers.size() == ops.size() * b_, "read_step: buffer size mismatch");
@@ -360,12 +396,21 @@ void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffer
         return;
     }
     check_step_legal(ops);
+    bind_obs();
     for (std::size_t i = 0; i < ops.size(); ++i) {
         auto chunk = buffers.subspan(i * b_, b_);
+        const auto t0 = obs_registry_ != nullptr ? std::chrono::steady_clock::now()
+                                                 : std::chrono::steady_clock::time_point{};
         if (ft_.enabled()) {
             robust_read(ops[i], chunk);
         } else {
             disks_[ops[i].disk]->read_block(ops[i].block, chunk);
+        }
+        if (obs_registry_ != nullptr) {
+            obs_read_latency_[ops[i].disk]->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
         }
     }
     stats_.read_steps += 1;
@@ -390,14 +435,23 @@ void DiskArray::write_step(std::span<const BlockOp> ops, std::span<const Record>
         drain_async();
     }
     check_step_legal(ops);
+    bind_obs();
     // Parity first: it must read the old images before they are replaced.
     if (ft_.parity && parity_ != nullptr) update_parity(ops, buffers);
     for (std::size_t i = 0; i < ops.size(); ++i) {
         auto chunk = buffers.subspan(i * b_, b_);
+        const auto t0 = obs_registry_ != nullptr ? std::chrono::steady_clock::now()
+                                                 : std::chrono::steady_clock::time_point{};
         if (ft_.enabled()) {
             robust_write(ops[i], chunk);
         } else {
             disks_[ops[i].disk]->write_block(ops[i].block, chunk);
+        }
+        if (obs_registry_ != nullptr) {
+            obs_write_latency_[ops[i].disk]->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
         }
         next_free_[ops[i].disk] = std::max(next_free_[ops[i].disk], ops[i].block + 1);
     }
@@ -608,7 +662,13 @@ DiskArray::ReadTicket DiskArray::prefetch_read(std::span<const BlockOp> ops,
     // path would have read them.
     if (ops.empty()) return ReadTicket{};
     stats_.prefetch_block_ops += ops.size();
-    return submit_read(ops, dest);
+    ReadTicket ticket = submit_read(ops, dest);
+    if (Tracer* t = tracer(); t != nullptr) {
+        ticket.trace_id_ = t->next_async_id();
+        t->async_begin("prefetch", "prefetch", ticket.trace_id_, t->lane("prefetch"),
+                       {{"blocks", static_cast<std::int64_t>(ops.size())}});
+    }
+    return ticket;
 }
 
 void DiskArray::complete_read(ReadTicket& ticket) { reap_read(ticket); }
@@ -639,6 +699,11 @@ void DiskArray::reap_read(ReadTicket& ticket) {
                                 ticket.dest_.subspan(c.request_index * b_, b_));
         }
     }
+    if (ticket.trace_id_ != 0) {
+        if (Tracer* t = tracer(); t != nullptr) {
+            t->async_end("prefetch", "prefetch", ticket.trace_id_, t->lane("prefetch"));
+        }
+    }
     ticket = ReadTicket{};
 }
 
@@ -657,6 +722,7 @@ void DiskArray::handle_read_failure(const BlockOp& op, const std::exception_ptr&
     } catch (const CorruptBlock&) {
         ++h.corrupt_blocks;
         ++stats_.corrupt_blocks;
+        fault_instant("corrupt_block", op.disk, op.block);
         corrupt = true;
     } catch (const IoError&) {
     }
@@ -752,6 +818,7 @@ void DiskArray::handle_write_failure(const BlockOp& op, const std::exception_ptr
     if (!h.alive) parity_carried_[op.disk].insert(op.block);
     ++h.degraded_writes;
     ++stats_.degraded_writes;
+    fault_instant("degraded_write", op.disk, op.block);
 }
 
 std::uint64_t DiskArray::allocate(std::uint32_t disk) {

@@ -29,6 +29,9 @@
 
 namespace balsort {
 
+class Histogram;
+class MetricsRegistry;
+
 enum class DiskBackend { kMemory, kFile };
 
 /// Optional wall-clock device model (DESIGN.md §9): every block operation
@@ -166,6 +169,7 @@ public:
         AsyncBatch batch_;
         std::vector<BlockOp> ops_;
         std::span<Record> dest_;
+        std::uint64_t trace_id_ = 0; ///< async trace pair id (0 = untraced)
     };
 
     /// Start/stop the per-disk worker engine. Enabling is cheap; disabling
@@ -259,6 +263,10 @@ public:
     /// size 1, and the observer prices each track by its depth).
     using StepObserver = std::function<void(bool is_read, std::span<const BlockOp> ops)>;
     void set_step_observer(StepObserver obs) { observer_ = std::move(obs); }
+    /// The currently installed observer (empty when none). Lets decorators
+    /// like IoTrace chain to — and later restore — a prior installee
+    /// instead of clobbering it.
+    const StepObserver& step_observer() const { return observer_; }
 
 private:
     void check_step_legal(std::span<const BlockOp> ops) const;
@@ -293,6 +301,13 @@ private:
     void handle_write_failure(const BlockOp& op, const std::exception_ptr& error);
     /// Fold live engine metrics into stats_ (const: stats_ is mutable).
     void refresh_engine_stats() const;
+
+    /// Re-resolve the per-disk latency histograms when the installed
+    /// MetricsRegistry changed since the last step. Lazy because arrays are
+    /// usually constructed before balance_sort installs the registry; one
+    /// pointer compare per step once bound. Wall-clock observability only —
+    /// never touches model accounting.
+    void bind_obs();
 
     /// Read with the full recovery ladder: bounded retry on transient
     /// faults, then parity reconstruction (plus scrubbing) on death,
@@ -338,6 +353,11 @@ private:
     /// Mutable: the const stats() accessor folds live engine metrics in.
     mutable IoStats stats_;
     StepObserver observer_;
+
+    // -- observability bindings (DESIGN.md §11; empty when metrics off) --
+    MetricsRegistry* obs_registry_ = nullptr;
+    std::vector<Histogram*> obs_read_latency_;  ///< per data disk, microseconds
+    std::vector<Histogram*> obs_write_latency_;
 
     // -- async engine state (null / empty when the engine is off) --
     std::unique_ptr<AsyncEngine> engine_; ///< destroyed before disks_

@@ -7,17 +7,20 @@ namespace balsort {
 void IoTrace::attach(DiskArray& disks) {
     BS_REQUIRE(attached_ == nullptr, "IoTrace: already attached");
     attached_ = &disks;
+    prev_ = disks.step_observer();
     disks.set_step_observer([this](bool is_read, std::span<const BlockOp> ops) {
         Step s;
         s.is_read = is_read;
         s.ops.assign(ops.begin(), ops.end());
         steps_.push_back(std::move(s));
+        if (prev_) prev_(is_read, ops);
     });
 }
 
 void IoTrace::detach() {
     if (attached_ != nullptr) {
-        attached_->set_step_observer(nullptr);
+        attached_->set_step_observer(std::move(prev_));
+        prev_ = nullptr;
         attached_ = nullptr;
     }
 }

@@ -23,8 +23,10 @@ public:
         std::vector<BlockOp> ops;
     };
 
-    /// Start recording `disks`' steps (replaces any previous observer on
-    /// the array; detach() or destruction restores none).
+    /// Start recording `disks`' steps. Chains onto (does not clobber) any
+    /// observer already installed on the array — e.g. the HierarchyMeter's
+    /// — forwarding every step to it after recording; detach() or
+    /// destruction restores that previous observer.
     void attach(DiskArray& disks);
     void detach();
     ~IoTrace();
@@ -56,6 +58,7 @@ public:
 
 private:
     DiskArray* attached_ = nullptr;
+    DiskArray::StepObserver prev_; ///< chained-to observer, restored on detach
     std::vector<Step> steps_;
 };
 

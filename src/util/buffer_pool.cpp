@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace balsort {
 
 BufferPool::Lease BufferPool::acquire(std::size_t n_records) {
+    bool hit = false;
     std::vector<Record> buf;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -27,9 +30,16 @@ BufferPool::Lease BufferPool::acquire(std::size_t n_records) {
             free_.pop_back();
             stats_.retained_records -= buf.capacity();
             stats_.hits += 1;
+            hit = true;
         } else {
             stats_.misses += 1;
         }
+    }
+    // Wall-clock-side observability only: acquire-size distribution plus
+    // hit/miss counters in the installed registry (DESIGN.md §11).
+    if (MetricsRegistry* reg = metrics(); reg != nullptr) {
+        reg->histogram("pool.acquire_records").record(n_records);
+        reg->counter(hit ? "pool.hits" : "pool.misses").add(1);
     }
     buf.resize(n_records);
     return Lease{this, std::move(buf)};

@@ -1,0 +1,426 @@
+// Tests for the observability layer (DESIGN.md §11): the span tracer and
+// its Chrome trace_event export, the metrics registry (counters, gauges,
+// log-scale histograms), the install guards, run manifests, and the
+// end-to-end acceptance run: a D = 8 file-backed sort whose trace contains
+// phase spans, per-disk engine op spans, and prefetch async pairs, and
+// whose metrics snapshot carries per-disk latency histograms.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/balance_sort.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_manifest.hpp"
+#include "obs/tracer.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker — enough to assert the
+// exporters emit well-formed documents (CI additionally runs them through
+// `python3 -m json.tool`).
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string_view s) : s_(s) {}
+    bool valid() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+private:
+    std::string_view s_;
+    std::size_t pos_ = 0;
+
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                    s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    bool eat(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool literal(std::string_view lit) {
+        if (s_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+    bool string() {
+        if (!eat('"')) return false;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                if (pos_ + 1 >= s_.size()) return false;
+                pos_ += 2;
+            } else {
+                ++pos_;
+            }
+        }
+        return eat('"');
+    }
+    bool number() {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool object() {
+        if (!eat('{')) return false;
+        skip_ws();
+        if (eat('}')) return true;
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (!eat(':')) return false;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (eat('}')) return true;
+            if (!eat(',')) return false;
+        }
+    }
+    bool array() {
+        if (!eat('[')) return false;
+        skip_ws();
+        if (eat(']')) return true;
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (eat(']')) return true;
+            if (!eat(',')) return false;
+        }
+    }
+    bool value() {
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+};
+
+bool contains(const std::string& hay, std::string_view needle) {
+    return hay.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, ExportsAllEventKindsAsValidJson) {
+    Tracer t;
+    const std::uint32_t lane = t.lane("phase:test");
+    {
+        Span s(&t, "work", "phase", lane);
+        s.arg("bucket", 3);
+        s.arg("records", 1000);
+    }
+    t.instant("transient_retry", "fault", t.lane("faults"), {{"disk", 2}});
+    const std::uint64_t id = t.next_async_id();
+    t.async_begin("prefetch", "prefetch", id, t.lane("prefetch"), {{"blocks", 8}});
+    t.async_end("prefetch", "prefetch", id, t.lane("prefetch"));
+    EXPECT_EQ(t.event_count(), 4u);
+
+    std::ostringstream os;
+    t.write_chrome_trace(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_TRUE(contains(json, "\"traceEvents\""));
+    EXPECT_TRUE(contains(json, "\"ph\":\"X\""));
+    EXPECT_TRUE(contains(json, "\"ph\":\"i\""));
+    EXPECT_TRUE(contains(json, "\"ph\":\"b\""));
+    EXPECT_TRUE(contains(json, "\"ph\":\"e\""));
+    EXPECT_TRUE(contains(json, "\"bucket\":3"));
+    EXPECT_TRUE(contains(json, "\"records\":1000"));
+    // Lanes are labelled via thread_name metadata events.
+    EXPECT_TRUE(contains(json, "thread_name"));
+    EXPECT_TRUE(contains(json, "phase:test"));
+}
+
+TEST(TracerTest, LanesAreIdempotentAndDistinct) {
+    Tracer t;
+    const std::uint32_t a = t.lane("alpha");
+    const std::uint32_t b = t.lane("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.lane("alpha"), a);
+    EXPECT_EQ(t.lane("beta"), b);
+    EXPECT_GE(a, 1000u); // synthetic rows live above real-thread rows
+}
+
+TEST(TracerTest, PerThreadBuffersMergeOnExport) {
+    Tracer t;
+    auto emit_some = [&t](int n) {
+        for (int i = 0; i < n; ++i) Span s(&t, "tick", "test");
+    };
+    std::thread w1(emit_some, 5), w2(emit_some, 7);
+    emit_some(3);
+    w1.join();
+    w2.join();
+    EXPECT_EQ(t.event_count(), 15u);
+    std::ostringstream os;
+    t.write_chrome_trace(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST(TracerTest, NullTracerSpanIsNoOp) {
+    Span s(nullptr, "nothing", "test");
+    s.arg("ignored", 1); // must not crash
+    EXPECT_EQ(tracer(), nullptr); // nothing installed by default
+}
+
+TEST(TracerTest, InstallGuardPublishesAndRestores) {
+    ASSERT_EQ(tracer(), nullptr);
+    Tracer outer;
+    {
+        TracerInstallGuard g(&outer);
+        EXPECT_EQ(tracer(), &outer);
+        {
+            // Null guard: a no-op that leaves the ambient install visible.
+            TracerInstallGuard noop(nullptr);
+            EXPECT_EQ(tracer(), &outer);
+        }
+        EXPECT_EQ(tracer(), &outer);
+        Tracer inner;
+        {
+            TracerInstallGuard g2(&inner);
+            EXPECT_EQ(tracer(), &inner);
+        }
+        EXPECT_EQ(tracer(), &outer);
+    }
+    EXPECT_EQ(tracer(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketMath) {
+    EXPECT_EQ(Histogram::bucket_of(0), 0);
+    EXPECT_EQ(Histogram::bucket_of(1), 1);
+    EXPECT_EQ(Histogram::bucket_of(2), 2);
+    EXPECT_EQ(Histogram::bucket_of(3), 2);
+    EXPECT_EQ(Histogram::bucket_of(4), 3);
+    EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64);
+    EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+    EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+    EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+    EXPECT_EQ(Histogram::bucket_upper_bound(64), ~std::uint64_t{0});
+}
+
+TEST(HistogramTest, RecordAndSummaries) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull}) h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 106u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+    EXPECT_EQ(h.bucket_count(0), 1u); // the 0
+    EXPECT_EQ(h.bucket_count(2), 2u); // 2 and 3
+    // p50 of {0,1,2,3,100}: the 3rd sample (2) -> bucket [2,3] upper bound.
+    EXPECT_EQ(h.percentile_upper_bound(50), 3u);
+    // p100 lands in 100's bucket [64,127].
+    EXPECT_EQ(h.percentile_upper_bound(100), 127u);
+    EXPECT_EQ(h.percentile_upper_bound(0), 0u);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndSnapshotIsValidJson) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("ops");
+    c.add(41);
+    reg.counter("ops").add(1); // same instrument
+    EXPECT_EQ(c.value(), 42u);
+    reg.gauge("depth").set(-7);
+    reg.histogram("lat_us").record(150);
+
+    const std::string json = reg.to_json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_TRUE(contains(json, "\"counters\""));
+    EXPECT_TRUE(contains(json, "\"ops\":42"));
+    EXPECT_TRUE(contains(json, "\"depth\":-7"));
+    EXPECT_TRUE(contains(json, "\"lat_us\""));
+    EXPECT_TRUE(contains(json, "\"count\":1"));
+    EXPECT_TRUE(contains(json, "\"buckets\""));
+}
+
+TEST(MetricsRegistryTest, InstallGuardPublishesAndRestores) {
+    ASSERT_EQ(metrics(), nullptr);
+    MetricsRegistry reg;
+    {
+        MetricsInstallGuard g(&reg);
+        EXPECT_EQ(metrics(), &reg);
+        {
+            MetricsInstallGuard noop(nullptr);
+            EXPECT_EQ(metrics(), &reg);
+        }
+        EXPECT_EQ(metrics(), &reg);
+    }
+    EXPECT_EQ(metrics(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// RunManifest
+// ---------------------------------------------------------------------------
+
+TEST(RunManifestTest, BundlesConfigReportAndMetrics) {
+    MetricsRegistry reg;
+    reg.counter("pool.hits").add(9);
+    RunManifest man;
+    man.tool = "test";
+    man.algo = "balance";
+    man.cfg = PdmConfig{.n = 4096, .m = 512, .d = 4, .b = 16, .p = 2};
+    man.report.io.read_steps = 10;
+    man.report.io.write_steps = 5;
+    man.report.levels = 2;
+    man.metrics = &reg;
+
+    const std::string json = man.to_json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    for (const char* key : {"\"tool\":\"test\"", "\"algo\":\"balance\"", "\"config\"", "\"io\"",
+                            "\"report\"", "\"phases\"", "\"balance\"", "\"metrics\"",
+                            "\"pool.hits\":9"}) {
+        EXPECT_TRUE(contains(json, key)) << key;
+    }
+    // Without a registry the metrics section is omitted, still valid JSON.
+    man.metrics = nullptr;
+    const std::string bare = man.to_json();
+    EXPECT_TRUE(JsonChecker(bare).valid()) << bare;
+    EXPECT_FALSE(contains(bare, "\"metrics\""));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: end-to-end instrumented sort, D = 8, file-backed, engine on.
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityAcceptance, FileBackedSortEmitsSpansPairsAndHistograms) {
+    PdmConfig cfg{.n = 1 << 14, .m = 1 << 10, .d = 8, .b = 16, .p = 4};
+    DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile,
+                    std::filesystem::temp_directory_path().string());
+    auto input = generate(Workload::kUniform, cfg.n, 42);
+
+    Tracer tracer;
+    MetricsRegistry metrics_reg;
+    SortOptions opt;
+    opt.async_io = AsyncIo::kOn;
+    opt.trace = &tracer;
+    opt.metrics = &metrics_reg;
+    SortReport rep;
+    auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+    ASSERT_TRUE(is_sorted_permutation_of(input, sorted));
+
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    const std::string trace = os.str();
+    ASSERT_TRUE(JsonChecker(trace).valid());
+
+    // The top-level sort span and the four phase lanes.
+    EXPECT_TRUE(contains(trace, "\"name\":\"balance_sort\""));
+    EXPECT_TRUE(contains(trace, "\"cat\":\"sort\""));
+    EXPECT_TRUE(contains(trace, "\"cat\":\"phase\""));
+    EXPECT_TRUE(contains(trace, "\"name\":\"pivot\""));
+    EXPECT_TRUE(contains(trace, "\"name\":\"balance\""));
+    EXPECT_TRUE(contains(trace, "\"name\":\"base_case\""));
+    EXPECT_TRUE(contains(trace, "\"io_steps\""));
+    // Per-disk engine op spans on their own lanes.
+    EXPECT_TRUE(contains(trace, "\"cat\":\"io\""));
+    EXPECT_TRUE(contains(trace, "\"name\":\"read\""));
+    EXPECT_TRUE(contains(trace, "\"name\":\"write\""));
+    EXPECT_TRUE(contains(trace, "disk 0 io"));
+    EXPECT_TRUE(contains(trace, "disk 7 io"));
+    // Prefetch issue/consume async pairs (double buffering always engages
+    // on the async backend; cross-bucket staging rides the same mechanism).
+    EXPECT_TRUE(contains(trace, "\"cat\":\"prefetch\""));
+    EXPECT_TRUE(contains(trace, "\"ph\":\"b\""));
+    EXPECT_TRUE(contains(trace, "\"ph\":\"e\""));
+    EXPECT_GT(rep.phases.staged_prefetches, 0u);
+    EXPECT_TRUE(contains(trace, "\"cat\":\"staging\""));
+
+    // Metrics snapshot: per-disk latency histograms with real samples,
+    // engine queue depth, pool instruments.
+    const std::string mjson = metrics_reg.to_json();
+    ASSERT_TRUE(JsonChecker(mjson).valid());
+    for (std::uint32_t d = 0; d < cfg.d; ++d) {
+        const std::string tag = std::to_string(d);
+        EXPECT_TRUE(contains(mjson, "\"disk" + tag + ".read_latency_us\""));
+        EXPECT_TRUE(contains(mjson, "\"disk" + tag + ".write_latency_us\""));
+    }
+    EXPECT_TRUE(contains(mjson, "\"engine.queue_depth\""));
+    EXPECT_TRUE(contains(mjson, "\"pool.acquire_records\""));
+    EXPECT_GT(metrics_reg.histogram("disk0.read_latency_us").count(), 0u);
+    EXPECT_GT(metrics_reg.histogram("disk0.write_latency_us").count(), 0u);
+    EXPECT_GT(metrics_reg.histogram("engine.queue_depth").count(), 0u);
+    EXPECT_GT(metrics_reg.counter("pool.hits").value() +
+                  metrics_reg.counter("pool.misses").value(),
+              0u);
+
+    // File round-trips parse too.
+    const std::string tmp =
+        (std::filesystem::temp_directory_path() / "balsort_obs_trace.json").string();
+    ASSERT_TRUE(tracer.write_chrome_trace_file(tmp));
+    std::ifstream in(tmp);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_TRUE(JsonChecker(buf.str()).valid());
+    std::filesystem::remove(tmp);
+}
+
+// The sync (engine-off) path still records per-op latency histograms via
+// DiskArray::bind_obs, and fault recovery emits instant events.
+TEST(ObservabilityAcceptance, SyncPathHistogramsAndFaultInstants) {
+    PdmConfig cfg{.n = 1 << 12, .m = 1 << 9, .d = 4, .b = 8, .p = 2};
+    FaultTolerance ft;
+    ft.inject.seed = 7;
+    ft.inject.read_transient_rate = 0.05;
+    ft.inject.write_transient_rate = 0.05;
+    DiskArray disks(cfg.d, cfg.b, DiskBackend::kMemory, ".", Constraint::kIndependentDisks, ft);
+
+    Tracer tracer;
+    MetricsRegistry metrics_reg;
+    {
+        TracerInstallGuard tg(&tracer);
+        MetricsInstallGuard mg(&metrics_reg);
+        auto input = generate(Workload::kUniform, cfg.n, 5);
+        SortOptions opt;
+        opt.async_io = AsyncIo::kOff;
+        auto sorted = balance_sort_records(disks, input, cfg, opt, nullptr);
+        ASSERT_TRUE(is_sorted_permutation_of(input, sorted));
+    }
+    EXPECT_GT(metrics_reg.histogram("disk0.read_latency_us").count(), 0u);
+    EXPECT_GT(metrics_reg.histogram("disk0.write_latency_us").count(), 0u);
+    ASSERT_GT(disks.stats().transient_retries, 0u);
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    const std::string trace = os.str();
+    ASSERT_TRUE(JsonChecker(trace).valid());
+    EXPECT_TRUE(contains(trace, "\"cat\":\"fault\""));
+    EXPECT_TRUE(contains(trace, "\"name\":\"transient_retry\""));
+    EXPECT_TRUE(contains(trace, "\"s\":\"t\"")); // thread-scoped instants
+}
+
+} // namespace
+} // namespace balsort

@@ -15,6 +15,8 @@
 
 #include "core/balance_sort.hpp"
 #include "core/hier_sort.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/workload.hpp"
 
@@ -184,6 +186,40 @@ TEST(PipelineModes, AccountingIdenticalAcrossAllModes) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Observability overhead guard (DESIGN.md §11): tracing observes, never
+// perturbs. A sort with a tracer and a metrics registry installed must be
+// bit-identical — io_steps, the full observer sequence, and the sorted
+// output — to the same sort with observability off.
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityGuard, TracingChangesNoModelQuantity) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    const SortTrace plain = traced_sort(Workload::kUniform, cfg, {}, DiskBackend::kMemory);
+
+    Tracer tracer;
+    MetricsRegistry metrics;
+    SortOptions opt;
+    opt.trace = &tracer;
+    opt.metrics = &metrics;
+    const SortTrace obs = traced_sort(Workload::kUniform, cfg, opt, DiskBackend::kMemory);
+
+    EXPECT_EQ(obs.io.read_steps, plain.io.read_steps);
+    EXPECT_EQ(obs.io.write_steps, plain.io.write_steps);
+    EXPECT_EQ(obs.io.blocks_read, plain.io.blocks_read);
+    EXPECT_EQ(obs.io.blocks_written, plain.io.blocks_written);
+    EXPECT_EQ(obs.levels, plain.levels);
+    EXPECT_EQ(obs.base_cases, plain.base_cases);
+    EXPECT_EQ(obs.s_used, plain.s_used);
+    EXPECT_EQ(obs.step_hash, plain.step_hash);
+    EXPECT_EQ(obs.out_hash, plain.out_hash);
+#ifndef BALSORT_NO_OBS
+    // And the instruments really were live, not silently disconnected.
+    EXPECT_GT(tracer.event_count(), 0u);
+    EXPECT_GT(metrics.histogram("pool.acquire_records").count(), 0u);
+#endif
 }
 
 // ---------------------------------------------------------------------------

@@ -54,6 +54,30 @@ TEST(IoTrace, Analyses) {
     EXPECT_EQ(hist[2], 1u);
 }
 
+TEST(IoTrace, ChainsOntoExistingObserver) {
+    // Attaching over an already-installed observer (e.g. the hierarchy
+    // meter's) must forward every step to it and restore it on detach —
+    // not clobber it.
+    DiskArray disks(2, 2);
+    std::uint64_t prior_steps = 0;
+    disks.set_step_observer(
+        [&prior_steps](bool, std::span<const BlockOp>) { ++prior_steps; });
+    IoTrace trace;
+    trace.attach(disks);
+    std::vector<Record> buf(2, Record{1, 1});
+    std::vector<BlockOp> ops = {{0, 0}};
+    disks.write_step(ops, buf);
+    std::vector<Record> in(2);
+    disks.read_step(ops, in);
+    EXPECT_EQ(trace.steps().size(), 2u); // the trace recorded...
+    EXPECT_EQ(prior_steps, 2u);          // ...and the prior observer still fired
+    trace.detach();
+    // Detach restores the prior observer rather than clearing it.
+    disks.write_step(ops, buf);
+    EXPECT_EQ(trace.steps().size(), 2u);
+    EXPECT_EQ(prior_steps, 3u);
+}
+
 TEST(IoTrace, DoubleAttachRejected) {
     DiskArray a(2, 2), b(2, 2);
     IoTrace trace;

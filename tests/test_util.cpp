@@ -3,6 +3,7 @@
 
 #include <set>
 
+#include "pdm/io_stats.hpp"
 #include "util/math.hpp"
 #include "util/random.hpp"
 #include "util/record.hpp"
@@ -163,6 +164,77 @@ TEST(Stats, EmptyThrows) {
     Summary s;
     EXPECT_THROW(s.min(), std::invalid_argument);
     EXPECT_THROW(s.percentile(50), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSingleElement) {
+    Summary s;
+    s.add(7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
+TEST(Stats, PercentileExtremesAreMinAndMax) {
+    Summary s;
+    for (double v : {30.0, 10.0, 20.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0), s.min());
+    EXPECT_DOUBLE_EQ(s.percentile(100), s.max());
+    EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+    EXPECT_THROW(s.percentile(100.5), std::invalid_argument);
+}
+
+TEST(Stats, PercentileResortsAfterLaterAdd) {
+    Summary s;
+    for (double v : {5.0, 9.0, 7.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 7.0);
+    // Adding after a query must invalidate the sorted cache.
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+}
+
+TEST(IoStats, IntervalDeltaSubtractsFlows) {
+    IoStats before;
+    before.read_steps = 10;
+    before.write_steps = 4;
+    before.blocks_read = 80;
+    before.blocks_written = 32;
+    before.transient_retries = 1;
+    before.async_block_ops = 50;
+    IoStats after = before;
+    after.read_steps = 25;
+    after.write_steps = 9;
+    after.blocks_read = 200;
+    after.blocks_written = 72;
+    after.transient_retries = 3;
+    after.async_block_ops = 130;
+    const IoStats delta = after - before;
+    EXPECT_EQ(delta.read_steps, 15u);
+    EXPECT_EQ(delta.write_steps, 5u);
+    EXPECT_EQ(delta.io_steps(), 20u);
+    EXPECT_EQ(delta.blocks_read, 120u);
+    EXPECT_EQ(delta.blocks_written, 40u);
+    EXPECT_EQ(delta.transient_retries, 2u);
+    EXPECT_EQ(delta.async_block_ops, 80u);
+}
+
+TEST(IoStats, IntervalDeltaKeepsHighWaterMark) {
+    // max_in_flight is a peak, not a flow: the delta reports the interval
+    // end's peak unchanged rather than subtracting the start snapshot's.
+    IoStats before;
+    before.max_in_flight = 6;
+    IoStats after;
+    after.max_in_flight = 9;
+    EXPECT_EQ((after - before).max_in_flight, 9u);
+    // Accumulation takes the max, never the sum.
+    IoStats total;
+    total.max_in_flight = 4;
+    total += after;
+    EXPECT_EQ(total.max_in_flight, 9u);
+    IoStats small;
+    small.max_in_flight = 2;
+    total += small;
+    EXPECT_EQ(total.max_in_flight, 9u);
 }
 
 TEST(Table, FormatsAndPrints) {
