@@ -48,7 +48,8 @@ bool model_identical(const RunResult& sync, const RunResult& async_r) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const char* json_path = json_flag(argc, argv);
     banner("EXP-ASYNC",
            "Asynchronous disk engine (DESIGN.md §9): file-backed Balance Sort with the\n"
            "request/completion engine off vs on, under a device model charging each\n"
@@ -63,18 +64,22 @@ int main() {
 
     struct Device {
         const char* name;
+        const char* id; ///< stable variant-id stem for the canonical suite
         DeviceModel dev;
         bool required; ///< the >=1.5x target applies (throttled runs only)
     };
     const Device devices[] = {
-        {"latency 100us", DeviceModel{.latency_us = 100, .us_per_record = 0.2}, true},
-        {"latency 300us", DeviceModel{.latency_us = 300, .us_per_record = 0.2}, true},
-        {"raw page cache", DeviceModel{}, false},
+        {"latency 100us", "latency100us", DeviceModel{.latency_us = 100, .us_per_record = 0.2},
+         true},
+        {"latency 300us", "latency300us", DeviceModel{.latency_us = 300, .us_per_record = 0.2},
+         true},
+        {"raw page cache", "pagecache", DeviceModel{}, false},
     };
 
     Table t({"device", "mode", "wall (s)", "I/O steps", "blocks", "engine busy (s)",
              "stall (s)", "async ops", "in-flight", "speedup"});
     bool ok = true;
+    BenchSuite suite = make_suite("async", /*smoke=*/false);
     for (const Device& d : devices) {
         RunResult sync = run_one(cfg, input, AsyncIo::kOff, d.dev);
         RunResult async_r = run_one(cfg, input, AsyncIo::kOn, d.dev);
@@ -86,6 +91,10 @@ int main() {
             std::cerr << "BENCH BUG: async run diverged from sync in a model quantity\n";
             return 1;
         }
+        suite.results.push_back(BenchResult::from_report(
+            "async", std::string(d.id) + "/sync", cfg, sync.rep, sync.wall_s));
+        suite.results.push_back(BenchResult::from_report(
+            "async", std::string(d.id) + "/async", cfg, async_r.rep, async_r.wall_s));
         const double speedup = sync.wall_s / async_r.wall_s;
         for (const RunResult* r : {&sync, &async_r}) {
             const bool is_async = r == &async_r;
@@ -109,5 +118,6 @@ int main() {
     t.print(std::cout);
     std::cout << "\n(raw page-cache row is informational: files served from memory leave\n"
                  "little physical latency to overlap, so the engine about breaks even)\n";
+    if (!write_suite(suite, json_path)) return 1;
     return ok ? 0 : 1;
 }

@@ -10,11 +10,11 @@
 // pool serves nearly all staging acquisitions from recycled buffers.
 //
 // Flags: --smoke (CI-sized instance, relaxed wall-clock gate — shared
-// runners are noisy), --json PATH (machine-readable row dump), --trace PATH
+// runners are noisy), --json PATH (canonical balsort-bench-v1 suite for
+// benchgate, DESIGN.md §12), --trace PATH
 // (Chrome trace of the defaults variant; open in Perfetto), --metrics PATH
 // (latency-histogram snapshot of the defaults variant).
 #include <cstring>
-#include <fstream>
 
 #include "bench_common.hpp"
 #include "obs/metrics.hpp"
@@ -184,31 +184,16 @@ int main(int argc, char** argv) {
               << Table::fixed(100.0 * both.rep.phases.pool_hit_rate(), 1) << "% pool hits)\n";
 
     if (json_path != nullptr) {
-        std::ofstream out(json_path);
-        out << "{\n  \"bench\": \"pipeline\",\n  \"smoke\": " << (smoke ? "true" : "false")
-            << ",\n  \"config\": {\"n\": " << cfg.n << ", \"m\": " << cfg.m
-            << ", \"d\": " << cfg.d << ", \"b\": " << cfg.b << ", \"p\": " << cfg.p
-            << ", \"latency_us\": " << dev.latency_us
-            << ", \"us_per_record\": " << dev.us_per_record << "},\n  \"variants\": [\n";
+        // Canonical balsort-bench-v1 suite (DESIGN.md §12), gated by
+        // benchgate against bench/baselines/pipeline.json. Stable variant
+        // ids, decoupled from the pretty table labels above.
+        static const char* kVariantIds[4] = {"baseline", "+pool", "+overlap", "+both"};
+        BenchSuite suite = make_suite("pipeline", smoke);
         for (int i = 0; i < 4; ++i) {
-            const RunResult& r = results[i];
-            const PhaseProfile& ph = r.rep.phases;
-            out << "    {\"name\": \"" << variants[i].name << "\", \"wall_s\": " << r.wall_s
-                << ", \"io_steps\": " << r.rep.io.io_steps()
-                << ", \"blocks\": " << (r.rep.io.blocks_read + r.rep.io.blocks_written)
-                << ", \"pivot_s\": " << ph.pivot_seconds
-                << ", \"balance_s\": " << ph.balance_seconds
-                << ", \"base_case_s\": " << ph.base_case_seconds
-                << ", \"emit_s\": " << ph.emit_seconds
-                << ", \"staged_prefetches\": " << ph.staged_prefetches
-                << ", \"overlap_hidden_s\": " << ph.overlap_hidden_seconds
-                << ", \"pool_hit_rate\": " << ph.pool_hit_rate()
-                << ", \"elapsed_s\": " << r.rep.elapsed_seconds
-                << ", \"speedup\": " << (base.wall_s / r.wall_s) << "}"
-                << (i + 1 < 4 ? "," : "") << "\n";
+            suite.results.push_back(BenchResult::from_report("pipeline", kVariantIds[i], cfg,
+                                                             results[i].rep, results[i].wall_s));
         }
-        out << "  ],\n  \"model_identical\": true\n}\n";
-        std::cout << "wrote " << json_path << "\n";
+        if (!write_suite(suite, json_path)) return 1;
     }
     return ok ? 0 : 1;
 }

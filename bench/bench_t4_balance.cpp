@@ -2,6 +2,11 @@
 // factor of about 2 above the optimal number of tracks to read", plus
 // Invariants 1-2. We contrast the deterministic guarantee against the
 // randomized [ViSa] placement's tail across seeds.
+//
+// Flags: --smoke (CI-sized instances and fewer randomized seeds), --json
+// PATH (canonical balsort-bench-v1 suite for benchgate). The suite carries
+// the *deterministic* Balance Sort rows only — the randomized comparator
+// has no SortReport and its tail is the point, not a regression target.
 #include "baselines/rand_dist.hpp"
 #include "bench_common.hpp"
 #include "util/stats.hpp"
@@ -9,19 +14,32 @@
 using namespace balsort;
 using namespace balsort::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = smoke_flag(argc, argv);
+    const char* json_path = json_flag(argc, argv);
     banner("EXP-T4-BALANCE",
            "Theorem 4 + Invariants 1-2: every bucket reads within ~2x optimal, always.\n"
            "Reproduction target: deterministic worst ratio <= ~2 on every workload, while the\n"
            "randomized [ViSa] placement shows a seed-dependent tail.");
 
+    BenchSuite suite = make_suite("t4_balance", smoke);
+    auto measure = [&suite](const std::string& variant, const PdmConfig& cfg, Workload w,
+                            std::uint64_t seed, SortOptions opt = {}) {
+        Timer timer;
+        SortReport rep = run_balance_sort(cfg, w, seed, opt);
+        suite.results.push_back(
+            BenchResult::from_report("t4_balance", variant, cfg, rep, timer.seconds()));
+        return rep;
+    };
+
     {
         Table t({"workload", "worst bucket ratio", "inv1", "inv2", "matched", "deferred"});
+        const std::uint64_t n = smoke ? (1 << 15) : (1 << 18);
         for (Workload w : all_workloads()) {
-            PdmConfig cfg{.n = 1 << 18, .m = 1 << 12, .d = 8, .b = 16, .p = 2};
+            PdmConfig cfg{.n = n, .m = 1 << 12, .d = 8, .b = 16, .p = 2};
             SortOptions opt;
             opt.balance.check_invariants = true;
-            auto rep = run_balance_sort(cfg, w, 3, opt);
+            auto rep = measure(std::string("w=") + to_string(w), cfg, w, 3, opt);
             t.add_row({to_string(w), Table::fixed(rep.worst_bucket_read_ratio, 3),
                        rep.balance.invariant1_held ? "held" : "VIOLATED",
                        rep.balance.invariant2_held ? "held" : "VIOLATED",
@@ -35,40 +53,45 @@ int main() {
     {
         // The randomized comparator: distribution over seeds.
         Summary rand_ratios;
-        PdmConfig cfg{.n = 1 << 17, .m = 1 << 11, .d = 8, .b = 16, .p = 1};
+        PdmConfig cfg = smoke ? PdmConfig{.n = 1 << 14, .m = 1 << 10, .d = 8, .b = 16, .p = 1}
+                              : PdmConfig{.n = 1 << 17, .m = 1 << 11, .d = 8, .b = 16, .p = 1};
+        const std::uint64_t seeds = smoke ? 5 : 20;
         auto input = generate(Workload::kGaussian, cfg.n, 5);
-        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
             DiskArray disks(cfg.d, cfg.b);
             BlockRun run = write_striped(disks, input);
             RandDistReport rep;
             (void)rand_dist_sort(disks, run, cfg, seed, &rep);
             rand_ratios.add(rep.worst_bucket_read_ratio);
         }
-        SortOptions opt;
-        auto det = run_balance_sort(cfg, Workload::kGaussian, 5, opt);
+        auto det = measure("gaussian-det", cfg, Workload::kGaussian, 5);
         Table t({"algorithm", "worst bucket ratio (min)", "(median)", "(max)"});
         t.add_row({"Balance Sort (deterministic)", Table::fixed(det.worst_bucket_read_ratio, 3),
                    Table::fixed(det.worst_bucket_read_ratio, 3),
                    Table::fixed(det.worst_bucket_read_ratio, 3)});
-        t.add_row({"randomized [ViSa], 20 seeds", Table::fixed(rand_ratios.min(), 3),
-                   Table::fixed(rand_ratios.median(), 3), Table::fixed(rand_ratios.max(), 3)});
-        std::cout << "\nDeterministic bound vs randomized tail (gaussian, N=2^17):\n";
+        t.add_row({std::string("randomized [ViSa], ") + std::to_string(seeds) + " seeds",
+                   Table::fixed(rand_ratios.min(), 3), Table::fixed(rand_ratios.median(), 3),
+                   Table::fixed(rand_ratios.max(), 3)});
+        std::cout << "\nDeterministic bound vs randomized tail (gaussian, N=2^" << (smoke ? 14 : 17)
+                  << "):\n";
         t.print(std::cout);
     }
 
     {
         // Ratio as a function of D' (the guarantee holds for every D').
         Table t({"D'", "worst bucket ratio", "matched blocks", "tracks"});
-        PdmConfig cfg{.n = 1 << 17, .m = 1 << 12, .d = 8, .b = 16, .p = 1};
+        PdmConfig cfg = smoke ? PdmConfig{.n = 1 << 14, .m = 1 << 11, .d = 8, .b = 16, .p = 1}
+                              : PdmConfig{.n = 1 << 17, .m = 1 << 12, .d = 8, .b = 16, .p = 1};
         for (std::uint32_t dv : {1u, 2u, 4u, 8u}) {
             SortOptions opt;
             opt.d_virtual = dv;
-            auto rep = run_balance_sort(cfg, Workload::kZipf, 9, opt);
+            auto rep = measure("dv=" + std::to_string(dv), cfg, Workload::kZipf, 9, opt);
             t.add_row({Table::num(dv), Table::fixed(rep.worst_bucket_read_ratio, 3),
                        Table::num(rep.balance.matched_blocks), Table::num(rep.balance.tracks)});
         }
         std::cout << "\nPartial-striping sweep (zipf):\n";
         t.print(std::cout);
     }
+    if (!write_suite(suite, json_path)) return 1;
     return 0;
 }

@@ -2,6 +2,12 @@
 // of the (at most floor(H'/2)) offenders per round, deterministically for
 // the derandomized engine; Rebalance therefore needs at most ~2 rounds per
 // track. Includes google-benchmark microbenchmarks of the three engines.
+//
+// Flags: --smoke (CI-sized end-to-end sorts, microbenches skipped), --json
+// PATH (canonical balsort-bench-v1 suite for benchgate; the gated rows are
+// the three end-to-end strategy sorts — the microbenches are pure
+// wall-clock and stay out of the gate). Our flags are stripped before
+// benchmark::Initialize so google-benchmark never sees them.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -28,7 +34,7 @@ std::vector<std::vector<std::uint32_t>> make_instance(std::uint32_t h, std::size
     return cands;
 }
 
-void quality_table() {
+void quality_table(bool smoke, BenchSuite& suite) {
     banner("EXP-T5-MATCH",
            "Theorem 5: Fast-Partial-Match matches >= ceil(|U|/4) per round (derandomized:\n"
            "deterministically); greedy matches ALL on paper-shaped instances; Rebalance\n"
@@ -53,19 +59,23 @@ void quality_table() {
     }
     t.print(std::cout);
 
-    // End-to-end rebalance effort inside real sorts.
+    // End-to-end rebalance effort inside real sorts — the gated rows.
     Table e({"matching", "rearrange rounds/track (max)", "matched blocks", "deferred"});
     for (auto strat : {MatchStrategy::kGreedy, MatchStrategy::kRandomized,
                        MatchStrategy::kDerandomized}) {
-        PdmConfig cfg{.n = 1 << 17, .m = 1 << 11, .d = 8, .b = 16, .p = 1};
+        PdmConfig cfg = smoke ? PdmConfig{.n = 1 << 14, .m = 1 << 10, .d = 8, .b = 16, .p = 1}
+                              : PdmConfig{.n = 1 << 17, .m = 1 << 11, .d = 8, .b = 16, .p = 1};
         SortOptions opt;
         opt.balance.matching = strat;
+        Timer timer;
         auto rep = run_balance_sort(cfg, Workload::kGaussian, 11, opt);
+        suite.results.push_back(BenchResult::from_report(
+            "t5_matching", std::string("match=") + to_string(strat), cfg, rep, timer.seconds()));
         e.add_row({to_string(strat), Table::num(rep.balance.max_rounds_per_track),
                    Table::num(rep.balance.matched_blocks),
                    Table::num(rep.balance.deferred_blocks)});
     }
-    std::cout << "\nInside a full sort (gaussian, N=2^17):\n";
+    std::cout << "\nInside a full sort (gaussian, N=2^" << (smoke ? 14 : 17) << "):\n";
     e.print(std::cout);
 }
 
@@ -92,8 +102,28 @@ BENCHMARK_CAPTURE(bm_match, derandomized, MatchStrategy::kDerandomized)
 } // namespace
 
 int main(int argc, char** argv) {
-    quality_table();
-    benchmark::Initialize(&argc, argv);
+    const bool smoke = smoke_flag(argc, argv);
+    const char* json_path = json_flag(argc, argv);
+
+    BenchSuite suite = make_suite("t5_matching", smoke);
+    quality_table(smoke, suite);
+    if (!write_suite(suite, json_path)) return 1;
+    if (smoke) return 0; // CI sizing: skip the wall-clock-only microbenches
+
+    // Strip our own flags so google-benchmark's strict parser never sees
+    // them, then hand over the rest (--benchmark_filter etc. still work).
+    std::vector<char*> bm_args;
+    bm_args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) continue;
+        if (std::strcmp(argv[i], "--json") == 0) {
+            ++i; // skip the path operand too
+            continue;
+        }
+        bm_args.push_back(argv[i]);
+    }
+    int bm_argc = static_cast<int>(bm_args.size());
+    benchmark::Initialize(&bm_argc, bm_args.data());
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

@@ -1,0 +1,519 @@
+// benchgate — the perf/regression gate over canonical bench results
+// (DESIGN.md §12).
+//
+// A bench binary run with `--json out.json` emits a balsort-bench-v1
+// BenchSuite; benchgate diffs such a file against the committed baseline
+// for the same suite id (bench/baselines/<id>.json) and reports:
+//
+//   FAIL  — a model quantity (io_steps, read_steps, write_steps, blocks,
+//           pram_time, work_ratio) or an invariant flag differs, or the
+//           instance config changed under a variant. Model quantities are
+//           deterministic by design (pinned by the pipeline goldens), so
+//           they are compared *byte-exactly* on the raw JSON number tokens
+//           — no epsilon, no float round-trip.
+//   WARN  — wall_seconds drifted outside the tolerance band (default
+//           ±25%; machine-dependent, so advisory unless --strict-wall),
+//           or a variant appeared/disappeared.
+//   ok    — everything matches.
+//
+// Exit codes: 0 pass (warnings allowed), 1 fail, 2 usage/IO error.
+//
+// Usage:
+//   benchgate [options] --baseline-dir DIR RESULT.json...
+//   benchgate [options] --baseline BASE.json RESULT.json
+//   benchgate --validate FILE.json...     # schema validity only
+//   benchgate --self-check                # gate-the-gate unit test
+// Options:
+//   --wall-tolerance F   relative wall-clock band (default 0.25)
+//   --strict-wall        wall drift fails instead of warns
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_result.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using balsort::BenchResult;
+using balsort::BenchSuite;
+using balsort::JsonValue;
+
+struct Options {
+    std::string baseline_dir;
+    std::string baseline_file;
+    std::vector<std::string> inputs;
+    double wall_tolerance = 0.25;
+    bool strict_wall = false;
+    bool validate_only = false;
+    bool self_check = false;
+};
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0 << " [--wall-tolerance F] [--strict-wall]\n"
+              << "         --baseline-dir DIR RESULT.json...\n"
+              << "       " << argv0 << " [options] --baseline BASE.json RESULT.json\n"
+              << "       " << argv0 << " --validate FILE.json...\n"
+              << "       " << argv0 << " --self-check\n";
+    return 2;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+// -------------------------------------------------------------------------
+// Schema navigation. Every helper reports a human-readable path on failure.
+
+/// One row of a suite, kept as raw JSON nodes so model quantities can be
+/// compared on their source tokens.
+struct Row {
+    std::string variant;
+    const JsonValue* config = nullptr;
+    const JsonValue* model = nullptr;
+    const JsonValue* invariants = nullptr;
+    double wall_seconds = 0;
+    bool has_wall = false;
+};
+
+struct Suite {
+    std::string bench;
+    bool smoke = false;
+    std::vector<Row> rows;
+    JsonValue doc; // owns the tree the Row pointers reference
+};
+
+/// Parse + schema-check one balsort-bench-v1 file. Returns nullopt and
+/// prints the reason on stderr when the document is not a valid suite.
+std::optional<Suite> load_suite(const std::string& path) {
+    auto text = slurp(path);
+    if (!text) {
+        std::cerr << "benchgate: cannot read " << path << "\n";
+        return std::nullopt;
+    }
+    auto doc = JsonValue::parse(*text);
+    if (!doc) {
+        std::cerr << "benchgate: " << path << ": not valid JSON\n";
+        return std::nullopt;
+    }
+    Suite suite;
+    suite.doc = std::move(*doc);
+    const JsonValue& root = suite.doc;
+    const JsonValue* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_string() || schema->as_string() != "balsort-bench-v1") {
+        std::cerr << "benchgate: " << path << ": missing or unknown \"schema\" "
+                  << "(want \"balsort-bench-v1\")\n";
+        return std::nullopt;
+    }
+    const JsonValue* bench = root.find("bench");
+    if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
+        std::cerr << "benchgate: " << path << ": missing \"bench\" id\n";
+        return std::nullopt;
+    }
+    suite.bench = bench->as_string();
+    if (const JsonValue* smoke = root.find("smoke"); smoke != nullptr && smoke->is_bool()) {
+        suite.smoke = smoke->as_bool();
+    }
+    const JsonValue* results = root.find("results");
+    if (results == nullptr || !results->is_array()) {
+        std::cerr << "benchgate: " << path << ": missing \"results\" array\n";
+        return std::nullopt;
+    }
+    static const char* kModelKeys[] = {"io_steps",    "read_steps", "write_steps",
+                                       "blocks",      "pram_time",  "work_ratio"};
+    static const char* kConfigKeys[] = {"n", "m", "d", "b", "p"};
+    std::size_t idx = 0;
+    for (const JsonValue& r : results->items()) {
+        Row row;
+        const JsonValue* variant = r.find("variant");
+        if (variant == nullptr || !variant->is_string() || variant->as_string().empty()) {
+            std::cerr << "benchgate: " << path << ": results[" << idx
+                      << "] has no \"variant\" id\n";
+            return std::nullopt;
+        }
+        row.variant = variant->as_string();
+        row.config = r.find("config");
+        row.model = r.find("model");
+        row.invariants = r.find("invariants");
+        if (row.config == nullptr || !row.config->is_object() || row.model == nullptr ||
+            !row.model->is_object() || row.invariants == nullptr || !row.invariants->is_object()) {
+            std::cerr << "benchgate: " << path << ": results[" << idx << "] (\"" << row.variant
+                      << "\") lacks config/model/invariants objects\n";
+            return std::nullopt;
+        }
+        for (const char* k : kConfigKeys) {
+            const JsonValue* v = row.config->find(k);
+            if (v == nullptr || !v->is_number()) {
+                std::cerr << "benchgate: " << path << ": \"" << row.variant << "\" config." << k
+                          << " missing or not a number\n";
+                return std::nullopt;
+            }
+        }
+        for (const char* k : kModelKeys) {
+            const JsonValue* v = row.model->find(k);
+            if (v == nullptr || !v->is_number()) {
+                std::cerr << "benchgate: " << path << ": \"" << row.variant << "\" model." << k
+                          << " missing or not a number\n";
+                return std::nullopt;
+            }
+        }
+        for (const char* k : {"invariant1", "invariant2"}) {
+            const JsonValue* v = row.invariants->find(k);
+            if (v == nullptr || !v->is_bool()) {
+                std::cerr << "benchgate: " << path << ": \"" << row.variant << "\" invariants."
+                          << k << " missing or not a bool\n";
+                return std::nullopt;
+            }
+        }
+        if (const JsonValue* w = r.find("wall_seconds"); w != nullptr && w->is_number()) {
+            row.wall_seconds = w->as_double();
+            row.has_wall = true;
+        }
+        suite.rows.push_back(std::move(row));
+        ++idx;
+    }
+    return suite;
+}
+
+const Row* find_row(const Suite& s, const std::string& variant) {
+    for (const Row& r : s.rows) {
+        if (r.variant == variant) return &r;
+    }
+    return nullptr;
+}
+
+// -------------------------------------------------------------------------
+// Comparison.
+
+struct Tally {
+    int fails = 0;
+    int warns = 0;
+};
+
+/// Byte-exact comparison of one numeric field via its raw source token.
+void compare_token(const char* group, const char* key, const JsonValue& base,
+                   const JsonValue& got, const std::string& variant, Tally& tally) {
+    const JsonValue* bv = base.find(key);
+    const JsonValue* gv = got.find(key);
+    // load_suite guaranteed presence; belt-and-braces for direct callers.
+    if (bv == nullptr || gv == nullptr) return;
+    if (bv->raw_number() != gv->raw_number()) {
+        std::cout << "  FAIL [" << variant << "] " << group << "." << key << ": baseline "
+                  << bv->raw_number() << " != result " << gv->raw_number() << "\n";
+        ++tally.fails;
+    }
+}
+
+void compare_rows(const Row& base, const Row& got, const Options& opt, Tally& tally) {
+    for (const char* k : {"n", "m", "d", "b", "p"}) {
+        compare_token("config", k, *base.config, *got.config, base.variant, tally);
+    }
+    for (const char* k :
+         {"io_steps", "read_steps", "write_steps", "blocks", "pram_time", "work_ratio"}) {
+        compare_token("model", k, *base.model, *got.model, base.variant, tally);
+    }
+    for (const char* k : {"invariant1", "invariant2"}) {
+        const JsonValue* bv = base.invariants->find(k);
+        const JsonValue* gv = got.invariants->find(k);
+        if (bv != nullptr && gv != nullptr && bv->as_bool() != gv->as_bool()) {
+            std::cout << "  FAIL [" << base.variant << "] invariants." << k << ": baseline "
+                      << (bv->as_bool() ? "true" : "false") << " != result "
+                      << (gv->as_bool() ? "true" : "false") << "\n";
+            ++tally.fails;
+        }
+    }
+    if (base.has_wall && got.has_wall && base.wall_seconds > 0) {
+        double rel = (got.wall_seconds - base.wall_seconds) / base.wall_seconds;
+        if (std::fabs(rel) > opt.wall_tolerance) {
+            const char* tag = opt.strict_wall ? "FAIL" : "WARN";
+            std::cout << "  " << tag << " [" << base.variant << "] wall_seconds: baseline "
+                      << base.wall_seconds << "s, result " << got.wall_seconds << "s ("
+                      << (rel >= 0 ? "+" : "") << static_cast<int>(rel * 100)
+                      << "%, tolerance +/-" << static_cast<int>(opt.wall_tolerance * 100)
+                      << "%)\n";
+            if (opt.strict_wall) {
+                ++tally.fails;
+            } else {
+                ++tally.warns;
+            }
+        }
+    }
+}
+
+void compare_suites(const Suite& base, const Suite& got, const Options& opt, Tally& tally) {
+    if (base.bench != got.bench) {
+        std::cout << "  FAIL suite id mismatch: baseline \"" << base.bench << "\" vs result \""
+                  << got.bench << "\"\n";
+        ++tally.fails;
+        return;
+    }
+    if (base.smoke != got.smoke) {
+        std::cout << "  WARN smoke flag differs (baseline "
+                  << (base.smoke ? "smoke" : "full") << ", result "
+                  << (got.smoke ? "smoke" : "full") << ") — comparing anyway\n";
+        ++tally.warns;
+    }
+    for (const Row& b : base.rows) {
+        const Row* g = find_row(got, b.variant);
+        if (g == nullptr) {
+            std::cout << "  WARN baseline variant \"" << b.variant
+                      << "\" missing from result\n";
+            ++tally.warns;
+            continue;
+        }
+        compare_rows(b, *g, opt, tally);
+    }
+    for (const Row& g : got.rows) {
+        if (find_row(base, g.variant) == nullptr) {
+            std::cout << "  WARN new variant \"" << g.variant
+                      << "\" has no baseline (refresh bench/baselines/)\n";
+            ++tally.warns;
+        }
+    }
+}
+
+int gate_one(const std::string& baseline_path, const std::string& result_path,
+             const Options& opt, Tally& total) {
+    auto base = load_suite(baseline_path);
+    auto got = load_suite(result_path);
+    if (!base || !got) return 2;
+    std::cout << "gate " << result_path << " vs " << baseline_path << ":\n";
+    Tally tally;
+    compare_suites(*base, *got, opt, tally);
+    if (tally.fails == 0 && tally.warns == 0) std::cout << "  ok (" << got->rows.size()
+                                                        << " variants match byte-exactly)\n";
+    total.fails += tally.fails;
+    total.warns += tally.warns;
+    return 0;
+}
+
+// -------------------------------------------------------------------------
+// --self-check: the gate gates a synthetic suite against perturbed copies
+// of itself, so CI can prove the comparator actually bites before trusting
+// a green run.
+
+BenchSuite synthetic_suite() {
+    BenchSuite s;
+    s.bench = "selfcheck";
+    s.git_describe = "v0-test \"quoted\"";
+    s.timestamp = "2026-01-01T00:00:00Z";
+    BenchResult r;
+    r.bench = "selfcheck";
+    r.variant = "defaults";
+    r.cfg.n = 1u << 15;
+    r.cfg.m = 1u << 12;
+    r.cfg.d = 8;
+    r.cfg.b = 64;
+    r.cfg.p = 4;
+    r.io_steps = 1327;
+    r.read_steps = 700;
+    r.write_steps = 627;
+    r.blocks = 10616;
+    r.pram_time = 123456;
+    r.work_ratio = 1.75;
+    r.invariant1 = true;
+    r.invariant2 = true;
+    r.wall_seconds = 0.5;
+    s.results.push_back(r);
+    return s;
+}
+
+int self_check() {
+    int failures = 0;
+    auto expect = [&](bool cond, const char* what) {
+        if (!cond) {
+            std::cout << "self-check FAILED: " << what << "\n";
+            ++failures;
+        }
+    };
+    Options opt;
+
+    BenchSuite suite = synthetic_suite();
+    std::string text = suite.to_json();
+    auto parsed = JsonValue::parse(text);
+    expect(parsed.has_value(), "emitted suite must parse as JSON");
+
+    // Identity: a suite compared against its own serialization passes.
+    {
+        std::ostringstream os;
+        suite.write_json(os);
+        auto a = JsonValue::parse(os.str());
+        expect(a.has_value() && a->find("schema") != nullptr, "schema marker present");
+    }
+
+    auto run_gate = [&](const BenchSuite& base, const BenchSuite& got, const Options& o) {
+        // Route through the same loader/comparator the CLI uses, via
+        // temp-free in-memory parsing.
+        Tally tally;
+        auto parse_mem = [](const BenchSuite& s) -> std::optional<Suite> {
+            Suite out;
+            auto doc = JsonValue::parse(s.to_json());
+            if (!doc) return std::nullopt;
+            out.doc = std::move(*doc);
+            // Reuse the navigation logic by re-walking results.
+            const JsonValue* results = out.doc.find("results");
+            if (results == nullptr) return std::nullopt;
+            const JsonValue* bench = out.doc.find("bench");
+            if (bench != nullptr) out.bench = bench->as_string();
+            for (const JsonValue& r : results->items()) {
+                Row row;
+                row.variant = r.find("variant")->as_string();
+                row.config = r.find("config");
+                row.model = r.find("model");
+                row.invariants = r.find("invariants");
+                if (const JsonValue* w = r.find("wall_seconds")) {
+                    row.wall_seconds = w->as_double();
+                    row.has_wall = true;
+                }
+                out.rows.push_back(row);
+            }
+            return out;
+        };
+        auto a = parse_mem(base);
+        auto b = parse_mem(got);
+        if (!a || !b) return Tally{1, 0};
+        compare_suites(*a, *b, o, tally);
+        return tally;
+    };
+
+    {
+        Tally t = run_gate(suite, suite, opt);
+        expect(t.fails == 0 && t.warns == 0, "identical suites must pass clean");
+    }
+    {
+        // The acceptance criterion: io_steps off by one must FAIL.
+        BenchSuite perturbed = suite;
+        perturbed.results[0].io_steps += 1;
+        Tally t = run_gate(suite, perturbed, opt);
+        expect(t.fails > 0, "io_steps +1 must fail the gate");
+    }
+    {
+        // Wall drift inside the band: pass (no warn).
+        BenchSuite warmer = suite;
+        warmer.results[0].wall_seconds *= 1.10;
+        Tally t = run_gate(suite, warmer, opt);
+        expect(t.fails == 0 && t.warns == 0, "10% wall drift within 25% tolerance passes");
+    }
+    {
+        // Wall drift outside the band: warn by default, fail with --strict-wall.
+        BenchSuite slow = suite;
+        slow.results[0].wall_seconds *= 2.0;
+        Tally t = run_gate(suite, slow, opt);
+        expect(t.fails == 0 && t.warns > 0, "2x wall drift warns by default");
+        Options strict = opt;
+        strict.strict_wall = true;
+        Tally ts = run_gate(suite, slow, strict);
+        expect(ts.fails > 0, "2x wall drift fails under --strict-wall");
+    }
+    {
+        BenchSuite flipped = suite;
+        flipped.results[0].invariant2 = false;
+        Tally t = run_gate(suite, flipped, opt);
+        expect(t.fails > 0, "invariant flip must fail the gate");
+    }
+    {
+        BenchSuite extra = suite;
+        BenchResult nr = suite.results[0];
+        nr.variant = "new-variant";
+        extra.results.push_back(nr);
+        Tally t = run_gate(suite, extra, opt);
+        expect(t.fails == 0 && t.warns > 0, "new variant warns, does not fail");
+    }
+
+    if (failures == 0) {
+        std::cout << "benchgate self-check: all checks passed\n";
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--baseline-dir") == 0 && i + 1 < argc) {
+            opt.baseline_dir = argv[++i];
+        } else if (std::strcmp(a, "--baseline") == 0 && i + 1 < argc) {
+            opt.baseline_file = argv[++i];
+        } else if (std::strcmp(a, "--wall-tolerance") == 0 && i + 1 < argc) {
+            opt.wall_tolerance = std::atof(argv[++i]);
+            if (!(opt.wall_tolerance > 0)) return usage(argv[0]);
+        } else if (std::strcmp(a, "--strict-wall") == 0) {
+            opt.strict_wall = true;
+        } else if (std::strcmp(a, "--validate") == 0) {
+            opt.validate_only = true;
+        } else if (std::strcmp(a, "--self-check") == 0) {
+            opt.self_check = true;
+        } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (a[0] == '-') {
+            std::cerr << "benchgate: unknown option " << a << "\n";
+            return usage(argv[0]);
+        } else {
+            opt.inputs.emplace_back(a);
+        }
+    }
+
+    if (opt.self_check) return self_check();
+
+    if (opt.validate_only) {
+        if (opt.inputs.empty()) return usage(argv[0]);
+        int bad = 0;
+        for (const std::string& path : opt.inputs) {
+            auto s = load_suite(path);
+            if (s) {
+                std::cout << "valid " << path << " (suite \"" << s->bench << "\", "
+                          << s->rows.size() << " results)\n";
+            } else {
+                ++bad;
+            }
+        }
+        return bad == 0 ? 0 : 1;
+    }
+
+    if (opt.inputs.empty() || (opt.baseline_dir.empty() && opt.baseline_file.empty())) {
+        return usage(argv[0]);
+    }
+    if (!opt.baseline_file.empty() && opt.inputs.size() != 1) {
+        std::cerr << "benchgate: --baseline takes exactly one result file\n";
+        return usage(argv[0]);
+    }
+
+    Tally total;
+    for (const std::string& path : opt.inputs) {
+        std::string baseline = opt.baseline_file;
+        if (baseline.empty()) {
+            // Baseline lives under the dir named by the *result's* suite id.
+            auto got = load_suite(path);
+            if (!got) return 2;
+            baseline = opt.baseline_dir + "/" + got->bench + ".json";
+        }
+        int rc = gate_one(baseline, path, opt, total);
+        if (rc != 0) return rc;
+    }
+    if (total.fails > 0) {
+        std::cout << "benchgate: FAIL (" << total.fails << " failing field(s), " << total.warns
+                  << " warning(s))\n";
+        return 1;
+    }
+    if (total.warns > 0) {
+        std::cout << "benchgate: pass with " << total.warns << " warning(s)\n";
+    } else {
+        std::cout << "benchgate: pass\n";
+    }
+    return 0;
+}

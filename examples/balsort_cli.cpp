@@ -7,14 +7,16 @@
 //   balsort_cli <input.bin> <output.bin> [--mem RECORDS] [--disks D]
 //               [--block RECORDS] [--scratch DIR] [--algo balance|greed|merge]
 //               [--sketch] [--stats] [--trace OUT.json] [--metrics-json OUT.json]
-//               [--manifest OUT.json]
+//               [--manifest OUT.json] [--balance-timeline OUT.json]
 //
 //   balsort_cli --selftest        # generate, sort, verify, clean up
 //
 // --trace writes a Chrome trace_event timeline (open in Perfetto or
-// chrome://tracing), --metrics-json a latency-histogram snapshot, and
+// chrome://tracing), --metrics-json a latency-histogram snapshot,
 // --manifest a RunManifest bundling config, report, and metrics
-// (DESIGN.md §11).
+// (DESIGN.md §11), and --balance-timeline the per-track balance-quality
+// recorder (DESIGN.md §12; balance algo only — it also rides along inside
+// the manifest when both flags are given).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -39,7 +41,7 @@ struct CliOptions {
     std::uint32_t block = 256;
     std::string scratch = "/tmp";
     std::string algo = "balance";
-    std::string trace_path, metrics_path, manifest_path;
+    std::string trace_path, metrics_path, manifest_path, timeline_path;
     bool sketch = false;
     bool stats = false;
     bool selftest = false;
@@ -50,6 +52,7 @@ struct CliOptions {
               << " <input.bin> <output.bin> [--mem R] [--disks D] [--block R]\n"
                  "          [--scratch DIR] [--algo balance|greed|merge] [--sketch] [--stats]\n"
                  "          [--trace OUT.json] [--metrics-json OUT.json] [--manifest OUT.json]\n"
+                 "          [--balance-timeline OUT.json]\n"
                  "       "
               << argv0 << " --selftest\n";
     std::exit(2);
@@ -80,6 +83,8 @@ CliOptions parse(int argc, char** argv) {
             o.metrics_path = next();
         } else if (a == "--manifest") {
             o.manifest_path = next();
+        } else if (a == "--balance-timeline") {
+            o.timeline_path = next();
         } else if (a == "--sketch") {
             o.sketch = true;
         } else if (a == "--stats") {
@@ -170,11 +175,14 @@ int run(const CliOptions& o) {
     double sort_elapsed = 0;
     bool have_phases = false;
     SortReport report; // fed to --manifest; fully populated by balance only
+    BalanceTimeline timeline; // --balance-timeline recorder (balance algo only)
+    const bool want_timeline = !o.timeline_path.empty();
     if (o.algo == "balance") {
         SortOptions opt;
         if (o.sketch) opt.pivot_method = PivotMethod::kStreamingSketch;
         opt.trace = o.trace_path.empty() ? nullptr : &tracer;
         opt.metrics = want_metrics ? &metrics_reg : nullptr;
+        opt.balance.timeline = want_timeline ? &timeline : nullptr;
         run_out = balance_sort(disks, run_in, cfg, opt, &report);
         io = report.io;
         phases = report.phases;
@@ -211,6 +219,15 @@ int run(const CliOptions& o) {
 
     if (!o.trace_path.empty()) tracer.write_chrome_trace_file(o.trace_path);
     if (!o.metrics_path.empty()) metrics_reg.write_json_file(o.metrics_path);
+    if (want_timeline) {
+        if (o.algo != "balance") {
+            std::cerr << "--balance-timeline only applies to --algo balance; nothing recorded\n";
+        }
+        if (!timeline.write_json_file(o.timeline_path)) {
+            std::cerr << "cannot write " << o.timeline_path << '\n';
+            return 1;
+        }
+    }
     if (!o.manifest_path.empty()) {
         RunManifest manifest;
         manifest.tool = "balsort_cli";
@@ -218,6 +235,7 @@ int run(const CliOptions& o) {
         manifest.cfg = cfg;
         manifest.report = report;
         manifest.metrics = want_metrics ? &metrics_reg : nullptr;
+        manifest.timeline = want_timeline && o.algo == "balance" ? &timeline : nullptr;
         manifest.write_json_file(o.manifest_path);
     }
 

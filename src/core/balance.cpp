@@ -2,13 +2,30 @@
 
 #include <algorithm>
 #include <deque>
+#include <fstream>
 #include <memory>
+#include <ostream>
+#include <sstream>
 
+#include "obs/metrics.hpp"
 #include "pram/hungarian.hpp"
 #include "pram/quantile_sketch.hpp"
 #include "util/math.hpp"
 
 namespace balsort {
+
+std::string BalanceTimeline::to_json() const {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+bool BalanceTimeline::write_json_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    write_json(os);
+    return os.good();
+}
 
 void BalanceStats::merge(const BalanceStats& o) {
     tracks += o.tracks;
@@ -47,6 +64,29 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
     BalanceMatrices matrices(s_eff, dv, opt.aux);
     Xoshiro256 rng(opt.seed);
     BalanceStats local_stats;
+
+    // Balance-quality observation (DESIGN.md §12): the per-track timeline
+    // recorder (opt-in via BalanceOptions) and the installed metrics
+    // registry. Both only *read* matrices and stats after each track, so
+    // model quantities are untouched (pinned by the overhead-guard test).
+    BalanceTimeline* timeline = opt.timeline;
+    std::uint32_t pass_id = 0;
+    if (timeline != nullptr) pass_id = timeline->passes++;
+    MetricsRegistry* mreg = metrics();
+    Histogram* h_rounds = nullptr;
+    Histogram* h_skew = nullptr;
+    Counter* c_matched = nullptr;
+    Counter* c_deferred = nullptr;
+    Counter* c_direct = nullptr;
+    Counter* c_tracks = nullptr;
+    if (mreg != nullptr) {
+        h_rounds = &mreg->histogram("balance.rebalance_rounds");
+        h_skew = &mreg->histogram("balance.track_skew");
+        c_matched = &mreg->counter("balance.matched_blocks");
+        c_deferred = &mreg->counter("balance.deferred_blocks");
+        c_direct = &mreg->counter("balance.direct_blocks");
+        c_tracks = &mreg->counter("balance.tracks");
+    }
 
     std::vector<BucketOutput> buckets(s_eff);
     for (std::uint32_t b = 0; b < s_eff; ++b) {
@@ -140,6 +180,7 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
         }
 
         // ---- Form a track of up to D' blocks (Algorithm 3). ----
+        const BalanceStats before_track = local_stats; // observer deltas
         const std::uint32_t k = static_cast<std::uint32_t>(
             std::min<std::size_t>(dv, ready.size()));
         std::vector<PendingBlock> track;
@@ -353,6 +394,46 @@ std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivo
                            "Balance made no progress for many consecutive tracks");
         } else {
             stalled_tracks = 0;
+        }
+
+        // ---- Balance-quality sample (timeline and/or metrics). ----
+        if (timeline != nullptr || mreg != nullptr) {
+            BalanceTrackSample smp;
+            smp.pass = pass_id;
+            smp.track = static_cast<std::uint32_t>(local_stats.tracks - 1);
+            std::uint32_t col_min = ~std::uint32_t{0}, col_max = 0;
+            for (std::uint32_t h = 0; h < dv; ++h) {
+                std::uint32_t col = 0;
+                for (std::uint32_t b = 0; b < s_eff; ++b) col += matrices.x(b, h);
+                col_min = std::min(col_min, col);
+                col_max = std::max(col_max, col);
+            }
+            smp.occupancy_spread = col_max - col_min;
+            for (std::uint32_t b = 0; b < s_eff; ++b) {
+                std::uint64_t row_sum = 0;
+                for (std::uint32_t h = 0; h < dv; ++h) {
+                    const std::uint32_t a = matrices.aux(b, h);
+                    smp.max_a = std::max(smp.max_a, a);
+                    row_sum += a;
+                }
+                smp.a_row_sum_max = std::max(smp.a_row_sum_max, row_sum);
+            }
+            smp.rounds = static_cast<std::uint32_t>(rounds);
+            smp.direct =
+                static_cast<std::uint32_t>(local_stats.direct_blocks - before_track.direct_blocks);
+            smp.matched = static_cast<std::uint32_t>(local_stats.matched_blocks -
+                                                     before_track.matched_blocks);
+            smp.deferred = static_cast<std::uint32_t>(local_stats.deferred_blocks -
+                                                      before_track.deferred_blocks);
+            if (timeline != nullptr) timeline->tracks.push_back(smp);
+            if (mreg != nullptr) {
+                h_rounds->record(smp.rounds);
+                h_skew->record(smp.occupancy_spread);
+                c_matched->add(smp.matched);
+                c_deferred->add(smp.deferred);
+                c_direct->add(smp.direct);
+                c_tracks->add(1);
+            }
         }
     }
 

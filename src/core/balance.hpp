@@ -22,6 +22,8 @@
 /// Invariant 1) with hard model checks after every track.
 
 #include <cstdint>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/matching.hpp"
@@ -56,6 +58,8 @@ enum class AssignPolicy {
     kMinCostMatching,
 };
 
+struct BalanceTimeline;
+
 struct BalanceOptions {
     MatchStrategy matching = MatchStrategy::kGreedy;
     AuxRule aux = AuxRule::kPaperMedian;
@@ -63,6 +67,58 @@ struct BalanceOptions {
     AssignPolicy assign = AssignPolicy::kCyclic;
     std::uint64_t seed = 1;       ///< randomized matcher seed
     bool check_invariants = false;///< hard-verify Invariants 1-2 per track
+    /// Per-track balance-quality recorder (DESIGN.md §12), off by default.
+    /// Pure observation: enabling it changes no model quantity (tested).
+    /// Not thread-safe — the driver runs Balance passes sequentially.
+    BalanceTimeline* timeline = nullptr;
+};
+
+/// One Balance track, as the timeline recorder saw it after placement:
+/// how close this track came to lopsidedness and what it cost to avoid it.
+struct BalanceTrackSample {
+    std::uint32_t pass = 0;       ///< Balance pass (recursion node) index
+    std::uint32_t track = 0;      ///< track index within the pass
+    /// Largest entry of A after the track — the Invariant 2 observable;
+    /// <= 1 whenever the invariant held (Theorem 4's precondition).
+    std::uint32_t max_a = 0;
+    /// Largest row-sum of A: total excess above the row medians — how much
+    /// rebalancing "pressure" the X histogram is carrying overall.
+    std::uint64_t a_row_sum_max = 0;
+    /// Disk-occupancy spread: max - min over the X columns (virtual blocks
+    /// per virtual disk across all buckets of the pass so far).
+    std::uint32_t occupancy_spread = 0;
+    std::uint32_t rounds = 0;     ///< Rearrange rounds this track used
+    std::uint32_t direct = 0;     ///< blocks written without rebalancing
+    std::uint32_t matched = 0;    ///< blocks placed by Fast-Partial-Match
+    std::uint32_t deferred = 0;   ///< blocks rolled back to the input
+};
+
+/// The per-track trajectory of every Balance pass of one sort — the
+/// continuous audit of the paper's load-balancing claims (Invariants 1-2,
+/// Theorem 4). Surfaced by `balsort_cli --balance-timeline`, embedded in
+/// RunManifest, and mirrored into MetricsRegistry histograms.
+struct BalanceTimeline {
+    std::vector<BalanceTrackSample> tracks;
+    std::uint32_t passes = 0; ///< Balance passes recorded so far
+
+    /// {"passes":N,"tracks":[{...},...]}. Inline (all-numeric fields, no
+    /// escaping needed) so RunManifest can embed a timeline without the
+    /// obs library link-depending on core.
+    void write_json(std::ostream& os) const {
+        os << "{\"passes\":" << passes << ",\"tracks\":[";
+        for (std::size_t i = 0; i < tracks.size(); ++i) {
+            const BalanceTrackSample& t = tracks[i];
+            if (i > 0) os << ',';
+            os << "\n  {\"pass\":" << t.pass << ",\"track\":" << t.track
+               << ",\"max_a\":" << t.max_a << ",\"a_row_sum_max\":" << t.a_row_sum_max
+               << ",\"occupancy_spread\":" << t.occupancy_spread << ",\"rounds\":" << t.rounds
+               << ",\"direct\":" << t.direct << ",\"matched\":" << t.matched
+               << ",\"deferred\":" << t.deferred << "}";
+        }
+        os << "\n]}\n";
+    }
+    std::string to_json() const;
+    bool write_json_file(const std::string& path) const;
 };
 
 struct BalanceStats {

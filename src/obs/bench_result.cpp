@@ -1,0 +1,78 @@
+#include "obs/bench_result.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/balance_sort.hpp"
+#include "obs/json.hpp"
+
+namespace balsort {
+
+BenchResult BenchResult::from_report(std::string bench, std::string variant, const PdmConfig& cfg,
+                                     const SortReport& rep, double wall_seconds) {
+    BenchResult r;
+    r.bench = std::move(bench);
+    r.variant = std::move(variant);
+    r.cfg = cfg;
+    r.io_steps = rep.io.io_steps();
+    r.read_steps = rep.io.read_steps;
+    r.write_steps = rep.io.write_steps;
+    r.blocks = rep.io.blocks_read + rep.io.blocks_written;
+    r.pram_time = rep.pram_time;
+    r.work_ratio = rep.work_ratio;
+    r.invariant1 = rep.balance.invariant1_held;
+    r.invariant2 = rep.balance.invariant2_held;
+    r.wall_seconds = wall_seconds;
+    return r;
+}
+
+void BenchResult::write_json(std::ostream& os) const {
+    os << "{\"bench\":\"";
+    write_json_escaped(os, bench);
+    os << "\",\"variant\":\"";
+    write_json_escaped(os, variant);
+    os << "\",\"config\":{\"n\":" << cfg.n << ",\"m\":" << cfg.m << ",\"d\":" << cfg.d
+       << ",\"b\":" << cfg.b << ",\"p\":" << cfg.p << "}";
+    os << ",\"model\":{\"io_steps\":" << io_steps << ",\"read_steps\":" << read_steps
+       << ",\"write_steps\":" << write_steps << ",\"blocks\":" << blocks << ",\"pram_time\":";
+    write_json_double(os, pram_time);
+    os << ",\"work_ratio\":";
+    write_json_double(os, work_ratio);
+    os << "},\"invariants\":{\"invariant1\":" << json_bool(invariant1)
+       << ",\"invariant2\":" << json_bool(invariant2) << "}";
+    os << ",\"wall_seconds\":";
+    write_json_double(os, wall_seconds);
+    os << "}";
+}
+
+void BenchSuite::write_json(std::ostream& os) const {
+    os << "{\"schema\":\"balsort-bench-v1\",\"bench\":\"";
+    write_json_escaped(os, bench);
+    os << "\",\"git_describe\":\"";
+    write_json_escaped(os, git_describe);
+    os << "\",\"timestamp\":\"";
+    write_json_escaped(os, timestamp);
+    os << "\",\"smoke\":" << json_bool(smoke) << ",\"results\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i > 0) os << ',';
+        os << "\n  ";
+        results[i].write_json(os);
+    }
+    os << "\n]}\n";
+}
+
+std::string BenchSuite::to_json() const {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+bool BenchSuite::write_json_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    write_json(os);
+    return os.good();
+}
+
+} // namespace balsort

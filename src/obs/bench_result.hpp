@@ -1,0 +1,72 @@
+#pragma once
+// Canonical bench-result schema (DESIGN.md §12): the one JSON shape every
+// bench binary emits under `--json <path>` and the `benchgate` regression
+// gate consumes.
+//
+// A BenchSuite is one binary's run: suite id, provenance the harness passes
+// in (git describe + timestamp — the library never shells out), and one
+// BenchResult per measured row/variant. Each result carries the instance
+// (PdmConfig), the *model quantities* — parallel I/O steps, blocks moved,
+// charged PRAM time, work ratio, the Invariant 1–2 flags — and the wall
+// clock. Model quantities are deterministic by design (pinned by the
+// PR 3 goldens), so the gate diffs them byte-exactly; wall clock is
+// machine-dependent and only tolerance-banded.
+//
+// Schema (version bumps when a field changes meaning):
+//   {"schema":"balsort-bench-v1","bench":ID,"git_describe":S,"timestamp":S,
+//    "smoke":B,"results":[
+//      {"bench":ID,"variant":S,
+//       "config":{"n","m","d","b","p"},
+//       "model":{"io_steps","read_steps","write_steps","blocks",
+//                "pram_time","work_ratio"},
+//       "invariants":{"invariant1","invariant2"},
+//       "wall_seconds":F}]}
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pdm/config.hpp"
+
+namespace balsort {
+
+struct SortReport;
+
+struct BenchResult {
+    std::string bench;   ///< suite id, repeated per row for self-describing rows
+    std::string variant; ///< stable row id, e.g. "defaults" or "n=16384"
+    PdmConfig cfg{};
+
+    // Model quantities — deterministic, gated byte-exactly.
+    std::uint64_t io_steps = 0;
+    std::uint64_t read_steps = 0;
+    std::uint64_t write_steps = 0;
+    std::uint64_t blocks = 0; ///< blocks_read + blocks_written
+    double pram_time = 0;     ///< charged PRAM steps (integer-valued)
+    double work_ratio = 0;
+    bool invariant1 = true;
+    bool invariant2 = true;
+
+    // Real-machine measure — tolerance-banded by the gate.
+    double wall_seconds = 0;
+
+    /// Lift the gated fields out of a SortReport.
+    static BenchResult from_report(std::string bench, std::string variant, const PdmConfig& cfg,
+                                   const SortReport& rep, double wall_seconds);
+
+    void write_json(std::ostream& os) const;
+};
+
+struct BenchSuite {
+    std::string bench;        ///< suite id, e.g. "pipeline"
+    std::string git_describe; ///< harness-provided (empty when unknown)
+    std::string timestamp;    ///< harness-provided, ISO-8601 UTC by convention
+    bool smoke = false;       ///< CI-sized instance?
+    std::vector<BenchResult> results;
+
+    void write_json(std::ostream& os) const;
+    std::string to_json() const;
+    bool write_json_file(const std::string& path) const;
+};
+
+} // namespace balsort

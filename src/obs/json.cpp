@@ -1,0 +1,240 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace balsort {
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+            os << c;
+        }
+    }
+}
+
+void write_json_double(std::ostream& os, double v) {
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Integer-valued doubles in the exact range print as plain integers:
+    // charged PRAM steps and similar counts read as "222860", not
+    // "2.2286e+05" (both round-trip, but the gate diffs raw tokens and
+    // humans diff the diffs).
+    if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0 /* 2^53 */) {
+        char ibuf[32];
+        std::snprintf(ibuf, sizeof(ibuf), "%lld", static_cast<long long>(v));
+        os << ibuf;
+        return;
+    }
+    // %.17g round-trips every double; trim to the shortest form that still
+    // round-trips so the common cases stay readable (0.25, not 0.25000...).
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v) break;
+    }
+    os << buf;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view s) : s_(s) {}
+
+    std::optional<JsonValue> run() {
+        skip_ws();
+        JsonValue v;
+        if (!value(v)) return std::nullopt;
+        skip_ws();
+        if (pos_ != s_.size()) return std::nullopt;
+        return v;
+    }
+
+private:
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    static constexpr int kMaxDepth = 64;
+
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                    s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    bool eat(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool literal(std::string_view lit) {
+        if (s_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool string(std::string& out) {
+        if (!eat('"')) return false;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size()) return false;
+                const char e = s_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        if (pos_ + 4 > s_.size()) return false;
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = s_[pos_ + static_cast<std::size_t>(i)];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                            else return false;
+                        }
+                        pos_ += 4;
+                        // The exporters only emit \u00xx; decode the Latin-1
+                        // range and pass anything wider through as '?'.
+                        out += code < 0x100 ? static_cast<char>(code) : '?';
+                        break;
+                    }
+                    default: return false;
+                }
+            } else {
+                out += c;
+                ++pos_;
+            }
+        }
+        return eat('"');
+    }
+
+    bool number(JsonValue& v) {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        bool digits = false;
+        auto digit_run = [&] {
+            while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+                ++pos_;
+                digits = true;
+            }
+        };
+        digit_run();
+        if (eat('.')) digit_run();
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+            digit_run();
+        }
+        if (!digits) return false;
+        v.kind_ = JsonValue::Kind::kNumber;
+        v.raw_ = std::string(s_.substr(start, pos_ - start));
+        v.number_ = std::strtod(v.raw_.c_str(), nullptr);
+        return true;
+    }
+
+    bool value(JsonValue& v) {
+        if (pos_ >= s_.size()) return false;
+        if (++depth_ > kMaxDepth) return false;
+        bool ok = false;
+        switch (s_[pos_]) {
+            case '{': ok = object(v); break;
+            case '[': ok = array(v); break;
+            case '"':
+                v.kind_ = JsonValue::Kind::kString;
+                ok = string(v.string_);
+                break;
+            case 't':
+                v.kind_ = JsonValue::Kind::kBool;
+                v.bool_ = true;
+                ok = literal("true");
+                break;
+            case 'f':
+                v.kind_ = JsonValue::Kind::kBool;
+                v.bool_ = false;
+                ok = literal("false");
+                break;
+            case 'n':
+                v.kind_ = JsonValue::Kind::kNull;
+                ok = literal("null");
+                break;
+            default: ok = number(v); break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool object(JsonValue& v) {
+        v.kind_ = JsonValue::Kind::kObject;
+        if (!eat('{')) return false;
+        skip_ws();
+        if (eat('}')) return true;
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (!string(key)) return false;
+            skip_ws();
+            if (!eat(':')) return false;
+            skip_ws();
+            JsonValue member;
+            if (!value(member)) return false;
+            v.object_[key] = std::move(member);
+            skip_ws();
+            if (eat('}')) return true;
+            if (!eat(',')) return false;
+        }
+    }
+
+    bool array(JsonValue& v) {
+        v.kind_ = JsonValue::Kind::kArray;
+        if (!eat('[')) return false;
+        skip_ws();
+        if (eat(']')) return true;
+        while (true) {
+            skip_ws();
+            JsonValue item;
+            if (!value(item)) return false;
+            v.array_.push_back(std::move(item));
+            skip_ws();
+            if (eat(']')) return true;
+            if (!eat(',')) return false;
+        }
+    }
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+    return JsonParser(text).run();
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+} // namespace balsort

@@ -1,0 +1,81 @@
+#pragma once
+// Shared JSON plumbing for the observability layer (DESIGN.md §12).
+//
+// Two halves:
+//  - emission helpers (write_json_escaped / json_bool / write_json_double)
+//    deduplicating the per-file copies the tracer, metrics registry, and
+//    run manifest each grew, now also backing the canonical bench schema
+//    (bench_result.hpp);
+//  - a minimal DOM parser (JsonValue) for the consumers: `benchgate` diffs
+//    bench results against committed baselines and needs to *read* the
+//    documents it gates, byte-exactly for model quantities. Numbers
+//    therefore keep their raw source token alongside the parsed double, so
+//    "identical value" can be checked as string equality with no float
+//    round-trip involved.
+//
+// Like the rest of balsort_obs this links nothing beyond the standard
+// library, so every layer (bench binaries included) can use it freely.
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace balsort {
+
+/// Escape `s` into `os` as JSON string *contents* (no surrounding quotes):
+/// backslash-escapes `"` and `\`, \u00xx-escapes control characters.
+void write_json_escaped(std::ostream& os, std::string_view s);
+
+/// "true" / "false".
+inline const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+/// Emit a double as a JSON number: shortest round-trip decimal form, and
+/// non-finite values (illegal in JSON) degrade to 0. Deterministic — the
+/// same value always prints the same bytes, which is what lets the bench
+/// schema promise byte-exact model quantities.
+void write_json_double(std::ostream& os, double v);
+
+/// A parsed JSON document node. Deliberately tiny: just enough structure
+/// for benchgate and tests to navigate bench-result documents. Object keys
+/// are unique (last wins), arrays are ordered.
+class JsonValue {
+public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    /// Parse one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error). nullopt on any syntax error.
+    static std::optional<JsonValue> parse(std::string_view text);
+
+    Kind kind() const { return kind_; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+
+    bool as_bool() const { return bool_; }
+    double as_double() const { return number_; }
+    /// The number's verbatim source token (e.g. "1327" or "0.25") — the
+    /// byte-exact comparison channel.
+    const std::string& raw_number() const { return raw_; }
+    const std::string& as_string() const { return string_; }
+    const std::vector<JsonValue>& items() const { return array_; }
+
+    /// Object member or nullptr (also nullptr on non-objects).
+    const JsonValue* find(const std::string& key) const;
+
+private:
+    friend class JsonParser;
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string raw_;    // number token
+    std::string string_; // string value (unescaped)
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+} // namespace balsort

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace balsort {
 
 namespace detail {
@@ -13,17 +15,8 @@ std::atomic<std::uint64_t> g_metrics_epoch{0};
 
 namespace {
 
-void write_escaped(std::ostream& os, const std::string& s) {
-    for (const char c : s) {
-        if (c == '"' || c == '\\') {
-            os << '\\' << c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
-        } else {
-            os << c;
-        }
-    }
-}
+// Escaping is the shared obs/json.hpp helper (DESIGN.md §12).
+void write_escaped(std::ostream& os, const std::string& s) { write_json_escaped(os, s); }
 
 } // namespace
 

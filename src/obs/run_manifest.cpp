@@ -4,25 +4,15 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace balsort {
 
 namespace {
 
-void write_escaped(std::ostream& os, const std::string& s) {
-    for (const char c : s) {
-        if (c == '"' || c == '\\') {
-            os << '\\' << c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
-        } else {
-            os << c;
-        }
-    }
-}
-
-const char* json_bool(bool b) { return b ? "true" : "false"; }
+// Escaping is the shared obs/json.hpp helper (DESIGN.md §12).
+void write_escaped(std::ostream& os, const std::string& s) { write_json_escaped(os, s); }
 
 } // namespace
 
@@ -79,6 +69,15 @@ void RunManifest::write_json(std::ostream& os) const {
        << ",\"match_draws\":" << bal.match_draws
        << ",\"invariant1_held\":" << json_bool(bal.invariant1_held)
        << ",\"invariant2_held\":" << json_bool(bal.invariant2_held) << "}";
+    if (timeline != nullptr) {
+        // write_json (inline, header-only — obs must not link core)
+        // terminates with '\n'; splice the object in bare.
+        std::ostringstream tls;
+        timeline->write_json(tls);
+        std::string tl = tls.str();
+        while (!tl.empty() && (tl.back() == '\n' || tl.back() == ' ')) tl.pop_back();
+        os << ",\"balance_timeline\":" << tl;
+    }
     if (metrics != nullptr) {
         // write_json terminates with '\n'; splice the object in bare.
         std::string snap = metrics->to_json();

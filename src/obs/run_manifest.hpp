@@ -20,6 +20,7 @@
 namespace balsort {
 
 class MetricsRegistry;
+struct BalanceTimeline;
 
 struct RunManifest {
     std::string tool;     ///< producing binary, e.g. "balsort_cli"
@@ -28,9 +29,13 @@ struct RunManifest {
     SortReport report{};
     /// Optional: snapshot of the installed registry at export time.
     const MetricsRegistry* metrics = nullptr;
+    /// Optional: per-track balance timeline captured via
+    /// BalanceOptions::timeline (DESIGN.md §12).
+    const BalanceTimeline* timeline = nullptr;
 
     /// The full bundle as a JSON object: {"tool", "algo", "config",
-    /// "io", "report", "phases", "balance", "metrics"?}.
+    /// "io", "report", "phases", "balance", "balance_timeline"?,
+    /// "metrics"?}.
     void write_json(std::ostream& os) const;
     std::string to_json() const;
     bool write_json_file(const std::string& path) const;

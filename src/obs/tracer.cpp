@@ -3,6 +3,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/json.hpp"
+
 namespace balsort {
 
 namespace detail {
@@ -16,18 +18,8 @@ std::atomic<std::uint64_t> g_tracer_epoch{0};
 
 namespace {
 
-void write_escaped(std::ostream& os, const char* s) {
-    for (; *s != '\0'; ++s) {
-        const char c = *s;
-        if (c == '"' || c == '\\') {
-            os << '\\' << c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
-        } else {
-            os << c;
-        }
-    }
-}
+// Escaping is the shared obs/json.hpp helper (DESIGN.md §12).
+void write_escaped(std::ostream& os, const char* s) { write_json_escaped(os, s); }
 
 void write_event(std::ostream& os, const TraceEvent& ev) {
     os << "{\"name\":\"";

@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "core/balance_sort.hpp"
+#include "obs/bench_result.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/tracer.hpp"
@@ -311,6 +313,237 @@ TEST(RunManifestTest, BundlesConfigReportAndMetrics) {
     const std::string bare = man.to_json();
     EXPECT_TRUE(JsonChecker(bare).valid()) << bare;
     EXPECT_FALSE(contains(bare, "\"metrics\""));
+}
+
+// ---------------------------------------------------------------------------
+// Shared JSON plumbing (obs/json.hpp): escaping and the DOM parser.
+// ---------------------------------------------------------------------------
+
+std::string escaped(std::string_view s) {
+    std::ostringstream os;
+    write_json_escaped(os, s);
+    return os.str();
+}
+
+TEST(JsonEscapeTest, QuotesBackslashesAndControlChars) {
+    EXPECT_EQ(escaped("plain"), "plain");
+    EXPECT_EQ(escaped("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escaped("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+    EXPECT_EQ(escaped(std::string_view("\x01\n\x1f", 3)), "\\u0001\\u000a\\u001f");
+    // Embedded in a document, the result must parse back to the original.
+    const std::string nasty = "a\"b\\c\nd\te\x02";
+    const std::string doc = "{\"k\":\"" + escaped(nasty) + "\"}";
+    auto v = JsonValue::parse(doc);
+    ASSERT_TRUE(v.has_value()) << doc;
+    ASSERT_NE(v->find("k"), nullptr);
+    EXPECT_EQ(v->find("k")->as_string(), nasty);
+}
+
+TEST(JsonValueTest, ParsesScalarsArraysObjects) {
+    auto v = JsonValue::parse(R"({"a":1,"b":-2.5,"c":"s","d":[true,false,null],"e":{"f":3}})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->is_object());
+    EXPECT_EQ(v->find("a")->as_double(), 1.0);
+    EXPECT_EQ(v->find("a")->raw_number(), "1");
+    EXPECT_EQ(v->find("b")->as_double(), -2.5);
+    EXPECT_EQ(v->find("b")->raw_number(), "-2.5");
+    EXPECT_EQ(v->find("c")->as_string(), "s");
+    ASSERT_TRUE(v->find("d")->is_array());
+    ASSERT_EQ(v->find("d")->items().size(), 3u);
+    EXPECT_TRUE(v->find("d")->items()[0].as_bool());
+    EXPECT_EQ(v->find("d")->items()[2].kind(), JsonValue::Kind::kNull);
+    ASSERT_TRUE(v->find("e")->is_object());
+    EXPECT_EQ(v->find("e")->find("f")->raw_number(), "3");
+    EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+    for (const char* bad : {"", "{", "[1,", "{\"a\":}", "{\"a\":1,}", "tru", "1 2",
+                            "{\"a\" 1}", "\"unterminated", "[1] trailing"}) {
+        EXPECT_FALSE(JsonValue::parse(bad).has_value()) << bad;
+    }
+}
+
+TEST(JsonValueTest, RawNumberTokensSurviveVerbatim) {
+    // The byte-exact channel benchgate relies on: tokens are preserved
+    // exactly as written, even when they denote the same double.
+    auto v = JsonValue::parse(R"([1327, 1327.0, 1.327e3, 0.25])");
+    ASSERT_TRUE(v.has_value());
+    const auto& xs = v->items();
+    ASSERT_EQ(xs.size(), 4u);
+    EXPECT_EQ(xs[0].raw_number(), "1327");
+    EXPECT_EQ(xs[1].raw_number(), "1327.0");
+    EXPECT_EQ(xs[2].raw_number(), "1.327e3");
+    EXPECT_EQ(xs[3].raw_number(), "0.25");
+    EXPECT_EQ(xs[0].as_double(), xs[1].as_double());
+}
+
+TEST(JsonDoubleTest, DeterministicShortestRoundTrip) {
+    auto emit = [](double d) {
+        std::ostringstream os;
+        write_json_double(os, d);
+        return os.str();
+    };
+    EXPECT_EQ(emit(0.25), "0.25");
+    EXPECT_EQ(emit(0), "0");
+    EXPECT_EQ(emit(-3), "-3");
+    EXPECT_EQ(emit(222860), "222860"); // integer-valued doubles print as ints
+    const double pi = 3.141592653589793;
+    const std::string s = emit(pi);
+    EXPECT_EQ(std::stod(s), pi); // round-trips exactly
+    EXPECT_EQ(emit(pi), s);      // and deterministically
+}
+
+// ---------------------------------------------------------------------------
+// Escaping end-to-end: hostile strings through the real emitters.
+// ---------------------------------------------------------------------------
+
+TEST(RunManifestTest, EscapesHostileToolAndAlgoNames) {
+    RunManifest man;
+    man.tool = "tool \"v1\"\\bin";
+    man.algo = "bal\nance\x01";
+    man.cfg = PdmConfig{.n = 1024, .m = 256, .d = 2, .b = 16, .p = 1};
+    const std::string json = man.to_json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("tool")->as_string(), man.tool);
+    EXPECT_EQ(v->find("algo")->as_string(), man.algo);
+}
+
+TEST(MetricsRegistryTest, EscapesHostileInstrumentNames) {
+    MetricsRegistry reg;
+    reg.counter("ops \"quoted\"").add(1);
+    reg.gauge("path\\depth").set(2);
+    reg.histogram("lat\nus").record(3);
+    const std::string json = reg.to_json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_NE(v->find("counters"), nullptr);
+    EXPECT_NE(v->find("counters")->find("ops \"quoted\""), nullptr);
+    EXPECT_NE(v->find("gauges")->find("path\\depth"), nullptr);
+    EXPECT_NE(v->find("histograms")->find("lat\nus"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical bench schema (obs/bench_result.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(BenchResultTest, SuiteEmitsSchemaAndParsesBack) {
+    BenchSuite suite;
+    suite.bench = "unit";
+    suite.git_describe = "v1-2-gdeadbee \"dirty\"";
+    suite.timestamp = "2026-08-05T00:00:00Z";
+    suite.smoke = true;
+
+    SortReport rep;
+    rep.io.read_steps = 70;
+    rep.io.write_steps = 57;
+    rep.io.blocks_read = 560;
+    rep.io.blocks_written = 456;
+    rep.pram_time = 222860;
+    rep.work_ratio = 1.75;
+    rep.balance.invariant1_held = true;
+    rep.balance.invariant2_held = false;
+    PdmConfig cfg{.n = 4096, .m = 512, .d = 4, .b = 16, .p = 2};
+    suite.results.push_back(BenchResult::from_report("unit", "defaults", cfg, rep, 0.125));
+
+    const std::string json = suite.to_json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("schema")->as_string(), "balsort-bench-v1");
+    EXPECT_EQ(v->find("bench")->as_string(), "unit");
+    EXPECT_EQ(v->find("git_describe")->as_string(), suite.git_describe);
+    ASSERT_TRUE(v->find("results")->is_array());
+    ASSERT_EQ(v->find("results")->items().size(), 1u);
+    const JsonValue& row = v->find("results")->items()[0];
+    EXPECT_EQ(row.find("variant")->as_string(), "defaults");
+    const JsonValue* model = row.find("model");
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->find("io_steps")->raw_number(), "127");
+    EXPECT_EQ(model->find("read_steps")->raw_number(), "70");
+    EXPECT_EQ(model->find("write_steps")->raw_number(), "57");
+    EXPECT_EQ(model->find("blocks")->raw_number(), "1016");
+    EXPECT_EQ(model->find("pram_time")->raw_number(), "222860");
+    EXPECT_EQ(model->find("work_ratio")->raw_number(), "1.75");
+    EXPECT_TRUE(row.find("invariants")->find("invariant1")->as_bool());
+    EXPECT_FALSE(row.find("invariants")->find("invariant2")->as_bool());
+    EXPECT_EQ(row.find("config")->find("d")->raw_number(), "4");
+    EXPECT_EQ(row.find("wall_seconds")->as_double(), 0.125);
+}
+
+// ---------------------------------------------------------------------------
+// Balance timeline (core/balance.hpp recorder + manifest embedding).
+// ---------------------------------------------------------------------------
+
+TEST(BalanceTimelineTest, RecordsEveryTrackOnFileBackedSort) {
+    PdmConfig cfg{.n = 1 << 14, .m = 1 << 10, .d = 8, .b = 16, .p = 2};
+    DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile,
+                    std::filesystem::temp_directory_path().string());
+    auto input = generate(Workload::kZipf, cfg.n, 11);
+
+    MetricsRegistry metrics_reg;
+    BalanceTimeline timeline;
+    SortOptions opt;
+    opt.balance.timeline = &timeline;
+    opt.balance.check_invariants = true;
+    SortReport rep;
+    {
+        MetricsInstallGuard mg(&metrics_reg);
+        auto sorted = balance_sort_records(disks, input, cfg, opt, &rep);
+        ASSERT_TRUE(is_sorted_permutation_of(input, sorted));
+    }
+
+    // Every Balance pass contributed tracks, and the totals reconcile with
+    // the aggregate BalanceStats.
+    ASSERT_FALSE(timeline.tracks.empty());
+    EXPECT_GT(timeline.passes, 0u);
+    EXPECT_EQ(timeline.tracks.size(), rep.balance.tracks);
+    std::uint64_t direct = 0, matched = 0, deferred = 0, rounds = 0;
+    for (const BalanceTrackSample& t : timeline.tracks) {
+        // Invariant 2 held (checked above), so its observable never exceeds 1.
+        EXPECT_LE(t.max_a, 1u);
+        EXPECT_LT(t.pass, timeline.passes);
+        direct += t.direct;
+        matched += t.matched;
+        deferred += t.deferred;
+        rounds += t.rounds;
+    }
+    EXPECT_EQ(direct, rep.balance.direct_blocks);
+    EXPECT_EQ(matched, rep.balance.matched_blocks);
+    EXPECT_EQ(deferred, rep.balance.deferred_blocks);
+    EXPECT_EQ(rounds, rep.balance.rearrange_rounds);
+
+    // The JSON dump is valid and self-describing.
+    const std::string json = timeline.to_json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("tracks")->items().size(), timeline.tracks.size());
+
+    // The manifest embeds it under "balance_timeline".
+    RunManifest man;
+    man.tool = "test";
+    man.algo = "balance";
+    man.cfg = cfg;
+    man.report = rep;
+    man.timeline = &timeline;
+    const std::string mjson = man.to_json();
+    EXPECT_TRUE(JsonChecker(mjson).valid()) << mjson;
+    auto mv = JsonValue::parse(mjson);
+    ASSERT_TRUE(mv.has_value());
+    const JsonValue* tl = mv->find("balance_timeline");
+    ASSERT_NE(tl, nullptr);
+    EXPECT_EQ(tl->find("tracks")->items().size(), timeline.tracks.size());
+
+    // The metrics mirror saw the same tracks.
+    EXPECT_EQ(metrics_reg.counter("balance.tracks").value(), rep.balance.tracks);
+    EXPECT_EQ(metrics_reg.histogram("balance.rebalance_rounds").count(), rep.balance.tracks);
+    EXPECT_EQ(metrics_reg.histogram("balance.track_skew").count(), rep.balance.tracks);
+    EXPECT_EQ(metrics_reg.counter("balance.matched_blocks").value(),
+              rep.balance.matched_blocks);
 }
 
 // ---------------------------------------------------------------------------

@@ -222,6 +222,33 @@ TEST(ObservabilityGuard, TracingChangesNoModelQuantity) {
 #endif
 }
 
+// The balance timeline (DESIGN.md §12) is the same kind of pure observer:
+// recording every track's balance-quality sample must leave io_steps, the
+// full observer sequence, and the sorted output bit-identical.
+TEST(ObservabilityGuard, BalanceTimelineChangesNoModelQuantity) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    const SortTrace plain = traced_sort(Workload::kUniform, cfg, {}, DiskBackend::kMemory);
+
+    BalanceTimeline timeline;
+    SortOptions opt;
+    opt.balance.timeline = &timeline;
+    const SortTrace obs = traced_sort(Workload::kUniform, cfg, opt, DiskBackend::kMemory);
+
+    EXPECT_EQ(obs.io.io_steps(), plain.io.io_steps());
+    EXPECT_EQ(obs.io.read_steps, plain.io.read_steps);
+    EXPECT_EQ(obs.io.write_steps, plain.io.write_steps);
+    EXPECT_EQ(obs.io.blocks_read, plain.io.blocks_read);
+    EXPECT_EQ(obs.io.blocks_written, plain.io.blocks_written);
+    EXPECT_EQ(obs.levels, plain.levels);
+    EXPECT_EQ(obs.base_cases, plain.base_cases);
+    EXPECT_EQ(obs.s_used, plain.s_used);
+    EXPECT_EQ(obs.step_hash, plain.step_hash);
+    EXPECT_EQ(obs.out_hash, plain.out_hash);
+    // The recorder really ran: one sample per Balance track.
+    EXPECT_FALSE(timeline.tracks.empty());
+    EXPECT_EQ(timeline.tracks.size(), obs.report.balance.tracks);
+}
+
 // ---------------------------------------------------------------------------
 // PhaseProfile
 // ---------------------------------------------------------------------------
