@@ -8,6 +8,7 @@
 //               [--block RECORDS] [--scratch DIR] [--algo balance|greed|merge]
 //               [--sketch] [--stats] [--trace OUT.json] [--metrics-json OUT.json]
 //               [--manifest OUT.json] [--balance-timeline OUT.json]
+//               [--checkpoint FILE] [--resume]
 //
 //   balsort_cli --selftest        # generate, sort, verify, clean up
 //
@@ -17,6 +18,7 @@
 // (DESIGN.md §11), and --balance-timeline the per-track balance-quality
 // recorder (DESIGN.md §12; balance algo only — it also rides along inside
 // the manifest when both flags are given).
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -42,6 +44,8 @@ struct CliOptions {
     std::string scratch = "/tmp";
     std::string algo = "balance";
     std::string trace_path, metrics_path, manifest_path, timeline_path;
+    std::string checkpoint;
+    bool resume = false;
     bool sketch = false;
     bool stats = false;
     bool selftest = false;
@@ -52,7 +56,7 @@ struct CliOptions {
               << " <input.bin> <output.bin> [--mem R] [--disks D] [--block R]\n"
                  "          [--scratch DIR] [--algo balance|greed|merge] [--sketch] [--stats]\n"
                  "          [--trace OUT.json] [--metrics-json OUT.json] [--manifest OUT.json]\n"
-                 "          [--balance-timeline OUT.json]\n"
+                 "          [--balance-timeline OUT.json] [--checkpoint FILE] [--resume]\n"
                  "       "
               << argv0 << " --selftest\n";
     std::exit(2);
@@ -85,6 +89,10 @@ CliOptions parse(int argc, char** argv) {
             o.manifest_path = next();
         } else if (a == "--balance-timeline") {
             o.timeline_path = next();
+        } else if (a == "--checkpoint") {
+            o.checkpoint = next();
+        } else if (a == "--resume") {
+            o.resume = true;
         } else if (a == "--sketch") {
             o.sketch = true;
         } else if (a == "--stats") {
@@ -145,7 +153,29 @@ int run(const CliOptions& o) {
     PdmConfig cfg{.n = n, .m = o.mem, .d = o.disks, .b = o.block, .p = 1};
     cfg.validate();
 
-    DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile, o.scratch);
+    // Crash restartability (DESIGN.md §13): pin the scratch files under
+    // names derived from the checkpoint path and keep them across crashes,
+    // so a --resume invocation can adopt the interrupted run's blocks.
+    const bool checkpointing = !o.checkpoint.empty();
+    if ((checkpointing || o.resume) && o.algo != "balance") {
+        std::cerr << "--checkpoint/--resume require --algo balance\n";
+        return 2;
+    }
+    if (o.resume && !checkpointing) {
+        std::cerr << "--resume requires --checkpoint FILE (the same one the crashed run used)\n";
+        return 2;
+    }
+    ScratchOptions scratch;
+    if (checkpointing) {
+        scratch.tag = "ck_";
+        for (const char c : o.checkpoint) {
+            scratch.tag += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+        }
+        scratch.adopt = o.resume;
+        scratch.keep = true; // a crash must leave the blocks behind for --resume
+    }
+    DiskArray disks(cfg.d, cfg.b, DiskBackend::kFile, o.scratch, Constraint::kIndependentDisks,
+                    {}, {}, scratch);
 
     // Observability (DESIGN.md §11): install the tracer/registry for the
     // whole run so the layout and read-back I/O is captured too, not just
@@ -183,6 +213,8 @@ int run(const CliOptions& o) {
         opt.trace = o.trace_path.empty() ? nullptr : &tracer;
         opt.metrics = want_metrics ? &metrics_reg : nullptr;
         opt.balance.timeline = want_timeline ? &timeline : nullptr;
+        opt.checkpoint_path = o.checkpoint;
+        if (o.resume) opt.resume_from = o.checkpoint;
         run_out = balance_sort(disks, run_in, cfg, opt, &report);
         io = report.io;
         phases = report.phases;
@@ -217,6 +249,16 @@ int run(const CliOptions& o) {
         write_file(o.output, out);
     }
 
+    if (checkpointing) {
+        // The sort completed and the output landed: recovery state is no
+        // longer needed. Release the pinned scratch (removed when `disks`
+        // destructs) and the checkpoint record itself.
+        disks.set_keep_scratch(false);
+        std::error_code ec;
+        std::filesystem::remove(o.checkpoint, ec);
+        std::filesystem::remove(o.checkpoint + ".tmp", ec);
+    }
+
     if (!o.trace_path.empty()) tracer.write_chrome_trace_file(o.trace_path);
     if (!o.metrics_path.empty()) metrics_reg.write_json_file(o.metrics_path);
     if (want_timeline) {
@@ -248,6 +290,9 @@ int run(const CliOptions& o) {
                    Table::num((io.blocks_read + io.blocks_written) * cfg.b * sizeof(Record))});
         t.add_row({"disk utilization", Table::fixed(100.0 * io.utilization(cfg.d), 1) + "%"});
         t.add_row({"recovery blocks", Table::num(io.recovery_blocks())});
+        t.add_row({"io timeouts", Table::num(io.io_timeouts)});
+        t.add_row({"checkpoints written", Table::num(report.checkpoints_written)});
+        t.add_row({"resumes", Table::num(report.resumes)});
         t.add_row({"wall time (s)", Table::fixed(timer.seconds(), 2)});
         if (have_phases) {
             t.add_row({"sort elapsed (s)", Table::fixed(sort_elapsed, 2)});

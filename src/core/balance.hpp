@@ -147,6 +147,10 @@ struct BucketOutput {
     bool is_equal_class = false;
     bool has_sketch_pivots = false;
     PivotSet sketch_pivots;
+    /// Set once the driver has rewritten the bucket into consecutive
+    /// locations (§4.4 repositioning), so a resumed walk never repositions
+    /// the same bucket twice (DESIGN.md §13).
+    bool repositioned = false;
 };
 
 /// Run Balance over one level's entire input. Consumes `input`; returns

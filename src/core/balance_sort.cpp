@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "core/sort_pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -60,6 +62,31 @@ private:
     bool prev_;
 };
 
+/// Scoped release-quarantine mode (DESIGN.md §13): while checkpointing,
+/// freed blocks must not re-enter the allocator until the next durable
+/// boundary, or a crash replay could find its data overwritten. Restores
+/// the caller's mode on exit (leaving quarantine flushes any stragglers).
+class QuarantineGuard {
+public:
+    QuarantineGuard(DiskArray& disks, bool enable)
+        : disks_(disks), prev_(disks.release_quarantine()) {
+        disks_.set_release_quarantine(enable || prev_);
+    }
+    ~QuarantineGuard() {
+        try {
+            disks_.set_release_quarantine(prev_);
+        } catch (...) {
+            // Unwinding past a failed sort: nothing to add.
+        }
+    }
+    QuarantineGuard(const QuarantineGuard&) = delete;
+    QuarantineGuard& operator=(const QuarantineGuard&) = delete;
+
+private:
+    DiskArray& disks_;
+    bool prev_;
+};
+
 } // namespace
 
 BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& cfg,
@@ -94,11 +121,58 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
     AsyncGuard async_guard(disks, async_on);
 
     const IoStats before = disks.stats();
+
+    // ---- Crash consistency (DESIGN.md §13). ----
+    const bool checkpointing = !opt.checkpoint_path.empty();
+    QuarantineGuard quarantine_guard(disks, checkpointing);
+    std::unique_ptr<Checkpointer> checkpointer;
+    if (checkpointing) {
+        checkpointer = std::make_unique<Checkpointer>(opt.checkpoint_path, st, before);
+        st.checkpointer = checkpointer.get();
+    }
+    ResumeCursor cursor;
+    ResumeCursor* resume = nullptr;
+    IoStats io_resumed{};
+    if (!opt.resume_from.empty()) {
+        BS_REQUIRE(checkpointing,
+                   "SortOptions::resume_from requires checkpoint_path — the resumed run "
+                   "continues checkpointing where the interrupted one stopped");
+        CheckpointRecord rec = load_checkpoint(opt.resume_from);
+        BS_REQUIRE(rec.n == cfg.n && rec.m == cfg.m && rec.p == cfg.p &&
+                       rec.d == disks.num_disks() && rec.b == disks.block_size() &&
+                       rec.dv == dv && rec.backend == static_cast<std::uint8_t>(disks.backend()) &&
+                       rec.synchronized_writes == (opt.synchronized_writes ? 1 : 0),
+                   "resume: checkpoint was written under a different configuration");
+        disks.restore(rec.disks);
+        st.meter.add_comparisons(rec.comparisons);
+        st.meter.add_moves(rec.moves);
+        st.meter.add_collectives(rec.collectives);
+        st.cost.charge_steps(rec.pram_steps);
+        st.out.restore(rec.out_run, rec.out_buffer, rec.out_next_disk);
+        if (report != nullptr) {
+            report->levels = rec.levels;
+            report->s_used = rec.s_used;
+            report->base_cases = rec.base_cases;
+            report->equal_class_records = rec.equal_class_records;
+            report->max_bucket_records = rec.max_bucket_records;
+            report->bucket_bound = rec.bucket_bound;
+            report->worst_bucket_read_ratio = rec.worst_bucket_read_ratio;
+            report->balance = rec.balance;
+        }
+        io_resumed = rec.io_delta;
+        checkpointer->arm_resume(rec);
+        for (auto& frame : rec.frames) cursor.frames.push_back(std::move(frame));
+        resume = &cursor;
+        if (MetricsRegistry* reg = metrics(); reg != nullptr) {
+            reg->counter("recovery.resumes").add();
+        }
+    }
+
     SourceFactory top = [&disks, &input]() -> std::unique_ptr<RecordSource> {
         return std::make_unique<StripedSource>(disks, input);
     };
     SortPipeline pipeline(st);
-    pipeline.run(top, cfg.n);
+    pipeline.run(top, cfg.n, resume);
     BlockRun result = st.out.finish();
     // Land every write-behind stripe and settle stall/busy accounting
     // before the report snapshot (and before callers read the output).
@@ -106,7 +180,10 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
     BS_MODEL_CHECK(result.n_records == cfg.n, "balance_sort: output record count mismatch");
 
     if (report != nullptr) {
-        report->io = disks.stats() - before;
+        report->io = io_resumed;
+        report->io += disks.stats() - before;
+        report->checkpoints_written = checkpointer != nullptr ? checkpointer->seq() : 0;
+        report->resumes = checkpointer != nullptr ? checkpointer->resumes() : 0;
         report->optimal_ios = cfg.optimal_ios();
         report->io_ratio = report->optimal_ios > 0
                                ? static_cast<double>(report->io.io_steps()) / report->optimal_ios

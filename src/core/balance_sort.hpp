@@ -16,6 +16,8 @@
 /// effort (Theorem 5), and Invariants 1-2.
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "core/balance.hpp"
 #include "core/phase_profile.hpp"
@@ -130,6 +132,27 @@ struct SortOptions {
     /// are bit-identical with these on or off (tested).
     Tracer* trace = nullptr;
     MetricsRegistry* metrics = nullptr;
+    /// Crash consistency (DESIGN.md §13), off ("") by default. When set,
+    /// the sort writes a crash-consistent checkpoint record to this path
+    /// at every pipeline boundary (after the pivot pass, after Balance,
+    /// after each consumed bucket) — atomic tmp+fsync+rename, so a crash
+    /// at any instant leaves a loadable record. Checkpointing changes no
+    /// model quantity (io_steps(), counts, output bytes); only which
+    /// physical scratch blocks freed storage lands on (releases are
+    /// quarantined until the next durable boundary) and wall-clock.
+    std::string checkpoint_path;
+    /// Resume an interrupted sort from this checkpoint file. Requires
+    /// checkpoint_path (the resumed run keeps checkpointing), the same
+    /// configuration the record echoes, and an array whose scratch still
+    /// holds the interrupted run's blocks (the same live array, or file
+    /// disks re-opened via ScratchOptions::adopt). The resumed run
+    /// produces the byte-identical output run and model accounting as an
+    /// uninterrupted run (tested by tests/chaos).
+    std::string resume_from;
+    /// Test/chaos hook fired after each boundary's durable write with its
+    /// cumulative sequence number; it may throw (or _exit) to simulate a
+    /// crash exactly at the boundary.
+    std::function<void(std::uint64_t)> on_checkpoint;
 
     /// Reject incoherent option combinations with a clear message
     /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S
@@ -163,6 +186,13 @@ struct SortReport {
     // The recovery counters themselves (retries, corruptions detected,
     // parity reconstructions, degraded writes) arrive inside `io`.
     std::uint32_t disks_failed = 0; ///< data disks permanently dead at the end
+
+    // --- crash consistency (DESIGN.md §13) ---
+    // Recovery bookkeeping, never folded into io_steps(): the paper's
+    // measure is algorithmic I/O, and a resumed run must report the same
+    // model quantities as an uninterrupted one.
+    std::uint64_t checkpoints_written = 0; ///< durable boundaries, cumulative across resumes
+    std::uint64_t resumes = 0;             ///< resume generations folded into this run
 
     // --- balance quality (Theorem 4, Invariants) ---
     BalanceStats balance;

@@ -80,6 +80,9 @@ std::vector<Record> hier_sort(std::vector<Record> records, const HierSortConfig&
     opt.balance = cfg.balance;
     opt.trace = cfg.trace;
     opt.metrics = cfg.metrics;
+    opt.checkpoint_path = cfg.checkpoint_path;
+    opt.resume_from = cfg.resume_from;
+    opt.on_checkpoint = cfg.on_checkpoint;
     opt.validate(cfg.h); // reject incoherent hierarchy configs up front
     // NOTE on §4.4: the paper repositions buckets on BT hierarchies via
     // the [ACSa] generalized matrix transposition, whose O((N/H)

@@ -55,6 +55,15 @@ struct HierSortConfig {
     /// unaffected; spans/histograms describe the simulated lane traffic.
     Tracer* trace = nullptr;
     MetricsRegistry* metrics = nullptr;
+    /// Crash consistency passthrough (DESIGN.md §13), forwarded into the
+    /// underlying balance_sort's SortOptions. Caveat: the charged
+    /// hierarchy_time is observer-driven, so a resumed run's hierarchy
+    /// accounting reflects only the post-resume traffic (the checkpoint
+    /// preserves the PDM model quantities; the lane meter restarts).
+    std::string checkpoint_path;
+    std::string resume_from;
+    /// Test/chaos hook, forwarded to SortOptions::on_checkpoint.
+    std::function<void(std::uint64_t)> on_checkpoint;
 };
 
 struct HierSortReport {

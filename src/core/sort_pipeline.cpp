@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.hpp"
 #include "core/partition.hpp"
 #include "obs/tracer.hpp"
 #include "pram/parallel_sort.hpp"
@@ -214,14 +215,16 @@ VRun EmitPhase::reposition(const VRun& run) {
 SortPipeline::SortPipeline(DriverState& st)
     : st_(st), pivot_(st), balance_(st), base_(st), emit_(st) {}
 
-void SortPipeline::run(const SourceFactory& top, std::uint64_t n) {
-    process_node(top, nullptr, n, 0, nullptr, {});
+void SortPipeline::run(const SourceFactory& top, std::uint64_t n, ResumeCursor* resume) {
+    process_node(top, nullptr, n, 0, nullptr, {}, resume);
+    BS_MODEL_CHECK(resume == nullptr || resume->frames.empty(),
+                   "resume: checkpoint frames left unconsumed (record does not match this sort)");
 }
 
 void SortPipeline::process_node(const SourceFactory& factory,
                                 std::unique_ptr<RecordSource> first_source, std::uint64_t n,
                                 std::uint32_t depth, const PivotSet* premade_pivots,
-                                const std::function<void()>& overlap_hook) {
+                                const std::function<void()>& overlap_hook, ResumeCursor* resume) {
     if (n == 0) return;
     if (st_.report != nullptr) {
         st_.report->levels = std::max(st_.report->levels, depth + 1);
@@ -236,30 +239,71 @@ void SortPipeline::process_node(const SourceFactory& factory,
     };
 
     // ---- Base case: one memoryload, internal parallel sort. ----
+    // Atomic between checkpoint boundaries: never mirrored in a frame.
     if (n <= st_.cfg.m) {
         auto src = take_source();
         base_.run(*src, n, overlap_hook);
         return;
     }
 
+    // Resume (DESIGN.md §13): the last durable boundary serialized this
+    // node's frame if it was mid-flight — pop it and skip the phases whose
+    // results it carries (their model charges arrived with the restored
+    // meters, so skipping re-creates the uninterrupted accounting exactly).
+    CheckpointFrame restored;
+    bool node_resumed = false;
+    if (resume != nullptr && !resume->frames.empty()) {
+        restored = std::move(resume->frames.front());
+        resume->frames.pop_front();
+        node_resumed = true;
+        BS_MODEL_CHECK(restored.n == n && restored.depth == depth && restored.has_pivots,
+                       "resume: checkpoint frame does not match this node");
+    }
+
+    // Mirror the node for the checkpointer. Indices, not references — the
+    // frames vector may reallocate as children push theirs.
+    st_.frames.push_back(PipelineFrame{n, depth, nullptr, nullptr, 0});
+    const std::size_t fi = st_.frames.size() - 1;
+    struct FramePop {
+        DriverState& st;
+        ~FramePop() { st.frames.pop_back(); }
+    } frame_pop{st_};
+
     // ---- Stage 1: partition elements (§5, [ViSa]). ----
     const std::uint32_t s_target = pivot_.choose_s(n);
     if (st_.report != nullptr && depth == 0) st_.report->s_used = s_target;
-    const PivotSet pivots = pivot_.run(take_source, n, s_target, premade_pivots);
+    const PivotSet pivots = node_resumed ? std::move(restored.pivots)
+                                         : pivot_.run(take_source, n, s_target, premade_pivots);
     BS_MODEL_CHECK(!pivots.keys.empty(), "pivot selection produced no pivots on N > M input");
+    st_.frames[fi].pivots = &pivots;
+    // After-pivot boundary. A resumed node's pivots came *from* a durable
+    // record, so re-writing that boundary would double-count it (the seq
+    // numbering is cumulative across resumes).
+    if (st_.checkpointer != nullptr && !node_resumed) st_.checkpointer->boundary();
 
     // ---- Stage 2: Balance (Algorithms 3-6). ----
     const bool sketch_children = st_.opt.pivot_method == PivotMethod::kStreamingSketch &&
                                  st_.opt.bucket_policy != BucketPolicy::kSqrtLevel;
+    const bool buckets_restored = node_resumed && restored.has_buckets;
     std::vector<BucketOutput> buckets =
-        balance_.run(take_source, pivots, sketch_children ? s_target : 0, n, depth, s_target);
+        buckets_restored ? std::move(restored.buckets)
+                         : balance_.run(take_source, pivots, sketch_children ? s_target : 0, n,
+                                        depth, s_target);
+    st_.frames[fi].buckets = &buckets;
+    st_.frames[fi].next_bucket = buckets_restored ? restored.next_bucket : 0;
+    if (st_.checkpointer != nullptr && !buckets_restored) st_.checkpointer->boundary();
 
     // ---- Stages 3-4 over the buckets in key order (Algorithm 1 l. 7-9). ----
-    walk_buckets(buckets, n, depth);
+    walk_buckets(buckets, n, depth, buckets_restored ? restored.next_bucket : 0,
+                 node_resumed ? resume : nullptr);
 }
 
 void SortPipeline::walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_t n,
-                                std::uint32_t depth) {
+                                std::uint32_t depth, std::uint64_t start_bucket,
+                                ResumeCursor* resume) {
+    // Our node's frame is the top of the stack here (children push/pop
+    // theirs strictly inside process_node below).
+    const std::size_t fi = st_.frames.size() - 1;
     // Cross-bucket staging slot (DESIGN.md §10): a source for bucket
     // `index` whose first window is already in flight through the engine.
     struct Staged {
@@ -278,10 +322,13 @@ void SortPipeline::walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_
     };
 
     // Each bucket's blocks are released once it has been fully consumed,
-    // so the simulated footprint stays O(N) at every depth.
-    for (std::size_t i = 0; i < buckets.size(); ++i) {
+    // so the simulated footprint stays O(N) at every depth. On resume,
+    // buckets below start_bucket were consumed by the interrupted run
+    // (restored with empty runs) and are not revisited.
+    for (std::size_t i = static_cast<std::size_t>(start_bucket); i < buckets.size(); ++i) {
         auto& bucket = buckets[i];
         if (bucket.run.n_records == 0) continue;
+        st_.frames[fi].next_bucket = i;
         st_.cur_bucket = static_cast<std::int64_t>(i);
 
         std::unique_ptr<VRunSource> first;
@@ -320,20 +367,29 @@ void SortPipeline::walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_
             }
             if (st_.report != nullptr) st_.report->equal_class_records += bucket.run.n_records;
             bucket.run.release(st_.disks);
+            st_.frames[fi].next_bucket = i + 1;
+            if (st_.checkpointer != nullptr) st_.checkpointer->boundary();
             continue;
         }
         BS_MODEL_CHECK(bucket.run.n_records < n,
                        "bucket did not shrink: partitioning made no progress");
-        if (will_reposition(bucket)) {
+        // The `repositioned` flag survives checkpointing: a boundary written
+        // while this bucket's child was mid-flight serialized the bucket
+        // with the *fresh* run, and the resumed walk must not rewrite it.
+        if (!bucket.repositioned && will_reposition(bucket)) {
             bucket.run = emit_.reposition(bucket.run);
+            bucket.repositioned = true;
         }
         const VRun& run = bucket.run; // lives until this iteration ends
         SourceFactory bucket_factory = [this, &run]() -> std::unique_ptr<RecordSource> {
             return std::make_unique<VRunSource>(st_.vdisks, run, st_.buffer_pool());
         };
         process_node(bucket_factory, std::move(first), run.n_records, depth + 1,
-                     bucket.has_sketch_pivots ? &bucket.sketch_pivots : nullptr, hook);
+                     bucket.has_sketch_pivots ? &bucket.sketch_pivots : nullptr, hook, resume);
+        resume = nullptr; // only the first child processed can be mid-flight
         bucket.run.release(st_.disks);
+        st_.frames[fi].next_bucket = i + 1;
+        if (st_.checkpointer != nullptr) st_.checkpointer->boundary();
     }
     // An unconsumed staged source (none in the current scheduling rules)
     // completes its in-flight read in ~VRunSource before `staged` dies.

@@ -42,11 +42,25 @@
 
 namespace balsort {
 
+class Checkpointer;
 class Tracer;
+struct ResumeCursor;
 
 /// Re-opens one level's input from the start (each pass over a level needs
 /// a fresh stream: pivot pass, then Balance pass).
 using SourceFactory = std::function<std::unique_ptr<RecordSource>()>;
+
+/// One live level of the recursion stack, mirrored for the checkpointer
+/// (DESIGN.md §13): the pointers view the node's local pivots/buckets, and
+/// `next_bucket` is the key-order index of the bucket the walk will
+/// process next (so a resume knows where to pick the level back up).
+struct PipelineFrame {
+    std::uint64_t n = 0;
+    std::uint32_t depth = 0;
+    const PivotSet* pivots = nullptr;
+    std::vector<BucketOutput>* buckets = nullptr;
+    std::uint64_t next_bucket = 0;
+};
 
 /// Everything one sort shares across pipeline stages. Owns the worker
 /// pool, the model meters, the output writer, and the record-buffer pool;
@@ -77,6 +91,12 @@ struct DriverState {
     /// Key-order index of the bucket the pipeline is currently inside
     /// (span arg; -1 = the top-level node).
     std::int64_t cur_bucket = -1;
+
+    // Checkpointing (DESIGN.md §13): the live recursion stack (root first,
+    // internal nodes only — base cases are atomic between boundaries) and
+    // the boundary writer, null unless SortOptions::checkpoint_path is set.
+    std::vector<PipelineFrame> frames;
+    Checkpointer* checkpointer = nullptr;
 
     DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o, std::uint32_t dv,
                 std::uint32_t threads, SortReport* rep);
@@ -166,7 +186,9 @@ class SortPipeline {
 public:
     explicit SortPipeline(DriverState& st);
     /// Sort the whole input (the top-level node); output lands in st.out.
-    void run(const SourceFactory& top, std::uint64_t n);
+    /// A non-null `resume` replays a checkpointed run: each level pops its
+    /// restored frame and skips the phases the interrupted run completed.
+    void run(const SourceFactory& top, std::uint64_t n, ResumeCursor* resume = nullptr);
 
 private:
     /// One node of the bucket tree (the old sort_rec). `first_source`, if
@@ -176,9 +198,12 @@ private:
     /// base case.
     void process_node(const SourceFactory& factory, std::unique_ptr<RecordSource> first_source,
                       std::uint64_t n, std::uint32_t depth, const PivotSet* premade_pivots,
-                      const std::function<void()>& overlap_hook);
+                      const std::function<void()>& overlap_hook, ResumeCursor* resume);
     /// The scheduler: children in key order with next-bucket staging.
-    void walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_t n, std::uint32_t depth);
+    /// On resume, `start_bucket` skips children the interrupted run fully
+    /// consumed and `resume` is threaded into the first child processed.
+    void walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_t n, std::uint32_t depth,
+                      std::uint64_t start_bucket, ResumeCursor* resume);
 
     DriverState& st_;
     PivotPhase pivot_;

@@ -35,7 +35,8 @@ void RunManifest::write_json(std::ostream& os) const {
        << ",\"reconstructions\":" << io.reconstructions
        << ",\"degraded_writes\":" << io.degraded_writes
        << ",\"parity_blocks_written\":" << io.parity_blocks_written
-       << ",\"rmw_reads\":" << io.rmw_reads << ",\"recovery_blocks\":" << io.recovery_blocks()
+       << ",\"rmw_reads\":" << io.rmw_reads << ",\"io_timeouts\":" << io.io_timeouts
+       << ",\"recovery_blocks\":" << io.recovery_blocks()
        << ",\"engine_busy_seconds\":" << io.engine_busy_seconds
        << ",\"engine_stall_seconds\":" << io.engine_stall_seconds
        << ",\"async_block_ops\":" << io.async_block_ops
@@ -52,6 +53,8 @@ void RunManifest::write_json(std::ostream& os) const {
        << ",\"worst_bucket_read_ratio\":" << report.worst_bucket_read_ratio
        << ",\"max_bucket_records\":" << report.max_bucket_records
        << ",\"bucket_bound\":" << report.bucket_bound
+       << ",\"checkpoints_written\":" << report.checkpoints_written
+       << ",\"resumes\":" << report.resumes
        << ",\"elapsed_seconds\":" << report.elapsed_seconds << "}";
     os << ",\"phases\":{\"pivot_seconds\":" << ph.pivot_seconds
        << ",\"balance_seconds\":" << ph.balance_seconds

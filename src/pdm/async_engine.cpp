@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "util/common.hpp"
+#include "util/random.hpp"
 
 namespace balsort {
 
@@ -22,22 +24,43 @@ struct AsyncEngine::WorkItem {
     IoRequest request;
     std::uint32_t request_index = 0;
     std::shared_ptr<AsyncBatch::State> batch;
+    /// Deadline machinery (reads under deadline_us_ > 0 only).
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    bool abandoned = false; ///< watchdog already completed it (guarded by mutex_)
+    bool completed = false; ///< completion slot filled (guarded by mutex_)
+    /// Reads under deadline execute into this private buffer; the worker
+    /// copies it to request.read_buf under the mutex only if !abandoned.
+    std::vector<Record> staging;
+};
+
+/// What execute() observed, reported back to worker_loop which owns all
+/// completion-slot writes (under the mutex, so the watchdog cannot race).
+struct AsyncEngine::ExecResult {
+    bool ok = true;
+    std::exception_ptr error;
+    std::uint64_t transient_retries = 0;
 };
 
 AsyncEngine::AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
-                         std::uint32_t backoff_base_us)
-    : disks_(std::move(disks)), max_retries_(max_retries), backoff_base_us_(backoff_base_us) {
+                         std::uint32_t backoff_base_us, std::uint64_t deadline_us,
+                         bool backoff_jitter)
+    : disks_(std::move(disks)), max_retries_(max_retries), backoff_base_us_(backoff_base_us),
+      deadline_us_(deadline_us), backoff_jitter_(backoff_jitter) {
     BS_REQUIRE(!disks_.empty(), "AsyncEngine: need at least one disk");
     for (const Disk* d : disks_) BS_REQUIRE(d != nullptr, "AsyncEngine: null disk");
     queues_.resize(disks_.size());
+    executing_.resize(disks_.size());
     tracer_ = balsort::tracer();
     if (MetricsRegistry* reg = balsort::metrics(); reg != nullptr) {
         read_latency_.reserve(disks_.size());
         write_latency_.reserve(disks_.size());
+        backoff_us_.reserve(disks_.size());
         for (std::size_t d = 0; d < disks_.size(); ++d) {
             const std::string prefix = "disk" + std::to_string(d);
             read_latency_.push_back(&reg->histogram(prefix + ".read_latency_us"));
             write_latency_.push_back(&reg->histogram(prefix + ".write_latency_us"));
+            backoff_us_.push_back(&reg->histogram(prefix + ".backoff_us"));
         }
         queue_depth_ = &reg->histogram("engine.queue_depth");
     }
@@ -47,6 +70,7 @@ AsyncEngine::AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
             lane_tids_.push_back(tracer_->lane("disk " + std::to_string(d) + " io"));
         }
     }
+    if (deadline_us_ > 0) watchdog_ = std::thread([this] { watchdog_loop(); });
     workers_.reserve(disks_.size());
     for (std::uint32_t i = 0; i < disks_.size(); ++i) {
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -54,7 +78,6 @@ AsyncEngine::AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
 }
 
 AsyncEngine::~AsyncEngine() {
-    std::vector<WorkItem> orphans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
@@ -62,22 +85,23 @@ AsyncEngine::~AsyncEngine() {
         // its buffers or the disks may be going away) but their batches
         // must still complete, or a stray wait would hang forever.
         for (auto& q : queues_) {
-            for (auto& item : q) orphans.push_back(std::move(item));
+            for (auto& item : q) {
+                IoCompletion& c = item->batch->completions[item->request_index];
+                c.ok = false;
+                c.error = std::make_exception_ptr(
+                    IoError("async engine stopped before request executed", item->request.disk,
+                            item->request.block));
+                item->completed = true;
+                --item->batch->remaining;
+                ++executed_;
+            }
             q.clear();
-        }
-        for (auto& item : orphans) {
-            IoCompletion& c = item.batch->completions[item.request_index];
-            c.ok = false;
-            c.error = std::make_exception_ptr(
-                IoError("async engine stopped before request executed", item.request.disk,
-                        item.request.block));
-            --item.batch->remaining;
-            ++executed_;
         }
     }
     cv_work_.notify_all();
     cv_done_.notify_all();
     for (auto& w : workers_) w.join();
+    if (watchdog_.joinable()) watchdog_.join();
 }
 
 AsyncBatch AsyncEngine::submit(std::vector<IoRequest> requests) {
@@ -89,6 +113,7 @@ AsyncBatch AsyncEngine::submit(std::vector<IoRequest> requests) {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         BS_REQUIRE(!stop_, "AsyncEngine::submit after stop");
+        const auto now = std::chrono::steady_clock::now();
         for (std::uint32_t i = 0; i < requests.size(); ++i) {
             const IoRequest& r = requests[i];
             BS_REQUIRE(r.disk < disks_.size(), "AsyncEngine: request names nonexistent disk");
@@ -96,7 +121,16 @@ AsyncBatch AsyncEngine::submit(std::vector<IoRequest> requests) {
             c.request_index = i;
             c.disk = r.disk;
             c.block = r.block;
-            queues_[r.disk].push_back(WorkItem{r, i, batch.state_});
+            auto item = std::make_shared<WorkItem>();
+            item->request = r;
+            item->request_index = i;
+            item->batch = batch.state_;
+            if (deadline_us_ > 0 && r.kind == IoRequest::Kind::kRead) {
+                item->has_deadline = true;
+                item->deadline = now + std::chrono::microseconds(deadline_us_);
+                item->staging.resize(disks_[r.disk]->block_size());
+            }
+            queues_[r.disk].push_back(std::move(item));
         }
         submitted_ += requests.size();
         const std::uint64_t in_flight = submitted_ - executed_;
@@ -134,20 +168,26 @@ AsyncEngineMetrics AsyncEngine::metrics() const {
     return m;
 }
 
+std::uint64_t AsyncEngine::timeouts() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timeouts_;
+}
+
 void AsyncEngine::worker_loop(std::uint32_t disk_index) {
     for (;;) {
-        WorkItem item;
+        std::shared_ptr<WorkItem> item;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_work_.wait(lock, [&] { return stop_ || !queues_[disk_index].empty(); });
             if (queues_[disk_index].empty()) return; // stop_ and no work left
             item = std::move(queues_[disk_index].front());
             queues_[disk_index].pop_front();
+            executing_[disk_index] = item; // visible to the watchdog
         }
         const auto t0 = std::chrono::steady_clock::now();
-        execute(disk_index, item);
+        ExecResult res = execute(disk_index, *item);
         const auto t1 = std::chrono::steady_clock::now();
-        const bool is_read = item.request.kind == IoRequest::Kind::kRead;
+        const bool is_read = item->request.kind == IoRequest::Kind::kRead;
         const auto latency_us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
         if (!read_latency_.empty()) {
@@ -160,53 +200,122 @@ void AsyncEngine::worker_loop(std::uint32_t disk_index) {
             ev.tid = lane_tids_[disk_index];
             ev.ts_us = tracer_->ts_us(t0);
             ev.dur_us = static_cast<std::int64_t>(latency_us);
-            ev.args[0] = {"disk", static_cast<std::int64_t>(item.request.disk)};
-            ev.args[1] = {"block", static_cast<std::int64_t>(item.request.block)};
+            ev.args[0] = {"disk", static_cast<std::int64_t>(item->request.disk)};
+            ev.args[1] = {"block", static_cast<std::int64_t>(item->request.block)};
             ev.n_args = 2;
             tracer_->emit(ev);
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             busy_seconds_ += std::chrono::duration<double>(t1 - t0).count();
-            ++executed_;
-            --item.batch->remaining;
+            executing_[disk_index] = nullptr;
+            if (!item->abandoned) {
+                // This worker still owns the completion slot; a timed-out
+                // item was already completed (and counted) by the watchdog,
+                // and its caller buffer must stay untouched.
+                IoCompletion& c = item->batch->completions[item->request_index];
+                c.ok = res.ok;
+                c.error = res.error;
+                c.transient_retries = res.transient_retries;
+                if (res.ok && !item->staging.empty()) {
+                    std::copy(item->staging.begin(), item->staging.end(),
+                              item->request.read_buf);
+                }
+                item->completed = true;
+                ++executed_;
+                --item->batch->remaining;
+            }
         }
         cv_done_.notify_all();
     }
 }
 
-void AsyncEngine::execute(std::uint32_t disk_index, const WorkItem& item) {
+void AsyncEngine::watchdog_loop() {
+    const auto tick = std::chrono::microseconds(std::max<std::uint64_t>(deadline_us_ / 2, 100));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        cv_work_.wait_for(lock, tick);
+        if (stop_) return;
+        const auto now = std::chrono::steady_clock::now();
+        bool fired = false;
+        auto expire = [&](const std::shared_ptr<WorkItem>& item) {
+            if (item == nullptr || !item->has_deadline || item->abandoned || item->completed ||
+                now < item->deadline) {
+                return false;
+            }
+            item->abandoned = true;
+            IoCompletion& c = item->batch->completions[item->request_index];
+            c.ok = false;
+            std::ostringstream os;
+            os << "read outstanding past " << deadline_us_ << "us deadline: disk "
+               << item->request.disk << " block " << item->request.block;
+            c.error = std::make_exception_ptr(
+                TimedOutIo(os.str(), item->request.disk, item->request.block));
+            item->completed = true;
+            ++executed_;
+            ++timeouts_;
+            --item->batch->remaining;
+            fired = true;
+            return true;
+        };
+        for (auto& q : queues_) {
+            // A queued item past its deadline is starved behind a hung
+            // request; expire it and drop it so the worker never runs it.
+            for (auto it = q.begin(); it != q.end();) {
+                it = expire(*it) ? q.erase(it) : std::next(it);
+            }
+        }
+        for (auto& item : executing_) expire(item);
+        if (fired) cv_done_.notify_all();
+    }
+}
+
+AsyncEngine::ExecResult AsyncEngine::execute(std::uint32_t disk_index, WorkItem& item) {
     Disk& disk = *disks_[disk_index];
     const IoRequest& r = item.request;
-    IoCompletion& c = item.batch->completions[item.request_index];
     const std::size_t b = disk.block_size();
+    // Deadline-mode reads land in the item's staging buffer: if the
+    // watchdog abandons us mid-read, the caller's buffer is already being
+    // refilled from parity and must not be overwritten by a late wakeup.
+    Record* read_dst = item.staging.empty() ? r.read_buf : item.staging.data();
+    ExecResult res;
     for (std::uint32_t attempt = 0;; ++attempt) {
         try {
             if (r.kind == IoRequest::Kind::kRead) {
-                disk.read_block(r.block, std::span<Record>(r.read_buf, b));
+                disk.read_block(r.block, std::span<Record>(read_dst, b));
             } else {
                 disk.write_block(r.block, std::span<const Record>(r.write_data, b));
             }
-            return; // c.ok stays true
+            return res; // res.ok stays true
         } catch (const TransientIoError&) {
             if (attempt >= max_retries_) {
-                c.ok = false;
-                c.error = std::current_exception();
-                return;
+                res.ok = false;
+                res.error = std::current_exception();
+                return res;
             }
-            ++c.transient_retries;
+            ++res.transient_retries;
             if (backoff_base_us_ != 0) {
-                const std::uint64_t us = static_cast<std::uint64_t>(backoff_base_us_)
-                                         << std::min<std::uint32_t>(attempt, 10);
+                std::uint64_t us = static_cast<std::uint64_t>(backoff_base_us_)
+                                   << std::min<std::uint32_t>(attempt, 10);
+                if (backoff_jitter_) {
+                    // Deterministic per-(disk, op, attempt) jitter in
+                    // [0.5, 1.5): wall-clock only, never model state.
+                    SplitMix64 j(((static_cast<std::uint64_t>(disk_index) << 32) ^ r.block) +
+                                 attempt);
+                    const double f =
+                        0.5 + static_cast<double>(j.next() >> 11) * 0x1.0p-53;
+                    us = static_cast<std::uint64_t>(static_cast<double>(us) * f);
+                }
+                if (!backoff_us_.empty()) backoff_us_[disk_index]->record(us);
                 std::this_thread::sleep_for(std::chrono::microseconds(us));
             }
         } catch (...) {
             // Non-transient (DiskFailed, CorruptBlock, IoError, model
             // violations): defer to the submitter, who owns the shared
             // recovery state.
-            c.ok = false;
-            c.error = std::current_exception();
-            return;
+            res.ok = false;
+            res.error = std::current_exception();
+            return res;
         }
     }
 }

@@ -30,6 +30,19 @@
 /// The engine never performs model accounting: I/O steps are charged by
 /// DiskArray at submission time, keeping `io_steps()` bit-identical to
 /// the synchronous path (the wall-clock-vs-model-cost separation).
+///
+/// Deadlines (DESIGN.md §13): with `deadline_us > 0` every READ request
+/// carries an absolute deadline and a watchdog thread abandons requests
+/// still outstanding past it, completing them with `TimedOutIo` so the
+/// submitter can fail over to parity reconstruction instead of blocking
+/// on a hung device forever. An abandoned request's worker may still be
+/// stuck inside the disk stack; it therefore executes into a private
+/// staging buffer and only copies into the caller's buffer — under the
+/// engine mutex, after checking it was not abandoned — so a late wakeup
+/// can never scribble over data the submitter already reconstructed.
+/// Writes are never abandoned: a write that eventually lands is
+/// indistinguishable from a successful one, while abandoning it would
+/// force parity bookkeeping for data that may yet appear.
 
 #include <condition_variable>
 #include <cstdint>
@@ -106,9 +119,13 @@ public:
     /// `disks[d]` is the top of disk d's decorator stack; the engine does
     /// not own the disks. Retry policy mirrors DiskArray's FaultTolerance:
     /// total attempts = 1 + max_retries, exponential backoff of
-    /// `backoff_base_us << attempt` microseconds between them (0 = none).
+    /// `backoff_base_us << attempt` microseconds between them (0 = none);
+    /// with `backoff_jitter` each sleep is scaled by a deterministic
+    /// pseudo-random factor in [0.5, 1.5) to decorrelate retry storms.
+    /// `deadline_us > 0` arms the read watchdog (see file comment).
     AsyncEngine(std::vector<Disk*> disks, std::uint32_t max_retries,
-                std::uint32_t backoff_base_us);
+                std::uint32_t backoff_base_us, std::uint64_t deadline_us = 0,
+                bool backoff_jitter = false);
     /// Stops the workers. Queued-but-unexecuted requests are completed
     /// with an "engine stopped" error instead of running (destruction
     /// during unwind must not touch possibly-dead disks).
@@ -139,15 +156,22 @@ public:
 
     AsyncEngineMetrics metrics() const;
 
+    /// Reads abandoned by the watchdog (completed with TimedOutIo).
+    std::uint64_t timeouts() const;
+
 private:
     struct WorkItem;
+    struct ExecResult;
 
     void worker_loop(std::uint32_t disk_index);
-    void execute(std::uint32_t disk_index, const WorkItem& item);
+    ExecResult execute(std::uint32_t disk_index, WorkItem& item);
+    void watchdog_loop();
 
     std::vector<Disk*> disks_;
     std::uint32_t max_retries_;
     std::uint32_t backoff_base_us_;
+    std::uint64_t deadline_us_;
+    bool backoff_jitter_;
 
     // Observability (DESIGN.md §11), bound once at construction from the
     // installed tracer/metrics (balance_sort installs them before enabling
@@ -157,18 +181,22 @@ private:
     std::vector<std::uint32_t> lane_tids_;   ///< per-disk "disk N io" lanes
     std::vector<Histogram*> read_latency_;   ///< per-disk, microseconds
     std::vector<Histogram*> write_latency_;
+    std::vector<Histogram*> backoff_us_;     ///< per-disk retry backoff sleeps
     Histogram* queue_depth_ = nullptr;       ///< sampled at each submit
 
     mutable std::mutex mutex_;
-    std::condition_variable cv_work_;  ///< workers: queue non-empty or stop
+    std::condition_variable cv_work_;  ///< workers + watchdog: work/stop/tick
     std::condition_variable cv_done_;  ///< submitters: batch/engine completion
-    std::vector<std::deque<WorkItem>> queues_; ///< one FIFO per disk
+    std::vector<std::deque<std::shared_ptr<WorkItem>>> queues_; ///< one FIFO per disk
+    std::vector<std::shared_ptr<WorkItem>> executing_; ///< per disk, null when idle
     std::uint64_t submitted_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t peak_in_flight_ = 0;
+    std::uint64_t timeouts_ = 0;
     double busy_seconds_ = 0; ///< guarded by mutex_ (folded per request)
     bool stop_ = false;
 
+    std::thread watchdog_;             ///< running only when deadline_us_ > 0
     std::vector<std::thread> workers_; ///< constructed last, joined first
 };
 

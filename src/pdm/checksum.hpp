@@ -63,6 +63,21 @@ public:
     }
     std::uint32_t stored_checksum(std::uint64_t index) const { return crcs_[index]; }
 
+    /// The in-memory sidecar, for checkpoint/restore (DESIGN.md §13): the
+    /// sidecar is process state, so a resumed process must re-load it or
+    /// every surviving scratch block would read back unverified.
+    struct Sidecar {
+        std::vector<std::uint32_t> crcs;
+        std::vector<bool> has_crc;
+        std::vector<bool> lost;
+    };
+    Sidecar export_sidecar() const { return {crcs_, has_crc_, lost_}; }
+    void import_sidecar(const Sidecar& s) {
+        crcs_ = s.crcs;
+        has_crc_ = s.has_crc;
+        lost_ = s.lost;
+    }
+
     Disk& inner() { return *inner_; }
     const Disk& inner() const { return *inner_; }
 

@@ -75,33 +75,52 @@ private:
 } // namespace
 
 DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std::string file_dir,
-                     Constraint constraint, FaultTolerance ft, DeviceModel dev)
-    : b_(b), backend_(backend), constraint_(constraint), ft_(ft), dev_(dev) {
+                     Constraint constraint, FaultTolerance ft, DeviceModel dev,
+                     ScratchOptions scratch)
+    : b_(b), backend_(backend), constraint_(constraint), ft_(ft), dev_(dev),
+      scratch_(std::move(scratch)) {
     BS_REQUIRE(d >= 1, "DiskArray: need at least one disk");
     BS_REQUIRE(b >= 1, "DiskArray: block size must be >= 1");
     BS_REQUIRE(ft_.die_disk == FaultTolerance::kNoDisk || ft_.die_disk < d,
                "DiskArray: FaultTolerance::die_disk out of range");
     BS_REQUIRE(!ft_.parity || constraint == Constraint::kIndependentDisks,
                "DiskArray: parity requires the independent-disks constraint");
+    BS_REQUIRE(!scratch_.adopt || !scratch_.tag.empty(),
+               "DiskArray: adopting scratch requires a stable tag");
     // Scratch names carry the pid and an array counter: concurrent
     // processes (parallel ctest) and multiple arrays in one process must
-    // not open-and-unlink each other's files.
+    // not open-and-unlink each other's files. A caller-pinned tag replaces
+    // them so a resuming process can find a crashed run's files.
     static std::atomic<std::uint64_t> array_counter{0};
     const std::string scratch_tag =
-        std::to_string(::getpid()) + "_" + std::to_string(array_counter.fetch_add(1));
+        !scratch_.tag.empty()
+            ? scratch_.tag
+            : std::to_string(::getpid()) + "_" + std::to_string(array_counter.fetch_add(1));
     auto make_base = [&](const std::string& name) -> std::unique_ptr<Disk> {
-        if (backend == DiskBackend::kMemory) return std::make_unique<MemDisk>(b);
-        return std::make_unique<FileDisk>(file_dir + "/balsort_" + scratch_tag + "_" + name, b);
+        if (backend == DiskBackend::kMemory) {
+            auto mdisk = std::make_unique<MemDisk>(b);
+            mem_.push_back(mdisk.get());
+            return mdisk;
+        }
+        auto fdisk = std::make_unique<FileDisk>(file_dir + "/balsort_" + scratch_tag + "_" + name,
+                                                b, /*unlink_on_close=*/!scratch_.keep,
+                                                /*fsync_on_close=*/false,
+                                                /*adopt=*/scratch_.adopt);
+        file_.push_back(fdisk.get());
+        return fdisk;
     };
     disks_.reserve(d);
     csum_.assign(d, nullptr);
+    fault_.assign(d, nullptr);
     for (std::uint32_t i = 0; i < d; ++i) {
         auto disk = make_base("disk_" + std::to_string(i) + ".bin");
         if (dev_.any()) disk = std::make_unique<ThrottledDisk>(std::move(disk), dev_);
         if (ft_.inject.any_faults()) {
             FaultSpec spec = ft_.inject;
             if (i != ft_.die_disk) spec.die_after_ops = 0;
-            disk = std::make_unique<FaultInjectingDisk>(std::move(disk), spec, i);
+            auto fi = std::make_unique<FaultInjectingDisk>(std::move(disk), spec, i);
+            fault_[i] = fi.get();
+            disk = std::move(fi);
         }
         if (ft_.checksums) {
             auto cs = std::make_unique<ChecksummedDisk>(std::move(disk), i);
@@ -117,7 +136,9 @@ DiskArray::DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend, std:
         // checksummed when the array is, so bugs in parity upkeep surface
         // as CorruptBlock instead of silent bad reconstructions.
         if (ft_.checksums) {
-            pd = std::make_unique<ChecksummedDisk>(std::move(pd), kParityDiskId);
+            auto cs = std::make_unique<ChecksummedDisk>(std::move(pd), kParityDiskId);
+            parity_csum_ = cs.get();
+            pd = std::move(cs);
         }
         parity_ = std::move(pd);
     }
@@ -144,8 +165,16 @@ const DiskHealth& DiskArray::health(std::uint32_t d) const {
 
 void DiskArray::backoff(std::uint32_t attempt) const {
     if (ft_.backoff_base_us == 0) return;
-    const std::uint64_t us = static_cast<std::uint64_t>(ft_.backoff_base_us)
-                             << std::min<std::uint32_t>(attempt, 10);
+    std::uint64_t us = static_cast<std::uint64_t>(ft_.backoff_base_us)
+                       << std::min<std::uint32_t>(attempt, 10);
+    if (ft_.backoff_jitter) {
+        // Deterministic multiplicative jitter in [0.5, 1.5): decorrelates
+        // retry bursts without touching model accounting (sleep only).
+        const double f =
+            0.5 + static_cast<double>(SplitMix64(jitter_state_++).next() >> 11) * 0x1.0p-53;
+        us = static_cast<std::uint64_t>(static_cast<double>(us) * f);
+    }
+    if (obs_backoff_ != nullptr) obs_backoff_->record(us);
     std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
@@ -377,6 +406,7 @@ void DiskArray::bind_obs() {
     obs_registry_ = reg;
     obs_read_latency_.clear();
     obs_write_latency_.clear();
+    obs_backoff_ = nullptr;
     if (reg == nullptr) return;
     obs_read_latency_.reserve(disks_.size());
     obs_write_latency_.reserve(disks_.size());
@@ -385,6 +415,7 @@ void DiskArray::bind_obs() {
         obs_read_latency_.push_back(&reg->histogram(prefix + ".read_latency_us"));
         obs_write_latency_.push_back(&reg->histogram(prefix + ".write_latency_us"));
     }
+    obs_backoff_ = &reg->histogram("io.backoff_us");
 }
 
 void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffers) {
@@ -579,7 +610,8 @@ void DiskArray::set_async(bool enabled) {
     for (auto& disk : disks_) tops.push_back(disk.get());
     // The parity device is excluded: parity upkeep reads old images and is
     // only ever touched synchronously (see write_step).
-    engine_ = std::make_unique<AsyncEngine>(std::move(tops), ft_.max_retries, ft_.backoff_base_us);
+    engine_ = std::make_unique<AsyncEngine>(std::move(tops), ft_.max_retries, ft_.backoff_base_us,
+                                            ft_.deadline_us, ft_.backoff_jitter);
 }
 
 void DiskArray::drain_async() {
@@ -724,6 +756,14 @@ void DiskArray::handle_read_failure(const BlockOp& op, const std::exception_ptr&
         ++stats_.corrupt_blocks;
         fault_instant("corrupt_block", op.disk, op.block);
         corrupt = true;
+    } catch (const TimedOutIo&) {
+        // The device is slow, not failed: health is untouched and the disk
+        // is never scrubbed (its worker may still be inside the hung read;
+        // reconstruction below touches only peers + parity). Recovery-side
+        // accounting only — never io_steps().
+        ++stats_.io_timeouts;
+        fault_instant("io_timeout", op.disk, op.block);
+        if (MetricsRegistry* reg = metrics(); reg != nullptr) reg->counter("io.timeouts").add();
     } catch (const IoError&) {
     }
     if (!ft_.parity || parity_ == nullptr) std::rethrow_exception(error);
@@ -841,7 +881,98 @@ std::uint64_t DiskArray::allocate(std::uint32_t disk, std::uint64_t n_blocks) {
 void DiskArray::release(std::uint32_t disk, std::uint64_t block) {
     BS_REQUIRE(disk < disks_.size(), "release: nonexistent disk");
     BS_REQUIRE(block < next_free_[disk], "release: block was never allocated");
+    if (quarantine_on_) {
+        quarantined_.push_back(BlockOp{disk, block});
+        return;
+    }
     free_list_[disk].push(block);
+}
+
+void DiskArray::set_release_quarantine(bool on) {
+    if (!on) flush_release_quarantine();
+    quarantine_on_ = on;
+}
+
+void DiskArray::flush_release_quarantine() {
+    for (const BlockOp& op : quarantined_) free_list_[op.disk].push(op.block);
+    quarantined_.clear();
+}
+
+DiskArraySnapshot DiskArray::snapshot() const {
+    BS_MODEL_CHECK(quarantined_.empty(),
+                   "snapshot: quarantined releases must be flushed at the boundary first");
+    DiskArraySnapshot snap;
+    snap.disks.resize(disks_.size());
+    for (std::size_t i = 0; i < disks_.size(); ++i) {
+        DiskArraySnapshot::PerDisk& pd = snap.disks[i];
+        pd.next_free = next_free_[i];
+        auto heap = free_list_[i]; // copy; drain it into a sorted vector
+        while (!heap.empty()) {
+            pd.free_blocks.push_back(heap.top());
+            heap.pop();
+        }
+        pd.health = health_[i];
+        pd.parity_carried.assign(parity_carried_[i].begin(), parity_carried_[i].end());
+        std::sort(pd.parity_carried.begin(), pd.parity_carried.end());
+        if (fault_[i] != nullptr) {
+            pd.has_fault_state = true;
+            pd.fault_state = fault_[i]->export_state();
+        }
+        if (csum_[i] != nullptr) {
+            pd.has_sidecar = true;
+            pd.sidecar = csum_[i]->export_sidecar();
+        }
+        if (backend_ == DiskBackend::kMemory) {
+            pd.has_image = true;
+            pd.image = mem_[i]->image();
+        }
+    }
+    if (parity_csum_ != nullptr) {
+        snap.has_parity_sidecar = true;
+        snap.parity_sidecar = parity_csum_->export_sidecar();
+    }
+    if (parity_ != nullptr && backend_ == DiskBackend::kMemory) {
+        snap.has_parity_image = true;
+        snap.parity_image = mem_.back()->image();
+    }
+    return snap;
+}
+
+void DiskArray::restore(const DiskArraySnapshot& snap) {
+    BS_REQUIRE(snap.disks.size() == disks_.size(),
+               "restore: snapshot disk count does not match this array");
+    BS_MODEL_CHECK(quarantined_.empty(), "restore: release quarantine must be empty");
+    for (std::size_t i = 0; i < disks_.size(); ++i) {
+        const DiskArraySnapshot::PerDisk& pd = snap.disks[i];
+        next_free_[i] = pd.next_free;
+        free_list_[i] = {};
+        for (std::uint64_t blk : pd.free_blocks) free_list_[i].push(blk);
+        health_[i] = pd.health;
+        parity_carried_[i].clear();
+        parity_carried_[i].insert(pd.parity_carried.begin(), pd.parity_carried.end());
+        BS_REQUIRE(pd.has_fault_state == (fault_[i] != nullptr),
+                   "restore: fault-injection layering differs from the snapshot");
+        if (fault_[i] != nullptr) fault_[i]->import_state(pd.fault_state);
+        BS_REQUIRE(pd.has_sidecar == (csum_[i] != nullptr),
+                   "restore: checksum layering differs from the snapshot");
+        if (csum_[i] != nullptr) csum_[i]->import_sidecar(pd.sidecar);
+        BS_REQUIRE(pd.has_image == (backend_ == DiskBackend::kMemory),
+                   "restore: backend differs from the snapshot");
+        if (pd.has_image) mem_[i]->set_image(pd.image);
+    }
+    BS_REQUIRE(snap.has_parity_sidecar == (parity_csum_ != nullptr),
+               "restore: parity checksum layering differs from the snapshot");
+    if (parity_csum_ != nullptr) parity_csum_->import_sidecar(snap.parity_sidecar);
+    if (snap.has_parity_image) {
+        BS_REQUIRE(parity_ != nullptr && backend_ == DiskBackend::kMemory,
+                   "restore: parity layering differs from the snapshot");
+        mem_.back()->set_image(snap.parity_image);
+    }
+}
+
+void DiskArray::set_keep_scratch(bool keep) {
+    scratch_.keep = keep;
+    for (FileDisk* f : file_) f->set_unlink_on_close(!keep);
 }
 
 std::uint64_t DiskArray::free_blocks(std::uint32_t disk) const {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pdm/async_engine.hpp"
+#include "pdm/checksum.hpp"
 #include "pdm/disk.hpp"
 #include "pdm/faulty_disk.hpp"
 #include "pdm/io_stats.hpp"
@@ -29,7 +30,9 @@
 
 namespace balsort {
 
+class FileDisk;
 class Histogram;
+class MemDisk;
 class MetricsRegistry;
 
 enum class DiskBackend { kMemory, kFile };
@@ -72,6 +75,15 @@ struct FaultTolerance {
     /// Exponential backoff between retries: sleep backoff_base_us << attempt
     /// microseconds (0 = no sleeping; simulations and tests want 0).
     std::uint32_t backoff_base_us = 0;
+    /// Scale every backoff sleep by a deterministic pseudo-random factor in
+    /// [0.5, 1.5) so concurrent retriers decorrelate (wall-clock only;
+    /// model accounting is untouched).
+    bool backoff_jitter = false;
+    /// Async-engine read deadline in microseconds (0 = no deadline). A read
+    /// outstanding past it completes as TimedOutIo and is served from
+    /// parity reconstruction instead of blocking the pipeline (DESIGN.md
+    /// §13). Requires `parity` for the failover to succeed.
+    std::uint64_t deadline_us = 0;
 
     /// Keep a CRC-32 sidecar per block and verify every read.
     bool checksums = false;
@@ -106,6 +118,47 @@ struct BlockOp {
     std::uint64_t block = 0;
 };
 
+/// Scratch-file naming and lifecycle for DiskBackend::kFile (DESIGN.md
+/// §13). By default every array gets a unique pid+counter tag and removes
+/// its files on destruction. A checkpointing run pins a stable `tag` and
+/// sets `keep`, so a crashed process leaves its scratch behind under
+/// predictable names; the resuming process passes the same tag with
+/// `adopt` to re-open those files (without truncation) instead of creating
+/// fresh ones.
+struct ScratchOptions {
+    std::string tag;    ///< stable name component ("" = unique pid+counter)
+    bool adopt = false; ///< open existing scratch files without truncating
+    bool keep = false;  ///< leave scratch files behind on destruction
+};
+
+/// Complete restorable state of a DiskArray apart from the block images
+/// themselves (which live in the backend files): allocator, health,
+/// checksum sidecars, fault-injection RNG streams, parity bookkeeping.
+/// Captured at checkpoint boundaries and re-applied on resume.
+struct DiskArraySnapshot {
+    struct PerDisk {
+        std::uint64_t next_free = 0;
+        std::vector<std::uint64_t> free_blocks; ///< sorted released indices
+        DiskHealth health;
+        std::vector<std::uint64_t> parity_carried; ///< sorted
+        bool has_fault_state = false;
+        FaultInjectingDisk::State fault_state;
+        bool has_sidecar = false;
+        ChecksummedDisk::Sidecar sidecar;
+        /// Memory backend only: the disk's full block image. File scratch
+        /// survives a crash on its own, but a memory array's blocks must
+        /// travel inside the checkpoint for a fresh array (a new process,
+        /// or hier_sort's internal lanes) to resume from them.
+        bool has_image = false;
+        std::vector<Record> image;
+    };
+    std::vector<PerDisk> disks;
+    bool has_parity_sidecar = false;
+    ChecksummedDisk::Sidecar parity_sidecar;
+    bool has_parity_image = false;
+    std::vector<Record> parity_image;
+};
+
 class DiskArray {
 public:
     /// For DiskBackend::kFile, `file_dir` must name a writable directory;
@@ -114,7 +167,7 @@ public:
     /// every disk (parity included), charging wall-clock per block op.
     DiskArray(std::uint32_t d, std::uint32_t b, DiskBackend backend = DiskBackend::kMemory,
               std::string file_dir = ".", Constraint constraint = Constraint::kIndependentDisks,
-              FaultTolerance ft = {}, DeviceModel dev = {});
+              FaultTolerance ft = {}, DeviceModel dev = {}, ScratchOptions scratch = {});
     ~DiskArray();
 
     std::uint32_t num_disks() const { return static_cast<std::uint32_t>(disks_.size()); }
@@ -226,6 +279,31 @@ public:
     void release(std::uint32_t disk, std::uint64_t block);
     void release(const BlockOp& op) { release(op.disk, op.block); }
 
+    // ---- crash consistency (DESIGN.md §13) ----
+
+    /// With the quarantine on, release() parks blocks instead of freeing
+    /// them; flush_release_quarantine() moves the parked blocks to the free
+    /// lists. A checkpointing sort flushes only at durable boundaries, so a
+    /// crash between boundaries can never have recycled — and overwritten —
+    /// a block the last checkpoint's layout still references. Turning the
+    /// quarantine off flushes whatever is parked.
+    void set_release_quarantine(bool on);
+    bool release_quarantine() const { return quarantine_on_; }
+    void flush_release_quarantine();
+
+    /// Capture / re-apply everything restorable about the array except the
+    /// block images (those live in the backend). The engine must be drained
+    /// and the quarantine empty (both enforced) so the snapshot is a
+    /// consistent cut.
+    DiskArraySnapshot snapshot() const;
+    void restore(const DiskArraySnapshot& snap);
+
+    /// Flip scratch retention on every file-backed device (including
+    /// parity). The CLI's checkpointing path keeps scratch while a sort is
+    /// in flight and re-enables cleanup after success.
+    void set_keep_scratch(bool keep);
+    const ScratchOptions& scratch_options() const { return scratch_; }
+
     /// Blocks currently free-listed on `disk` (observability for tests).
     std::uint64_t free_blocks(std::uint32_t disk) const;
 
@@ -331,6 +409,7 @@ private:
     Constraint constraint_;
     FaultTolerance ft_;
     DeviceModel dev_;
+    ScratchOptions scratch_;
     std::vector<std::unique_ptr<Disk>> disks_;
     std::unique_ptr<Disk> parity_;
     std::vector<DiskHealth> health_;
@@ -345,11 +424,22 @@ private:
     /// FaultTolerance::checksums); lets the write path invalidate stale
     /// images when a write fails permanently on a live disk.
     std::vector<class ChecksummedDisk*> csum_;
+    ChecksummedDisk* parity_csum_ = nullptr;
+    /// Non-owning views for snapshot/restore and scratch retention (null /
+    /// empty when the corresponding layer or backend is absent).
+    std::vector<FaultInjectingDisk*> fault_;
+    std::vector<FileDisk*> file_; ///< parity's file, when present, is last
+    std::vector<MemDisk*> mem_;   ///< memory backend devices (parity last)
     std::vector<std::uint64_t> next_free_;
     /// Min-heaps of released block indices, one per disk.
     std::vector<std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                                     std::greater<std::uint64_t>>>
         free_list_;
+    /// Crash-consistency quarantine (see set_release_quarantine).
+    bool quarantine_on_ = false;
+    std::vector<BlockOp> quarantined_;
+    /// Deterministic jitter stream for backoff() (wall-clock only).
+    mutable std::uint64_t jitter_state_ = 0x243f6a8885a308d3ULL;
     /// Mutable: the const stats() accessor folds live engine metrics in.
     mutable IoStats stats_;
     StepObserver observer_;
@@ -358,6 +448,7 @@ private:
     MetricsRegistry* obs_registry_ = nullptr;
     std::vector<Histogram*> obs_read_latency_;  ///< per data disk, microseconds
     std::vector<Histogram*> obs_write_latency_;
+    Histogram* obs_backoff_ = nullptr; ///< sync-path retry backoff sleeps
 
     // -- async engine state (null / empty when the engine is off) --
     std::unique_ptr<AsyncEngine> engine_; ///< destroyed before disks_

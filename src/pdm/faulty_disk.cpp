@@ -1,6 +1,8 @@
 #include "pdm/faulty_disk.hpp"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/common.hpp"
@@ -21,18 +23,26 @@ std::uint64_t mix_write_seed(std::uint64_t base, std::uint32_t disk_id) {
     return SplitMix64(mix_seed(base, disk_id) ^ 0xa5a5a5a55a5a5a5aULL).next();
 }
 
+std::uint64_t mix_hang_seed(std::uint64_t base, std::uint32_t disk_id) {
+    // Third stream: hang decisions must not perturb the transient/torn/flip
+    // sequences of a seed that predates the hang fault kind.
+    return SplitMix64(mix_seed(base, disk_id) ^ 0x5ee15ee15ee15ee1ULL).next();
+}
+
 } // namespace
 
 FaultInjectingDisk::FaultInjectingDisk(std::unique_ptr<Disk> inner, const FaultSpec& spec,
                                        std::uint32_t disk_id)
     : inner_(std::move(inner)), spec_(spec), disk_id_(disk_id),
       read_rng_(mix_seed(spec.seed, disk_id)),
-      write_rng_(mix_write_seed(spec.seed, disk_id)) {
+      write_rng_(mix_write_seed(spec.seed, disk_id)),
+      hang_rng_(mix_hang_seed(spec.seed, disk_id)) {
     BS_REQUIRE(inner_ != nullptr, "FaultInjectingDisk: null inner disk");
     BS_REQUIRE(spec.read_transient_rate >= 0 && spec.read_transient_rate <= 1 &&
                    spec.write_transient_rate >= 0 && spec.write_transient_rate <= 1 &&
                    spec.torn_write_rate >= 0 && spec.torn_write_rate <= 1 &&
-                   spec.bit_flip_rate >= 0 && spec.bit_flip_rate <= 1,
+                   spec.bit_flip_rate >= 0 && spec.bit_flip_rate <= 1 &&
+                   spec.read_hang_rate >= 0 && spec.read_hang_rate <= 1,
                "FaultSpec: rates must be probabilities in [0, 1]");
 }
 
@@ -55,6 +65,17 @@ void FaultInjectingDisk::read_block(std::uint64_t index, std::span<Record> out) 
         std::ostringstream os;
         os << "injected transient read error: disk " << disk_id_ << " block " << index;
         throw TransientIoError(os.str(), disk_id_, index);
+    }
+    if (spec_.read_hang_rate > 0 || spec_.hang_every_ops > 0) {
+        ++hang_ops_;
+        bool hang = spec_.hang_every_ops > 0 && hang_ops_ % spec_.hang_every_ops == 0;
+        if (!hang && spec_.read_hang_rate > 0) hang = hang_rng_.uniform01() < spec_.read_hang_rate;
+        if (hang && spec_.hang_duration_us > 0) {
+            // The read *succeeds* after the stall: no error ever surfaces,
+            // so only a deadline above us can notice (DESIGN.md §13).
+            ++injected_hangs_;
+            std::this_thread::sleep_for(std::chrono::microseconds(spec_.hang_duration_us));
+        }
     }
     inner_->read_block(index, out);
 }
@@ -100,6 +121,36 @@ void FaultInjectingDisk::write_block(std::uint64_t index, std::span<const Record
         return;
     }
     inner_->write_block(index, in);
+}
+
+FaultInjectingDisk::State FaultInjectingDisk::export_state() const {
+    State s;
+    s.read_rng = read_rng_.state();
+    s.write_rng = write_rng_.state();
+    s.hang_rng = hang_rng_.state();
+    s.ops = ops_;
+    s.hang_ops = hang_ops_;
+    s.dead = dead_;
+    s.read_errors = injected_read_errors_;
+    s.write_errors = injected_write_errors_;
+    s.torn_writes = injected_torn_writes_;
+    s.bit_flips = injected_bit_flips_;
+    s.hangs = injected_hangs_;
+    return s;
+}
+
+void FaultInjectingDisk::import_state(const State& s) {
+    read_rng_.set_state(s.read_rng);
+    write_rng_.set_state(s.write_rng);
+    hang_rng_.set_state(s.hang_rng);
+    ops_ = s.ops;
+    hang_ops_ = s.hang_ops;
+    dead_ = s.dead;
+    injected_read_errors_ = s.read_errors;
+    injected_write_errors_ = s.write_errors;
+    injected_torn_writes_ = s.torn_writes;
+    injected_bit_flips_ = s.bit_flips;
+    injected_hangs_ = s.hangs;
 }
 
 } // namespace balsort

@@ -24,6 +24,7 @@
 /// (DESIGN.md §9). `die_after_ops` counts ops of both kinds and is the
 /// one knob that remains sensitive to cross-kind order.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -41,9 +42,21 @@ struct FaultSpec {
     double bit_flip_rate = 0;        ///< P[write lands with one bit flipped, silently]
     std::uint64_t die_after_ops = 0; ///< permanent death after this many ops (0 = never)
 
+    // --- hang faults (DESIGN.md §8, §13) ---
+    // A hung read stalls for `hang_duration_us` and then completes
+    // *successfully* — the device did not fail, it was just slow, which is
+    // precisely the fault a deadline must catch (no error ever surfaces).
+    // Hangs draw from a third RNG stream and a separate op counter so that
+    // enabling them leaves the transient/torn/flip sequences of a given
+    // seed untouched.
+    double read_hang_rate = 0;        ///< P[read stalls for hang_duration_us]
+    std::uint64_t hang_every_ops = 0; ///< deterministic: every k-th read hangs (0 = off)
+    std::uint64_t hang_duration_us = 0; ///< stall length in microseconds
+
     bool any_faults() const {
         return read_transient_rate > 0 || write_transient_rate > 0 || torn_write_rate > 0 ||
-               bit_flip_rate > 0 || die_after_ops > 0;
+               bit_flip_rate > 0 || die_after_ops > 0 || read_hang_rate > 0 ||
+               hang_every_ops > 0;
     }
 };
 
@@ -68,6 +81,22 @@ public:
     std::uint64_t injected_write_errors() const { return injected_write_errors_; }
     std::uint64_t injected_torn_writes() const { return injected_torn_writes_; }
     std::uint64_t injected_bit_flips() const { return injected_bit_flips_; }
+    std::uint64_t injected_hangs() const { return injected_hangs_; }
+
+    /// Complete injection state, for checkpoint/restore: a resumed run must
+    /// replay the *same* fault sequence the interrupted run would have seen
+    /// (DESIGN.md §13). The FaultSpec itself is config, not state, and is
+    /// echoed by the caller.
+    struct State {
+        std::array<std::uint64_t, 4> read_rng, write_rng, hang_rng;
+        std::uint64_t ops = 0;
+        std::uint64_t hang_ops = 0;
+        bool dead = false;
+        std::uint64_t read_errors = 0, write_errors = 0, torn_writes = 0, bit_flips = 0,
+                      hangs = 0;
+    };
+    State export_state() const;
+    void import_state(const State& s);
 
     Disk& inner() { return *inner_; }
     const Disk& inner() const { return *inner_; }
@@ -82,12 +111,15 @@ private:
     // consumes the RNG stream and advances the op clock.
     mutable Xoshiro256 read_rng_;
     Xoshiro256 write_rng_;
+    mutable Xoshiro256 hang_rng_;
     mutable std::uint64_t ops_ = 0;
+    mutable std::uint64_t hang_ops_ = 0;
     mutable bool dead_ = false;
     mutable std::uint64_t injected_read_errors_ = 0;
     std::uint64_t injected_write_errors_ = 0;
     std::uint64_t injected_torn_writes_ = 0;
     std::uint64_t injected_bit_flips_ = 0;
+    mutable std::uint64_t injected_hangs_ = 0;
 };
 
 } // namespace balsort

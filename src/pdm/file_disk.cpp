@@ -1,6 +1,7 @@
 #include "pdm/file_disk.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -27,16 +28,29 @@ std::string op_context(const char* op, const std::string& path, std::uint64_t in
 } // namespace
 
 FileDisk::FileDisk(std::string path, std::size_t block_size, bool unlink_on_close,
-                   bool fsync_on_close)
+                   bool fsync_on_close, bool adopt)
     : path_(std::move(path)),
       block_size_(block_size),
       unlink_on_close_(unlink_on_close),
       fsync_on_close_(fsync_on_close) {
     BS_REQUIRE(block_size >= 1, "FileDisk: block size must be >= 1");
-    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+    const int flags = O_RDWR | O_CREAT | O_CLOEXEC | (adopt ? 0 : O_TRUNC);
+    fd_ = ::open(path_.c_str(), flags, 0600);
     if (fd_ < 0) {
         throw IoError("FileDisk: cannot open " + path_ + ": " +
                       std::generic_category().message(errno));
+    }
+    if (adopt) {
+        struct stat st{};
+        if (::fstat(fd_, &st) != 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throw IoError("FileDisk: cannot stat " + path_ + ": " +
+                          std::generic_category().message(err));
+        }
+        const std::uint64_t bytes = block_size_ * sizeof(Record);
+        size_blocks_ = static_cast<std::uint64_t>(st.st_size) / bytes;
     }
 }
 

@@ -27,8 +27,11 @@ public:
     /// (default) — simulated scratch disks are ephemeral. With
     /// `fsync_on_close`, destruction flushes the file to stable storage
     /// first (pointless for scratch, essential when a run's output is kept).
+    /// With `adopt`, an existing file is opened without truncation and its
+    /// current length becomes size_blocks() — how a resumed run re-attaches
+    /// to the scratch a crashed process left behind (DESIGN.md §13).
     FileDisk(std::string path, std::size_t block_size, bool unlink_on_close = true,
-             bool fsync_on_close = false);
+             bool fsync_on_close = false, bool adopt = false);
     ~FileDisk() override;
 
     FileDisk(const FileDisk&) = delete;
@@ -40,6 +43,12 @@ public:
     void write_block(std::uint64_t index, std::span<const Record> in) override;
 
     const std::string& path() const { return path_; }
+
+    /// Flip scratch retention at runtime: a checkpointing run keeps its
+    /// scratch files on abnormal exit (so a resume can adopt them) and
+    /// re-enables cleanup once the sort completes.
+    void set_unlink_on_close(bool v) { unlink_on_close_ = v; }
+    bool unlink_on_close() const { return unlink_on_close_; }
 
 private:
     /// `index * block_bytes` as off_t, rejecting overflow (BS_REQUIRE).

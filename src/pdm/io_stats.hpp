@@ -26,6 +26,8 @@ struct IoStats {
     std::uint64_t degraded_writes = 0;     ///< writes absorbed by parity (disk dead)
     std::uint64_t parity_blocks_written = 0; ///< parity-disk block writes
     std::uint64_t rmw_reads = 0;           ///< old-data/old-parity reads for parity RMW
+    std::uint64_t io_timeouts = 0;         ///< reads abandoned past their deadline
+                                           ///  (served via parity instead; DESIGN.md §13)
 
     // --- async engine wall-clock metrics (DESIGN.md §9) ---
     // Observability for the request/completion engine. These measure the
@@ -68,6 +70,7 @@ struct IoStats {
         degraded_writes += o.degraded_writes;
         parity_blocks_written += o.parity_blocks_written;
         rmw_reads += o.rmw_reads;
+        io_timeouts += o.io_timeouts;
         engine_busy_seconds += o.engine_busy_seconds;
         engine_stall_seconds += o.engine_stall_seconds;
         async_block_ops += o.async_block_ops;
@@ -87,6 +90,7 @@ struct IoStats {
         a.degraded_writes -= b.degraded_writes;
         a.parity_blocks_written -= b.parity_blocks_written;
         a.rmw_reads -= b.rmw_reads;
+        a.io_timeouts -= b.io_timeouts;
         a.engine_busy_seconds -= b.engine_busy_seconds;
         a.engine_stall_seconds -= b.engine_stall_seconds;
         a.async_block_ops -= b.async_block_ops;

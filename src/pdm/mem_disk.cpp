@@ -19,6 +19,12 @@ void MemDisk::read_block(std::uint64_t index, std::span<Record> out) const {
     std::copy(src, src + block_size_, out.begin());
 }
 
+void MemDisk::set_image(std::vector<Record> img) {
+    BS_REQUIRE(img.size() % block_size_ == 0,
+               "set_image: image size must be a whole number of blocks");
+    data_ = std::move(img);
+}
+
 void MemDisk::write_block(std::uint64_t index, std::span<const Record> in) {
     BS_REQUIRE(in.size() == block_size_, "write_block: buffer size != block size");
     if ((index + 1) * block_size_ > data_.size()) {

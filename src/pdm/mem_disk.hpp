@@ -17,6 +17,13 @@ public:
     void read_block(std::uint64_t index, std::span<Record> out) const override;
     void write_block(std::uint64_t index, std::span<const Record> in) override;
 
+    /// Full block-image export/import for checkpointing (DESIGN.md §13):
+    /// unlike file scratch, which survives a crash on its own, a memory
+    /// backend's images must travel inside the checkpoint record for a
+    /// resume to find the interrupted run's blocks.
+    const std::vector<Record>& image() const { return data_; }
+    void set_image(std::vector<Record> img);
+
 private:
     std::size_t block_size_;
     std::vector<Record> data_; // contiguous blocks

@@ -51,6 +51,21 @@ public:
     /// Flush (padding the last block) and return the finished run.
     BlockRun finish();
 
+    // ---- checkpoint/restore (DESIGN.md §13) ----
+    // A mid-sort checkpoint must capture the emit writer exactly: the run
+    // written so far, the tail of records still buffered below a stripe,
+    // and the round-robin cursor. restore() re-arms a fresh writer with
+    // that state so the resumed run continues the identical layout.
+    const BlockRun& run() const { return run_; }
+    const std::vector<Record>& buffer() const { return buffer_; }
+    std::uint32_t next_disk() const { return next_disk_; }
+    void restore(BlockRun run, std::vector<Record> buffer, std::uint32_t next_disk) {
+        BS_MODEL_CHECK(!finished_, "RunWriter::restore: writer already finished");
+        run_ = std::move(run);
+        buffer_ = std::move(buffer);
+        next_disk_ = next_disk;
+    }
+
 private:
     void flush_full_blocks(bool final_flush);
 

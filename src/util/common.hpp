@@ -76,6 +76,14 @@ public:
     using IoError::IoError;
 };
 
+/// A request stayed outstanding past its deadline (hung device or worker).
+/// The data may still arrive eventually, but the pipeline cannot wait:
+/// reads are served from parity reconstruction instead (DESIGN.md §13).
+class TimedOutIo : public IoError {
+public:
+    using IoError::IoError;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_model_violation(const char* expr, const char* file, int line,

@@ -12,6 +12,7 @@
 /// over a prime field — the probability space used to derandomize
 /// Fast-Partial-Match in the style of Luby [Luba, Lubb] (paper §4.2).
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -73,6 +74,12 @@ public:
 
     /// Uniform double in [0, 1).
     double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Full generator state, for checkpointing a stream mid-sequence.
+    std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+    void set_state(const std::array<std::uint64_t, 4>& s) {
+        for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+    }
 
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

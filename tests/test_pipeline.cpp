@@ -333,6 +333,234 @@ TEST(CrossBucketStaging, NoOpWithoutEngine) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash consistency (DESIGN.md §13): a sort interrupted at ANY durable
+// boundary and resumed from the checkpoint must be indistinguishable from
+// an uninterrupted checkpointing run — the same observer-step sequence
+// (hashed across both generations), the same output bytes, the same model
+// accounting, and the same cumulative checkpoint count. And checkpointing
+// itself must leave every model quantity of a plain run untouched (only
+// the physical placement of recycled blocks may move, because releases
+// are quarantined between boundaries).
+// ---------------------------------------------------------------------------
+
+struct Crash {};
+
+struct CkTrace {
+    std::uint64_t step_hash = kFnvOffset;
+    std::uint64_t out_hash = kFnvOffset;
+    SortReport report;
+};
+
+/// One checkpointing sort on a single live array: optionally crash (throw)
+/// at boundary `crash_at`, then resume from the checkpoint on the same
+/// array. The observer hash accumulates across both generations.
+CkTrace checkpointed_sort(const PdmConfig& cfg, const SortOptions& base_opt,
+                          DiskBackend backend, const std::string& path,
+                          std::uint64_t crash_at) {
+    DiskArray disks = backend == DiskBackend::kFile
+                          ? DiskArray(cfg.d, cfg.b, DiskBackend::kFile,
+                                      std::filesystem::temp_directory_path().string())
+                          : DiskArray(cfg.d, cfg.b);
+    CkTrace t;
+    disks.set_step_observer([&t](bool is_read, std::span<const BlockOp> ops) {
+        t.step_hash = fnv1a(t.step_hash, is_read ? 1 : 2);
+        t.step_hash = fnv1a(t.step_hash, ops.size());
+        for (const auto& op : ops) {
+            t.step_hash = fnv1a(t.step_hash, op.disk);
+            t.step_hash = fnv1a(t.step_hash, op.block);
+        }
+    });
+    auto records = generate(Workload::kUniform, cfg.n, 42);
+    const BlockRun input = write_striped(disks, records);
+    SortOptions opt = base_opt;
+    opt.checkpoint_path = path;
+    BlockRun out;
+    bool crashed = false;
+    if (crash_at != 0) {
+        opt.on_checkpoint = [crash_at](std::uint64_t seq) {
+            if (seq == crash_at) throw Crash{};
+        };
+    }
+    try {
+        out = balance_sort(disks, input, cfg, opt, &t.report);
+    } catch (const Crash&) {
+        crashed = true;
+    }
+    if (crashed) {
+        opt.on_checkpoint = nullptr;
+        opt.resume_from = path;
+        out = balance_sort(disks, input, cfg, opt, &t.report);
+    }
+    for (const Record& r : read_run(disks, out)) {
+        t.out_hash = fnv1a(t.out_hash, r.key);
+        t.out_hash = fnv1a(t.out_hash, r.payload);
+    }
+    std::filesystem::remove(path);
+    return t;
+}
+
+void expect_resume_equals_fresh(const CkTrace& t, const CkTrace& fresh,
+                                std::uint64_t total_boundaries) {
+    EXPECT_EQ(t.step_hash, fresh.step_hash);
+    EXPECT_EQ(t.out_hash, fresh.out_hash);
+    EXPECT_EQ(t.report.io.read_steps, fresh.report.io.read_steps);
+    EXPECT_EQ(t.report.io.write_steps, fresh.report.io.write_steps);
+    EXPECT_EQ(t.report.io.blocks_read, fresh.report.io.blocks_read);
+    EXPECT_EQ(t.report.io.blocks_written, fresh.report.io.blocks_written);
+    EXPECT_EQ(t.report.comparisons, fresh.report.comparisons);
+    EXPECT_EQ(t.report.pram_time, fresh.report.pram_time);
+    EXPECT_EQ(t.report.levels, fresh.report.levels);
+    EXPECT_EQ(t.report.base_cases, fresh.report.base_cases);
+    EXPECT_EQ(t.report.equal_class_records, fresh.report.equal_class_records);
+    // Seq is cumulative across the crash: the k-th logical boundary writes
+    // seq k whether or not a crash intervened.
+    EXPECT_EQ(t.report.checkpoints_written, total_boundaries);
+    EXPECT_EQ(t.report.resumes, 1u);
+}
+
+TEST(CrashConsistency, ResumeEqualsFreshAtEveryBoundaryMemory) {
+    const PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 2};
+    for (AsyncIo async : {AsyncIo::kOff, AsyncIo::kOn}) {
+        SortOptions opt;
+        opt.async_io = async;
+        const std::string path =
+            (std::filesystem::temp_directory_path() /
+             (std::string("balsort_resume_mem_") + (async == AsyncIo::kOn ? "async" : "sync") +
+              ".ck"))
+                .string();
+        const CkTrace fresh = checkpointed_sort(cfg, opt, DiskBackend::kMemory, path, 0);
+        const std::uint64_t k_total = fresh.report.checkpoints_written;
+        ASSERT_GT(k_total, 4u) << "config too small to exercise boundaries";
+        EXPECT_EQ(fresh.report.resumes, 0u);
+
+        // Checkpointing changes no model quantity of the plain run.
+        const SortTrace plain = traced_sort(Workload::kUniform, cfg, opt, DiskBackend::kMemory);
+        EXPECT_EQ(fresh.report.io.read_steps, plain.io.read_steps);
+        EXPECT_EQ(fresh.report.io.write_steps, plain.io.write_steps);
+        EXPECT_EQ(fresh.report.io.blocks_read, plain.io.blocks_read);
+        EXPECT_EQ(fresh.report.io.blocks_written, plain.io.blocks_written);
+        EXPECT_EQ(fresh.out_hash, plain.out_hash);
+
+        for (std::uint64_t k = 1; k <= k_total; ++k) {
+            SCOPED_TRACE("crash at boundary " + std::to_string(k) + "/" +
+                         std::to_string(k_total) +
+                         (async == AsyncIo::kOn ? " (async)" : " (sync)"));
+            const CkTrace t = checkpointed_sort(cfg, opt, DiskBackend::kMemory, path, k);
+            expect_resume_equals_fresh(t, fresh, k_total);
+        }
+    }
+}
+
+TEST(CrashConsistency, ResumeEqualsFreshFileBackend) {
+    const PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 2};
+    for (AsyncIo async : {AsyncIo::kOff, AsyncIo::kOn}) {
+        SortOptions opt;
+        opt.async_io = async;
+        const std::string path =
+            (std::filesystem::temp_directory_path() /
+             (std::string("balsort_resume_file_") + (async == AsyncIo::kOn ? "async" : "sync") +
+              ".ck"))
+                .string();
+        const CkTrace fresh = checkpointed_sort(cfg, opt, DiskBackend::kFile, path, 0);
+        const std::uint64_t k_total = fresh.report.checkpoints_written;
+        ASSERT_GT(k_total, 4u);
+        for (std::uint64_t k : {std::uint64_t{1}, k_total / 2, k_total}) {
+            SCOPED_TRACE("crash at boundary " + std::to_string(k) + "/" +
+                         std::to_string(k_total) +
+                         (async == AsyncIo::kOn ? " (async)" : " (sync)"));
+            const CkTrace t = checkpointed_sort(cfg, opt, DiskBackend::kFile, path, k);
+            expect_resume_equals_fresh(t, fresh, k_total);
+        }
+    }
+}
+
+// Synchronized-writes mode goes through a different emit path; one crash
+// point suffices to pin the resume contract there too.
+TEST(CrashConsistency, ResumeEqualsFreshSynchronizedWrites) {
+    const PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 2};
+    SortOptions opt;
+    opt.synchronized_writes = true;
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "balsort_resume_syncw.ck").string();
+    const CkTrace fresh = checkpointed_sort(cfg, opt, DiskBackend::kMemory, path, 0);
+    const std::uint64_t k_total = fresh.report.checkpoints_written;
+    ASSERT_GT(k_total, 2u);
+    const CkTrace t = checkpointed_sort(cfg, opt, DiskBackend::kMemory, path, k_total / 2);
+    expect_resume_equals_fresh(t, fresh, k_total);
+}
+
+// hier_sort resumes with a brand-new internal lanes array: the memory
+// backend's block images travel inside the checkpoint record, so the
+// resumed call restores them before replaying. The PDM model quantities
+// must match the uninterrupted run; the charged hierarchy_time reflects
+// only post-resume lane traffic (documented caveat).
+TEST(CrashConsistency, HierSortResumesOnFreshLanes) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "balsort_resume_hier.ck").string();
+    HierSortConfig hc;
+    hc.h = 16;
+    hc.model = HierModelSpec::hmm(CostFn::log());
+    hc.checkpoint_path = path;
+    auto recs = generate(Workload::kUniform, 4096, 7);
+
+    HierSortReport fresh_rep;
+    const auto fresh = hier_sort(recs, hc, &fresh_rep);
+    const std::uint64_t k_total = fresh_rep.mechanics.checkpoints_written;
+    ASSERT_GT(k_total, 2u);
+
+    hc.on_checkpoint = [k_total](std::uint64_t seq) {
+        if (seq == k_total / 2) throw Crash{};
+    };
+    EXPECT_THROW(hier_sort(recs, hc, nullptr), Crash);
+
+    hc.on_checkpoint = nullptr;
+    hc.resume_from = path;
+    HierSortReport rep;
+    const auto resumed = hier_sort(recs, hc, &rep);
+    EXPECT_EQ(resumed, fresh);
+    EXPECT_EQ(rep.mechanics.io.read_steps, fresh_rep.mechanics.io.read_steps);
+    EXPECT_EQ(rep.mechanics.io.write_steps, fresh_rep.mechanics.io.write_steps);
+    EXPECT_EQ(rep.mechanics.io.blocks_read, fresh_rep.mechanics.io.blocks_read);
+    EXPECT_EQ(rep.mechanics.io.blocks_written, fresh_rep.mechanics.io.blocks_written);
+    EXPECT_EQ(rep.mechanics.checkpoints_written, k_total);
+    EXPECT_EQ(rep.mechanics.resumes, 1u);
+    // The lane meter is observer-driven and restarts on resume, so its
+    // track count covers only the post-resume traffic (the caveat
+    // documented on HierSortConfig::checkpoint_path).
+    EXPECT_GT(rep.tracks, 0u);
+    EXPECT_LT(rep.tracks, fresh_rep.tracks);
+    std::filesystem::remove(path);
+}
+
+// A checkpoint from one configuration must be rejected by another: the
+// config echo guards against resuming into a different geometry.
+TEST(CrashConsistency, ResumeRejectsMismatchedConfiguration) {
+    const PdmConfig cfg{.n = 4000, .m = 512, .d = 4, .b = 8, .p = 2};
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "balsort_resume_mismatch.ck").string();
+    DiskArray disks(cfg.d, cfg.b);
+    auto records = generate(Workload::kUniform, cfg.n, 42);
+    const BlockRun input = write_striped(disks, records);
+    SortOptions opt;
+    opt.checkpoint_path = path;
+    opt.on_checkpoint = [](std::uint64_t seq) {
+        if (seq == 2) throw Crash{};
+    };
+    EXPECT_THROW(balance_sort(disks, input, cfg, opt), Crash);
+
+    opt.on_checkpoint = nullptr;
+    opt.resume_from = path;
+    PdmConfig other = cfg;
+    other.m = 1024; // different memory capacity
+    EXPECT_THROW(balance_sort(disks, input, other, opt), std::invalid_argument);
+    // resume_from without checkpoint_path is rejected up front.
+    SortOptions no_ck;
+    no_ck.resume_from = path;
+    EXPECT_THROW(balance_sort(disks, input, cfg, no_ck), std::invalid_argument);
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
 // BufferPool
 // ---------------------------------------------------------------------------
 
