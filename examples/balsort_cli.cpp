@@ -208,14 +208,19 @@ int run(const CliOptions& o) {
     BalanceTimeline timeline; // --balance-timeline recorder (balance algo only)
     const bool want_timeline = !o.timeline_path.empty();
     if (o.algo == "balance") {
-        SortOptions opt;
-        if (o.sketch) opt.pivot_method = PivotMethod::kStreamingSketch;
-        opt.trace = o.trace_path.empty() ? nullptr : &tracer;
-        opt.metrics = want_metrics ? &metrics_reg : nullptr;
-        opt.balance.timeline = want_timeline ? &timeline : nullptr;
-        opt.checkpoint_path = o.checkpoint;
-        if (o.resume) opt.resume_from = o.checkpoint;
-        run_out = balance_sort(disks, run_in, cfg, opt, &report);
+        BalanceOptions bal;
+        bal.timeline = want_timeline ? &timeline : nullptr;
+        SortJobConfig job;
+        if (o.sketch) job.pivots(PivotMethod::kStreamingSketch);
+        job.balance(bal)
+            .observability(ObsPolicy{}
+                               .tracer(o.trace_path.empty() ? nullptr : &tracer)
+                               .registry(want_metrics ? &metrics_reg : nullptr));
+        DurabilityPolicy dur;
+        dur.checkpoint(o.checkpoint);
+        if (o.resume) dur.resume(o.checkpoint);
+        job.durability(std::move(dur));
+        run_out = balance_sort(disks, run_in, cfg, job, &report);
         io = report.io;
         phases = report.phases;
         sort_elapsed = report.elapsed_seconds;

@@ -1,0 +1,285 @@
+// balsortd — the sort service front end (DESIGN.md §14): drives N
+// concurrent sort jobs from a job-file over ONE shared disk array through
+// the SortScheduler (admission control, deficit-round-robin I/O fairness,
+// per-job accounting channels).
+//
+//   balsortd <job-file> [--disks D] [--block B] [--backend mem|file]
+//            [--scratch DIR] [--max-active K] [--fairness F]
+//            [--queue CAP] [--budget BLOCKS] [--manifest-dir DIR]
+//            [--trace OUT.json] [--serial]
+//   balsortd --selftest
+//
+// Job-file format: one job per line, whitespace-separated key=value
+// pairs; '#' starts a comment. Keys (all optional, sane defaults):
+//   name=<label>  n=<records>  workload=<uniform|gaussian|zipf|sorted|
+//   reverse|nearly-sorted|dup-heavy|organ-pipe|all-equal>
+//   seed=<u64>  m=<records>  p=<cpus>  priority=<weight>  verify=<0|1>
+//
+// Example job-file (4 mixed jobs):
+//   name=alpha n=200000 workload=uniform seed=1 m=8192 p=2
+//   name=beta  n=150000 workload=zipf    seed=2 m=8192 p=2 priority=2
+//   name=gamma n=100000 workload=sorted  seed=3 m=4096 p=1
+//   name=delta n=250000 workload=organ-pipe seed=4 m=16384 p=2
+//
+// --serial runs the same jobs back-to-back (max_active=1) for a quick
+// aggregate-throughput comparison; bench_svc measures this properly.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "balsort.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace balsort;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " <job-file> [--disks D] [--block B] [--backend mem|file]\n"
+                 "          [--scratch DIR] [--max-active K] [--fairness F] [--queue CAP]\n"
+                 "          [--budget BLOCKS] [--manifest-dir DIR] [--trace OUT.json] [--serial]\n"
+                 "       "
+              << argv0 << " --selftest\n";
+    std::exit(2);
+}
+
+bool parse_workload(const std::string& s, Workload* out) {
+    for (Workload w : all_workloads()) {
+        if (to_string(w) == s) {
+            *out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// One job per line: whitespace-separated key=value pairs, '#' comments.
+std::vector<JobSpec> parse_job_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open job-file " << path << '\n';
+        std::exit(1);
+    }
+    std::vector<JobSpec> specs;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+        std::istringstream tokens(line);
+        std::string tok;
+        JobSpec spec;
+        bool any = false;
+        while (tokens >> tok) {
+            const auto eq = tok.find('=');
+            if (eq == std::string::npos) {
+                std::cerr << path << ':' << lineno << ": expected key=value, got '" << tok
+                          << "'\n";
+                std::exit(2);
+            }
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            any = true;
+            if (key == "name") {
+                spec.name = val;
+            } else if (key == "n") {
+                spec.n = std::strtoull(val.c_str(), nullptr, 10);
+            } else if (key == "workload") {
+                if (!parse_workload(val, &spec.workload)) {
+                    std::cerr << path << ':' << lineno << ": unknown workload '" << val << "'\n";
+                    std::exit(2);
+                }
+            } else if (key == "seed") {
+                spec.seed = std::strtoull(val.c_str(), nullptr, 10);
+            } else if (key == "m") {
+                spec.m = std::strtoull(val.c_str(), nullptr, 10);
+            } else if (key == "p") {
+                spec.p = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "priority") {
+                spec.priority = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "verify") {
+                spec.verify = val != "0";
+            } else {
+                std::cerr << path << ':' << lineno << ": unknown key '" << key << "'\n";
+                std::exit(2);
+            }
+        }
+        if (any) {
+            if (spec.name == "job") spec.name = "job" + std::to_string(specs.size() + 1);
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfig cfg) {
+    Timer wall;
+    SortScheduler sched(disks, std::move(cfg));
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec& spec : specs) {
+        AdmissionResult adm = sched.submit(spec);
+        if (!adm.admitted) {
+            std::cerr << "job '" << spec.name << "' rejected: " << adm.reason << '\n';
+            continue;
+        }
+        ids.push_back(adm.id);
+    }
+    Table t({"job", "state", "io_steps", "blocks", "output hash", "wall (s)"});
+    int failures = 0;
+    for (std::uint64_t id : ids) {
+        const JobStatus st = sched.wait(id);
+        std::ostringstream hash;
+        hash << std::hex << st.output_hash;
+        t.add_row({st.name, to_string(st.state), Table::num(st.io.io_steps()),
+                   Table::num(st.io.blocks_read + st.io.blocks_written), hash.str(),
+                   Table::fixed(st.elapsed_seconds, 2)});
+        if (st.state != JobState::kSucceeded) {
+            ++failures;
+            if (!st.error.empty()) std::cerr << st.name << ": " << st.error << '\n';
+        }
+    }
+    const double secs = wall.seconds();
+    t.print(std::cout);
+    const IoArbiter::Stats arb = sched.arbiter_stats();
+    std::cout << "\n" << ids.size() << " jobs in " << Table::fixed(secs, 2)
+              << " s wall; fairness gate waited " << arb.waits << " times over " << arb.refills
+              << " refill rounds.\n";
+    return failures == 0 ? 0 : 1;
+}
+
+int selftest() {
+    // 4 mixed jobs on a shared 8-disk memory array; each job's model
+    // accounting must come out byte-identical to a solo run of the same
+    // spec — the service's core guarantee.
+    std::vector<JobSpec> specs;
+    const Workload kinds[] = {Workload::kUniform, Workload::kZipf, Workload::kOrganPipe,
+                              Workload::kNearlySorted};
+    for (int i = 0; i < 4; ++i) {
+        JobSpec s;
+        s.name = "self" + std::to_string(i + 1);
+        s.n = 60000 + 10000 * static_cast<std::uint64_t>(i);
+        s.workload = kinds[i];
+        s.seed = 100 + static_cast<std::uint64_t>(i);
+        s.m = 4096;
+        s.p = 2;
+        s.config.threads(2);
+        specs.push_back(std::move(s));
+    }
+
+    // Solo goldens, one fresh array each.
+    std::vector<std::uint64_t> solo_steps, solo_hashes;
+    for (const JobSpec& spec : specs) {
+        DiskArray disks(8, 64);
+        SchedulerConfig cfg;
+        cfg.max_active = 1;
+        cfg.async_io = false;
+        SortScheduler solo(disks, cfg);
+        const JobStatus st = solo.wait(solo.submit(spec).id);
+        if (st.state != JobState::kSucceeded) {
+            std::cerr << "selftest: solo run of " << spec.name << " failed: " << st.error << '\n';
+            return 1;
+        }
+        solo_steps.push_back(st.io.io_steps());
+        solo_hashes.push_back(st.output_hash);
+    }
+
+    // Concurrent run on one shared array.
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 4;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec& spec : specs) ids.push_back(sched.submit(spec).id);
+    bool ok = true;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const JobStatus st = sched.wait(ids[i]);
+        if (st.state != JobState::kSucceeded) {
+            std::cerr << "selftest: " << st.name << " failed: " << st.error << '\n';
+            ok = false;
+            continue;
+        }
+        if (st.io.io_steps() != solo_steps[i] || st.output_hash != solo_hashes[i]) {
+            std::cerr << "selftest: " << st.name << " diverged from solo run (io_steps "
+                      << st.io.io_steps() << " vs " << solo_steps[i] << ")\n";
+            ok = false;
+        }
+    }
+    std::cout << (ok ? "selftest OK: 4 concurrent jobs byte-identical to solo runs\n"
+                     : "selftest FAILED\n");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string job_file, scratch = "/tmp", trace_path, backend = "mem";
+    std::uint32_t d = 8, b = 64;
+    SchedulerConfig cfg;
+    bool serial = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--selftest") {
+            return selftest();
+        } else if (a == "--disks") {
+            d = static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--block") {
+            b = static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--backend") {
+            backend = next();
+        } else if (a == "--scratch") {
+            scratch = next();
+        } else if (a == "--max-active") {
+            cfg.max_active = static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--fairness") {
+            cfg.fairness = std::strtod(next().c_str(), nullptr);
+        } else if (a == "--queue") {
+            cfg.queue_capacity = static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--budget") {
+            cfg.scratch_block_budget = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (a == "--manifest-dir") {
+            cfg.manifest_dir = next();
+        } else if (a == "--trace") {
+            trace_path = next();
+        } else if (a == "--serial") {
+            serial = true;
+        } else if (!a.empty() && a[0] == '-') {
+            usage(argv[0]);
+        } else if (job_file.empty()) {
+            job_file = a;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (job_file.empty()) usage(argv[0]);
+
+    const auto specs = parse_job_file(job_file);
+    if (specs.empty()) {
+        std::cerr << job_file << ": no jobs\n";
+        return 1;
+    }
+    if (serial) cfg.max_active = 1;
+    if (backend != "mem" && backend != "file") usage(argv[0]);
+    const DiskBackend be = backend == "file" ? DiskBackend::kFile : DiskBackend::kMemory;
+    cfg.async_io = be == DiskBackend::kFile;
+
+    Tracer tracer;
+    if (!trace_path.empty()) cfg.trace = &tracer;
+
+    DiskArray disks(d, b, be, scratch);
+    std::cout << "balsortd: " << specs.size() << " jobs over a shared " << d << "-disk " << backend
+              << " array (B=" << b << ", max_active=" << cfg.max_active
+              << ", fairness=" << cfg.fairness << ")\n\n";
+    const int rc = run_jobs(specs, disks, cfg);
+    if (!trace_path.empty()) tracer.write_chrome_trace_file(trace_path);
+    return rc;
+}

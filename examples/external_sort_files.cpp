@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     // 3. Sort.
     SortReport rep;
     Timer sort_timer;
-    BlockRun sorted_run = balance_sort(disks, run, cfg, SortOptions{}, &rep);
+    BlockRun sorted_run = balance_sort(disks, run, cfg, SortJobConfig{}, &rep);
     const double sort_secs = sort_timer.seconds();
 
     // 4. Write the sorted output file (streamed).

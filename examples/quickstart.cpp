@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
     Timer timer;
     SortReport report;
-    auto sorted = balance_sort_records(disks, input, cfg, SortOptions{}, &report);
+    auto sorted = balance_sort_records(disks, input, cfg, SortJobConfig{}, &report);
     const double secs = timer.seconds();
 
     if (!is_sorted_permutation_of(input, sorted)) {

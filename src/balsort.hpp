@@ -15,6 +15,13 @@
 ///  * `SortOptions`, `SortReport`, `balance_sort`, `balance_sort_records`
 ///    — the flagship Theorem 1 sort and its measurements
 ///    (core/balance_sort.hpp);
+///  * `SortJobConfig`, `IoPolicy`, `DurabilityPolicy`, `ObsPolicy` — the
+///    builder-style job configuration surface that subsumes `SortOptions`
+///    (core/sort_config.hpp);
+///  * `SortScheduler`, `SchedulerConfig`, `JobSpec`, `JobStatus`,
+///    `IoArbiter` — the concurrent multi-job sort service: admission
+///    control, fair I/O scheduling, and per-job lifecycle over one shared
+///    array (src/svc/; DESIGN.md §14);
 ///  * `HierSortConfig`, `HierSortReport`, `hier_sort` — the §4.3
 ///    memory-hierarchy drivers (core/hier_sort.hpp);
 ///  * `IoStats`, `IoTrace` — step accounting and tracing
@@ -33,6 +40,7 @@
 
 #include "core/balance_sort.hpp"
 #include "core/hier_sort.hpp"
+#include "core/sort_config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/tracer.hpp"
@@ -41,5 +49,8 @@
 #include "pdm/io_stats.hpp"
 #include "pdm/striping.hpp"
 #include "pdm/trace.hpp"
+#include "svc/io_arbiter.hpp"
+#include "svc/job.hpp"
+#include "svc/sort_scheduler.hpp"
 #include "util/record.hpp"
 #include "util/workload.hpp"

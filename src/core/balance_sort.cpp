@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/checkpoint.hpp"
@@ -115,12 +116,21 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
                    st.tracer != nullptr ? st.tracer->lane("sort") : 0);
     sort_span.arg("records", static_cast<std::int64_t>(cfg.n));
 
-    const bool async_on =
-        opt.async_io == AsyncIo::kOn ||
-        (opt.async_io == AsyncIo::kAuto && disks.backend() == DiskBackend::kFile);
-    AsyncGuard async_guard(disks, async_on);
+    // Under a bound job channel (sort service, DESIGN.md §14) the engine
+    // is shared infrastructure owned by the scheduler: one job toggling it
+    // would stall or reconfigure its neighbours mid-flight, so the guard is
+    // skipped and the scheduler's setting stands. All model deltas then
+    // come from the per-job channel, never the shared array counters.
+    const bool channel_bound = disks.job_channel_bound();
+    std::optional<AsyncGuard> async_guard;
+    if (!channel_bound) {
+        const bool async_on =
+            opt.async_io == AsyncIo::kOn ||
+            (opt.async_io == AsyncIo::kAuto && disks.backend() == DiskBackend::kFile);
+        async_guard.emplace(disks, async_on);
+    }
 
-    const IoStats before = disks.stats();
+    const IoStats before = channel_bound ? disks.job_stats() : disks.stats();
 
     // ---- Crash consistency (DESIGN.md §13). ----
     const bool checkpointing = !opt.checkpoint_path.empty();
@@ -181,7 +191,7 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
 
     if (report != nullptr) {
         report->io = io_resumed;
-        report->io += disks.stats() - before;
+        report->io += (channel_bound ? disks.job_stats() : disks.stats()) - before;
         report->checkpoints_written = checkpointer != nullptr ? checkpointer->seq() : 0;
         report->resumes = checkpointer != nullptr ? checkpointer->resumes() : 0;
         report->optimal_ios = cfg.optimal_ios();
@@ -197,12 +207,16 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
         report->d_virtual = dv;
         report->disks_failed = 0;
         for (std::uint32_t i = 0; i < disks.num_disks(); ++i) {
-            if (!disks.health(i).alive) ++report->disks_failed;
+            if (!disks.health_snapshot(i).alive) ++report->disks_failed;
         }
         report->phases = st.profile;
-        const BufferPool::Stats pstats = st.buffers.stats();
-        report->phases.pool_hits = pstats.hits;
-        report->phases.pool_misses = pstats.misses;
+        if (opt.shared_pool == nullptr) {
+            // A shared pool's hit/miss counters mix every co-scheduled
+            // job's traffic; only a private pool's stats describe this run.
+            const BufferPool::Stats pstats = st.buffers.stats();
+            report->phases.pool_hits = pstats.hits;
+            report->phases.pool_misses = pstats.misses;
+        }
         report->elapsed_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t_entry).count();
     }

@@ -15,6 +15,7 @@
 /// time (Theorem 1), bucket read-balance ratios (Theorem 4), rebalancing
 /// effort (Theorem 5), and Invariants 1-2.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -27,6 +28,7 @@
 
 namespace balsort {
 
+class BufferPool;
 class MetricsRegistry;
 class Tracer;
 
@@ -74,6 +76,11 @@ enum class AsyncIo {
     kOff,
 };
 
+/// NOTE (DESIGN.md §14): SortOptions is the legacy flat flag-bag, kept so
+/// existing call sites compile unchanged. New code should prefer the
+/// builder-style SortJobConfig (core/sort_config.hpp), which groups these
+/// knobs into validated IoPolicy / DurabilityPolicy / ObsPolicy sub-structs
+/// and flattens to a SortOptions via SortJobConfig::options().
 struct SortOptions {
     /// Bucket-count target S for BucketPolicy::kFixed; with the default
     /// policy, 0 selects the paper's (M/B)^(1/4) (§5).
@@ -154,6 +161,23 @@ struct SortOptions {
     /// crash exactly at the boundary.
     std::function<void(std::uint64_t)> on_checkpoint;
 
+    /// Retention cap (records) of the per-sort BufferPool; kPoolRetainAuto
+    /// sizes it to a few memoryloads (4*M, the historical constant), 0
+    /// passes through as "unlimited retention" (DESIGN.md §10). The sort
+    /// scheduler sizes this per job mix.
+    static constexpr std::uint64_t kPoolRetainAuto = ~std::uint64_t{0};
+    std::uint64_t pool_retain_records = kPoolRetainAuto;
+    /// When set (and pool_buffers is on), stage through this caller-owned
+    /// pool instead of a per-sort one — the sort service shares one pool
+    /// across concurrent jobs. Report pool stats are then left at zero
+    /// (the shared pool's counters aggregate every job).
+    BufferPool* shared_pool = nullptr;
+    /// Cooperative cancellation (DESIGN.md §14): when non-null and set, the
+    /// pipeline throws JobCancelled at the next node/bucket boundary. The
+    /// array stays healthy; in-flight async work is completed first by
+    /// normal unwinding.
+    const std::atomic<bool>* cancel = nullptr;
+
     /// Reject incoherent option combinations with a clear message
     /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S
     /// unknown while the parent runs), s_target != 0 with a non-kFixed
@@ -162,7 +186,14 @@ struct SortOptions {
     void validate(std::uint32_t d) const;
 };
 
-struct SortReport {
+/// Fields every sort-family report shares (SortReport, HierSortReport —
+/// one definition instead of per-report duplicates).
+struct ReportBase {
+    /// Wall clock of the whole operation (entry to return).
+    double elapsed_seconds = 0;
+};
+
+struct SortReport : ReportBase {
     // --- I/O measure (Theorem 1) ---
     IoStats io;
     double optimal_ios = 0;      ///< Eq. 1 formula for this instance
@@ -202,10 +233,9 @@ struct SortReport {
 
     // --- staged pipeline observability (DESIGN.md §10) ---
     /// Per-stage wall clock, buffer-pool hit/miss, cross-bucket overlap.
-    PhaseProfile phases;
-    /// Wall clock of the whole sort (entry to return). Always >=
+    /// elapsed_seconds (ReportBase) is always >=
     /// phases.phase_seconds() - phases.overlap_hidden_seconds (tested).
-    double elapsed_seconds = 0;
+    PhaseProfile phases;
 };
 
 /// Sort `input` (a striped run on `disks`) under configuration `cfg`;

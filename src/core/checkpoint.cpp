@@ -594,7 +594,7 @@ CheckpointRecord Checkpointer::capture() const {
     rec.collectives = st_.meter.collectives();
     rec.pram_steps = st_.cost.steps();
     rec.io_delta = io_resumed_;
-    rec.io_delta += st_.disks.stats() - io_before_;
+    rec.io_delta += st_.disks.job_stats() - io_before_;
 
     if (st_.report != nullptr) {
         rec.levels = st_.report->levels;

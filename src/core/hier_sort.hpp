@@ -66,7 +66,7 @@ struct HierSortConfig {
     std::function<void(std::uint64_t)> on_checkpoint;
 };
 
-struct HierSortReport {
+struct HierSortReport : ReportBase {
     double hierarchy_time = 0;    ///< charged lane-access time
     double interconnect_charge = 0;
     double total_time = 0;
@@ -76,7 +76,7 @@ struct HierSortReport {
     SortReport mechanics;         ///< underlying Balance Sort observables
                                   ///  (incl. PhaseProfile — the hierarchy
                                   ///  driver runs the same staged pipeline)
-    double elapsed_seconds = 0;   ///< wall clock of the whole hier_sort
+    // elapsed_seconds (ReportBase): wall clock of the whole hier_sort.
 };
 
 /// Sort `records` on the configured parallel hierarchy; returns them

@@ -16,13 +16,15 @@ constexpr Record kPadRecord{~std::uint64_t{0}, ~std::uint64_t{0}};
 
 /// Phase-span bookkeeping: captures the pre-phase io_steps() so the span
 /// can carry the phase's model-I/O delta alongside bucket id and record
-/// count. Pure observation — stats() is only *read*, on the driver thread.
+/// count. Pure observation — job_stats() is only *read*, on the driver
+/// thread, and attributes to this job's channel when one is bound so a
+/// neighbour job's traffic never leaks into the span.
 class PhaseSpan {
 public:
     PhaseSpan(DriverState& st, const char* name, std::uint32_t lane, std::uint64_t records)
         : st_(st), span_(st.tracer, name, "phase", lane) {
         if (st_.tracer != nullptr) {
-            steps_before_ = st_.disks.stats().io_steps();
+            steps_before_ = st_.disks.job_stats().io_steps();
             span_.arg("bucket", st_.cur_bucket);
             span_.arg("records", static_cast<std::int64_t>(records));
         }
@@ -30,7 +32,7 @@ public:
     ~PhaseSpan() {
         if (st_.tracer != nullptr) {
             span_.arg("io_steps",
-                      static_cast<std::int64_t>(st_.disks.stats().io_steps() - steps_before_));
+                      static_cast<std::int64_t>(st_.disks.job_stats().io_steps() - steps_before_));
         }
     }
     PhaseSpan(const PhaseSpan&) = delete;
@@ -60,14 +62,23 @@ DriverState::DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o,
       // Retain at most a few memoryloads of idle capacity — roughly the
       // serial driver's peak live staging (base-case load + prefetch
       // window + Balance chunk + a stream buffer); beyond that, returns
-      // free their memory instead of hoarding it.
-      buffers(4 * c.m) {
+      // free their memory instead of hoarding it. kPoolRetainAuto keeps
+      // that default; any other value is the caller's explicit cap
+      // (0 = unlimited, matching BufferPool's contract).
+      buffers(o.pool_retain_records == SortOptions::kPoolRetainAuto ? 4 * c.m
+                                                                    : o.pool_retain_records) {
     tracer = balsort::tracer();
     if (tracer != nullptr) {
         lane_pivot = tracer->lane("phase:pivot");
         lane_balance = tracer->lane("phase:balance");
         lane_base = tracer->lane("phase:base_case");
         lane_emit = tracer->lane("phase:emit");
+    }
+}
+
+void DriverState::check_cancelled() const {
+    if (opt.cancel != nullptr && opt.cancel->load(std::memory_order_relaxed)) {
+        throw JobCancelled("balance_sort: cancelled by request");
     }
 }
 
@@ -226,6 +237,7 @@ void SortPipeline::process_node(const SourceFactory& factory,
                                 std::uint32_t depth, const PivotSet* premade_pivots,
                                 const std::function<void()>& overlap_hook, ResumeCursor* resume) {
     if (n == 0) return;
+    st_.check_cancelled();
     if (st_.report != nullptr) {
         st_.report->levels = std::max(st_.report->levels, depth + 1);
     }
@@ -326,6 +338,7 @@ void SortPipeline::walk_buckets(std::vector<BucketOutput>& buckets, std::uint64_
     // buckets below start_bucket were consumed by the interrupted run
     // (restored with empty runs) and are not revisited.
     for (std::size_t i = static_cast<std::size_t>(start_bucket); i < buckets.size(); ++i) {
+        st_.check_cancelled();
         auto& bucket = buckets[i];
         if (bucket.run.n_records == 0) continue;
         st_.frames[fi].next_bucket = i;

@@ -102,8 +102,19 @@ struct DriverState {
                 std::uint32_t threads, SortReport* rep);
 
     /// The staging pool, or null when SortOptions::pool_buffers is off
-    /// (call sites then fall back to plain per-pass buffers).
-    BufferPool* buffer_pool() { return opt.pool_buffers ? &buffers : nullptr; }
+    /// (call sites then fall back to plain per-pass buffers). A caller-
+    /// provided SortOptions::shared_pool takes precedence over the sort's
+    /// own pool so co-scheduled jobs can recycle buffers across each other.
+    BufferPool* buffer_pool() {
+        if (!opt.pool_buffers) return nullptr;
+        return opt.shared_pool != nullptr ? opt.shared_pool : &buffers;
+    }
+
+    /// Cooperative cancellation (DESIGN.md §14): throws JobCancelled when
+    /// SortOptions::cancel is set and has been raised. Called at node entry
+    /// and between buckets — boundaries where the array holds no partially
+    /// transferred state, so the caller can reclaim scratch safely.
+    void check_cancelled() const;
 };
 
 /// Accumulates wall-clock into one PhaseProfile field for the lifetime of

@@ -13,9 +13,22 @@
 #include "obs/tracer.hpp"
 #include "pdm/checksum.hpp"
 #include "pdm/file_disk.hpp"
+#include "pdm/job_channel.hpp"
 #include "pdm/mem_disk.hpp"
 
 namespace balsort {
+
+namespace {
+
+/// The job channel bound on this thread, and to which array (DESIGN.md
+/// §14). Pointer-pair rather than a per-array map: a job thread drives
+/// exactly one shared array, and any *other* array the same thread touches
+/// (hier_sort's internal lanes, a test's scratch array) must see no
+/// binding — bound_channel() checks the array identity.
+thread_local const DiskArray* tl_job_array = nullptr;
+thread_local JobIoChannel* tl_job_channel = nullptr;
+
+} // namespace
 
 namespace {
 
@@ -163,6 +176,75 @@ const DiskHealth& DiskArray::health(std::uint32_t d) const {
     return health_[d];
 }
 
+DiskHealth DiskArray::health_snapshot(std::uint32_t d) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    BS_REQUIRE(d < health_.size(), "health_snapshot: nonexistent disk");
+    return health_[d];
+}
+
+JobIoChannel* DiskArray::bound_channel() const {
+    return tl_job_array == this ? tl_job_channel : nullptr;
+}
+
+void DiskArray::gate_steps(std::uint64_t steps) const {
+    if (steps == 0) return;
+    if (JobIoChannel* c = bound_channel(); c != nullptr && c->gate) c->gate(steps);
+}
+
+void DiskArray::bind_job_channel(JobIoChannel* channel) {
+    BS_REQUIRE(channel != nullptr, "bind_job_channel: null channel");
+    BS_REQUIRE(tl_job_array == nullptr, "bind_job_channel: a channel is already bound");
+    {
+        std::lock_guard<std::recursive_mutex> lk(mu_);
+        if (channel->owned.size() != disks_.size()) channel->owned.assign(disks_.size(), {});
+    }
+    tl_job_array = this;
+    tl_job_channel = channel;
+}
+
+void DiskArray::unbind_job_channel() {
+    tl_job_array = nullptr;
+    tl_job_channel = nullptr;
+}
+
+bool DiskArray::job_channel_bound() const { return bound_channel() != nullptr; }
+
+IoStats DiskArray::job_stats() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    if (JobIoChannel* c = bound_channel()) return c->io;
+    refresh_engine_stats();
+    return stats_;
+}
+
+IoStats DiskArray::stats_snapshot() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    refresh_engine_stats();
+    return stats_;
+}
+
+IoStats DiskArray::channel_stats(const JobIoChannel& channel) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return channel.io;
+}
+
+DiskArray::ChannelFootprint DiskArray::channel_footprint(const JobIoChannel& channel) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return ChannelFootprint{channel.blocks_live, channel.blocks_high_water};
+}
+
+void DiskArray::reclaim_job_blocks(JobIoChannel& channel) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    for (const BlockOp& op : channel.parked) free_list_[op.disk].push(op.block);
+    channel.parked.clear();
+    for (std::size_t d = 0; d < channel.owned.size() && d < free_list_.size(); ++d) {
+        for (std::uint64_t blk : channel.owned[d]) free_list_[d].push(blk);
+        channel.owned[d].clear();
+    }
+    channel.blocks_live = 0;
+    channel.quarantine_on = false;
+    channel.deferred_failure = nullptr;
+}
+
 void DiskArray::backoff(std::uint32_t attempt) const {
     if (ft_.backoff_base_us == 0) return;
     std::uint64_t us = static_cast<std::uint64_t>(ft_.backoff_base_us)
@@ -193,6 +275,7 @@ void DiskArray::retrying_read(Disk& disk, std::uint32_t d, std::uint64_t index,
             }
             if (d < health_.size()) ++health_[d].transient_retries;
             ++stats_.transient_retries;
+            if (JobIoChannel* c = bound_channel()) ++c->io.transient_retries;
             fault_instant("transient_retry", d, index);
             backoff(attempt);
         } catch (const DiskFailed&) {
@@ -207,6 +290,7 @@ void DiskArray::retrying_read(Disk& disk, std::uint32_t d, std::uint64_t index,
             if (d < health_.size()) {
                 ++health_[d].corrupt_blocks;
                 ++stats_.corrupt_blocks;
+                if (JobIoChannel* c = bound_channel()) ++c->io.corrupt_blocks;
                 fault_instant("corrupt_block", d, index);
             }
             if (for_reconstruction) {
@@ -252,6 +336,7 @@ void DiskArray::reconstruct_block(std::uint32_t d, std::uint64_t index, std::spa
     }
     ++health_[d].reconstructions;
     ++stats_.reconstructions;
+    if (JobIoChannel* c = bound_channel()) ++c->io.reconstructions;
     fault_instant("reconstruct", d, index);
 }
 
@@ -271,6 +356,7 @@ void DiskArray::robust_read(const BlockOp& op, std::span<Record> out) {
             }
             ++h.transient_retries;
             ++stats_.transient_retries;
+            if (JobIoChannel* c = bound_channel()) ++c->io.transient_retries;
             fault_instant("transient_retry", op.disk, op.block);
             backoff(attempt);
         } catch (const DiskFailed&) {
@@ -280,6 +366,7 @@ void DiskArray::robust_read(const BlockOp& op, std::span<Record> out) {
         } catch (const CorruptBlock&) {
             ++h.corrupt_blocks;
             ++stats_.corrupt_blocks;
+            if (JobIoChannel* c = bound_channel()) ++c->io.corrupt_blocks;
             fault_instant("corrupt_block", op.disk, op.block);
             corrupt = true;
             failure = std::current_exception();
@@ -320,6 +407,7 @@ bool DiskArray::robust_write(const BlockOp& op, std::span<const Record> in) {
             }
             ++h.transient_retries;
             ++stats_.transient_retries;
+            if (JobIoChannel* c = bound_channel()) ++c->io.transient_retries;
             fault_instant("transient_retry", op.disk, op.block);
             backoff(attempt);
         } catch (const DiskFailed&) {
@@ -337,6 +425,7 @@ bool DiskArray::robust_write(const BlockOp& op, std::span<const Record> in) {
     if (!h.alive) parity_carried_[op.disk].insert(op.block);
     ++h.degraded_writes;
     ++stats_.degraded_writes;
+    if (JobIoChannel* c = bound_channel()) ++c->io.degraded_writes;
     fault_instant("degraded_write", op.disk, op.block);
     return false;
 }
@@ -358,6 +447,7 @@ void DiskArray::update_parity(std::span<const BlockOp> ops, std::span<const Reco
         if (have_old_parity) {
             retrying_read(*parity_, kParityDiskId, idx, parity_img, /*for_reconstruction=*/false);
             ++stats_.rmw_reads;
+            if (JobIoChannel* c = bound_channel()) ++c->io.rmw_reads;
         } else {
             std::fill(parity_img.begin(), parity_img.end(), Record{});
         }
@@ -369,6 +459,7 @@ void DiskArray::update_parity(std::span<const BlockOp> ops, std::span<const Reco
                     // corrupt one by reconstructing the intended image.
                     robust_read(ops[i], old_img);
                     ++stats_.rmw_reads;
+                    if (JobIoChannel* c = bound_channel()) ++c->io.rmw_reads;
                     xor_into(parity_img, old_img);
                 }
             } else if (have_old_parity) {
@@ -381,6 +472,7 @@ void DiskArray::update_parity(std::span<const BlockOp> ops, std::span<const Reco
         }
         parity_->write_block(idx, parity_img);
         ++stats_.parity_blocks_written;
+        if (JobIoChannel* c = bound_channel()) ++c->io.parity_blocks_written;
     }
 }
 
@@ -422,10 +514,12 @@ void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffer
     if (ops.empty()) return;
     BS_REQUIRE(buffers.size() == ops.size() * b_, "read_step: buffer size mismatch");
     if (engine_ != nullptr) {
-        ReadTicket ticket = read_stripe_async(ops, buffers);
+        ReadTicket ticket = read_stripe_async(ops, buffers); // gates internally
         complete_read(ticket);
         return;
     }
+    gate_steps(1);
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     check_step_legal(ops);
     bind_obs();
     for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -444,19 +538,19 @@ void DiskArray::read_step(std::span<const BlockOp> ops, std::span<Record> buffer
                     .count()));
         }
     }
-    stats_.read_steps += 1;
-    stats_.blocks_read += ops.size();
-    if (observer_) observer_(true, ops);
+    charge_read_step(ops);
 }
 
 void DiskArray::write_step(std::span<const BlockOp> ops, std::span<const Record> buffers) {
     if (ops.empty()) return;
     BS_REQUIRE(buffers.size() == ops.size() * b_, "write_step: buffer size mismatch");
+    if (engine_ != nullptr && !(ft_.parity && parity_ != nullptr)) {
+        write_stripe_async(ops, buffers); // gates internally
+        return;
+    }
+    gate_steps(1);
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     if (engine_ != nullptr) {
-        if (!(ft_.parity && parity_ != nullptr)) {
-            write_stripe_async(ops, buffers);
-            return;
-        }
         // Parity RMW reads the array's old images directly; every queued
         // transfer (a prefetch of those very blocks, an earlier write of
         // them) must land first, and write-behind would let a queued read
@@ -484,11 +578,8 @@ void DiskArray::write_step(std::span<const BlockOp> ops, std::span<const Record>
                     std::chrono::steady_clock::now() - t0)
                     .count()));
         }
-        next_free_[ops[i].disk] = std::max(next_free_[ops[i].disk], ops[i].block + 1);
     }
-    stats_.write_steps += 1;
-    stats_.blocks_written += ops.size();
-    if (observer_) observer_(false, ops);
+    charge_write_step(ops); // also bumps next_free_ past every written block
 }
 
 namespace {
@@ -533,8 +624,12 @@ void DiskArray::read_batch(std::span<const BlockOp> ops, std::span<Record> dest)
         // lists concurrently instead of synchronizing at step boundaries.
         // The model is still charged per planned step, identically to the
         // loop below.
-        charge_read_batch(ops);
-        ReadTicket ticket = submit_read(ops, dest);
+        charge_read_batch(ops); // gates + locks internally
+        ReadTicket ticket;
+        {
+            std::lock_guard<std::recursive_mutex> lk(mu_);
+            ticket = submit_read(ops, dest);
+        }
         reap_read(ticket);
         return;
     }
@@ -595,6 +690,7 @@ private:
 } // namespace
 
 void DiskArray::set_async(bool enabled) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     if (enabled == (engine_ != nullptr)) return;
     if (!enabled) {
         drain_async();
@@ -616,12 +712,48 @@ void DiskArray::set_async(bool enabled) {
 
 void DiskArray::drain_async() {
     if (engine_ == nullptr) return;
-    reap_pending_writes(/*all=*/true);
-    StallTimer stall(stats_.engine_stall_seconds);
-    engine_->drain();
+    std::exception_ptr deferred;
+    if (JobIoChannel* c = bound_channel()) {
+        // Channel-scoped drain: a bound job's boundary needs ITS writes
+        // durable, not the whole engine idle. Each own batch is waited
+        // with mu_ released (finish_write), so one job flushing never
+        // freezes its neighbors' submissions; their batches stay queued.
+        for (;;) {
+            std::unique_lock<std::recursive_mutex> lk(mu_);
+            std::size_t own = pending_writes_.size();
+            for (std::size_t i = 0; i < pending_writes_.size(); ++i) {
+                if (pending_writes_[i].owner == c) {
+                    own = i;
+                    break;
+                }
+            }
+            if (own == pending_writes_.size()) {
+                reap_pending_writes(/*all=*/false); // tidy neighbors' done batches
+                // A neighbor's reap may have discovered one of *our* write
+                // failures; the drain boundary is where it surfaces to us.
+                deferred = c->deferred_failure;
+                c->deferred_failure = nullptr;
+                break;
+            }
+            PendingWrite pending = std::move(pending_writes_[own]);
+            pending_writes_.erase(pending_writes_.begin() + static_cast<std::ptrdiff_t>(own));
+            finish_write(std::move(pending), lk);
+        }
+    } else {
+        std::lock_guard<std::recursive_mutex> lk(mu_);
+        reap_pending_writes(/*all=*/true);
+        double stall = 0;
+        {
+            StallTimer t(stall);
+            engine_->drain();
+        }
+        stats_.engine_stall_seconds += stall;
+    }
+    if (deferred) std::rethrow_exception(deferred);
 }
 
 void DiskArray::refresh_engine_stats() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     stats_.engine_busy_seconds = folded_busy_seconds_;
     stats_.async_block_ops = folded_block_ops_;
     stats_.max_in_flight = folded_max_in_flight_;
@@ -636,6 +768,10 @@ void DiskArray::refresh_engine_stats() const {
 void DiskArray::charge_read_step(std::span<const BlockOp> ops) {
     stats_.read_steps += 1;
     stats_.blocks_read += ops.size();
+    if (JobIoChannel* c = bound_channel()) {
+        c->io.read_steps += 1;
+        c->io.blocks_read += ops.size();
+    }
     if (observer_) observer_(true, ops);
 }
 
@@ -645,11 +781,19 @@ void DiskArray::charge_write_step(std::span<const BlockOp> ops) {
     }
     stats_.write_steps += 1;
     stats_.blocks_written += ops.size();
+    if (JobIoChannel* c = bound_channel()) {
+        c->io.write_steps += 1;
+        c->io.blocks_written += ops.size();
+    }
     if (observer_) observer_(false, ops);
 }
 
 void DiskArray::charge_read_batch(std::span<const BlockOp> ops) {
+    // Planning reads only immutable array shape (D, constraint), so the
+    // step count is known — and the fairness gate can run — pre-lock.
     auto steps = plan_steps(ops, disks_.size(), constraint_);
+    gate_steps(steps.size());
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     std::vector<BlockOp> step_ops;
     for (const auto& idxs : steps) {
         step_ops.clear();
@@ -681,6 +825,8 @@ DiskArray::ReadTicket DiskArray::read_stripe_async(std::span<const BlockOp> ops,
                                                    std::span<Record> dest) {
     BS_REQUIRE(engine_ != nullptr, "read_stripe_async: async engine is off");
     if (ops.empty()) return ReadTicket{};
+    gate_steps(1);
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     check_step_legal(ops);
     charge_read_step(ops);
     return submit_read(ops, dest);
@@ -693,7 +839,9 @@ DiskArray::ReadTicket DiskArray::prefetch_read(std::span<const BlockOp> ops,
     // the consumer calls charge_read_batch over the same ops when the sync
     // path would have read them.
     if (ops.empty()) return ReadTicket{};
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     stats_.prefetch_block_ops += ops.size();
+    if (JobIoChannel* c = bound_channel()) c->io.prefetch_block_ops += ops.size();
     ReadTicket ticket = submit_read(ops, dest);
     if (Tracer* t = tracer(); t != nullptr) {
         ticket.trace_id_ = t->next_async_id();
@@ -708,15 +856,27 @@ void DiskArray::complete_read(ReadTicket& ticket) { reap_read(ticket); }
 void DiskArray::reap_read(ReadTicket& ticket) {
     if (!ticket.batch_.valid()) return;
     bool any_failed = false;
+    double stall = 0;
     {
-        StallTimer stall(stats_.engine_stall_seconds);
+        // Wait WITHOUT the array lock: a job stalled on its own transfers
+        // must not block neighbors' charges. Workers never take the lock,
+        // so the batch always completes.
+        StallTimer t(stall);
         const std::vector<IoCompletion>& comps = engine_->wait(ticket.batch_);
         for (const IoCompletion& c : comps) {
-            if (c.transient_retries != 0) {
-                health_[c.disk].transient_retries += c.transient_retries;
-                stats_.transient_retries += c.transient_retries;
-            }
             if (!c.ok) any_failed = true;
+        }
+    }
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    JobIoChannel* jc = bound_channel();
+    stats_.engine_stall_seconds += stall;
+    if (jc != nullptr) jc->io.engine_stall_seconds += stall;
+    const std::vector<IoCompletion>& comps = engine_->wait(ticket.batch_); // idempotent
+    for (const IoCompletion& c : comps) {
+        if (c.transient_retries != 0) {
+            health_[c.disk].transient_retries += c.transient_retries;
+            stats_.transient_retries += c.transient_retries;
+            if (jc != nullptr) jc->io.transient_retries += c.transient_retries;
         }
     }
     if (any_failed) {
@@ -724,7 +884,6 @@ void DiskArray::reap_read(ReadTicket& ticket) {
         // — the same order the synchronous loop would have hit failures.
         reap_pending_writes(/*all=*/true);
         engine_->drain();
-        const std::vector<IoCompletion>& comps = engine_->wait(ticket.batch_);
         for (const IoCompletion& c : comps) {
             if (c.ok) continue;
             handle_read_failure(ticket.ops_[c.request_index], c.error,
@@ -754,6 +913,7 @@ void DiskArray::handle_read_failure(const BlockOp& op, const std::exception_ptr&
     } catch (const CorruptBlock&) {
         ++h.corrupt_blocks;
         ++stats_.corrupt_blocks;
+        if (JobIoChannel* c = bound_channel()) ++c->io.corrupt_blocks;
         fault_instant("corrupt_block", op.disk, op.block);
         corrupt = true;
     } catch (const TimedOutIo&) {
@@ -762,6 +922,7 @@ void DiskArray::handle_read_failure(const BlockOp& op, const std::exception_ptr&
         // reconstruction below touches only peers + parity). Recovery-side
         // accounting only — never io_steps().
         ++stats_.io_timeouts;
+        if (JobIoChannel* c = bound_channel()) ++c->io.io_timeouts;
         fault_instant("io_timeout", op.disk, op.block);
         if (MetricsRegistry* reg = metrics(); reg != nullptr) reg->counter("io.timeouts").add();
     } catch (const IoError&) {
@@ -782,11 +943,15 @@ void DiskArray::write_stripe_async(std::span<const BlockOp> ops, std::span<const
                "write_stripe_async: parity mode requires the synchronous write path");
     if (ops.empty()) return;
     BS_REQUIRE(src.size() == ops.size() * b_, "write_stripe_async: buffer size mismatch");
+    gate_steps(1);
+    std::unique_lock<std::recursive_mutex> lk(mu_);
     check_step_legal(ops);
     charge_write_step(ops);
+    JobIoChannel* jc = bound_channel();
     PendingWrite pending;
     pending.ops.assign(ops.begin(), ops.end());
     pending.data.assign(src.begin(), src.end());
+    pending.owner = jc;
     std::vector<IoRequest> requests(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
         requests[i].kind = IoRequest::Kind::kWrite;
@@ -796,45 +961,108 @@ void DiskArray::write_stripe_async(std::span<const BlockOp> ops, std::span<const
     }
     pending.batch = engine_->submit(std::move(requests));
     pending_writes_.push_back(std::move(pending));
-    // Opportunistic reap keeps deferred failures from aging; the bound
-    // keeps buffered write-behind memory at O(D * B).
+    // Opportunistic reap keeps deferred failures from aging; the per-owner
+    // bound keeps each job's buffered write-behind memory at O(D * B).
     reap_pending_writes(/*all=*/false);
-    while (pending_writes_.size() > kMaxPendingWrites) reap_front_write();
+    for (;;) {
+        std::size_t own = 0;
+        for (const PendingWrite& p : pending_writes_) {
+            if (p.owner == jc) ++own;
+        }
+        if (own <= kMaxPendingWrites) break;
+        // Over budget: land this owner's oldest batch. The wait happens
+        // with mu_ released (finish_write) so a slow device throttles only
+        // this job, never its neighbors' submissions.
+        for (std::size_t i = 0; i < pending_writes_.size(); ++i) {
+            if (pending_writes_[i].owner == jc) {
+                PendingWrite oldest = std::move(pending_writes_[i]);
+                pending_writes_.erase(pending_writes_.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+                finish_write(std::move(oldest), lk);
+                break;
+            }
+        }
+    }
+    if (jc != nullptr && jc->deferred_failure) {
+        const std::exception_ptr e = jc->deferred_failure;
+        jc->deferred_failure = nullptr;
+        std::rethrow_exception(e);
+    }
 }
 
 void DiskArray::reap_pending_writes(bool all) {
     if (engine_ == nullptr) return;
     while (!pending_writes_.empty()) {
         if (!all && !engine_->done(pending_writes_.front().batch)) break;
-        reap_front_write();
+        reap_write_at(0);
     }
 }
 
-void DiskArray::reap_front_write() {
-    PendingWrite pending = std::move(pending_writes_.front());
-    pending_writes_.pop_front();
+void DiskArray::reap_write_at(std::size_t idx) {
+    PendingWrite pending = std::move(pending_writes_[idx]);
+    pending_writes_.erase(pending_writes_.begin() + static_cast<std::ptrdiff_t>(idx));
     bool any_failed = false;
+    double stall = 0;
     {
-        StallTimer stall(stats_.engine_stall_seconds);
+        StallTimer t(stall);
         const std::vector<IoCompletion>& comps = engine_->wait(pending.batch);
         for (const IoCompletion& c : comps) {
-            if (c.transient_retries != 0) {
-                health_[c.disk].transient_retries += c.transient_retries;
-                stats_.transient_retries += c.transient_retries;
-            }
             if (!c.ok) any_failed = true;
+        }
+    }
+    // Stall is charged to whoever waited; retries/failures belong to the
+    // batch's owner regardless of which job's drain reaped it.
+    stats_.engine_stall_seconds += stall;
+    if (JobIoChannel* c = bound_channel()) c->io.engine_stall_seconds += stall;
+    const std::vector<IoCompletion>& comps = engine_->wait(pending.batch);
+    for (const IoCompletion& c : comps) {
+        if (c.transient_retries != 0) {
+            health_[c.disk].transient_retries += c.transient_retries;
+            stats_.transient_retries += c.transient_retries;
+            if (pending.owner != nullptr) pending.owner->io.transient_retries += c.transient_retries;
         }
     }
     if (any_failed) {
         engine_->drain(); // mark_lost must not race the disk's worker
-        const std::vector<IoCompletion>& comps = engine_->wait(pending.batch);
         for (const IoCompletion& c : comps) {
-            if (!c.ok) handle_write_failure(pending.ops[c.request_index], c.error);
+            if (!c.ok) handle_write_failure(pending.ops[c.request_index], c.error, pending.owner);
         }
     }
 }
 
-void DiskArray::handle_write_failure(const BlockOp& op, const std::exception_ptr& error) {
+void DiskArray::finish_write(PendingWrite pending, std::unique_lock<std::recursive_mutex>& lk) {
+    bool any_failed = false;
+    double stall = 0;
+    lk.unlock();
+    {
+        // The batch left pending_writes_ under the lock, so this thread is
+        // its sole owner; wait() is idempotent and engine-internal-locked.
+        StallTimer t(stall);
+        for (const IoCompletion& c : engine_->wait(pending.batch)) {
+            if (!c.ok) any_failed = true;
+        }
+    }
+    lk.lock();
+    stats_.engine_stall_seconds += stall;
+    if (JobIoChannel* c = bound_channel()) c->io.engine_stall_seconds += stall;
+    const std::vector<IoCompletion>& comps = engine_->wait(pending.batch);
+    for (const IoCompletion& c : comps) {
+        if (c.transient_retries != 0) {
+            health_[c.disk].transient_retries += c.transient_retries;
+            stats_.transient_retries += c.transient_retries;
+            if (pending.owner != nullptr) pending.owner->io.transient_retries += c.transient_retries;
+        }
+    }
+    if (any_failed) {
+        engine_->drain(); // mark_lost must not race the disk's worker
+        for (const IoCompletion& c : comps) {
+            if (!c.ok) handle_write_failure(pending.ops[c.request_index], c.error, pending.owner);
+        }
+    }
+}
+
+void DiskArray::handle_write_failure(const BlockOp& op, const std::exception_ptr& error,
+                                     JobIoChannel* owner) {
     DiskHealth& h = health_[op.disk];
     bool dead = false;
     try {
@@ -849,39 +1077,75 @@ void DiskArray::handle_write_failure(const BlockOp& op, const std::exception_ptr
     // parity stripe carrying the intended image — impossible here, since
     // write-behind is only legal with parity off — so in practice every
     // deferred write failure surfaces to the caller.
+    bool must_surface = false;
     if (dead) {
-        if (!ft_.parity || parity_ == nullptr) std::rethrow_exception(error);
+        if (!ft_.parity || parity_ == nullptr) must_surface = true;
     } else if (!(ft_.parity && parity_ != nullptr && csum_[op.disk] != nullptr)) {
+        must_surface = true;
+    }
+    if (must_surface) {
+        if (owner != nullptr && owner != bound_channel()) {
+            // Another job's batch died under our drain: park the failure on
+            // its channel (surfaced at its next drain) instead of unwinding
+            // an innocent neighbor. First failure wins.
+            if (!owner->deferred_failure) owner->deferred_failure = error;
+            return;
+        }
         std::rethrow_exception(error);
     }
     if (h.alive && csum_[op.disk] != nullptr) csum_[op.disk]->mark_lost(op.block);
     if (!h.alive) parity_carried_[op.disk].insert(op.block);
     ++h.degraded_writes;
     ++stats_.degraded_writes;
+    if (owner != nullptr) ++owner->io.degraded_writes;
     fault_instant("degraded_write", op.disk, op.block);
 }
 
 std::uint64_t DiskArray::allocate(std::uint32_t disk) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_REQUIRE(disk < disks_.size(), "allocate: nonexistent disk");
+    std::uint64_t idx;
     if (!free_list_[disk].empty()) {
-        const std::uint64_t idx = free_list_[disk].top();
+        idx = free_list_[disk].top();
         free_list_[disk].pop();
-        return idx;
+    } else {
+        idx = next_free_[disk]++;
     }
-    return next_free_[disk]++;
+    if (JobIoChannel* c = bound_channel()) {
+        c->owned[disk].insert(idx);
+        ++c->blocks_live;
+        c->blocks_high_water = std::max(c->blocks_high_water, c->blocks_live);
+    }
+    return idx;
 }
 
 std::uint64_t DiskArray::allocate(std::uint32_t disk, std::uint64_t n_blocks) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_REQUIRE(disk < disks_.size(), "allocate: nonexistent disk");
-    std::uint64_t first = next_free_[disk];
+    const std::uint64_t first = next_free_[disk];
     next_free_[disk] += n_blocks;
+    if (JobIoChannel* c = bound_channel()) {
+        for (std::uint64_t i = 0; i < n_blocks; ++i) c->owned[disk].insert(first + i);
+        c->blocks_live += n_blocks;
+        c->blocks_high_water = std::max(c->blocks_high_water, c->blocks_live);
+    }
     return first;
 }
 
 void DiskArray::release(std::uint32_t disk, std::uint64_t block) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_REQUIRE(disk < disks_.size(), "release: nonexistent disk");
     BS_REQUIRE(block < next_free_[disk], "release: block was never allocated");
-    if (quarantine_on_) {
+    JobIoChannel* c = bound_channel();
+    if (c != nullptr) {
+        if (c->owned[disk].erase(block) != 0) --c->blocks_live;
+        // Quarantine scoping: a bound job's releases are governed by ITS
+        // quarantine; the global flag covers only unbound (solo) callers.
+        if (c->quarantine_on) {
+            c->parked.push_back(BlockOp{disk, block});
+            return;
+        }
+    } else if (quarantine_on_) {
         quarantined_.push_back(BlockOp{disk, block});
         return;
     }
@@ -889,18 +1153,43 @@ void DiskArray::release(std::uint32_t disk, std::uint64_t block) {
 }
 
 void DiskArray::set_release_quarantine(bool on) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    if (JobIoChannel* c = bound_channel()) {
+        if (!on) {
+            for (const BlockOp& op : c->parked) free_list_[op.disk].push(op.block);
+            c->parked.clear();
+        }
+        c->quarantine_on = on;
+        return;
+    }
     if (!on) flush_release_quarantine();
     quarantine_on_ = on;
 }
 
+bool DiskArray::release_quarantine() const {
+    if (JobIoChannel* c = bound_channel()) return c->quarantine_on;
+    return quarantine_on_;
+}
+
 void DiskArray::flush_release_quarantine() {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    if (JobIoChannel* c = bound_channel()) {
+        for (const BlockOp& op : c->parked) free_list_[op.disk].push(op.block);
+        c->parked.clear();
+        return;
+    }
     for (const BlockOp& op : quarantined_) free_list_[op.disk].push(op.block);
     quarantined_.clear();
 }
 
 DiskArraySnapshot DiskArray::snapshot() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_MODEL_CHECK(quarantined_.empty(),
                    "snapshot: quarantined releases must be flushed at the boundary first");
+    if (JobIoChannel* c = bound_channel()) {
+        BS_MODEL_CHECK(c->parked.empty(),
+                       "snapshot: the job's quarantined releases must be flushed first");
+    }
     DiskArraySnapshot snap;
     snap.disks.resize(disks_.size());
     for (std::size_t i = 0; i < disks_.size(); ++i) {
@@ -939,9 +1228,13 @@ DiskArraySnapshot DiskArray::snapshot() const {
 }
 
 void DiskArray::restore(const DiskArraySnapshot& snap) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_REQUIRE(snap.disks.size() == disks_.size(),
                "restore: snapshot disk count does not match this array");
     BS_MODEL_CHECK(quarantined_.empty(), "restore: release quarantine must be empty");
+    if (JobIoChannel* c = bound_channel()) {
+        BS_MODEL_CHECK(c->parked.empty(), "restore: the job's release quarantine must be empty");
+    }
     for (std::size_t i = 0; i < disks_.size(); ++i) {
         const DiskArraySnapshot::PerDisk& pd = snap.disks[i];
         next_free_[i] = pd.next_free;
@@ -976,11 +1269,13 @@ void DiskArray::set_keep_scratch(bool keep) {
 }
 
 std::uint64_t DiskArray::free_blocks(std::uint32_t disk) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_REQUIRE(disk < disks_.size(), "free_blocks: nonexistent disk");
     return free_list_[disk].size();
 }
 
 std::uint64_t DiskArray::high_water(std::uint32_t disk) const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
     BS_REQUIRE(disk < disks_.size(), "high_water: nonexistent disk");
     return next_free_[disk];
 }

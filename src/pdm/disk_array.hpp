@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <unordered_set>
@@ -32,6 +33,7 @@ namespace balsort {
 
 class FileDisk;
 class Histogram;
+struct JobIoChannel;
 class MemDisk;
 class MetricsRegistry;
 
@@ -175,6 +177,9 @@ public:
     Constraint constraint() const { return constraint_; }
     DiskBackend backend() const { return backend_; }
 
+    /// Array-wide accounting. The returned reference is safe to read only
+    /// while no other thread is driving this array; concurrent callers
+    /// (the sort service) use stats_snapshot()/job_stats() instead.
     IoStats& stats() {
         refresh_engine_stats();
         return stats_;
@@ -183,6 +188,51 @@ public:
         refresh_engine_stats();
         return stats_;
     }
+
+    // ---- concurrent multi-job attribution (DESIGN.md §14) ----
+    //
+    // Every public entry below and all model charge points are guarded by
+    // one internal mutex, making the array safe for one thread per job.
+    // A bound JobIoChannel receives a mirror of each charge this thread
+    // produces, so per-job accounting falls out byte-identical to a solo
+    // run. The engine's per-disk workers never take the mutex (they touch
+    // only their own disk's decorator stack), so I/O parallelism is
+    // unaffected; only bookkeeping serializes.
+
+    /// Bind `channel` to this array *on the calling thread*: until
+    /// unbind_job_channel(), every charge/recovery/allocator event this
+    /// thread produces is attributed to the channel, the fairness gate is
+    /// consulted before each charged step, and quarantine scoping routes
+    /// through the channel. Sizes channel->owned to num_disks().
+    void bind_job_channel(JobIoChannel* channel);
+    void unbind_job_channel();
+    /// True iff a channel is bound to this array on the calling thread.
+    bool job_channel_bound() const;
+
+    /// The calling thread's view of "my sort's accounting": the bound
+    /// channel's IoStats, or a locked snapshot of the array totals when
+    /// unbound (so solo callers can use it unconditionally).
+    IoStats job_stats() const;
+    /// Locked copy of the array-wide totals (engine metrics folded in).
+    IoStats stats_snapshot() const;
+    /// Locked copy of any channel's accounting — for a scheduler thread
+    /// reporting on a job that is bound elsewhere.
+    IoStats channel_stats(const JobIoChannel& channel) const;
+    /// Locked copy of a channel's scratch footprint (live blocks owned,
+    /// high-water) — same consumer as channel_stats.
+    struct ChannelFootprint {
+        std::uint64_t blocks_live = 0;
+        std::uint64_t blocks_high_water = 0;
+    };
+    ChannelFootprint channel_footprint(const JobIoChannel& channel) const;
+    /// Locked copy of a disk's health counters.
+    DiskHealth health_snapshot(std::uint32_t d) const;
+
+    /// Return every block still owned by `channel` (plus its quarantined
+    /// releases) to the free lists — cleanup after a failed or cancelled
+    /// job. The channel must no longer be bound on any thread and the
+    /// job's in-flight work must be drained first.
+    void reclaim_job_blocks(JobIoChannel& channel);
 
     /// One parallel read step. `buffers` is ops.size()*B records, the i-th
     /// chunk receiving the i-th op's block. Ops must respect `constraint()`.
@@ -287,8 +337,11 @@ public:
     /// crash between boundaries can never have recycled — and overwritten —
     /// a block the last checkpoint's layout still references. Turning the
     /// quarantine off flushes whatever is parked.
+    /// With a job channel bound, all three route to the *channel's*
+    /// quarantine: a checkpointing job parks its own freed blocks without
+    /// delaying the recycling of its neighbors'.
     void set_release_quarantine(bool on);
-    bool release_quarantine() const { return quarantine_on_; }
+    bool release_quarantine() const;
     void flush_release_quarantine();
 
     /// Capture / re-apply everything restorable about the array except the
@@ -351,13 +404,24 @@ private:
 
     // -- async internals (all called on the submitting thread) --
     /// One write-behind batch: the engine writes from `data`, which we own
-    /// until the batch is reaped.
+    /// until the batch is reaped. `owner` is the submitting job's channel
+    /// (null when unbound): whichever thread reaps the batch, its retries
+    /// and failures are attributed — and deferred — to the owner.
     struct PendingWrite {
         AsyncBatch batch;
         std::vector<BlockOp> ops;
         std::vector<Record> data;
+        JobIoChannel* owner = nullptr;
     };
+    /// Per owner: each job's write-behind window is bounded independently.
     static constexpr std::size_t kMaxPendingWrites = 8;
+
+    /// The channel bound to this array on the calling thread (null if
+    /// none). Thread-local lookup; no lock needed.
+    JobIoChannel* bound_channel() const;
+    /// Run the bound channel's fairness gate for `steps` charged steps.
+    /// MUST be called before taking mu_ — a starved job blocks here.
+    void gate_steps(std::uint64_t steps) const;
 
     /// Model accounting for one parallel step (counters + observer).
     void charge_read_step(std::span<const BlockOp> ops);
@@ -372,11 +436,19 @@ private:
                              std::span<Record> out);
     /// Reap completed (or, with `all`, every) pending write-behind batch.
     void reap_pending_writes(bool all);
-    /// Blocking reap of the oldest pending write-behind batch.
-    void reap_front_write();
+    /// Blocking reap of the pending write-behind batch at `idx`.
+    void reap_write_at(std::size_t idx);
+    /// Blocking reap of one batch already REMOVED from pending_writes_:
+    /// releases `lk` around the engine wait (no other thread can reap a
+    /// batch that left the deque), then re-locks to settle accounting and
+    /// run the failure ladder. Keeps a stalled writer from serializing
+    /// every other job's submissions on mu_.
+    void finish_write(PendingWrite pending, std::unique_lock<std::recursive_mutex>& lk);
     /// Classify + handle one failed async write op (mirrors robust_write's
-    /// failure tail: degrade into parity or rethrow).
-    void handle_write_failure(const BlockOp& op, const std::exception_ptr& error);
+    /// failure tail: degrade into parity or rethrow). A failure belonging
+    /// to another job's `owner` channel is parked there instead of thrown.
+    void handle_write_failure(const BlockOp& op, const std::exception_ptr& error,
+                              JobIoChannel* owner);
     /// Fold live engine metrics into stats_ (const: stats_ is mutable).
     void refresh_engine_stats() const;
 
@@ -440,6 +512,11 @@ private:
     std::vector<BlockOp> quarantined_;
     /// Deterministic jitter stream for backoff() (wall-clock only).
     mutable std::uint64_t jitter_state_ = 0x243f6a8885a308d3ULL;
+    /// Guards all shared bookkeeping (stats_, allocator, quarantine,
+    /// health_, parity/csum state, pending_writes_) against concurrent job
+    /// threads. Recursive: the recovery ladder re-enters public entries.
+    /// Engine workers never take it; the fairness gate runs before it.
+    mutable std::recursive_mutex mu_;
     /// Mutable: the const stats() accessor folds live engine metrics in.
     mutable IoStats stats_;
     StepObserver observer_;

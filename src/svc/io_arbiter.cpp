@@ -1,0 +1,90 @@
+#include "svc/io_arbiter.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace balsort {
+
+IoArbiter::IoArbiter(double fairness)
+    : fairness_(fairness),
+      base_quantum_(fairness > 0
+                        ? static_cast<std::uint64_t>(
+                              std::max<long long>(1, std::llround(64.0 * fairness)))
+                        : 0) {}
+
+void IoArbiter::add(std::uint64_t job, std::uint32_t weight) {
+    if (base_quantum_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Lane lane;
+    lane.weight = weight == 0 ? 1 : weight;
+    // Join mid-round with a full quantum so a late arrival is not starved
+    // until the next refill.
+    lane.deficit = static_cast<std::int64_t>(base_quantum_ * lane.weight);
+    lanes_[job] = lane;
+}
+
+void IoArbiter::remove(std::uint64_t job) {
+    if (base_quantum_ == 0) return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        lanes_.erase(job);
+    }
+    cv_.notify_all();
+}
+
+void IoArbiter::charge(std::uint64_t job, std::uint64_t steps) {
+    if (base_quantum_ == 0 || steps == 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = lanes_.find(job);
+        if (it == lanes_.end()) return; // deregistered: pass through
+        if (lanes_.size() == 1 || it->second.deficit > 0) {
+            // Deficits may go negative (a multi-step charge overdraws);
+            // the debt carries into the next round — standard DRR.
+            it->second.deficit -= static_cast<std::int64_t>(steps);
+            return;
+        }
+        bool all_exhausted = true;
+        for (const auto& [id, lane] : lanes_) {
+            if (lane.deficit > 0) {
+                all_exhausted = false;
+                break;
+            }
+        }
+        if (all_exhausted) {
+            refill_locked();
+            cv_.notify_all();
+            continue;
+        }
+        // Some lane still holds quantum. Wait for it to spend or leave —
+        // but never longer than 500µs: an idle lane (its job is computing,
+        // not charging) must not wedge the round, so a timeout forces the
+        // refill. Wall-clock shaping only; no model quantity changes.
+        ++stats_.waits;
+        const auto status = cv_.wait_for(lock, std::chrono::microseconds(500));
+        it = lanes_.find(job);
+        if (it == lanes_.end()) return;
+        if (status == std::cv_status::timeout && it->second.deficit <= 0) {
+            refill_locked();
+            cv_.notify_all();
+        }
+    }
+}
+
+void IoArbiter::refill_locked() {
+    for (auto& [id, lane] : lanes_) {
+        lane.deficit += static_cast<std::int64_t>(base_quantum_ * lane.weight);
+        // Cap the carry-over credit at one round so a long-idle lane cannot
+        // later monopolize the array with banked quantum.
+        const auto cap = static_cast<std::int64_t>(base_quantum_ * lane.weight);
+        if (lane.deficit > cap) lane.deficit = cap;
+    }
+    ++stats_.refills;
+}
+
+IoArbiter::Stats IoArbiter::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace balsort

@@ -1,0 +1,67 @@
+#pragma once
+/// \file io_arbiter.hpp
+/// Deficit-round-robin fairness over charged I/O steps (DESIGN.md §14).
+///
+/// Concurrent jobs share one DiskArray; without arbitration a job with
+/// small memoryloads can flood the charge points and starve a neighbour.
+/// The arbiter gives every registered job a deficit counter refilled in
+/// weighted quanta; a job about to charge `steps` parallel I/O steps first
+/// spends from its deficit and blocks (outside every array lock — the gate
+/// runs before DiskArray's mutex) once the deficit is exhausted, until the
+/// next refill round.
+///
+/// Liveness: a refill happens when every registered lane is exhausted, and
+/// unconditionally after a 500µs wait — so lanes whose jobs are idle
+/// (computing, not charging) can never wedge the round. A solo job never
+/// waits at all. Fairness shapes *wall-clock interleaving only*; model
+/// accounting (io_steps() etc.) is charged identically with or without it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace balsort {
+
+class IoArbiter {
+public:
+    /// `fairness` scales the per-round quantum: quantum = max(1,
+    /// round(64 * fairness)) * weight steps. Larger values = coarser
+    /// interleaving (fewer waits, burstier); <= 0 disables arbitration.
+    explicit IoArbiter(double fairness = 1.0);
+
+    IoArbiter(const IoArbiter&) = delete;
+    IoArbiter& operator=(const IoArbiter&) = delete;
+
+    /// Register / deregister a job's lane. remove() wakes any waiter on the
+    /// lane (a charge for an unregistered job passes straight through).
+    void add(std::uint64_t job, std::uint32_t weight);
+    void remove(std::uint64_t job);
+
+    /// Spend `steps` from the job's deficit, blocking until allowed. Called
+    /// from the job's worker thread via its JobIoChannel gate; MUST NOT be
+    /// called while holding any DiskArray lock.
+    void charge(std::uint64_t job, std::uint64_t steps);
+
+    struct Stats {
+        std::uint64_t waits = 0;   ///< times a charge blocked for a refill
+        std::uint64_t refills = 0; ///< refill rounds completed
+    };
+    Stats stats() const;
+
+private:
+    void refill_locked();
+
+    const double fairness_;
+    const std::uint64_t base_quantum_; ///< steps per weight unit per round
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    struct Lane {
+        std::int64_t deficit = 0;
+        std::uint32_t weight = 1;
+    };
+    std::map<std::uint64_t, Lane> lanes_;
+    Stats stats_;
+};
+
+} // namespace balsort

@@ -1,0 +1,106 @@
+#pragma once
+/// \file job.hpp
+/// The sort service's job vocabulary (DESIGN.md §14).
+///
+/// A `JobSpec` describes one sort as data: what to sort (a workload recipe
+/// or caller-provided records), the per-job machine parameters (M, P — the
+/// array supplies D and B), the `SortJobConfig`, and scheduling attributes
+/// (priority weight, verification). The scheduler turns an admitted spec
+/// into a `JobStatus` lifecycle: kQueued → kRunning → one terminal state.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sort_config.hpp"
+#include "pdm/io_stats.hpp"
+#include "util/record.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+
+/// One sort job as data. Self-contained: everything the scheduler needs to
+/// run the sort on its shared array.
+struct JobSpec {
+    /// Human-readable label (manifest file names, tracer lanes, errors).
+    std::string name = "job";
+    /// Input recipe: `records`, when non-empty, is sorted as-is (and `n` is
+    /// ignored); otherwise `n` records of `workload` are generated from
+    /// `seed` on the job's worker thread.
+    std::uint64_t n = 1u << 16;
+    Workload workload = Workload::kUniform;
+    std::uint64_t seed = 1;
+    std::vector<Record> records;
+    /// Per-job PDM parameters. D and B come from the shared array.
+    std::uint64_t m = 1u << 12; ///< memory capacity (records)
+    std::uint32_t p = 4;        ///< charged CPUs
+    /// The sort configuration (validated at admission).
+    SortJobConfig config{};
+    /// Fairness weight: a weight-2 job earns twice the I/O-step quantum of
+    /// a weight-1 neighbour per arbiter round. Must be >= 1.
+    std::uint32_t priority = 1;
+    /// Verify the output is a sorted permutation of the input before
+    /// declaring success (costs a copy of the input on the worker).
+    bool verify = true;
+};
+
+enum class JobState : std::uint8_t {
+    kQueued,    ///< admitted, waiting for an active slot
+    kRunning,   ///< worker thread driving the shared array
+    kSucceeded, ///< output verified (if requested); report/hash valid
+    kFailed,    ///< error holds the reason; scratch reclaimed
+    kCancelled, ///< cancel() honoured; scratch reclaimed
+};
+
+inline const char* to_string(JobState s) {
+    switch (s) {
+        case JobState::kQueued: return "queued";
+        case JobState::kRunning: return "running";
+        case JobState::kSucceeded: return "succeeded";
+        case JobState::kFailed: return "failed";
+        case JobState::kCancelled: return "cancelled";
+    }
+    return "?";
+}
+
+/// A point-in-time view of one job. For running jobs `io` is a live
+/// snapshot of the job's channel; for terminal jobs it is final.
+struct JobStatus {
+    std::uint64_t id = 0;
+    std::string name;
+    JobState state = JobState::kQueued;
+    /// This job's model accounting (per-channel; byte-identical to a solo
+    /// run of the same spec — the service's core guarantee).
+    IoStats io;
+    std::uint64_t scratch_blocks_live = 0;
+    std::uint64_t scratch_blocks_high_water = 0;
+    /// kFailed: what went wrong.
+    std::string error;
+    /// kSucceeded: the sort's full report and an order-sensitive FNV-1a
+    /// hash of the sorted output (solo-vs-concurrent comparisons).
+    SortReport report;
+    std::uint64_t output_hash = 0;
+    double elapsed_seconds = 0;
+};
+
+/// Order-sensitive FNV-1a over (key, payload) pairs — the service's output
+/// fingerprint (same constants as the pipeline golden tests).
+inline std::uint64_t fnv1a_records(std::span<const Record> records) {
+    constexpr std::uint64_t kOffset = 1469598103934665603ull;
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t h = kOffset;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= kPrime;
+        }
+    };
+    for (const Record& r : records) {
+        mix(r.key);
+        mix(r.payload);
+    }
+    return h;
+}
+
+} // namespace balsort

@@ -1,0 +1,346 @@
+#include "svc/sort_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "obs/run_manifest.hpp"
+#include "pdm/striping.hpp"
+#include "util/math.hpp"
+
+namespace balsort {
+
+SortScheduler::SortScheduler(DiskArray& disks, SchedulerConfig cfg)
+    : disks_(disks),
+      cfg_(std::move(cfg)),
+      arbiter_(cfg_.fairness),
+      shared_pool_(cfg_.shared_pool_retain_records),
+      trace_guard_(cfg_.trace),
+      metrics_guard_(cfg_.metrics),
+      prev_async_(disks.async_enabled()) {
+    BS_REQUIRE(cfg_.max_active >= 1, "SchedulerConfig: max_active must be >= 1");
+    disks_.set_async(cfg_.async_io);
+}
+
+SortScheduler::~SortScheduler() {
+    std::vector<std::uint64_t> ids;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [id, job] : jobs_) ids.push_back(id);
+    }
+    for (std::uint64_t id : ids) cancel(id);
+    for (std::uint64_t id : ids) wait(id);
+    try {
+        disks_.set_async(prev_async_);
+    } catch (...) {
+        // Destructor: a straggling deferred failure has no job left to
+        // surface to; the array itself stays consistent.
+    }
+}
+
+std::uint64_t SortScheduler::estimate_scratch_blocks(const JobSpec& spec) const {
+    const std::uint64_t n = spec.records.empty() ? spec.n : spec.records.size();
+    // Input run + output run + ~2x transient bucket storage; the same
+    // O(N)-space argument the paper makes, with its small constant.
+    return 4 * std::max<std::uint64_t>(1, ceil_div(n, disks_.block_size()));
+}
+
+AdmissionResult SortScheduler::submit(JobSpec spec) {
+    AdmissionResult res;
+    // ---- spec validation (reject-with-reason, never throw). ----
+    try {
+        const std::uint64_t n = spec.records.empty() ? spec.n : spec.records.size();
+        BS_REQUIRE(spec.priority >= 1, "JobSpec: priority must be >= 1");
+        BS_REQUIRE(spec.config.cancel_flag == nullptr,
+                   "JobSpec: the scheduler owns cancellation; use SortScheduler::cancel()");
+        BS_REQUIRE(spec.config.io_policy.shared_pool == nullptr,
+                   "JobSpec: the scheduler wires the shared BufferPool; leave "
+                   "IoPolicy::shared_pool null");
+        BS_REQUIRE(spec.config.obs_policy.trace == nullptr &&
+                       spec.config.obs_policy.metrics == nullptr,
+                   "JobSpec: per-job observability sinks would fight over the process-wide "
+                   "installation; use SchedulerConfig::trace/metrics");
+        PdmConfig pdm;
+        pdm.n = n;
+        pdm.m = spec.m;
+        pdm.d = disks_.num_disks();
+        pdm.b = disks_.block_size();
+        pdm.p = spec.p;
+        pdm.validate();
+        spec.config.validate(disks_.num_disks());
+    } catch (const std::exception& e) {
+        res.reason = e.what();
+        return res;
+    }
+
+    const std::uint64_t estimate = estimate_scratch_blocks(spec);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= cfg_.queue_capacity) {
+        std::ostringstream os;
+        os << "admission queue full (" << queue_.size() << " of " << cfg_.queue_capacity
+           << " slots)";
+        res.reason = os.str();
+        return res;
+    }
+    if (cfg_.scratch_block_budget != 0) {
+        if (estimate > cfg_.scratch_block_budget) {
+            std::ostringstream os;
+            os << "job needs ~" << estimate << " scratch blocks, over the whole budget of "
+               << cfg_.scratch_block_budget;
+            res.reason = os.str();
+            return res;
+        }
+        if (scratch_committed_ + estimate > cfg_.scratch_block_budget) {
+            std::ostringstream os;
+            os << "scratch budget exhausted: " << scratch_committed_ << " of "
+               << cfg_.scratch_block_budget << " blocks committed, job needs ~" << estimate;
+            res.reason = os.str();
+            return res;
+        }
+    }
+
+    auto job = std::make_unique<Job>();
+    job->id = next_id_++;
+    job->spec = std::move(spec);
+    job->exclusive = !job->spec.config.durability_policy.checkpoint_path.empty();
+    job->scratch_estimate = estimate;
+    Job* raw = job.get();
+    jobs_.emplace(raw->id, std::move(job));
+    queue_.push_back(raw);
+    scratch_committed_ += estimate;
+    res.admitted = true;
+    res.id = raw->id;
+    maybe_start_locked();
+    return res;
+}
+
+void SortScheduler::maybe_start_locked() {
+    while (!queue_.empty() && !exclusive_running_) {
+        Job* job = queue_.front();
+        if (job->exclusive) {
+            // A checkpointing job's boundaries drain and snapshot the whole
+            // array, so it runs alone. Head-of-line blocking is deliberate:
+            // letting later jobs jump the queue would starve it forever.
+            if (active_ > 0) break;
+            exclusive_running_ = true;
+        } else if (active_ >= cfg_.max_active) {
+            break;
+        }
+        queue_.pop_front();
+        job->state = JobState::kRunning;
+        ++active_;
+        arbiter_.add(job->id, job->spec.priority);
+        job->worker = std::thread([this, job]() { run_job(*job); });
+    }
+}
+
+void SortScheduler::run_job(Job& job) {
+    const auto t0 = std::chrono::steady_clock::now();
+    JobState terminal = JobState::kSucceeded;
+    std::string error;
+    try {
+        execute(job);
+    } catch (const JobCancelled&) {
+        terminal = JobState::kCancelled;
+    } catch (const std::exception& e) {
+        terminal = JobState::kFailed;
+        error = e.what();
+    } catch (...) {
+        terminal = JobState::kFailed;
+        error = "unknown exception";
+    }
+    // The channel is unbound here (execute's binding is scoped); return
+    // whatever the job still owns — everything, after a failure or
+    // cancellation mid-phase — to the shared allocator.
+    try {
+        disks_.reclaim_job_blocks(job.channel);
+    } catch (const std::exception& e) {
+        if (terminal == JobState::kSucceeded) {
+            terminal = JobState::kFailed;
+            error = e.what();
+        }
+    }
+    job.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    finish(job, terminal, error);
+}
+
+void SortScheduler::execute(Job& job) {
+    const JobSpec& spec = job.spec;
+    std::vector<Record> input =
+        spec.records.empty() ? generate(spec.workload, spec.n, spec.seed) : spec.records;
+
+    PdmConfig pdm;
+    pdm.n = input.size();
+    pdm.m = spec.m;
+    pdm.d = disks_.num_disks();
+    pdm.b = disks_.block_size();
+    pdm.p = spec.p;
+
+    SortJobConfig cfg = spec.config;
+    cfg.cancel(&job.cancel);
+    if (cfg_.share_buffer_pool && cfg.io_policy.pool_buffers) {
+        cfg.io_policy.shared_pool = &shared_pool_;
+    }
+    const SortOptions opt = cfg.options();
+
+    // Fairness: every charged step passes the arbiter before the array's
+    // internal lock (the gate contract).
+    job.channel.gate = [this, id = job.id](std::uint64_t steps) { arbiter_.charge(id, steps); };
+
+    Tracer* tr = tracer();
+    const std::uint32_t lane = tr != nullptr ? tr->lane("job:" + spec.name) : 0;
+    Span job_span(tr, "job", "svc", lane);
+    job_span.arg("records", static_cast<std::int64_t>(pdm.n));
+    job_span.arg("job_id", static_cast<std::int64_t>(job.id));
+
+    JobChannelBinding bind(disks_, &job.channel);
+    std::vector<Record> sorted;
+    try {
+        BlockRun in_run = write_striped(disks_, input);
+        BlockRun out = balance_sort(disks_, in_run, pdm, opt, &job.report);
+        sorted = read_run(disks_, out);
+        for (const BlockOp& op : in_run.blocks) disks_.release(op);
+        for (const BlockOp& op : out.blocks) disks_.release(op);
+        disks_.drain_async();
+    } catch (...) {
+        // Land this job's in-flight work while the channel is still bound
+        // so unbinding leaves nothing of ours in the engine. A deferred
+        // failure surfacing here is this job's own; the original exception
+        // wins.
+        try {
+            disks_.drain_async();
+        } catch (...) {
+        }
+        throw;
+    }
+
+    job.output_hash = fnv1a_records(sorted);
+    if (spec.verify &&
+        !is_sorted_permutation_of(std::move(input), std::move(sorted))) {
+        throw ModelViolation("job '" + spec.name +
+                             "': output is not a sorted permutation of the input");
+    }
+
+    if (!cfg_.manifest_dir.empty()) {
+        RunManifest mani;
+        mani.tool = "balsortd";
+        mani.algo = "balance";
+        mani.cfg = pdm;
+        mani.report = job.report;
+        std::ostringstream path;
+        path << cfg_.manifest_dir << "/job-" << job.id << '-' << spec.name << ".json";
+        mani.write_json_file(path.str());
+    }
+}
+
+void SortScheduler::finish(Job& job, JobState terminal, const std::string& error) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job.state = terminal;
+        job.error = error;
+        job.final_io = disks_.channel_stats(job.channel);
+        --active_;
+        if (job.exclusive) exclusive_running_ = false;
+        scratch_committed_ -= job.scratch_estimate;
+        arbiter_.remove(job.id);
+        maybe_start_locked();
+    }
+    terminal_cv_.notify_all();
+}
+
+JobStatus SortScheduler::snapshot_locked(const Job& job) const {
+    JobStatus s;
+    s.id = job.id;
+    s.name = job.spec.name;
+    s.state = job.state;
+    s.error = job.error;
+    switch (job.state) {
+        case JobState::kQueued:
+            break;
+        case JobState::kRunning: {
+            s.io = disks_.channel_stats(job.channel);
+            const auto fp = disks_.channel_footprint(job.channel);
+            s.scratch_blocks_live = fp.blocks_live;
+            s.scratch_blocks_high_water = fp.blocks_high_water;
+            break;
+        }
+        case JobState::kSucceeded:
+        case JobState::kFailed:
+        case JobState::kCancelled:
+            s.io = job.final_io;
+            s.report = job.report;
+            s.output_hash = job.output_hash;
+            s.elapsed_seconds = job.elapsed_seconds;
+            s.scratch_blocks_high_water = job.channel.blocks_high_water;
+            break;
+    }
+    return s;
+}
+
+JobStatus SortScheduler::status(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    BS_REQUIRE(it != jobs_.end(), "SortScheduler::status: unknown job id");
+    return snapshot_locked(*it->second);
+}
+
+bool SortScheduler::cancel(std::uint64_t id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = *it->second;
+    switch (job.state) {
+        case JobState::kQueued: {
+            queue_.erase(std::find(queue_.begin(), queue_.end(), &job));
+            job.state = JobState::kCancelled;
+            scratch_committed_ -= job.scratch_estimate;
+            maybe_start_locked();
+            lock.unlock();
+            terminal_cv_.notify_all();
+            return true;
+        }
+        case JobState::kRunning:
+            job.cancel.store(true, std::memory_order_relaxed);
+            return true;
+        case JobState::kSucceeded:
+        case JobState::kFailed:
+        case JobState::kCancelled:
+            return false;
+    }
+    return false;
+}
+
+JobStatus SortScheduler::wait(std::uint64_t id) {
+    std::thread to_join;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        auto it = jobs_.find(id);
+        BS_REQUIRE(it != jobs_.end(), "SortScheduler::wait: unknown job id");
+        Job& job = *it->second;
+        terminal_cv_.wait(lock, [&job]() {
+            return job.state != JobState::kQueued && job.state != JobState::kRunning;
+        });
+        if (job.worker.joinable() && !job.join_claimed) {
+            job.join_claimed = true;
+            to_join = std::move(job.worker);
+        }
+    }
+    if (to_join.joinable()) to_join.join();
+    return status(id);
+}
+
+std::vector<JobStatus> SortScheduler::wait_all() {
+    std::vector<std::uint64_t> ids;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [id, job] : jobs_) ids.push_back(id);
+    }
+    std::vector<JobStatus> out;
+    out.reserve(ids.size());
+    for (std::uint64_t id : ids) out.push_back(wait(id));
+    return out;
+}
+
+} // namespace balsort

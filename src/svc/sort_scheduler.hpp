@@ -1,0 +1,177 @@
+#pragma once
+/// \file sort_scheduler.hpp
+/// balsortd's core: a concurrent multi-job sort scheduler over one shared
+/// DiskArray (DESIGN.md §14).
+///
+/// The scheduler owns the service plumbing around N concurrent
+/// balance_sort jobs on one array:
+///
+///  * admission control — a bounded queue plus a scratch-block budget;
+///    submit() rejects with a reason instead of queueing unboundedly or
+///    letting one huge job wedge the array;
+///  * fair I/O — every job's channel gate routes through one IoArbiter
+///    (deficit round-robin over charged steps, weighted by JobSpec::
+///    priority, scaled by SchedulerConfig::fairness);
+///  * lifecycle — submit/status/cancel/wait; each job runs on its own
+///    worker thread with a bound JobIoChannel, so its model accounting
+///    comes out byte-identical to a solo run (tested), and a failed or
+///    cancelled job's scratch is drained and reclaimed without touching
+///    the neighbours;
+///  * isolation — one job's disk death, timeout, or cancellation never
+///    poisons another job's accounting or unwinds its thread: write-behind
+///    failures are attributed to the owning channel (parked and rethrown
+///    on *its* next drain), and checkpointing jobs — whose boundaries
+///    snapshot the whole array — run exclusively.
+///
+/// Threading: public methods are callable from any thread. Worker threads
+/// take the array's internal lock only via DiskArray's public surface;
+/// the fairness gate always blocks *outside* that lock.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "pdm/disk_array.hpp"
+#include "pdm/job_channel.hpp"
+#include "svc/io_arbiter.hpp"
+#include "svc/job.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace balsort {
+
+struct SchedulerConfig {
+    /// Concurrent worker threads (jobs actually driving the array).
+    std::uint32_t max_active = 4;
+    /// Admitted-but-not-terminal jobs beyond the active set; submit()
+    /// rejects once full.
+    std::uint32_t queue_capacity = 16;
+    /// Total scratch blocks the admitted (queued + running) jobs may need,
+    /// by the 4*ceil(n/B) estimate; 0 = unlimited. One job larger than the
+    /// whole budget is rejected outright.
+    std::uint64_t scratch_block_budget = 0;
+    /// IoArbiter quantum scale (see io_arbiter.hpp); <= 0 disables
+    /// arbitration.
+    double fairness = 1.0;
+    /// Drive the shared array through the async engine. Jobs never toggle
+    /// the engine themselves (their AsyncGuard is skipped under a bound
+    /// channel); this is the one switch.
+    bool async_io = true;
+    /// Share one BufferPool across all jobs (recycles staging buffers
+    /// between jobs); off gives each job its own per-sort pool.
+    bool share_buffer_pool = true;
+    /// Retention cap of the shared pool (records); 0 = unlimited.
+    std::uint64_t shared_pool_retain_records = 0;
+    /// When non-empty, write one RunManifest JSON per succeeded job into
+    /// this directory (must exist): <dir>/job-<id>-<name>.json.
+    std::string manifest_dir;
+    /// Ambient observability for the service's lifetime: installed once by
+    /// the scheduler, shared by every job (per-job lanes keep the
+    /// timelines apart). Jobs must leave their ObsPolicy sinks null.
+    Tracer* trace = nullptr;
+    MetricsRegistry* metrics = nullptr;
+};
+
+/// Outcome of SortScheduler::submit — admission control's answer.
+struct AdmissionResult {
+    bool admitted = false;
+    std::uint64_t id = 0; ///< valid when admitted
+    std::string reason;   ///< why not, when rejected
+};
+
+class SortScheduler {
+public:
+    /// The array must outlive the scheduler. The scheduler flips the
+    /// array's async engine per `cfg.async_io` and restores the previous
+    /// state on destruction.
+    explicit SortScheduler(DiskArray& disks, SchedulerConfig cfg = {});
+    /// Cancels queued and running jobs, waits for workers, restores the
+    /// array's engine state.
+    ~SortScheduler();
+
+    SortScheduler(const SortScheduler&) = delete;
+    SortScheduler& operator=(const SortScheduler&) = delete;
+
+    /// Admission control: validates the spec, checks queue and scratch
+    /// budget, and either enqueues (possibly starting immediately) or
+    /// rejects with a reason. Never throws on a rejectable condition.
+    AdmissionResult submit(JobSpec spec);
+
+    /// Point-in-time view; running jobs report live channel accounting.
+    /// Throws std::invalid_argument for an unknown id.
+    JobStatus status(std::uint64_t id) const;
+
+    /// Request cancellation. A queued job is cancelled immediately; a
+    /// running job observes the flag at its next pipeline boundary and
+    /// unwinds (scratch reclaimed). Returns false for terminal/unknown ids.
+    bool cancel(std::uint64_t id);
+
+    /// Block until the job is terminal; returns its final status.
+    JobStatus wait(std::uint64_t id);
+
+    /// Wait for every admitted job; statuses in submission order.
+    std::vector<JobStatus> wait_all();
+
+    /// The scratch estimate admission charges for a spec: input run +
+    /// output run + bucket scratch ~= 4 * ceil(n / B) blocks.
+    std::uint64_t estimate_scratch_blocks(const JobSpec& spec) const;
+
+    /// Fairness-gate observability (waits, refill rounds).
+    IoArbiter::Stats arbiter_stats() const { return arbiter_.stats(); }
+
+private:
+    struct Job {
+        std::uint64_t id = 0;
+        JobSpec spec;
+        JobState state = JobState::kQueued;
+        JobIoChannel channel;
+        std::atomic<bool> cancel{false};
+        std::thread worker;
+        bool join_claimed = false; ///< a waiter took ownership of join()
+        bool exclusive = false;    ///< checkpointing job: runs solo
+        std::uint64_t scratch_estimate = 0;
+        std::string error;
+        SortReport report;
+        std::uint64_t output_hash = 0;
+        double elapsed_seconds = 0;
+        IoStats final_io; ///< channel accounting frozen at termination
+    };
+
+    /// Start queued jobs while slots allow (mu_ held). Exclusive jobs wait
+    /// for an empty array and block later starts until they finish
+    /// (head-of-line, deliberately: their checkpoints snapshot everything).
+    void maybe_start_locked();
+    void run_job(Job& job);
+    /// The job body (worker thread, channel bound). Returns the report,
+    /// output hash and elapsed time via `job`; throws on failure.
+    void execute(Job& job);
+    JobStatus snapshot_locked(const Job& job) const;
+    void finish(Job& job, JobState terminal, const std::string& error);
+
+    DiskArray& disks_;
+    SchedulerConfig cfg_;
+    IoArbiter arbiter_;
+    BufferPool shared_pool_;
+    TracerInstallGuard trace_guard_;
+    MetricsInstallGuard metrics_guard_;
+    bool prev_async_ = false;
+
+    mutable std::mutex mu_;
+    std::condition_variable terminal_cv_; ///< signalled on every terminal transition
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    std::deque<Job*> queue_; ///< admitted, not yet started (FIFO)
+    std::uint32_t active_ = 0;
+    bool exclusive_running_ = false;
+    std::uint64_t scratch_committed_ = 0; ///< sum of admitted estimates
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace balsort

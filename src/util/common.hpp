@@ -84,6 +84,15 @@ public:
     using IoError::IoError;
 };
 
+/// A cooperative cancellation request (SortOptions::cancel) was observed at
+/// a pipeline boundary (DESIGN.md §14). Not a fault: the array is left
+/// healthy and the caller reclaims the job's scratch. Deliberately outside
+/// the IoError family so recovery ladders never swallow it.
+class JobCancelled : public std::runtime_error {
+public:
+    explicit JobCancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_model_violation(const char* expr, const char* file, int line,

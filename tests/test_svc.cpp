@@ -1,0 +1,453 @@
+// Tests for the concurrent sort service (DESIGN.md §14).
+//
+// The service's core guarantee — a job's model accounting and sorted
+// output are byte-identical whether it runs alone or next to neighbours
+// on the shared array — is checked across a backend × engine matrix by
+// re-running the same specs solo (max_active=1) and concurrently and
+// comparing per-job hashes and counters. Lifecycle (cancel mid-phase,
+// cancel while queued, unknown ids), admission control (spec validation,
+// queue capacity, scratch budget charge/release), the exclusive
+// checkpoint path, manifests, the job-config policy validation, and the
+// BufferPool retention cap ride along.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sort_config.hpp"
+#include "obs/tracer.hpp"
+#include "pdm/disk_array.hpp"
+#include "svc/sort_scheduler.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/workload.hpp"
+
+namespace balsort {
+namespace {
+
+DiskArray make_array(DiskBackend backend) {
+    return backend == DiskBackend::kFile
+               ? DiskArray(8, 64, DiskBackend::kFile,
+                           std::filesystem::temp_directory_path().string())
+               : DiskArray(8, 64);
+}
+
+/// `count` distinct-workload specs, sized to finish quickly but still run
+/// multiple merge levels (n >> m).
+std::vector<JobSpec> make_specs(std::size_t count) {
+    const Workload kinds[] = {Workload::kUniform,      Workload::kZipf,
+                              Workload::kOrganPipe,    Workload::kNearlySorted,
+                              Workload::kDuplicateHeavy, Workload::kGaussian,
+                              Workload::kReverse,      Workload::kAllEqual};
+    std::vector<JobSpec> specs;
+    for (std::size_t i = 0; i < count; ++i) {
+        JobSpec s;
+        s.workload = kinds[i % (sizeof(kinds) / sizeof(kinds[0]))];
+        s.name = std::string(to_string(s.workload)) + "-" + std::to_string(i);
+        s.n = 16384 + 2048 * i;
+        s.m = 2048;
+        s.p = 2;
+        s.seed = 77 + i;
+        s.config.threads(2);
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+std::vector<JobStatus> run_schedule(const std::vector<JobSpec>& specs, DiskBackend backend,
+                                    bool async_io, std::uint32_t max_active) {
+    DiskArray disks = make_array(backend);
+    SchedulerConfig cfg;
+    cfg.max_active = max_active;
+    cfg.async_io = async_io;
+    SortScheduler sched(disks, cfg);
+    for (const JobSpec& s : specs) {
+        AdmissionResult adm = sched.submit(s);
+        EXPECT_TRUE(adm.admitted) << s.name << ": " << adm.reason;
+    }
+    return sched.wait_all();
+}
+
+/// The matrix body: solo goldens on a fresh array, then the concurrent
+/// schedule on another fresh array, per-job quantities must match exactly.
+void expect_concurrent_matches_solo(DiskBackend backend, bool async_io, std::size_t n_jobs,
+                                    std::uint32_t max_active) {
+    const auto specs = make_specs(n_jobs);
+    const auto solo = run_schedule(specs, backend, async_io, /*max_active=*/1);
+    const auto conc = run_schedule(specs, backend, async_io, max_active);
+    ASSERT_EQ(solo.size(), specs.size());
+    ASSERT_EQ(conc.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        ASSERT_EQ(solo[i].state, JobState::kSucceeded) << solo[i].error;
+        ASSERT_EQ(conc[i].state, JobState::kSucceeded) << conc[i].error;
+        EXPECT_EQ(conc[i].output_hash, solo[i].output_hash);
+        EXPECT_EQ(conc[i].io.io_steps(), solo[i].io.io_steps());
+        EXPECT_EQ(conc[i].report.io.read_steps, solo[i].report.io.read_steps);
+        EXPECT_EQ(conc[i].report.io.write_steps, solo[i].report.io.write_steps);
+        EXPECT_EQ(conc[i].report.io.blocks_read, solo[i].report.io.blocks_read);
+        EXPECT_EQ(conc[i].report.io.blocks_written, solo[i].report.io.blocks_written);
+        EXPECT_EQ(conc[i].report.s_used, solo[i].report.s_used);
+        EXPECT_EQ(conc[i].report.levels, solo[i].report.levels);
+    }
+}
+
+TEST(SvcMatrixTest, MemorySyncFourJobs) {
+    expect_concurrent_matches_solo(DiskBackend::kMemory, /*async_io=*/false, 4, 4);
+}
+
+TEST(SvcMatrixTest, MemoryAsyncEightJobs) {
+    expect_concurrent_matches_solo(DiskBackend::kMemory, /*async_io=*/true, 8, 4);
+}
+
+TEST(SvcMatrixTest, FileSyncTwoJobs) {
+    expect_concurrent_matches_solo(DiskBackend::kFile, /*async_io=*/false, 2, 2);
+}
+
+TEST(SvcMatrixTest, FileAsyncFourJobs) {
+    expect_concurrent_matches_solo(DiskBackend::kFile, /*async_io=*/true, 4, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+JobSpec big_spec(const std::string& name) {
+    JobSpec s;
+    s.name = name;
+    s.n = 1u << 18; // long enough that cancel lands mid-sort
+    s.m = 2048;
+    s.p = 2;
+    s.config.threads(2);
+    return s;
+}
+
+JobSpec small_spec(const std::string& name, std::uint64_t seed = 5) {
+    JobSpec s;
+    s.name = name;
+    s.n = 16384;
+    s.m = 2048;
+    s.p = 2;
+    s.seed = seed;
+    s.config.threads(2);
+    return s;
+}
+
+TEST(SvcLifecycleTest, CancelMidPhaseLeavesArrayHealthy) {
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 1;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+
+    const AdmissionResult victim = sched.submit(big_spec("victim"));
+    ASSERT_TRUE(victim.admitted) << victim.reason;
+    while (sched.status(victim.id).state == JobState::kQueued) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(sched.cancel(victim.id));
+    const JobStatus cancelled = sched.wait(victim.id);
+    EXPECT_EQ(cancelled.state, JobState::kCancelled);
+    EXPECT_FALSE(sched.cancel(victim.id)); // terminal: nothing to cancel
+
+    // The shared array must be fully reclaimed: a fresh job still succeeds
+    // with solo-identical accounting.
+    const AdmissionResult after = sched.submit(small_spec("after"));
+    ASSERT_TRUE(after.admitted) << after.reason;
+    const JobStatus done = sched.wait(after.id);
+    ASSERT_EQ(done.state, JobState::kSucceeded) << done.error;
+
+    const auto golden = run_schedule({small_spec("after")}, DiskBackend::kMemory,
+                                     /*async_io=*/false, 1);
+    ASSERT_EQ(golden.size(), 1u);
+    EXPECT_EQ(done.output_hash, golden[0].output_hash);
+    EXPECT_EQ(done.io.io_steps(), golden[0].io.io_steps());
+}
+
+TEST(SvcLifecycleTest, CancelQueuedJobIsImmediate) {
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 1;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+
+    const AdmissionResult head = sched.submit(big_spec("head"));
+    ASSERT_TRUE(head.admitted) << head.reason;
+    const AdmissionResult queued = sched.submit(small_spec("queued"));
+    ASSERT_TRUE(queued.admitted) << queued.reason;
+
+    ASSERT_TRUE(sched.cancel(queued.id));
+    EXPECT_EQ(sched.wait(queued.id).state, JobState::kCancelled);
+
+    sched.cancel(head.id); // don't wait out the big sort
+    const JobState head_state = sched.wait(head.id).state;
+    EXPECT_TRUE(head_state == JobState::kCancelled || head_state == JobState::kSucceeded);
+}
+
+TEST(SvcLifecycleTest, UnknownIdsAreRejected) {
+    DiskArray disks(8, 64);
+    SortScheduler sched(disks, SchedulerConfig{});
+    EXPECT_THROW(sched.status(9999), std::invalid_argument);
+    EXPECT_FALSE(sched.cancel(9999));
+}
+
+TEST(SvcLifecycleTest, ExclusiveCheckpointJobRunsAmongNeighbours) {
+    const auto dir = std::filesystem::temp_directory_path() / "balsort_svc_test_ck";
+    std::filesystem::create_directories(dir);
+    const std::string ck_path = (dir / "job.ck").string();
+    std::filesystem::remove(ck_path);
+
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 2;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+
+    JobSpec ck = small_spec("checkpointed", 11);
+    ck.config.durability(DurabilityPolicy{}.checkpoint(ck_path));
+
+    const AdmissionResult a = sched.submit(small_spec("before", 12));
+    const AdmissionResult b = sched.submit(ck);
+    const AdmissionResult c = sched.submit(small_spec("while", 13));
+    ASSERT_TRUE(a.admitted) << a.reason;
+    ASSERT_TRUE(b.admitted) << b.reason;
+    ASSERT_TRUE(c.admitted) << c.reason;
+    for (const JobStatus& st : sched.wait_all()) {
+        EXPECT_EQ(st.state, JobState::kSucceeded) << st.name << ": " << st.error;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SvcLifecycleTest, ManifestWrittenPerSucceededJob) {
+    const auto dir = std::filesystem::temp_directory_path() / "balsort_svc_test_manifests";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 2;
+    cfg.async_io = false;
+    cfg.manifest_dir = dir.string();
+    SortScheduler sched(disks, cfg);
+
+    const AdmissionResult adm = sched.submit(small_spec("manifested", 21));
+    ASSERT_TRUE(adm.admitted) << adm.reason;
+    ASSERT_EQ(sched.wait(adm.id).state, JobState::kSucceeded);
+
+    const auto path = dir / ("job-" + std::to_string(adm.id) + "-manifested.json");
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(SvcAdmissionTest, SpecValidationRejectsWithReason) {
+    DiskArray disks(8, 64);
+    SortScheduler sched(disks, SchedulerConfig{});
+    const JobSpec base = small_spec("base");
+
+    {
+        JobSpec bad = base;
+        bad.priority = 0;
+        const AdmissionResult r = sched.submit(bad);
+        EXPECT_FALSE(r.admitted);
+        EXPECT_NE(r.reason.find("priority"), std::string::npos) << r.reason;
+    }
+    {
+        std::atomic<bool> flag{false};
+        JobSpec bad = base;
+        bad.config.cancel(&flag);
+        const AdmissionResult r = sched.submit(bad);
+        EXPECT_FALSE(r.admitted);
+        EXPECT_NE(r.reason.find("cancel"), std::string::npos) << r.reason;
+    }
+    {
+        BufferPool pool;
+        JobSpec bad = base;
+        bad.config.io(IoPolicy{}.pool(&pool));
+        const AdmissionResult r = sched.submit(bad);
+        EXPECT_FALSE(r.admitted);
+        EXPECT_NE(r.reason.find("shared"), std::string::npos) << r.reason;
+    }
+    {
+        Tracer tracer;
+        JobSpec bad = base;
+        bad.config.observability(ObsPolicy{}.tracer(&tracer));
+        const AdmissionResult r = sched.submit(bad);
+        EXPECT_FALSE(r.admitted);
+        EXPECT_NE(r.reason.find("observability"), std::string::npos) << r.reason;
+    }
+    {
+        JobSpec bad = base;
+        bad.m = 0; // PdmConfig::validate rejects
+        const AdmissionResult r = sched.submit(bad);
+        EXPECT_FALSE(r.admitted);
+        EXPECT_FALSE(r.reason.empty());
+    }
+}
+
+TEST(SvcAdmissionTest, ZeroCapacityQueueRejectsEverything) {
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.queue_capacity = 0;
+    SortScheduler sched(disks, cfg);
+    const AdmissionResult r = sched.submit(small_spec("nope"));
+    EXPECT_FALSE(r.admitted);
+    EXPECT_NE(r.reason.find("queue full"), std::string::npos) << r.reason;
+}
+
+TEST(SvcAdmissionTest, FullQueueRejectsUntilSlotsFree) {
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 1;
+    cfg.queue_capacity = 1;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+
+    const AdmissionResult running = sched.submit(big_spec("running"));
+    ASSERT_TRUE(running.admitted) << running.reason;
+    const AdmissionResult queued = sched.submit(small_spec("queued"));
+    ASSERT_TRUE(queued.admitted) << queued.reason;
+
+    const AdmissionResult overflow = sched.submit(small_spec("overflow"));
+    EXPECT_FALSE(overflow.admitted);
+    EXPECT_NE(overflow.reason.find("queue full"), std::string::npos) << overflow.reason;
+
+    sched.cancel(running.id);
+    sched.cancel(queued.id);
+    sched.wait_all();
+}
+
+TEST(SvcAdmissionTest, ScratchBudgetChargesAndReleases) {
+    DiskArray disks(8, 64); // B = 64: estimate = 4 * ceil(n / 64)
+    SchedulerConfig cfg;
+    cfg.max_active = 1;
+    cfg.async_io = false;
+    cfg.scratch_block_budget = 5000;
+    SortScheduler sched(disks, cfg);
+
+    JobSpec mid = small_spec("mid");
+    mid.n = 64000; // estimate 4000 <= 5000
+    EXPECT_EQ(sched.estimate_scratch_blocks(mid), 4000u);
+
+    JobSpec whale = small_spec("whale");
+    whale.n = 1u << 20; // estimate 65536 > whole budget
+    const AdmissionResult too_big = sched.submit(whale);
+    EXPECT_FALSE(too_big.admitted);
+    EXPECT_NE(too_big.reason.find("over the whole budget"), std::string::npos) << too_big.reason;
+
+    const AdmissionResult first = sched.submit(mid);
+    ASSERT_TRUE(first.admitted) << first.reason;
+    JobSpec second_spec = mid;
+    second_spec.name = "mid-2";
+    const AdmissionResult second = sched.submit(second_spec);
+    EXPECT_FALSE(second.admitted); // 4000 committed + 4000 > 5000
+    EXPECT_NE(second.reason.find("exhausted"), std::string::npos) << second.reason;
+
+    // Terminal jobs release their charge: after the first finishes the
+    // same spec is admissible again.
+    ASSERT_EQ(sched.wait(first.id).state, JobState::kSucceeded);
+    const AdmissionResult again = sched.submit(second_spec);
+    EXPECT_TRUE(again.admitted) << again.reason;
+    EXPECT_EQ(sched.wait(again.id).state, JobState::kSucceeded);
+}
+
+// ---------------------------------------------------------------------------
+// SortJobConfig policy validation
+// ---------------------------------------------------------------------------
+
+TEST(SvcConfigTest, PolicyValidationRejectsIncoherentCombos) {
+    BufferPool pool;
+    EXPECT_THROW(IoPolicy{}.pooled(false).pool(&pool).validate(), std::invalid_argument);
+    EXPECT_THROW(IoPolicy{}.pooled(false).pool_retain(123).validate(), std::invalid_argument);
+    EXPECT_THROW(IoPolicy{}.pool(&pool).pool_retain(123).validate(), std::invalid_argument);
+    EXPECT_NO_THROW(IoPolicy{}.pool(&pool).validate());
+    EXPECT_NO_THROW(IoPolicy{}.pooled(false).validate());
+
+    EXPECT_THROW(DurabilityPolicy{}.resume("ck.bin").validate(), std::invalid_argument);
+    EXPECT_THROW(DurabilityPolicy{}.hook([](std::uint64_t) {}).validate(),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(DurabilityPolicy{}.checkpoint("ck.bin").resume("ck.bin").validate());
+
+    EXPECT_NO_THROW(SortJobConfig{}.validate(8));
+    EXPECT_THROW(SortJobConfig{}.io(IoPolicy{}.pooled(false).pool(&pool)).validate(8),
+                 std::invalid_argument);
+}
+
+TEST(SvcConfigTest, OptionsFlattenIsLossless) {
+    std::atomic<bool> flag{false};
+    BufferPool pool;
+    SortJobConfig cfg;
+    cfg.buckets(12, BucketPolicy::kFixed)
+        .pivots(PivotMethod::kStreamingSketch)
+        .threads(3)
+        .reposition(true)
+        .cancel(&flag)
+        .io(IoPolicy{}.async(AsyncIo::kOn).prefetch(false).pool(&pool))
+        .durability(DurabilityPolicy{}.checkpoint("ck.bin"));
+    const SortOptions o = cfg.options();
+    EXPECT_EQ(o.s_target, 12u);
+    EXPECT_EQ(o.bucket_policy, BucketPolicy::kFixed);
+    EXPECT_EQ(o.pivot_method, PivotMethod::kStreamingSketch);
+    EXPECT_EQ(o.max_threads, 3u);
+    EXPECT_TRUE(o.reposition_buckets);
+    EXPECT_EQ(o.cancel, &flag);
+    EXPECT_EQ(o.async_io, AsyncIo::kOn);
+    EXPECT_FALSE(o.cross_bucket_prefetch);
+    EXPECT_EQ(o.shared_pool, &pool);
+    EXPECT_EQ(o.checkpoint_path, "ck.bin");
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool retention cap
+// ---------------------------------------------------------------------------
+
+TEST(SvcBufferPoolTest, UncappedPoolRetainsEverything) {
+    BufferPool pool; // cap = 0: unlimited retention, nothing ever dropped
+    { BufferPool::Lease a = pool.acquire(100); EXPECT_EQ(a->size(), 100u); }
+    BufferPool::Stats st = pool.stats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.dropped, 0u);
+    EXPECT_GE(st.retained_records, 100u);
+
+    { BufferPool::Lease b = pool.acquire(80); } // served from the recycled buffer
+    st = pool.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.dropped, 0u);
+
+    {
+        BufferPool::Lease a = pool.acquire(1000);
+        BufferPool::Lease b = pool.acquire(2000);
+    }
+    st = pool.stats();
+    EXPECT_EQ(st.dropped, 0u);
+    EXPECT_GE(st.retained_records, 3000u);
+    EXPECT_GE(st.high_water_records, st.retained_records);
+}
+
+TEST(SvcBufferPoolTest, RetentionCapDropsBeyondCap) {
+    BufferPool pool(500);
+    {
+        BufferPool::Lease a = pool.acquire(400);
+        BufferPool::Lease b = pool.acquire(400);
+    } // first return retained (400 <= 500), second would exceed the cap
+    const BufferPool::Stats st = pool.stats();
+    EXPECT_EQ(st.dropped, 1u);
+    EXPECT_LE(st.retained_records, 500u);
+}
+
+TEST(SvcBufferPoolTest, NullPoolYieldsUnpooledLease) {
+    BufferPool::Lease lease = BufferPool::acquire_from(nullptr, 64);
+    ASSERT_EQ(lease->size(), 64u);
+    (*lease)[0] = Record{1, 2};
+    EXPECT_EQ((*lease)[0].key, 1u);
+}
+
+} // namespace
+} // namespace balsort
