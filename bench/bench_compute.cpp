@@ -1,0 +1,177 @@
+// EXP-COMPUTE — the task-parallel compute core ladder (DESIGN.md §15).
+//
+// Measures the in-memory kernels the executor parallelized — merge sort,
+// LSD radix sort, multi-selection, k-way merge, and classification —
+// serial (width 1, no executor) versus width p ∈ {2, 4, 8} on an
+// Executor(p-1). Two claims:
+//   * model quantities (metered ops) are deterministic per variant and
+//     gated byte-exactly by benchgate;
+//   * wall clock actually scales — the acceptance target is >= 2x at
+//     p >= 4 on a host with >= 4 cores (speedups are printed; absolute
+//     times are machine-specific and only tolerance-banded).
+//
+//   bench_compute [--smoke] [--json out.json]
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pram/executor.hpp"
+#include "pram/parallel_sort.hpp"
+#include "pram/selection.hpp"
+
+using namespace balsort;
+using namespace balsort::bench;
+
+namespace {
+
+struct Lane {
+    std::size_t p = 1;
+    std::unique_ptr<Executor> exec; // null for the serial lane
+    Parallel pool;
+};
+
+std::vector<Lane> make_lanes() {
+    std::vector<Lane> lanes;
+    for (std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        Lane lane;
+        lane.p = p;
+        if (p > 1) lane.exec = std::make_unique<Executor>(p - 1);
+        lane.pool = Parallel(p, lane.exec.get());
+        lanes.push_back(std::move(lane));
+    }
+    return lanes;
+}
+
+/// Best-of-reps wall time of timed(); setup() runs untimed before each rep
+/// (fresh scratch for the mutating kernels). The last rep's metered ops are
+/// returned — deterministic across reps by construction.
+template <typename Setup, typename Timed>
+std::pair<double, std::uint64_t> measure(int reps, WorkMeter& meter, Setup&& setup,
+                                         Timed&& timed) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        setup();
+        meter.reset();
+        Timer t;
+        timed();
+        best = std::min(best, t.seconds());
+    }
+    return {best, meter.ops()};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = smoke_flag(argc, argv);
+    const char* json = json_flag(argc, argv);
+    const std::size_t n = smoke ? 300000 : 2000000;
+    const int reps = smoke ? 2 : 3;
+
+    banner("EXP-COMPUTE",
+           "Work-stealing executor kernel ladder: serial vs p in {2,4,8}. Metered ops are\n"
+           "deterministic per variant (benchgate-pinned); wall clock should reach >= 2x at\n"
+           "p >= 4 on a host with >= 4 cores.");
+
+    BenchSuite suite = make_suite("compute", smoke);
+    Table table({"kernel", "p", "ops", "wall (s)", "speedup"});
+
+    const auto base = generate(Workload::kUniform, n, 42);
+
+    // k sorted runs for the merge kernel, cut from the shared input.
+    constexpr std::size_t kRuns = 16;
+    std::vector<std::vector<Record>> runs_data(kRuns);
+    for (std::size_t i = 0; i < kRuns; ++i) {
+        const std::size_t lo = i * n / kRuns, hi = (i + 1) * n / kRuns;
+        runs_data[i].assign(base.begin() + static_cast<std::ptrdiff_t>(lo),
+                            base.begin() + static_cast<std::ptrdiff_t>(hi));
+        std::sort(runs_data[i].begin(), runs_data[i].end(), KeyLess{});
+    }
+    std::vector<std::span<const Record>> runs(runs_data.begin(), runs_data.end());
+
+    // 64 selection ranks / 255 classification pivots, evenly spread.
+    std::vector<std::uint64_t> ranks;
+    for (std::size_t i = 1; i <= 64; ++i) ranks.push_back(std::max<std::uint64_t>(1, i * n / 65));
+    ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    std::vector<std::uint64_t> pivots;
+    for (std::size_t i = 1; i <= 255; ++i) {
+        pivots.push_back(i * (std::numeric_limits<std::uint64_t>::max() / 256));
+    }
+
+    double min_speedup_p4 = std::numeric_limits<double>::infinity();
+    const auto lanes = make_lanes();
+    for (const std::string kernel :
+         {"merge_sort", "radix_sort", "selection", "multiway_merge", "classification"}) {
+        double serial_wall = 0;
+        for (const Lane& lane : lanes) {
+            WorkMeter meter;
+            double wall = 0;
+            std::uint64_t ops = 0;
+            std::vector<Record> scratch;
+            std::vector<Record> out;
+            if (kernel == "merge_sort") {
+                std::tie(wall, ops) = measure(
+                    reps, meter, [&] { scratch = base; },
+                    [&] { parallel_merge_sort(scratch, lane.pool, &meter); });
+            } else if (kernel == "radix_sort") {
+                std::tie(wall, ops) = measure(
+                    reps, meter, [&] { scratch = base; },
+                    [&] { parallel_radix_sort(scratch, lane.pool, &meter); });
+            } else if (kernel == "selection") {
+                std::tie(wall, ops) = measure(
+                    reps, meter, [&] { scratch = base; },
+                    [&] {
+                        if (multi_select_keys(scratch, ranks, lane.pool, &meter).size() !=
+                            ranks.size()) {
+                            throw std::runtime_error("BENCH BUG: selection lost ranks");
+                        }
+                    });
+            } else if (kernel == "multiway_merge") {
+                out.resize(n);
+                std::tie(wall, ops) = measure(
+                    reps, meter, [] {},
+                    [&] { multiway_merge(runs, out, lane.pool, &meter); });
+            } else { // classification
+                std::tie(wall, ops) = measure(
+                    reps, meter, [] {},
+                    [&] {
+                        if (bucket_of(base, pivots, lane.pool, &meter).size() != n) {
+                            throw std::runtime_error("BENCH BUG: classification lost records");
+                        }
+                    });
+            }
+            if (lane.p == 1) serial_wall = wall;
+            const double speedup = wall > 0 ? serial_wall / wall : 0;
+            if (lane.p == 4) min_speedup_p4 = std::min(min_speedup_p4, speedup);
+            table.add_row({kernel, Table::num(lane.p), Table::num(ops), Table::fixed(wall, 4),
+                           Table::fixed(speedup, 2) + "x"});
+
+            BenchResult row;
+            row.bench = "compute";
+            row.variant = kernel + "/p=" + std::to_string(lane.p);
+            row.cfg.n = n;
+            row.cfg.m = n; // in-memory kernels: the whole input is the memoryload
+            row.cfg.p = static_cast<std::uint32_t>(lane.p);
+            row.pram_time = static_cast<double>(ops); // metered comparisons + moves
+            row.wall_seconds = wall;
+            suite.results.push_back(std::move(row));
+        }
+    }
+    table.print(std::cout);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw >= 4) {
+        std::cout << "\nEXP-COMPUTE: min kernel speedup at p=4 = "
+                  << Table::fixed(min_speedup_p4, 2) << "x on " << hw << " cores "
+                  << (min_speedup_p4 >= 2.0 ? "(OK, >= 2x target)" : "(WARN: below the 2x target)")
+                  << "\n";
+    } else {
+        std::cout << "\nEXP-COMPUTE: only " << hw << " cores; the 2x-at-p4 target needs >= 4.\n";
+    }
+    return write_suite(suite, json) ? 0 : 1;
+}

@@ -43,6 +43,7 @@ struct CliOptions {
     std::uint32_t block = 256;
     std::string scratch = "/tmp";
     std::string algo = "balance";
+    std::uint32_t threads = 0; ///< compute lanes; 0 = the library default
     std::string trace_path, metrics_path, manifest_path, timeline_path;
     std::string checkpoint;
     bool resume = false;
@@ -54,7 +55,8 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " <input.bin> <output.bin> [--mem R] [--disks D] [--block R]\n"
-                 "          [--scratch DIR] [--algo balance|greed|merge] [--sketch] [--stats]\n"
+                 "          [--scratch DIR] [--algo balance|greed|merge] [--threads T]\n"
+                 "          [--sketch] [--stats]\n"
                  "          [--trace OUT.json] [--metrics-json OUT.json] [--manifest OUT.json]\n"
                  "          [--balance-timeline OUT.json] [--checkpoint FILE] [--resume]\n"
                  "       "
@@ -81,6 +83,8 @@ CliOptions parse(int argc, char** argv) {
             o.scratch = next();
         } else if (a == "--algo") {
             o.algo = next();
+        } else if (a == "--threads") {
+            o.threads = static_cast<std::uint32_t>(std::stoul(next()));
         } else if (a == "--trace") {
             o.trace_path = next();
         } else if (a == "--metrics-json") {
@@ -212,6 +216,9 @@ int run(const CliOptions& o) {
         bal.timeline = want_timeline ? &timeline : nullptr;
         SortJobConfig job;
         if (o.sketch) job.pivots(PivotMethod::kStreamingSketch);
+        // --threads caps the real compute lanes (work-stealing executor);
+        // the charged PRAM model still uses cfg.p processors.
+        if (o.threads != 0) job.threads(o.threads);
         job.balance(bal)
             .observability(ObsPolicy{}
                                .tracer(o.trace_path.empty() ? nullptr : &tracer)

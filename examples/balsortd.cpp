@@ -14,6 +14,8 @@
 //   name=<label>  n=<records>  workload=<uniform|gaussian|zipf|sorted|
 //   reverse|nearly-sorted|dup-heavy|organ-pipe|all-equal>
 //   seed=<u64>  m=<records>  p=<cpus>  priority=<weight>  verify=<0|1>
+//   threads=<lanes>  (compute lanes on the scheduler's shared executor;
+//   0/default = min(p, executor workers + 1))
 //
 // Example job-file (4 mixed jobs):
 //   name=alpha n=200000 workload=uniform seed=1 m=8192 p=2
@@ -23,11 +25,13 @@
 //
 // --serial runs the same jobs back-to-back (max_active=1) for a quick
 // aggregate-throughput comparison; bench_svc measures this properly.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "balsort.hpp"
@@ -102,6 +106,8 @@ std::vector<JobSpec> parse_job_file(const std::string& path) {
                 spec.p = static_cast<std::uint32_t>(std::stoul(val));
             } else if (key == "priority") {
                 spec.priority = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "threads") {
+                spec.config.threads(static_cast<std::uint32_t>(std::stoul(val)));
             } else if (key == "verify") {
                 spec.verify = val != "0";
             } else {
@@ -268,6 +274,15 @@ int main(int argc, char** argv) {
         return 1;
     }
     if (serial) cfg.max_active = 1;
+    // Size the shared executor to honor the widest threads= request even
+    // on small hosts (validation rejects lanes the pool cannot provide;
+    // oversubscription is the front end's call to make, not a job error).
+    std::uint32_t widest = 0;
+    for (const JobSpec& s : specs) widest = std::max(widest, s.config.compute_policy.threads);
+    if (widest > 1) {
+        const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+        cfg.executor_threads = std::max(widest - 1, hw);
+    }
     if (backend != "mem" && backend != "file") usage(argv[0]);
     const DiskBackend be = backend == "file" ? DiskBackend::kFile : DiskBackend::kMemory;
     cfg.async_io = be == DiskBackend::kFile;

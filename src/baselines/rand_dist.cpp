@@ -20,7 +20,7 @@ struct RandState {
     DiskArray& disks;
     VirtualDisks vdisks; // D' = D, group = 1: plain one-block-per-disk steps
     const PdmConfig& cfg;
-    ThreadPool pool;
+    Parallel pool; // width 1: the baseline charges no parallel compute
     Xoshiro256 rng;
     RunWriter out;
     RandDistReport* report;

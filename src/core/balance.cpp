@@ -53,7 +53,7 @@ constexpr Record kPadRecord{~std::uint64_t{0}, ~std::uint64_t{0}};
 
 std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivots,
                                        VirtualDisks& vdisks, std::uint64_t memory_records,
-                                       const BalanceOptions& opt, ThreadPool& pool,
+                                       const BalanceOptions& opt, const Parallel& pool,
                                        WorkMeter* meter, PramCost* cost, BalanceStats* stats,
                                        std::uint32_t sketch_child_s, BufferPool* buffers) {
     const std::uint32_t s_eff = pivots.n_buckets();

@@ -30,8 +30,8 @@
 #include "core/matrices.hpp"
 #include "core/partition.hpp"
 #include "core/vrun.hpp"
+#include "pram/executor.hpp"
 #include "pram/pram_cost.hpp"
-#include "pram/thread_pool.hpp"
 #include "util/work_meter.hpp"
 
 namespace balsort {
@@ -164,7 +164,7 @@ struct BucketOutput {
 ///     pass (DESIGN.md §10).
 std::vector<BucketOutput> balance_pass(RecordSource& input, const PivotSet& pivots,
                                        VirtualDisks& vdisks, std::uint64_t memory_records,
-                                       const BalanceOptions& opt, ThreadPool& pool,
+                                       const BalanceOptions& opt, const Parallel& pool,
                                        WorkMeter* meter = nullptr, PramCost* cost = nullptr,
                                        BalanceStats* stats = nullptr,
                                        std::uint32_t sketch_child_s = 0,

@@ -25,6 +25,10 @@ void SortOptions::validate(std::uint32_t d) const {
                "explicitly instead of relying on an implied fixed policy");
     BS_REQUIRE(d_virtual == 0 || (d_virtual <= d && d % d_virtual == 0),
                "SortOptions: d_virtual must divide the number of disks D");
+    BS_REQUIRE(executor == nullptr || max_threads == 0 ||
+                   max_threads <= executor->workers() + 1,
+               "SortOptions: max_threads exceeds what the borrowed executor can honor "
+               "(its workers() + the submitting thread)");
 }
 
 std::uint32_t default_bucket_count(const PdmConfig& cfg, std::uint32_t vblock_records) {
@@ -101,8 +105,13 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
                                  : VirtualDisks::default_virtual_count(disks.num_disks());
     std::uint32_t threads = opt.max_threads;
     if (threads == 0) {
-        const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-        threads = std::min<std::uint32_t>(cfg.p, std::max(hw, 1u) * 2);
+        if (opt.executor != nullptr) {
+            threads = std::min<std::uint32_t>(
+                cfg.p, static_cast<std::uint32_t>(opt.executor->workers()) + 1);
+        } else {
+            const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+            threads = std::min<std::uint32_t>(cfg.p, std::max(hw, 1u) * 2);
+        }
     }
     // Observability first: DriverState binds the installed tracer at
     // construction and the AsyncGuard below creates the engine (which binds
@@ -209,6 +218,9 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
         for (std::uint32_t i = 0; i < disks.num_disks(); ++i) {
             if (!disks.health_snapshot(i).alive) ++report->disks_failed;
         }
+        st.profile.compute_tasks = st.compute.tasks.load(std::memory_order_relaxed);
+        st.profile.compute_stolen = st.compute.stolen.load(std::memory_order_relaxed);
+        st.profile.compute_helped = st.compute.helped.load(std::memory_order_relaxed);
         report->phases = st.profile;
         if (opt.shared_pool == nullptr) {
             // A shared pool's hit/miss counters mix every co-scheduled

@@ -98,8 +98,17 @@ struct SortOptions {
     /// Balance knobs (matching strategy, aux rule, defer policy, ...).
     BalanceOptions balance{};
     /// Cap on real worker threads (the PRAM charge still uses cfg.p);
-    /// 0 = min(cfg.p, hardware threads).
+    /// 0 = min(cfg.p, hardware threads) — or, with a borrowed `executor`,
+    /// min(cfg.p, executor->workers() + 1).
     std::uint32_t max_threads = 0;
+    /// Borrowed work-stealing executor to fan compute out on (the sort
+    /// service shares one across concurrent jobs, DESIGN.md §15). Null:
+    /// the sort owns a private Executor when the resolved thread count
+    /// exceeds 1. The logical width — and therefore every WorkMeter /
+    /// PramCost charge — depends only on the resolved thread count, never
+    /// on the executor's physical worker count, so sharing changes no
+    /// model quantity.
+    Executor* executor = nullptr;
     /// §4.4: after Balance, rewrite each bucket that will recurse into
     /// consecutive locations on each virtual disk/hierarchy (one extra
     /// swept read + streamed write per level). On the Block-Transfer
@@ -182,7 +191,9 @@ struct SortOptions {
     /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S
     /// unknown while the parent runs), s_target != 0 with a non-kFixed
     /// policy (previously silently implied kFixed), d_virtual not
-    /// dividing d. Called by balance_sort()/hier_sort() on entry.
+    /// dividing d, max_threads exceeding what a borrowed executor can
+    /// honor (workers() + the submitting thread). Called by
+    /// balance_sort()/hier_sort() on entry.
     void validate(std::uint32_t d) const;
 };
 

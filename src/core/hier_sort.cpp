@@ -185,7 +185,7 @@ double theorem3_time_power(std::uint64_t n, std::uint32_t h, double alpha, Inter
 }
 
 PivotSet algorithm2_partition_elements(std::span<const Record> records, std::uint32_t g_groups,
-                                       std::uint32_t s_target, ThreadPool& pool,
+                                       std::uint32_t s_target, const Parallel& pool,
                                        WorkMeter* meter) {
     const std::uint64_t n = records.size();
     BS_REQUIRE(g_groups >= 1, "algorithm2: need G >= 1");

@@ -22,7 +22,7 @@
 
 #include "core/balance_sort.hpp"
 #include "hierarchy/meter.hpp"
-#include "pram/thread_pool.hpp"
+#include "pram/executor.hpp"
 
 namespace balsort {
 
@@ -103,7 +103,7 @@ double theorem3_time_power(std::uint64_t n, std::uint32_t h, double alpha, Inter
 /// Returns S-1 (or fewer, after dedup) pivot keys. Guarantees every bucket
 /// has fewer than 2N/S records (tested).
 PivotSet algorithm2_partition_elements(std::span<const Record> records, std::uint32_t g_groups,
-                                       std::uint32_t s_target, ThreadPool& pool,
+                                       std::uint32_t s_target, const Parallel& pool,
                                        WorkMeter* meter = nullptr);
 
 } // namespace balsort

@@ -9,10 +9,15 @@
 namespace balsort {
 
 std::uint32_t PivotSet::bucket_of(std::uint64_t key) const {
-    const auto it = std::lower_bound(keys.begin(), keys.end(), key);
-    const auto i = static_cast<std::uint32_t>(it - keys.begin());
-    if (it != keys.end() && *it == key) return 2 * i + 1; // equal class
-    return 2 * i;                                         // open range
+    // Branchless probe (pivot_lower_bound is a cmov loop): i = #keys < key;
+    // the +1 equal-class offset folds into an unpredicated add, so the
+    // classification hot loops in balance_pass carry no data-dependent
+    // branches at all.
+    const std::span<const std::uint64_t> ks(keys);
+    const std::uint32_t i = pivot_lower_bound(ks, key);
+    const std::uint32_t eq =
+        static_cast<std::uint32_t>(i < ks.size() && ks[i] == key); // equal class
+    return 2 * i + eq;
 }
 
 std::uint64_t sampling_stride(std::uint64_t n, std::uint64_t m, std::uint32_t s_target) {
@@ -46,12 +51,10 @@ PivotSet select_pivots_from_sorted_samples(const std::vector<std::uint64_t>& sor
 }
 
 PivotSet compute_pivots_sampling(RecordSource& input, std::uint64_t n, std::uint64_t m,
-                                 std::uint32_t s_target, ThreadPool& pool, WorkMeter* meter,
+                                 std::uint32_t s_target, const Parallel& pool, WorkMeter* meter,
                                  PramCost* cost, BufferPool* buffers) {
     BS_REQUIRE(input.remaining() == n, "compute_pivots: n != input.remaining()");
     BS_REQUIRE(m >= 2, "compute_pivots: memory too small");
-    (void)pool; // multi-selection is sequential today; the P processors
-                // would split each memoryload's rank set in a real system
     const std::uint64_t t = sampling_stride(n, m, s_target);
     std::vector<std::uint64_t> samples;
     samples.reserve(n / t + 2);
@@ -75,7 +78,7 @@ PivotSet compute_pivots_sampling(RecordSource& input, std::uint64_t n, std::uint
         // Loads smaller than the first centered rank contribute their
         // median so no stretch of the input is entirely unsampled.
         if (got > 0 && ranks.empty()) ranks.push_back((got + 1) / 2);
-        auto keys = multi_select_keys(span_load, ranks, meter);
+        auto keys = multi_select_keys(span_load, ranks, pool, meter);
         samples.insert(samples.end(), keys.begin(), keys.end());
         if (cost != nullptr) {
             cost->charge_parallel_work(got * std::max<std::uint64_t>(

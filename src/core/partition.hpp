@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "core/vrun.hpp"
+#include "pram/executor.hpp"
 #include "pram/pram_cost.hpp"
-#include "pram/thread_pool.hpp"
 #include "util/work_meter.hpp"
 
 namespace balsort {
@@ -59,7 +59,7 @@ struct PivotSet {
 /// With `buffers`, the memoryload staging is leased from the pool instead
 /// of heap-allocated per pass (DESIGN.md §10).
 PivotSet compute_pivots_sampling(RecordSource& input, std::uint64_t n, std::uint64_t m,
-                                 std::uint32_t s_target, ThreadPool& pool,
+                                 std::uint32_t s_target, const Parallel& pool,
                                  WorkMeter* meter = nullptr, PramCost* cost = nullptr,
                                  BufferPool* buffers = nullptr);
 

@@ -30,6 +30,15 @@ struct PhaseProfile {
     std::uint64_t pool_hits = 0;   ///< acquisitions served from a recycled buffer
     std::uint64_t pool_misses = 0; ///< acquisitions that had to allocate fresh
 
+    // --- compute executor (pram/executor.hpp, DESIGN.md §15) ---
+    // This job's slice of the (possibly shared) executor's traffic, from
+    // its ComputeChannel. Real-machine observables: the same sort on a
+    // differently-loaded executor reports different splits while every
+    // model quantity stays identical.
+    std::uint64_t compute_tasks = 0;  ///< chunks executed for this job
+    std::uint64_t compute_stolen = 0; ///< ran on a worker other than the deque's owner
+    std::uint64_t compute_helped = 0; ///< ran inline on the submitting/joining thread
+
     /// Sum of the per-stage driver-thread intervals. The stages are
     /// disjoint wall-clock spans, so a sort's total elapsed time is always
     /// >= phase_seconds() - overlap_hidden_seconds (tested).

@@ -22,6 +22,13 @@ void DurabilityPolicy::validate() const {
                "DurabilityPolicy: on_checkpoint hook without checkpoint_path never fires");
 }
 
+void ComputePolicy::validate() const {
+    BS_REQUIRE(shared_executor == nullptr || threads == 0 ||
+                   threads <= shared_executor->workers() + 1,
+               "ComputePolicy: threads exceeds what the shared executor can honor "
+               "(its workers() + the submitting thread)");
+}
+
 void ObsPolicy::validate() const {
     // Any combination of sinks is coherent today (each is independent);
     // the hook exists so future sinks validate in one place.
@@ -29,6 +36,7 @@ void ObsPolicy::validate() const {
 
 void SortJobConfig::validate(std::uint32_t d) const {
     io_policy.validate();
+    compute_policy.validate();
     durability_policy.validate();
     obs_policy.validate();
     options().validate(d); // the algorithmic cross-checks live with SortOptions
@@ -42,7 +50,8 @@ SortOptions SortJobConfig::options() const {
     o.internal_sort = internal_sort;
     o.d_virtual = d_virtual;
     o.balance = balance_opts;
-    o.max_threads = max_threads;
+    o.max_threads = compute_policy.threads;
+    o.executor = compute_policy.shared_executor;
     o.reposition_buckets = reposition_buckets;
     o.synchronized_writes = io_policy.synchronized_writes;
     o.async_io = io_policy.async_io;

@@ -87,6 +87,29 @@ struct DurabilityPolicy {
     void validate() const;
 };
 
+/// Compute parallelism (DESIGN.md §15): how many logical PRAM lanes the
+/// sort's internal algorithms run with, and which work-stealing executor
+/// fans them out. Every WorkMeter/PramCost charge depends only on the
+/// resolved lane count, never on where tasks physically execute — a job on
+/// a shared executor reports the same model quantities as one with a
+/// private pool.
+struct ComputePolicy {
+    /// Cap on logical compute lanes; 0 = min(cfg.p, a hardware-derived
+    /// default) — or, with a shared executor, min(cfg.p, workers() + 1).
+    std::uint32_t threads = 0;
+    /// Borrowed executor shared across jobs (the sort scheduler installs
+    /// its own here); null gives the sort a private Executor when the
+    /// resolved lane count exceeds 1.
+    Executor* shared_executor = nullptr;
+
+    ComputePolicy& workers(std::uint32_t t) { threads = t; return *this; }
+    ComputePolicy& executor(Executor* e) { shared_executor = e; return *this; }
+
+    /// Rejects a lane cap the shared executor cannot honor
+    /// (std::invalid_argument): at most workers() + the submitting thread.
+    void validate() const;
+};
+
 /// Observability sinks (DESIGN.md §11), both off by default. Tracing
 /// observes, never perturbs.
 struct ObsPolicy {
@@ -109,13 +132,13 @@ struct SortJobConfig {
     InternalSort internal_sort = InternalSort::kParallelMerge;
     std::uint32_t d_virtual = 0;
     BalanceOptions balance_opts{};
-    std::uint32_t max_threads = 0;
     bool reposition_buckets = false;
     /// Cooperative cancellation flag (DESIGN.md §14); owned by the caller.
     const std::atomic<bool>* cancel_flag = nullptr;
 
     // --- policies ---
     IoPolicy io_policy{};
+    ComputePolicy compute_policy{};
     DurabilityPolicy durability_policy{};
     ObsPolicy obs_policy{};
 
@@ -130,10 +153,11 @@ struct SortJobConfig {
     SortJobConfig& base_case(InternalSort s) { internal_sort = s; return *this; }
     SortJobConfig& virtual_disks(std::uint32_t dv) { d_virtual = dv; return *this; }
     SortJobConfig& balance(const BalanceOptions& b) { balance_opts = b; return *this; }
-    SortJobConfig& threads(std::uint32_t t) { max_threads = t; return *this; }
+    SortJobConfig& threads(std::uint32_t t) { compute_policy.threads = t; return *this; }
     SortJobConfig& reposition(bool v) { reposition_buckets = v; return *this; }
     SortJobConfig& cancel(const std::atomic<bool>* flag) { cancel_flag = flag; return *this; }
     SortJobConfig& io(IoPolicy p) { io_policy = p; return *this; }
+    SortJobConfig& compute(ComputePolicy p) { compute_policy = p; return *this; }
     SortJobConfig& durability(DurabilityPolicy p) { durability_policy = std::move(p); return *this; }
     SortJobConfig& observability(ObsPolicy p) { obs_policy = p; return *this; }
 

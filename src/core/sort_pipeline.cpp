@@ -52,7 +52,14 @@ DriverState::DriverState(DiskArray& d, const PdmConfig& c, const SortOptions& o,
       vdisks(d, dv, o.synchronized_writes),
       cfg(c),
       opt(o),
-      pool(threads),
+      // Borrow the service's shared executor when one was supplied; spin a
+      // private one only for a genuinely multi-threaded private run. The
+      // Parallel view's logical width is `threads` either way — charges
+      // never depend on the physical worker count.
+      owned_exec(o.executor == nullptr && threads > 1
+                     ? std::make_unique<Executor>(threads - 1)
+                     : nullptr),
+      pool(threads, o.executor != nullptr ? o.executor : owned_exec.get(), &compute),
       cost(c.p),
       // §6: with synchronized writes even the output run is written in
       // fully striped (common fresh index) stripes, so *every* write of

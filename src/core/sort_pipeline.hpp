@@ -35,8 +35,8 @@
 
 #include "core/balance_sort.hpp"
 #include "core/vrun.hpp"
+#include "pram/executor.hpp"
 #include "pram/pram_cost.hpp"
-#include "pram/thread_pool.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/work_meter.hpp"
 
@@ -70,7 +70,15 @@ struct DriverState {
     VirtualDisks vdisks;
     const PdmConfig& cfg;
     const SortOptions& opt;
-    ThreadPool pool;
+    /// Private executor, created only when no borrowed SortOptions::executor
+    /// was supplied and the resolved thread count exceeds 1.
+    std::unique_ptr<Executor> owned_exec;
+    /// This sort's compute-accounting channel: task counts on a shared
+    /// executor flow here instead of mixing with other jobs'.
+    ComputeChannel compute;
+    /// The parallelism view every algorithm takes: logical width = the
+    /// resolved thread count, fanned out on the borrowed or owned executor.
+    Parallel pool;
     WorkMeter meter;
     PramCost cost;
     RunWriter out;

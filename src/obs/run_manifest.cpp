@@ -63,7 +63,10 @@ void RunManifest::write_json(std::ostream& os) const {
        << ",\"staged_prefetches\":" << ph.staged_prefetches
        << ",\"overlap_hidden_seconds\":" << ph.overlap_hidden_seconds
        << ",\"pool_hits\":" << ph.pool_hits << ",\"pool_misses\":" << ph.pool_misses
-       << ",\"pool_hit_rate\":" << ph.pool_hit_rate() << "}";
+       << ",\"pool_hit_rate\":" << ph.pool_hit_rate()
+       << ",\"compute_tasks\":" << ph.compute_tasks
+       << ",\"compute_stolen\":" << ph.compute_stolen
+       << ",\"compute_helped\":" << ph.compute_helped << "}";
     os << ",\"balance\":{\"tracks\":" << bal.tracks << ",\"direct_blocks\":" << bal.direct_blocks
        << ",\"matched_blocks\":" << bal.matched_blocks
        << ",\"deferred_blocks\":" << bal.deferred_blocks

@@ -36,7 +36,7 @@ void binary_merge(std::span<const Record> a, std::span<const Record> b, std::spa
     }
 }
 
-void parallel_merge_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter,
+void parallel_merge_sort(std::span<Record> records, const Parallel& pool, WorkMeter* meter,
                          PramCost* cost) {
     const std::size_t n = records.size();
     if (n <= 1) return;
@@ -112,7 +112,7 @@ void parallel_merge_sort(std::span<Record> records, ThreadPool& pool, WorkMeter*
     }
 }
 
-void parallel_radix_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter,
+void parallel_radix_sort(std::span<Record> records, const Parallel& pool, WorkMeter* meter,
                          PramCost* cost) {
     const std::size_t n = records.size();
     if (n <= 1) return;
@@ -222,15 +222,133 @@ void multiway_merge(std::span<const std::span<const Record>> runs, std::span<Rec
     }
 }
 
+namespace {
+
+/// Count of records with key <= x (resp. < x) across all runs.
+std::size_t count_leq(std::span<const std::span<const Record>> runs, std::uint64_t x) {
+    std::size_t n = 0;
+    for (const auto& r : runs) {
+        n += static_cast<std::size_t>(
+            std::upper_bound(r.begin(), r.end(), x,
+                             [](std::uint64_t k, const Record& rec) { return k < rec.key; }) -
+            r.begin());
+    }
+    return n;
+}
+
+std::size_t run_lower_bound(std::span<const Record> r, std::uint64_t x) {
+    return static_cast<std::size_t>(
+        std::lower_bound(r.begin(), r.end(), x,
+                         [](const Record& rec, std::uint64_t k) { return rec.key < k; }) -
+        r.begin());
+}
+
+std::size_t run_upper_bound(std::span<const Record> r, std::uint64_t x) {
+    return static_cast<std::size_t>(
+        std::upper_bound(r.begin(), r.end(), x,
+                         [](std::uint64_t k, const Record& rec) { return k < rec.key; }) -
+        r.begin());
+}
+
+} // namespace
+
+void multiway_merge(std::span<const std::span<const Record>> runs, std::span<Record> out,
+                    const Parallel& pool, WorkMeter* meter) {
+    const std::size_t k = runs.size();
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    BS_REQUIRE(out.size() == total, "multiway_merge: output size mismatch");
+
+    // The serial loser tree emits records in (key, run index, position)
+    // order: equal keys tie-break toward the left subtree, i.e. the lower
+    // run index. Splitting the *output rank space* along that same order
+    // makes every part independent and the concatenation byte-identical.
+    constexpr std::size_t kMinPart = 1024; // don't fan out trivial merges
+    const std::size_t parts =
+        std::min(pool.size(), std::max<std::size_t>(1, total / kMinPart));
+    if (parts <= 1 || k <= 1) {
+        multiway_merge(runs, out, meter);
+        return;
+    }
+
+    // bounds[i][r]: index into runs[r] where part i begins. Part i covers
+    // output ranks [total·i/parts, total·(i+1)/parts). The split key for a
+    // rank target is found by binary search over the u64 key domain; the
+    // residue of equal keys is assigned to runs in run-index order.
+    std::vector<std::vector<std::size_t>> bounds(parts + 1, std::vector<std::size_t>(k, 0));
+    for (std::size_t r = 0; r < k; ++r) bounds[parts][r] = runs[r].size();
+    for (std::size_t i = 1; i < parts; ++i) {
+        const std::size_t t = total * i / parts;
+        std::uint64_t lo = 0, hi = ~std::uint64_t{0};
+        while (lo < hi) { // minimal x with count_leq(x) >= t
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            if (count_leq(runs, mid) >= t) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        const std::uint64_t x = lo;
+        std::size_t count_less = 0;
+        for (std::size_t r = 0; r < k; ++r) count_less += run_lower_bound(runs[r], x);
+        std::size_t q = t - count_less; // ==x records in the prefix, run order
+        for (std::size_t r = 0; r < k; ++r) {
+            const std::size_t lb = run_lower_bound(runs[r], x);
+            const std::size_t ub = run_upper_bound(runs[r], x);
+            const std::size_t take = std::min(q, ub - lb);
+            bounds[i][r] = lb + take;
+            q -= take;
+        }
+        BS_MODEL_CHECK(q == 0, "multiway_merge: rank split lost equal-key records");
+    }
+
+    std::vector<WorkMeter> part_meters(parts);
+    pool.parallel_for(0, parts, [&](std::size_t plo, std::size_t phi, std::size_t) {
+        for (std::size_t part = plo; part < phi; ++part) {
+            std::vector<std::span<const Record>> sub(k);
+            std::size_t out_lo = 0, part_total = 0;
+            for (std::size_t r = 0; r < k; ++r) {
+                out_lo += bounds[part][r];
+                const std::size_t len = bounds[part + 1][r] - bounds[part][r];
+                sub[r] = runs[r].subspan(bounds[part][r], len);
+                part_total += len;
+            }
+            multiway_merge(std::span<const std::span<const Record>>(sub),
+                           out.subspan(out_lo, part_total), &part_meters[part]);
+        }
+    });
+    if (meter != nullptr) {
+        std::uint64_t comparisons = 0;
+        for (const WorkMeter& pm : part_meters) comparisons += pm.comparisons();
+        meter->add_comparisons(comparisons);
+        meter->add_moves(total);
+    }
+}
+
 std::vector<std::uint32_t> bucket_of(std::span<const Record> records,
                                      std::span<const std::uint64_t> pivots, WorkMeter* meter) {
     std::vector<std::uint32_t> idx(records.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
         // bucket = number of pivots <= key (keys equal to a pivot go right,
         // so bucket i covers [pivots[i-1], pivots[i]) exclusive of pivot).
-        auto it = std::upper_bound(pivots.begin(), pivots.end(), records[i].key);
-        idx[i] = static_cast<std::uint32_t>(it - pivots.begin());
+        idx[i] = pivot_upper_bound(pivots, records[i].key);
     }
+    if (meter != nullptr) {
+        meter->add_comparisons(records.size() *
+                               std::max<std::uint64_t>(1, ilog2_ceil(pivots.size() | 1)));
+    }
+    return idx;
+}
+
+std::vector<std::uint32_t> bucket_of(std::span<const Record> records,
+                                     std::span<const std::uint64_t> pivots, const Parallel& pool,
+                                     WorkMeter* meter) {
+    std::vector<std::uint32_t> idx(records.size());
+    pool.parallel_for(0, records.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            idx[i] = pivot_upper_bound(pivots, records[i].key);
+        }
+    });
     if (meter != nullptr) {
         meter->add_comparisons(records.size() *
                                std::max<std::uint64_t>(1, ilog2_ceil(pivots.size() | 1)));

@@ -10,31 +10,42 @@
 ///  * `parallel_radix_sort` — LSD radix sort playing the Rajasekaran–Reif
 ///    [RaR] role: counting passes over digit chunks, O(n · ceil(64/r)) work.
 /// Plus `multiway_merge`, used by the merge-sort baselines and Algorithm 2's
-/// "binary merge sort" of sample sets.
+/// "binary merge sort" of sample sets — serial loser-tree form, and a
+/// splitter-partitioned parallel form (Rahn/Sanders-style: each lane merges
+/// an independent key range of all k runs, byte-identical output).
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "pram/executor.hpp"
 #include "pram/pram_cost.hpp"
-#include "pram/thread_pool.hpp"
 #include "util/record.hpp"
 #include "util/work_meter.hpp"
 
 namespace balsort {
 
 /// Stable parallel merge sort by key. Charges `cost` and `meter` if given.
-void parallel_merge_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter = nullptr,
-                         PramCost* cost = nullptr);
+void parallel_merge_sort(std::span<Record> records, const Parallel& pool,
+                         WorkMeter* meter = nullptr, PramCost* cost = nullptr);
 
 /// LSD radix sort by key (radix 2^11, 6 passes). Stable.
-void parallel_radix_sort(std::span<Record> records, ThreadPool& pool, WorkMeter* meter = nullptr,
-                         PramCost* cost = nullptr);
+void parallel_radix_sort(std::span<Record> records, const Parallel& pool,
+                         WorkMeter* meter = nullptr, PramCost* cost = nullptr);
 
 /// Merge `runs` (each sorted by key) into `out` (sized to the total).
 /// Loser-tree k-way merge: O(n log k) comparisons.
 void multiway_merge(std::span<const std::span<const Record>> runs, std::span<Record> out,
                     WorkMeter* meter = nullptr);
+
+/// Parallel k-way merge: the output is split into `pool.size()` key ranges
+/// at ranks i·n/p (ties broken by run index, matching the loser tree's
+/// emission order), and each part is merged independently. The output is
+/// byte-identical to the serial form; metered comparisons are the sum of
+/// the per-part loser-tree path comparisons (deterministic for a given
+/// input and width, but not equal to the serial count).
+void multiway_merge(std::span<const std::span<const Record>> runs, std::span<Record> out,
+                    const Parallel& pool, WorkMeter* meter = nullptr);
 
 /// Binary merge of exactly two sorted runs (Algorithm 1 step (3) helper).
 void binary_merge(std::span<const Record> a, std::span<const Record> b, std::span<Record> out,
@@ -42,9 +53,46 @@ void binary_merge(std::span<const Record> a, std::span<const Record> b, std::spa
 
 /// Partition sorted-or-not `records` among `s` buckets delimited by
 /// `pivots` (sorted, size s-1): bucket i gets keys in [pivots[i-1], pivots[i]).
-/// Returns bucket index per record. O(n log s) comparisons via binary search.
+/// Returns bucket index per record. O(n log s) comparisons via branchless
+/// binary search (no data-dependent branches in the probe loop).
 std::vector<std::uint32_t> bucket_of(std::span<const Record> records,
                                      std::span<const std::uint64_t> pivots,
                                      WorkMeter* meter = nullptr);
+
+/// Data-parallel form of `bucket_of`: classification fans out over the
+/// lanes of `pool`; identical output and identical metered charges.
+std::vector<std::uint32_t> bucket_of(std::span<const Record> records,
+                                     std::span<const std::uint64_t> pivots, const Parallel& pool,
+                                     WorkMeter* meter = nullptr);
+
+/// Number of `pivots` (sorted ascending) that are <= key — a branchless
+/// upper_bound. The building block of every classification hot loop.
+inline std::uint32_t pivot_upper_bound(std::span<const std::uint64_t> pivots,
+                                       std::uint64_t key) {
+    const std::uint64_t* base = pivots.data();
+    std::size_t n = pivots.size();
+    while (n > 1) {
+        const std::size_t half = n / 2;
+        base += (base[half - 1] <= key) ? half : 0; // cmov, no branch
+        n -= half;
+    }
+    const std::size_t idx = static_cast<std::size_t>(base - pivots.data());
+    return static_cast<std::uint32_t>(idx + ((n == 1 && *base <= key) ? 1 : 0));
+}
+
+/// Number of `pivots` (sorted ascending) that are < key — the branchless
+/// lower_bound twin (used by PivotSet::bucket_of's equal-class mapping).
+inline std::uint32_t pivot_lower_bound(std::span<const std::uint64_t> pivots,
+                                       std::uint64_t key) {
+    const std::uint64_t* base = pivots.data();
+    std::size_t n = pivots.size();
+    while (n > 1) {
+        const std::size_t half = n / 2;
+        base += (base[half - 1] < key) ? half : 0; // cmov, no branch
+        n -= half;
+    }
+    const std::size_t idx = static_cast<std::size_t>(base - pivots.data());
+    return static_cast<std::uint32_t>(idx + ((n == 1 && *base < key) ? 1 : 0));
+}
 
 } // namespace balsort

@@ -14,8 +14,8 @@ std::uint64_t exclusive_prefix_sum(std::span<std::uint64_t> values) {
     return acc;
 }
 
-std::uint64_t exclusive_prefix_sum_parallel(std::span<std::uint64_t> values, ThreadPool& pool,
-                                            PramCost* cost) {
+std::uint64_t exclusive_prefix_sum_parallel(std::span<std::uint64_t> values,
+                                            const Parallel& pool, PramCost* cost) {
     const std::size_t n = values.size();
     if (n == 0) return 0;
     const std::size_t p = pool.size();

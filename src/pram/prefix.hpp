@@ -5,15 +5,15 @@
 /// prefix operation for each unique key to compute how many destinations
 /// were selected".
 ///
-/// Parallel variants use a ThreadPool (two-pass block-scan algorithm) and
-/// charge PRAM cost when a `PramCost` is supplied.
+/// Parallel variants use a `Parallel` view (two-pass block-scan algorithm)
+/// and charge PRAM cost when a `PramCost` is supplied.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "pram/executor.hpp"
 #include "pram/pram_cost.hpp"
-#include "pram/thread_pool.hpp"
 
 namespace balsort {
 
@@ -21,8 +21,8 @@ namespace balsort {
 std::uint64_t exclusive_prefix_sum(std::span<std::uint64_t> values);
 
 /// Parallel exclusive prefix sum using `pool`; charges `cost` if non-null.
-std::uint64_t exclusive_prefix_sum_parallel(std::span<std::uint64_t> values, ThreadPool& pool,
-                                            PramCost* cost = nullptr);
+std::uint64_t exclusive_prefix_sum_parallel(std::span<std::uint64_t> values,
+                                            const Parallel& pool, PramCost* cost = nullptr);
 
 /// Segmented exclusive prefix sum: the scan restarts at every index i with
 /// flags[i] != 0. flags.size() == values.size().

@@ -116,4 +116,79 @@ std::vector<std::uint64_t> multi_select_keys(std::span<Record> records,
     return out;
 }
 
+namespace {
+
+/// Below this many records a subproblem runs inline: a task's queue/steal
+/// overhead would exceed the nth_element it wraps.
+constexpr std::size_t kParallelSelectCutoff = 4096;
+
+// Same recursion tree as multi_select_impl, but the left subproblem forks
+// onto the group when large enough and each selected key lands at its
+// rank's own output slot (out[out_base + mid]) instead of being appended
+// in order — so the concatenated result is independent of schedule. The
+// subspans of sibling tasks are disjoint, making concurrent nth_element
+// calls safe.
+void multi_select_parallel(std::span<Record> records, std::span<const std::uint64_t> ranks,
+                           std::uint64_t rank_offset, std::size_t out_base,
+                           std::span<std::uint64_t> out, TaskGroup& group, WorkMeter* meter) {
+    while (!ranks.empty()) {
+        const std::size_t mid = ranks.size() / 2;
+        const std::uint64_t local = ranks[mid] - rank_offset; // 1-based within records
+        BS_MODEL_CHECK(local >= 1 && local <= records.size(),
+                       "multi_select: rank out of subrange");
+        auto nth = records.begin() + static_cast<std::ptrdiff_t>(local - 1);
+        std::nth_element(records.begin(), nth, records.end(), KeyLess{});
+        if (meter != nullptr) {
+            meter->add_comparisons(2 * records.size());
+            meter->add_moves(records.size() / 2);
+        }
+        out[out_base + mid] = nth->key;
+        const std::span<Record> left_records = records.first(local - 1);
+        const std::span<const std::uint64_t> left_ranks = ranks.first(mid);
+        if (!left_ranks.empty()) {
+            if (left_records.size() >= kParallelSelectCutoff) {
+                group.run([left_records, left_ranks, rank_offset, out_base, out, &group, meter] {
+                    multi_select_parallel(left_records, left_ranks, rank_offset, out_base, out,
+                                          group, meter);
+                });
+            } else {
+                multi_select_parallel(left_records, left_ranks, rank_offset, out_base, out,
+                                      group, meter);
+            }
+        }
+        records = records.subspan(local); // tail-recurse into the right side
+        rank_offset += local;
+        ranks = ranks.subspan(mid + 1);
+        out_base += mid + 1;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint64_t> multi_select_keys(std::span<Record> records,
+                                             std::span<const std::uint64_t> ranks,
+                                             const Parallel& pool, WorkMeter* meter) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        BS_REQUIRE(ranks[i] >= 1 && ranks[i] <= records.size(),
+                   "multi_select_keys: rank out of range");
+        BS_REQUIRE(i == 0 || ranks[i] > ranks[i - 1],
+                   "multi_select_keys: ranks must be strictly increasing");
+    }
+    std::vector<std::uint64_t> out(ranks.size());
+    if (ranks.empty()) return out;
+    TaskGroup group(pool.size() > 1 ? pool.executor() : nullptr, pool.channel());
+    try {
+        multi_select_parallel(records, ranks, 0, 0, out, group, meter);
+    } catch (...) {
+        // In-flight tasks still reference the group: drain before unwinding.
+        try {
+            group.wait();
+        } catch (...) { // NOLINT(bugprone-empty-catch): inline error wins
+        }
+        throw;
+    }
+    group.wait();
+    return out;
+}
+
 } // namespace balsort

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "pram/executor.hpp"
 #include "util/record.hpp"
 #include "util/work_meter.hpp"
 
@@ -34,5 +35,16 @@ std::uint64_t paper_median(std::span<const std::uint64_t> values, WorkMeter* met
 std::vector<std::uint64_t> multi_select_keys(std::span<Record> records,
                                              std::span<const std::uint64_t> ranks,
                                              WorkMeter* meter = nullptr);
+
+/// Task-parallel multi-selection: the rank-splitting recursion forks its
+/// left subproblem onto `pool`'s executor (TaskGroup fan-out) while the
+/// right side continues inline. The recursion tree — and therefore every
+/// metered charge — is identical to the serial form regardless of
+/// schedule; results land at their rank's index, so the output is
+/// byte-identical too. Falls back to inline execution when `pool` has no
+/// executor or a width of 1.
+std::vector<std::uint64_t> multi_select_keys(std::span<Record> records,
+                                             std::span<const std::uint64_t> ranks,
+                                             const Parallel& pool, WorkMeter* meter = nullptr);
 
 } // namespace balsort

@@ -18,6 +18,8 @@ SortScheduler::SortScheduler(DiskArray& disks, SchedulerConfig cfg)
       shared_pool_(cfg_.shared_pool_retain_records),
       trace_guard_(cfg_.trace),
       metrics_guard_(cfg_.metrics),
+      executor_(cfg_.share_executor ? std::make_unique<Executor>(cfg_.executor_threads)
+                                    : nullptr),
       prev_async_(disks.async_enabled()) {
     BS_REQUIRE(cfg_.max_active >= 1, "SchedulerConfig: max_active must be >= 1");
     disks_.set_async(cfg_.async_io);
@@ -57,6 +59,9 @@ AdmissionResult SortScheduler::submit(JobSpec spec) {
         BS_REQUIRE(spec.config.io_policy.shared_pool == nullptr,
                    "JobSpec: the scheduler wires the shared BufferPool; leave "
                    "IoPolicy::shared_pool null");
+        BS_REQUIRE(spec.config.compute_policy.shared_executor == nullptr,
+                   "JobSpec: the scheduler wires the shared Executor; leave "
+                   "ComputePolicy::shared_executor null");
         BS_REQUIRE(spec.config.obs_policy.trace == nullptr &&
                        spec.config.obs_policy.metrics == nullptr,
                    "JobSpec: per-job observability sinks would fight over the process-wide "
@@ -182,6 +187,9 @@ void SortScheduler::execute(Job& job) {
     cfg.cancel(&job.cancel);
     if (cfg_.share_buffer_pool && cfg.io_policy.pool_buffers) {
         cfg.io_policy.shared_pool = &shared_pool_;
+    }
+    if (executor_ != nullptr) {
+        cfg.compute_policy.shared_executor = executor_.get();
     }
     const SortOptions opt = cfg.options();
 

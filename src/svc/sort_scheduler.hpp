@@ -42,6 +42,7 @@
 #include "obs/tracer.hpp"
 #include "pdm/disk_array.hpp"
 #include "pdm/job_channel.hpp"
+#include "pram/executor.hpp"
 #include "svc/io_arbiter.hpp"
 #include "svc/job.hpp"
 #include "util/buffer_pool.hpp"
@@ -68,6 +69,18 @@ struct SchedulerConfig {
     /// Share one BufferPool across all jobs (recycles staging buffers
     /// between jobs); off gives each job its own per-sort pool.
     bool share_buffer_pool = true;
+    /// Share one work-stealing Executor across all jobs' compute
+    /// (DESIGN.md §15): concurrent base-case sorts, selections, and merges
+    /// interleave on one worker set instead of oversubscribing the machine
+    /// with a pool per job. Per-job task accounting stays separate
+    /// (ComputeChannel), and every model quantity is byte-identical to a
+    /// private-pool run (the logical width never depends on sharing). Off
+    /// gives each job its own private executor.
+    bool share_executor = true;
+    /// Worker-thread count of the shared executor; 0 = hardware
+    /// concurrency. Jobs see a logical width of min(p, workers + 1) unless
+    /// their ComputePolicy::threads pins one.
+    std::uint32_t executor_threads = 0;
     /// Retention cap of the shared pool (records); 0 = unlimited.
     std::uint64_t shared_pool_retain_records = 0;
     /// When non-empty, write one RunManifest JSON per succeeded job into
@@ -162,6 +175,10 @@ private:
     BufferPool shared_pool_;
     TracerInstallGuard trace_guard_;
     MetricsInstallGuard metrics_guard_;
+    /// The jobs' shared compute executor (null when share_executor is off).
+    /// Declared after the install guards so its destructor-time metric
+    /// publication still sees the registry installed.
+    std::unique_ptr<Executor> executor_;
     bool prev_async_ = false;
 
     mutable std::mutex mu_;

@@ -1,0 +1,43 @@
+#pragma once
+/// \file function_ref.hpp
+/// A non-owning, trivially copyable reference to a callable — two words:
+/// an object pointer and a call thunk. The executor's fork-join API takes
+/// `FunctionRef` instead of `const std::function&` so that passing a lambda
+/// to `parallel_for` never allocates or copies captured state; the callable
+/// only has to outlive the (blocking) call, which fork-join guarantees.
+///
+/// Mirrors the design of `std::function_ref` (P0792, C++26); this repo
+/// targets C++20, so we carry the ~30-line subset we need.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace balsort {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F&, Args...>>>
+    // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like function_ref
+    FunctionRef(F&& f) noexcept
+        : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+  private:
+    void* obj_;
+    R (*call_)(void*, Args...);
+};
+
+} // namespace balsort

@@ -20,7 +20,7 @@ BalanceRun run_balance(std::vector<Record> recs, std::uint32_t d, std::uint32_t 
                        BalanceOptions opt) {
     DiskArray disks(d, b);
     VirtualDisks vd(disks, dv);
-    ThreadPool pool(2);
+    Parallel pool(2);
     BalanceRun out;
     VectorSource src_for_pivots(recs);
     auto pivots = compute_pivots_sampling(src_for_pivots, recs.size(), m, s_target, pool);

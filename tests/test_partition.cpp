@@ -71,7 +71,7 @@ class PivotQualityTest : public ::testing::TestWithParam<std::tuple<Workload, st
 TEST_P(PivotQualityTest, BucketSizesWithinBound) {
     auto [w, s_target] = GetParam();
     const std::uint64_t n = 40000, m = 2048;
-    ThreadPool pool(2);
+    Parallel pool(2);
     auto recs = generate_distinct(w, n, 7);
     VectorSource src(recs);
     auto pivots = compute_pivots_sampling(src, n, m, s_target, pool);
@@ -97,7 +97,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Partition, DuplicateHeavyKeysLandInEqualClasses) {
     const std::uint64_t n = 20000, m = 1024;
-    ThreadPool pool(1);
+    Parallel pool(1);
     auto recs = generate(Workload::kDuplicateHeavy, n, 3); // 16 distinct keys
     VectorSource src(recs);
     auto pivots = compute_pivots_sampling(src, n, m, 8, pool);
@@ -116,7 +116,7 @@ TEST(Partition, DuplicateHeavyKeysLandInEqualClasses) {
 
 TEST(Partition, AllEqualYieldsSingleEqualClass) {
     const std::uint64_t n = 5000, m = 512;
-    ThreadPool pool(1);
+    Parallel pool(1);
     auto recs = generate(Workload::kAllEqual, n, 1);
     VectorSource src(recs);
     auto pivots = compute_pivots_sampling(src, n, m, 4, pool);
@@ -128,7 +128,7 @@ TEST(Partition, AllEqualYieldsSingleEqualClass) {
 
 TEST(Partition, ConsumesSourceExactly) {
     const std::uint64_t n = 3000, m = 256;
-    ThreadPool pool(1);
+    Parallel pool(1);
     auto recs = generate(Workload::kUniform, n, 5);
     VectorSource src(recs);
     (void)compute_pivots_sampling(src, n, m, 4, pool);
@@ -145,7 +145,7 @@ TEST(Algorithm2, BucketBoundHolds) {
     const auto logn = static_cast<std::uint64_t>(paper_log(static_cast<double>(n)));
     const std::uint32_t g = static_cast<std::uint32_t>(std::max<std::uint64_t>(
         1, n / (s * logn * 2)));
-    ThreadPool pool(2);
+    Parallel pool(2);
     for (Workload w : {Workload::kUniform, Workload::kGaussian, Workload::kSorted,
                        Workload::kReverse}) {
         auto recs = generate_distinct(w, n, 9);
@@ -161,7 +161,7 @@ TEST(Algorithm2, BucketBoundHolds) {
 }
 
 TEST(Algorithm2, InputValidation) {
-    ThreadPool pool(1);
+    Parallel pool(1);
     std::vector<Record> recs(10);
     EXPECT_THROW(algorithm2_partition_elements(recs, 0, 4, pool), std::invalid_argument);
     EXPECT_THROW(algorithm2_partition_elements(recs, 2, 1, pool), std::invalid_argument);

@@ -1,32 +1,38 @@
-// Tests for src/pram: thread pool, prefix sums, monotone routing,
-// deterministic selection, parallel sorts, PRAM cost accounting.
+// Tests for src/pram: the Parallel view over the executor, prefix sums,
+// monotone routing, deterministic selection, parallel sorts, PRAM cost
+// accounting. The executor's own mechanics (stealing, nesting, TaskGroup)
+// are covered by tests/test_executor.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <set>
 
+#include "pram/executor.hpp"
 #include "pram/monotone_route.hpp"
 #include "pram/parallel_sort.hpp"
 #include "pram/pram_cost.hpp"
 #include "pram/prefix.hpp"
 #include "pram/selection.hpp"
-#include "pram/thread_pool.hpp"
 #include "util/random.hpp"
 #include "util/workload.hpp"
 
 namespace balsort {
 namespace {
 
-TEST(ThreadPool, SizeIsAtLeastOne) {
-    ThreadPool p1(1);
+TEST(Parallel, SizeIsAtLeastOne) {
+    Parallel p1(1);
     EXPECT_EQ(p1.size(), 1u);
-    ThreadPool p4(4);
+    Executor exec(3);
+    Parallel p4(4, &exec);
     EXPECT_EQ(p4.size(), 4u);
+    Parallel p0(0);
+    EXPECT_EQ(p0.size(), 1u);
 }
 
-TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
-    ThreadPool pool(4);
+TEST(Parallel, ParallelForCoversRangeExactlyOnce) {
+    Executor exec(3);
+    Parallel pool(4, &exec);
     std::vector<std::atomic<int>> hits(1000);
     pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi, std::size_t) {
         for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
@@ -34,8 +40,9 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, ChunksAreContiguousAndOrdered) {
-    ThreadPool pool(3);
+TEST(Parallel, ChunksAreContiguousAndOrdered) {
+    Executor exec(2);
+    Parallel pool(3, &exec);
     std::mutex mu;
     std::vector<std::pair<std::size_t, std::size_t>> chunks;
     pool.parallel_for(10, 110, [&](std::size_t lo, std::size_t hi, std::size_t) {
@@ -50,21 +57,46 @@ TEST(ThreadPool, ChunksAreContiguousAndOrdered) {
     }
 }
 
-TEST(ThreadPool, EmptyRangeIsNoop) {
-    ThreadPool pool(2);
+TEST(Parallel, SerialFallbackKeepsChunkGeometry) {
+    // A width-p Parallel with no executor must produce the same chunks
+    // (bounds and indices) as an executor-backed one — the invariant that
+    // keeps chunk-indexed algorithms identical between serial and parallel.
+    Executor exec(2);
+    for (std::size_t width : {2u, 3u, 5u}) {
+        std::mutex mu;
+        std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> par, ser;
+        Parallel(width, &exec).parallel_for(
+            7, 103, [&](std::size_t lo, std::size_t hi, std::size_t c) {
+                std::lock_guard<std::mutex> g(mu);
+                par.emplace_back(lo, hi, c);
+            });
+        Parallel(width).parallel_for(7, 103,
+                                     [&](std::size_t lo, std::size_t hi, std::size_t c) {
+                                         ser.emplace_back(lo, hi, c);
+                                     });
+        std::sort(par.begin(), par.end());
+        std::sort(ser.begin(), ser.end());
+        EXPECT_EQ(par, ser) << "width=" << width;
+    }
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+    Executor exec(1);
+    Parallel pool(2, &exec);
     bool called = false;
     pool.parallel_for(5, 5, [&](std::size_t, std::size_t, std::size_t) { called = true; });
     EXPECT_FALSE(called);
 }
 
-TEST(ThreadPool, ExceptionsPropagate) {
-    ThreadPool pool(4);
+TEST(Parallel, ExceptionsPropagate) {
+    Executor exec(3);
+    Parallel pool(4, &exec);
     EXPECT_THROW(pool.parallel_for(0, 100,
                                    [&](std::size_t lo, std::size_t, std::size_t) {
                                        if (lo == 0) throw std::runtime_error("boom");
                                    }),
                  std::runtime_error);
-    // Pool is still usable afterwards.
+    // Executor is still usable afterwards.
     std::atomic<int> sum{0};
     pool.parallel_for(0, 10, [&](std::size_t lo, std::size_t hi, std::size_t) {
         sum += static_cast<int>(hi - lo);
@@ -72,8 +104,9 @@ TEST(ThreadPool, ExceptionsPropagate) {
     EXPECT_EQ(sum.load(), 10);
 }
 
-TEST(ThreadPool, ParallelInvokeRunsPerWorker) {
-    ThreadPool pool(3);
+TEST(Parallel, ParallelInvokeRunsPerLane) {
+    Executor exec(2);
+    Parallel pool(3, &exec);
     std::vector<std::atomic<int>> hit(3);
     pool.parallel_invoke([&](std::size_t w) { hit[w].fetch_add(1); });
     int total = 0;
@@ -88,7 +121,8 @@ TEST(Prefix, SequentialExclusive) {
 }
 
 TEST(Prefix, ParallelMatchesSequential) {
-    ThreadPool pool(4);
+    Executor exec(3);
+    Parallel pool(4, &exec);
     for (std::size_t n : {0u, 1u, 7u, 100u, 1000u}) {
         std::vector<std::uint64_t> a(n), b;
         Xoshiro256 rng(n);
@@ -246,7 +280,8 @@ class ParallelSortTest : public ::testing::TestWithParam<std::tuple<Workload, st
 
 TEST_P(ParallelSortTest, MergeSortSortsEverything) {
     auto [w, n, threads] = GetParam();
-    ThreadPool pool(static_cast<std::size_t>(threads));
+    Executor exec(static_cast<std::size_t>(threads > 1 ? threads - 1 : 1));
+    Parallel pool(static_cast<std::size_t>(threads), &exec);
     auto in = generate(w, n, 123);
     auto data = in;
     WorkMeter meter;
@@ -261,7 +296,8 @@ TEST_P(ParallelSortTest, MergeSortSortsEverything) {
 
 TEST_P(ParallelSortTest, RadixSortSortsEverything) {
     auto [w, n, threads] = GetParam();
-    ThreadPool pool(static_cast<std::size_t>(threads));
+    Executor exec(static_cast<std::size_t>(threads > 1 ? threads - 1 : 1));
+    Parallel pool(static_cast<std::size_t>(threads), &exec);
     auto in = generate(w, n, 321);
     auto data = in;
     parallel_radix_sort(data, pool);
@@ -282,7 +318,8 @@ TEST(ParallelSort, MergeSortIsStableOnKeys) {
     // generator assigns payload = index).
     std::vector<Record> data(100);
     for (std::size_t i = 0; i < data.size(); ++i) data[i] = {i % 5, i};
-    ThreadPool pool(4);
+    Executor exec(3);
+    Parallel pool(4, &exec);
     parallel_merge_sort(data, pool);
     for (std::size_t i = 1; i < data.size(); ++i) {
         if (data[i].key == data[i - 1].key) {

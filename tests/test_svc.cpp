@@ -113,6 +113,103 @@ TEST(SvcMatrixTest, FileAsyncFourJobs) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared compute executor (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Like run_schedule, but with explicit control over the scheduler's
+/// compute executor: shared (one pool, `executor_threads` workers) or
+/// per-job private pools.
+std::vector<JobStatus> run_schedule_exec(const std::vector<JobSpec>& specs,
+                                         std::uint32_t max_active, bool share_executor,
+                                         std::uint32_t executor_threads) {
+    DiskArray disks = make_array(DiskBackend::kMemory);
+    SchedulerConfig cfg;
+    cfg.max_active = max_active;
+    cfg.async_io = false;
+    cfg.share_executor = share_executor;
+    cfg.executor_threads = executor_threads;
+    SortScheduler sched(disks, cfg);
+    for (const JobSpec& s : specs) {
+        AdmissionResult adm = sched.submit(s);
+        EXPECT_TRUE(adm.admitted) << s.name << ": " << adm.reason;
+    }
+    return sched.wait_all();
+}
+
+/// Jobs asking for 4 compute lanes on an executor sized to exactly honor
+/// them (3 workers + the job thread), independent of the host's core count.
+std::vector<JobSpec> make_wide_specs(std::size_t count) {
+    auto specs = make_specs(count);
+    for (JobSpec& s : specs) s.config.threads(4);
+    return specs;
+}
+
+TEST(SvcExecutorTest, SharedExecutorConcurrentMatchesSolo) {
+    // The tentpole guarantee at width 4: one executor serving 4 jobs at
+    // once produces, per job, the same sorted output AND the same charged
+    // model quantities as the same jobs trickled through one at a time.
+    const auto specs = make_wide_specs(4);
+    const auto solo = run_schedule_exec(specs, /*max_active=*/1, /*share=*/true, 3);
+    const auto conc = run_schedule_exec(specs, /*max_active=*/4, /*share=*/true, 3);
+    ASSERT_EQ(solo.size(), specs.size());
+    ASSERT_EQ(conc.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        ASSERT_EQ(solo[i].state, JobState::kSucceeded) << solo[i].error;
+        ASSERT_EQ(conc[i].state, JobState::kSucceeded) << conc[i].error;
+        EXPECT_EQ(conc[i].output_hash, solo[i].output_hash);
+        EXPECT_EQ(conc[i].io.io_steps(), solo[i].io.io_steps());
+        EXPECT_EQ(conc[i].report.comparisons, solo[i].report.comparisons);
+        EXPECT_EQ(conc[i].report.moves, solo[i].report.moves);
+        EXPECT_EQ(conc[i].report.pram_time, solo[i].report.pram_time);
+        EXPECT_EQ(conc[i].report.s_used, solo[i].report.s_used);
+        EXPECT_EQ(conc[i].report.levels, solo[i].report.levels);
+        // Per-job compute accounting: the chunk structure is input-
+        // deterministic, so the task count matches solo exactly; only the
+        // stolen/helped split is schedule-dependent.
+        EXPECT_GT(conc[i].report.phases.compute_tasks, 0u);
+        EXPECT_EQ(conc[i].report.phases.compute_tasks, solo[i].report.phases.compute_tasks);
+        EXPECT_LE(conc[i].report.phases.compute_stolen + conc[i].report.phases.compute_helped,
+                  conc[i].report.phases.compute_tasks);
+    }
+}
+
+TEST(SvcExecutorTest, PrivateExecutorsMatchSharedExecutor) {
+    // share_executor=false gives every job its own pool; all model
+    // quantities must still match the shared-pool schedule (width is what
+    // the charges key on, never the physical pool).
+    const auto specs = make_wide_specs(3);
+    const auto shared = run_schedule_exec(specs, /*max_active=*/3, /*share=*/true, 3);
+    const auto priv = run_schedule_exec(specs, /*max_active=*/3, /*share=*/false, 0);
+    ASSERT_EQ(shared.size(), specs.size());
+    ASSERT_EQ(priv.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        ASSERT_EQ(shared[i].state, JobState::kSucceeded) << shared[i].error;
+        ASSERT_EQ(priv[i].state, JobState::kSucceeded) << priv[i].error;
+        EXPECT_EQ(priv[i].output_hash, shared[i].output_hash);
+        EXPECT_EQ(priv[i].io.io_steps(), shared[i].io.io_steps());
+        EXPECT_EQ(priv[i].report.comparisons, shared[i].report.comparisons);
+        EXPECT_EQ(priv[i].report.moves, shared[i].report.moves);
+    }
+}
+
+TEST(SvcExecutorTest, ExternalSharedExecutorIsRejected) {
+    DiskArray disks(8, 64);
+    SortScheduler sched(disks, SchedulerConfig{});
+    Executor outside(1);
+    JobSpec bad;
+    bad.name = "outside-exec";
+    bad.n = 16384;
+    bad.m = 2048;
+    bad.p = 2;
+    bad.config.compute(ComputePolicy{}.executor(&outside));
+    const AdmissionResult r = sched.submit(bad);
+    EXPECT_FALSE(r.admitted);
+    EXPECT_NE(r.reason.find("Executor"), std::string::npos) << r.reason;
+}
+
+// ---------------------------------------------------------------------------
 // Lifecycle
 // ---------------------------------------------------------------------------
 
