@@ -102,7 +102,7 @@ struct ComputePolicy {
     /// resolved lane count exceeds 1.
     Executor* shared_executor = nullptr;
 
-    ComputePolicy& workers(std::uint32_t t) { threads = t; return *this; }
+    ComputePolicy& lanes(std::uint32_t t) { threads = t; return *this; }
     ComputePolicy& executor(Executor* e) { shared_executor = e; return *this; }
 
     /// Rejects a lane cap the shared executor cannot honor

@@ -153,8 +153,11 @@ void Executor::execute(Task t, bool stolen, bool helped) {
         if (stolen) job.channel_->stolen.fetch_add(1, std::memory_order_relaxed);
         if (helped) job.channel_->helped.fetch_add(1, std::memory_order_relaxed);
     }
-    // Last chunk out signals completion under the job's mutex, so a joiner
-    // waking from the cv may immediately destroy the (stack-owned) job.
+    // Last chunk out signals completion under the job's mutex, with the
+    // notify inside the critical section: join() returns only after
+    // observing done_ under the same mutex, so the joiner cannot destroy
+    // the (stack-owned) job until this lock is released — i.e. until this
+    // thread is entirely finished touching it.
     if (job.remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> l(job.m_);
         job.done_ = true;
@@ -209,20 +212,25 @@ void Executor::run(JobBase& job, std::uint32_t n_tasks) {
 
 void Executor::join(JobBase& job) {
     const bool is_worker = tls_executor == this;
-    for (;;) {
-        if (job.remaining_.load(std::memory_order_acquire) == 0) break;
+    while (job.remaining_.load(std::memory_order_acquire) != 0) {
         Task t;
-        if (try_take_job(job, &t)) {
-            // Draining every queued chunk of the joined job before parking
-            // is what makes nested fork-join deadlock-free: a blocked
-            // joiner only ever waits on chunks that are actively running
-            // on other threads.
-            execute(t, /*stolen=*/is_worker && t.home != tls_worker, /*helped=*/!is_worker);
-            continue;
-        }
+        if (!try_take_job(job, &t)) break;
+        // Draining every queued chunk of the joined job before parking
+        // is what makes nested fork-join deadlock-free: a blocked
+        // joiner only ever waits on chunks that are actively running
+        // on other threads.
+        execute(t, /*stolen=*/is_worker && t.home != tls_worker, /*helped=*/!is_worker);
+    }
+    {
+        // Returning on remaining_==0 alone would be a use-after-free: the
+        // worker that performed the final fetch_sub may still be inside
+        // the completion critical section (locking m_, setting done_,
+        // notifying cv_), and the caller destroys the stack-owned job as
+        // soon as join() returns. Waiting for done_ under m_ orders our
+        // return after the signaller has released the lock, on every exit
+        // path — including when this thread ran the final chunk itself.
         std::unique_lock<std::mutex> l(job.m_);
         job.cv_.wait(l, [&] { return job.done_; });
-        break;
     }
     if (job.error_) {
         std::exception_ptr e = job.error_;

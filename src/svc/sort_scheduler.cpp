@@ -62,6 +62,15 @@ AdmissionResult SortScheduler::submit(JobSpec spec) {
         BS_REQUIRE(spec.config.compute_policy.shared_executor == nullptr,
                    "JobSpec: the scheduler wires the shared Executor; leave "
                    "ComputePolicy::shared_executor null");
+        // ComputePolicy::validate() can't see the scheduler's executor at
+        // admission (it is only wired in at execute() time), so the
+        // lane-count-vs-executor-width check must happen here — otherwise
+        // an oversubscribed job is admitted and dies mid-run as a job
+        // failure instead of an AdmissionResult rejection.
+        BS_REQUIRE(executor_ == nullptr ||
+                       spec.config.compute_policy.threads <= executor_->workers() + 1,
+                   "JobSpec: threads exceeds what the scheduler's shared executor can "
+                   "honor (its workers() + the submitting thread)");
         BS_REQUIRE(spec.config.obs_policy.trace == nullptr &&
                        spec.config.obs_policy.metrics == nullptr,
                    "JobSpec: per-job observability sinks would fight over the process-wide "

@@ -209,6 +209,34 @@ TEST(SvcExecutorTest, ExternalSharedExecutorIsRejected) {
     EXPECT_NE(r.reason.find("Executor"), std::string::npos) << r.reason;
 }
 
+TEST(SvcExecutorTest, OverwideThreadsRejectedAtAdmission) {
+    // ComputePolicy::validate can't see the scheduler's executor (it is
+    // only wired in at run time), so a lane cap the shared executor cannot
+    // honor must be rejected by submit() itself — as an AdmissionResult,
+    // not a mid-run job failure.
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.executor_threads = 1; // 1 worker + the submitting thread = 2 lanes max
+    SortScheduler sched(disks, cfg);
+
+    JobSpec bad;
+    bad.name = "overwide";
+    bad.n = 16384;
+    bad.m = 2048;
+    bad.p = 2;
+    bad.config.threads(3);
+    const AdmissionResult r = sched.submit(bad);
+    EXPECT_FALSE(r.admitted);
+    EXPECT_NE(r.reason.find("executor"), std::string::npos) << r.reason;
+
+    JobSpec ok = bad;
+    ok.name = "at-capacity";
+    ok.config.threads(2);
+    const AdmissionResult a = sched.submit(ok);
+    ASSERT_TRUE(a.admitted) << a.reason;
+    EXPECT_EQ(sched.wait(a.id).state, JobState::kSucceeded);
+}
+
 // ---------------------------------------------------------------------------
 // Lifecycle
 // ---------------------------------------------------------------------------
