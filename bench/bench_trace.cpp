@@ -7,7 +7,11 @@
 #include "baselines/greed_sort.hpp"
 #include "baselines/striped_merge.hpp"
 #include "bench_common.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pdm/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
 
 using namespace balsort;
 using namespace balsort::bench;
@@ -35,9 +39,39 @@ TraceRow traced(const PdmConfig& cfg, const std::vector<Record>& input, SortFn&&
     return row;
 }
 
+// One rung of the flight-recorder overhead ladder: the same sort, plus an
+// explicit dose of ring traffic (`notes` synthetic events) and optionally a
+// full Chrome-trace dump inside the timed region. The model quantities come
+// from the sort alone, so they must be byte-identical across rungs — that is
+// the guard the gated baseline enforces: the recorder may cost wall time,
+// never I/O steps.
+BenchResult ladder_rung(const char* variant, const PdmConfig& cfg, std::uint64_t notes,
+                        bool dump) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SortReport rep = run_balance_sort(cfg, Workload::kUniform, 5);
+    for (std::uint64_t i = 0; i < notes; ++i) {
+        flight_note("bench.tick", "bench", static_cast<std::int64_t>(i));
+    }
+#ifndef BALSORT_NO_OBS
+    if (dump) {
+        const std::string path = "BENCH_trace_flight.json";
+        if (!FlightRecorder::instance().dump_file(path)) {
+            throw std::runtime_error("BENCH BUG: flight dump failed");
+        }
+        std::remove(path.c_str());
+    }
+#else
+    (void)dump;
+#endif
+    const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return BenchResult::from_report("trace", variant, cfg, rep, wall);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = smoke_flag(argc, argv);
+    const char* json_path = json_flag(argc, argv);
     banner("EXP-TRACE",
            "I/O access-pattern analysis (N=2^17, M=2^11, D=8, B=16, uniform).\n"
            "Reproduction target: Balance Sort keeps effective parallelism near D and\n"
@@ -96,6 +130,31 @@ int main() {
         }
         std::cout << "\nBalance Sort parallelism histogram (full steps dominate):\n";
         h.print(std::cout);
+    }
+
+    {
+        // Flight-recorder overhead ladder. The recorder is always on, so the
+        // rungs dose it: baseline (the sort's own notes only), ring (plus a
+        // burst of synthetic ring writes), ring+dump (plus a full
+        // Chrome-trace serialization). Model quantities are identical by
+        // construction; the gate pins them byte-exactly and tolerance-bands
+        // the wall clock — the recorder must stay off the model ledger.
+        PdmConfig lcfg{.n = smoke ? (1u << 15) : (1u << 17), .m = 1 << 11, .d = 8, .b = 16, .p = 1};
+        const std::uint64_t notes = smoke ? 50'000 : 500'000;
+        BenchSuite suite = make_suite("trace", smoke);
+        suite.results.push_back(ladder_rung("recorder=baseline", lcfg, 0, false));
+        suite.results.push_back(ladder_rung("recorder=ring", lcfg, notes, false));
+        suite.results.push_back(ladder_rung("recorder=ring+dump", lcfg, notes, true));
+
+        Table l({"rung", "I/O steps", "wall (s)"});
+        for (const auto& r : suite.results) {
+            l.add_row({r.variant, Table::num(r.io_steps), Table::fixed(r.wall_seconds, 3)});
+        }
+        std::cout << "\nFlight-recorder overhead ladder (N=" << lcfg.n << ", " << notes
+                  << " synthetic notes per dosed rung):\n";
+        l.print(std::cout);
+
+        if (!write_suite(suite, json_path)) return 1;
     }
     return 0;
 }

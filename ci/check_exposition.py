@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) snapshot from balsortd.
+
+CI scrapes balsortd (--stats-file or --stats-port + curl) and feeds the
+text through this checker, which enforces the subset of the format the
+repo emits (DESIGN.md §16):
+
+  * comment lines are well-formed `# HELP name text` / `# TYPE name kind`
+  * every sample line parses as `name[{labels}] value`
+  * every sample belongs to a `# TYPE`-declared family (modulo the
+    histogram/counter suffixes _bucket/_sum/_count/_total)
+  * counter samples end in `_total`
+  * histograms carry a `+Inf` bucket, monotone bucket counts, and a
+    matching `_sum`/`_count` pair
+  * required series (--require, repeatable) are present
+  * at least --min-samples samples overall
+
+Exit 0 on a valid snapshot, 1 with a message otherwise — so a perf job
+step can simply run it.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def base_family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)  # raises ValueError on garbage; NaN is legal
+
+
+def check(text: str, require: list, min_samples: int) -> list:
+    errors = []
+    families = {}  # family name -> kind
+    samples = []  # (name, labels-or-None, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                families[m.group("name")] = m.group("kind")
+                continue
+            if HELP_RE.match(line):
+                continue
+            errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value in: {line!r}")
+            continue
+        samples.append((m.group("name"), m.group("labels"), value))
+
+    for name, _, _ in samples:
+        family = base_family(name)
+        if family not in families and name not in families:
+            errors.append(f"sample {name}: no # TYPE declaration")
+
+    for family, kind in families.items():
+        names = {n for n, _, _ in samples if base_family(n) in (family,) or n == family}
+        if kind == "counter":
+            for n in names:
+                if not n.endswith("_total"):
+                    errors.append(f"counter {family}: sample {n} lacks _total")
+        elif kind == "histogram":
+            buckets = [
+                (labels, value)
+                for n, labels, value in samples
+                if n == family + "_bucket"
+            ]
+            if not buckets:
+                errors.append(f"histogram {family}: no _bucket samples")
+                continue
+            les = []
+            for labels, value in buckets:
+                m = LE_RE.search(labels or "")
+                if not m:
+                    errors.append(f"histogram {family}: bucket without le label")
+                    continue
+                les.append((math.inf if m.group(1) == "+Inf" else float(m.group(1)), value))
+            if not any(math.isinf(le) for le, _ in les):
+                errors.append(f"histogram {family}: missing +Inf bucket")
+            les.sort(key=lambda p: p[0])
+            counts = [c for _, c in les]
+            if counts != sorted(counts):
+                errors.append(f"histogram {family}: bucket counts not monotone")
+            for suffix in ("_sum", "_count"):
+                if not any(n == family + suffix for n, _, _ in samples):
+                    errors.append(f"histogram {family}: missing {family}{suffix}")
+
+    present = {n for n, _, _ in samples}
+    for want in require:
+        if want not in present:
+            errors.append(f"required series missing: {want}")
+
+    if len(samples) < min_samples:
+        errors.append(f"only {len(samples)} samples, expected >= {min_samples}")
+
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", help="exposition snapshot, or - for stdin")
+    ap.add_argument("--require", action="append", default=[],
+                    help="series name that must be present (repeatable)")
+    ap.add_argument("--min-samples", type=int, default=1)
+    args = ap.parse_args()
+
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    errors = check(text, args.require, args.min_samples)
+    if errors:
+        for e in errors:
+            print(f"check_exposition: {e}", file=sys.stderr)
+        return 1
+    families = len(re.findall(r"^# TYPE ", text, flags=re.M))
+    samples = sum(
+        1 for l in text.splitlines() if l.strip() and not l.startswith("#")
+    )
+    print(f"check_exposition: ok ({families} families, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

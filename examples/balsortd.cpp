@@ -6,8 +6,19 @@
 //   balsortd <job-file> [--disks D] [--block B] [--backend mem|file]
 //            [--scratch DIR] [--max-active K] [--fairness F]
 //            [--queue CAP] [--budget BLOCKS] [--manifest-dir DIR]
-//            [--trace OUT.json] [--serial]
-//   balsortd --selftest
+//            [--trace OUT.json] [--serial] [--stats-port PORT]
+//            [--stats-file PATH] [--tick SECONDS] [--flight-dump PATH]
+//   balsortd --selftest [--stats-port PORT] [--stats-file PATH]
+//
+// Live observability (DESIGN.md §16): --stats-port serves Prometheus-style
+// exposition text over HTTP/1.0 on 127.0.0.1 (try
+// `curl localhost:PORT/metrics`); --stats-file rewrites the same text to a
+// file every --tick seconds (plus a final snapshot) for socketless CI;
+// --tick also prints a per-job progress/ETA line to stderr each interval;
+// --flight-dump arms the flight recorder's auto-dump path (a Chrome-trace
+// JSON of the last moments of every thread, written on faults, deadline
+// expiries, and job failures); on a clean exit the same path gets a final
+// dump, so the flag always yields a trace to open in about://tracing.
 //
 // Job-file format: one job per line, whitespace-separated key=value
 // pairs; '#' starts a comment. Keys (all optional, sane defaults):
@@ -26,7 +37,10 @@
 // --serial runs the same jobs back-to-back (max_active=1) for a quick
 // aggregate-throughput comparison; bench_svc measures this properly.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,7 +48,15 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "balsort.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -47,9 +69,153 @@ namespace {
               << " <job-file> [--disks D] [--block B] [--backend mem|file]\n"
                  "          [--scratch DIR] [--max-active K] [--fairness F] [--queue CAP]\n"
                  "          [--budget BLOCKS] [--manifest-dir DIR] [--trace OUT.json] [--serial]\n"
+                 "          [--stats-port PORT] [--stats-file PATH] [--tick SECONDS]\n"
+                 "          [--flight-dump PATH]\n"
                  "       "
-              << argv0 << " --selftest\n";
+              << argv0 << " --selftest [--stats-port PORT] [--stats-file PATH]\n";
     std::exit(2);
+}
+
+/// Observability front-end options (DESIGN.md §16).
+struct StatsOptions {
+    int port = -1;         ///< >= 0: serve exposition text on 127.0.0.1:port (0 = ephemeral)
+    std::string file;      ///< non-empty: rewrite exposition text here every tick
+    double tick = 0;       ///< > 0: progress/ETA ticker interval (seconds)
+};
+
+/// Serves Prometheus-style exposition text for one scheduler: a minimal
+/// HTTP/1.0 responder on 127.0.0.1 (any request path gets the metrics) and
+/// an optional periodic file snapshot. Every render calls
+/// SortScheduler::publish_stats() first, so a scrape always sees live
+/// gauges (executor queue depth, DRR deficits, per-disk in-flight, pool
+/// occupancy, per-job progress).
+class StatsService {
+public:
+    StatsService(SortScheduler& sched, MetricsRegistry& reg, const StatsOptions& opt)
+        : sched_(sched), reg_(reg), file_(opt.file),
+          interval_(opt.tick > 0 ? opt.tick : 0.5) {
+        if (opt.port >= 0) open_server(opt.port);
+        thread_ = std::thread([this] { loop(); });
+    }
+    ~StatsService() {
+        stop_.store(true, std::memory_order_relaxed);
+        if (thread_.joinable()) thread_.join();
+        if (listen_fd_ >= 0) ::close(listen_fd_);
+        if (!file_.empty()) write_file(); // final snapshot survives exit
+    }
+    StatsService(const StatsService&) = delete;
+    StatsService& operator=(const StatsService&) = delete;
+
+    /// The bound port (resolves --stats-port 0 to the kernel's pick).
+    int port() const { return port_; }
+
+private:
+    std::string render() {
+        sched_.publish_stats();
+        return exposition_text(reg_);
+    }
+
+    void write_file() {
+        sched_.publish_stats();
+        write_exposition_file(reg_, file_);
+    }
+
+    void open_server(int port) {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) {
+            std::cerr << "balsortd: cannot open stats socket\n";
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+            ::listen(listen_fd_, 8) != 0) {
+            std::cerr << "balsortd: cannot bind stats port " << port << '\n';
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+            port_ = ntohs(bound.sin_port);
+        }
+        std::cout << "stats: serving http://127.0.0.1:" << port_ << "/metrics\n";
+    }
+
+    void loop() {
+        auto last_file = std::chrono::steady_clock::now();
+        while (!stop_.load(std::memory_order_relaxed)) {
+            if (listen_fd_ >= 0) {
+                pollfd p{};
+                p.fd = listen_fd_;
+                p.events = POLLIN;
+                if (::poll(&p, 1, 100) > 0 && (p.revents & POLLIN) != 0) serve_one();
+            } else {
+                std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+            const auto now = std::chrono::steady_clock::now();
+            if (!file_.empty() &&
+                std::chrono::duration<double>(now - last_file).count() >= interval_) {
+                write_file();
+                last_file = now;
+            }
+        }
+    }
+
+    void serve_one() {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) return;
+        char req[1024];
+        (void)::recv(client, req, sizeof req, 0); // request line is irrelevant
+        const std::string body = render();
+        std::ostringstream os;
+        os << "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: "
+           << body.size() << "\r\nConnection: close\r\n\r\n"
+           << body;
+        const std::string resp = os.str();
+        std::size_t off = 0;
+        while (off < resp.size()) {
+            const ssize_t w = ::send(client, resp.data() + off, resp.size() - off, 0);
+            if (w <= 0) break;
+            off += static_cast<std::size_t>(w);
+        }
+        ::close(client);
+    }
+
+    SortScheduler& sched_;
+    MetricsRegistry& reg_;
+    std::string file_;
+    double interval_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+    int listen_fd_ = -1;
+    int port_ = -1;
+};
+
+/// One progress line per non-terminal job, printed to stderr so the result
+/// table on stdout stays machine-readable.
+void print_progress(SortScheduler& sched, const std::vector<std::uint64_t>& ids) {
+    for (std::uint64_t id : ids) {
+        const JobStatus st = sched.status(id);
+        if (st.state == JobState::kRunning) {
+            std::ostringstream os;
+            os << "[" << st.name << "] " << st.progress.phase << ' '
+               << st.progress.records_emitted << '/' << st.progress.records_total
+               << " records, io_steps=" << st.progress.io_steps;
+            if (st.progress.eta_seconds >= 0) {
+                os << ", eta " << Table::fixed(st.progress.eta_seconds, 1) << "s";
+            }
+            std::cerr << os.str() << '\n';
+        } else if (st.state == JobState::kQueued) {
+            std::cerr << "[" << st.name << "] queued at position " << st.queue_position << ": "
+                      << st.waiting_reason << '\n';
+        }
+    }
 }
 
 bool parse_workload(const std::string& s, Workload* out) {
@@ -123,9 +289,15 @@ std::vector<JobSpec> parse_job_file(const std::string& path) {
     return specs;
 }
 
-int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfig cfg) {
+int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfig cfg,
+             const StatsOptions& stats) {
     Timer wall;
+    MetricsRegistry* reg = cfg.metrics;
     SortScheduler sched(disks, std::move(cfg));
+    std::unique_ptr<StatsService> server;
+    if (reg != nullptr && (stats.port >= 0 || !stats.file.empty())) {
+        server = std::make_unique<StatsService>(sched, *reg, stats);
+    }
     std::vector<std::uint64_t> ids;
     for (const JobSpec& spec : specs) {
         AdmissionResult adm = sched.submit(spec);
@@ -135,7 +307,20 @@ int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfi
         }
         ids.push_back(adm.id);
     }
-    Table t({"job", "state", "io_steps", "blocks", "output hash", "wall (s)"});
+    std::atomic<bool> done{false};
+    std::thread ticker;
+    if (stats.tick > 0) {
+        ticker = std::thread([&] {
+            const auto interval = std::chrono::duration<double>(stats.tick);
+            while (!done.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(interval);
+                if (done.load(std::memory_order_relaxed)) break;
+                print_progress(sched, ids);
+            }
+        });
+    }
+    Table t({"job", "state", "io_steps", "blocks", "output hash", "wall (s)", "compute (s)",
+             "io-wait (s)", "gate-wait (s)"});
     int failures = 0;
     for (std::uint64_t id : ids) {
         const JobStatus st = sched.wait(id);
@@ -143,12 +328,16 @@ int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfi
         hash << std::hex << st.output_hash;
         t.add_row({st.name, to_string(st.state), Table::num(st.io.io_steps()),
                    Table::num(st.io.blocks_read + st.io.blocks_written), hash.str(),
-                   Table::fixed(st.elapsed_seconds, 2)});
+                   Table::fixed(st.elapsed_seconds, 2), Table::fixed(st.budget.compute_seconds, 2),
+                   Table::fixed(st.budget.io_wait_seconds, 2),
+                   Table::fixed(st.budget.gate_wait_seconds, 2)});
         if (st.state != JobState::kSucceeded) {
             ++failures;
             if (!st.error.empty()) std::cerr << st.name << ": " << st.error << '\n';
         }
     }
+    done.store(true, std::memory_order_relaxed);
+    if (ticker.joinable()) ticker.join();
     const double secs = wall.seconds();
     t.print(std::cout);
     const IoArbiter::Stats arb = sched.arbiter_stats();
@@ -158,7 +347,7 @@ int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfi
     return failures == 0 ? 0 : 1;
 }
 
-int selftest() {
+int selftest(const StatsOptions& stats) {
     // 4 mixed jobs on a shared 8-disk memory array; each job's model
     // accounting must come out byte-identical to a solo run of the same
     // spec — the service's core guarantee.
@@ -196,10 +385,16 @@ int selftest() {
 
     // Concurrent run on one shared array.
     DiskArray disks(8, 64);
+    MetricsRegistry registry;
     SchedulerConfig cfg;
     cfg.max_active = 4;
     cfg.async_io = false;
+    if (stats.port >= 0 || !stats.file.empty()) cfg.metrics = &registry;
     SortScheduler sched(disks, cfg);
+    std::unique_ptr<StatsService> server;
+    if (cfg.metrics != nullptr) {
+        server = std::make_unique<StatsService>(sched, registry, stats);
+    }
     std::vector<std::uint64_t> ids;
     for (const JobSpec& spec : specs) ids.push_back(sched.submit(spec).id);
     bool ok = true;
@@ -224,10 +419,11 @@ int selftest() {
 } // namespace
 
 int main(int argc, char** argv) {
-    std::string job_file, scratch = "/tmp", trace_path, backend = "mem";
+    std::string job_file, scratch = "/tmp", trace_path, backend = "mem", flight_dump;
     std::uint32_t d = 8, b = 64;
     SchedulerConfig cfg;
-    bool serial = false;
+    StatsOptions stats;
+    bool serial = false, run_selftest = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -235,7 +431,15 @@ int main(int argc, char** argv) {
             return argv[++i];
         };
         if (a == "--selftest") {
-            return selftest();
+            run_selftest = true;
+        } else if (a == "--stats-port") {
+            stats.port = static_cast<int>(std::stol(next()));
+        } else if (a == "--stats-file") {
+            stats.file = next();
+        } else if (a == "--tick") {
+            stats.tick = std::strtod(next().c_str(), nullptr);
+        } else if (a == "--flight-dump") {
+            flight_dump = next();
         } else if (a == "--disks") {
             d = static_cast<std::uint32_t>(std::stoul(next()));
         } else if (a == "--block") {
@@ -266,6 +470,31 @@ int main(int argc, char** argv) {
             usage(argv[0]);
         }
     }
+#ifndef BALSORT_NO_OBS
+    if (!flight_dump.empty()) FlightRecorder::instance().set_auto_dump_path(flight_dump);
+#else
+    if (!flight_dump.empty()) {
+        std::cerr << "balsortd: --flight-dump ignored (built with BALSORT_NO_OBS)\n";
+    }
+#endif
+    // On a clean exit --flight-dump writes a final trace; a faulted run
+    // already got the auto-dump frozen at the moment of failure, and a
+    // late rewrite would bury it under post-mortem ring traffic.
+    const auto final_flight_dump = [&flight_dump](int rc) {
+#ifndef BALSORT_NO_OBS
+        if (!flight_dump.empty() && rc == 0) {
+            (void)FlightRecorder::instance().dump_file(flight_dump);
+        }
+#else
+        (void)flight_dump;
+        (void)rc;
+#endif
+    };
+    if (run_selftest) {
+        const int rc = selftest(stats);
+        final_flight_dump(rc);
+        return rc;
+    }
     if (job_file.empty()) usage(argv[0]);
 
     const auto specs = parse_job_file(job_file);
@@ -289,12 +518,15 @@ int main(int argc, char** argv) {
 
     Tracer tracer;
     if (!trace_path.empty()) cfg.trace = &tracer;
+    MetricsRegistry registry;
+    if (stats.port >= 0 || !stats.file.empty()) cfg.metrics = &registry;
 
     DiskArray disks(d, b, be, scratch);
     std::cout << "balsortd: " << specs.size() << " jobs over a shared " << d << "-disk " << backend
               << " array (B=" << b << ", max_active=" << cfg.max_active
               << ", fairness=" << cfg.fairness << ")\n\n";
-    const int rc = run_jobs(specs, disks, cfg);
+    const int rc = run_jobs(specs, disks, cfg, stats);
     if (!trace_path.empty()) tracer.write_chrome_trace_file(trace_path);
+    final_flight_dump(rc);
     return rc;
 }

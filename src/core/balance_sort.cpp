@@ -221,6 +221,14 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
         st.profile.compute_tasks = st.compute.tasks.load(std::memory_order_relaxed);
         st.profile.compute_stolen = st.compute.stolen.load(std::memory_order_relaxed);
         st.profile.compute_helped = st.compute.helped.load(std::memory_order_relaxed);
+        // Time budget (DESIGN.md §16): pool-wait from this sort's compute
+        // channel, io-wait from the engine stalls attributed to this run's
+        // I/O accounting. gate_wait_seconds stays 0 here — the fairness
+        // gate is service machinery, and the scheduler (which owns the
+        // gate) patches it into the job-level budget.
+        st.profile.pool_wait_seconds =
+            static_cast<double>(st.compute.wait_ns.load(std::memory_order_relaxed)) * 1e-9;
+        st.profile.io_wait_seconds = report->io.engine_stall_seconds;
         report->phases = st.profile;
         if (opt.shared_pool == nullptr) {
             // A shared pool's hit/miss counters mix every co-scheduled

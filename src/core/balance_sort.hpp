@@ -186,6 +186,12 @@ struct SortOptions {
     /// array stays healthy; in-flight async work is completed first by
     /// normal unwinding.
     const std::atomic<bool>* cancel = nullptr;
+    /// Live progress sink (DESIGN.md §16): when non-null the pipeline
+    /// publishes its current phase and records-emitted count into these
+    /// atomics as it runs, so a watcher (SortScheduler::status(), the
+    /// balsortd ticker) can show progress and a phase-weighted ETA.
+    /// Observability only — no model quantity reads it.
+    ProgressSink* progress = nullptr;
 
     /// Reject incoherent option combinations with a clear message
     /// (std::invalid_argument): kStreamingSketch + kSqrtLevel (child S

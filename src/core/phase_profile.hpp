@@ -8,9 +8,39 @@
 /// the cross-bucket prefetch hid behind base-case computation. These vary
 /// run to run; the model quantities never do.
 
+#include <atomic>
 #include <cstdint>
 
 namespace balsort {
+
+/// Live progress mirror for an in-flight sort (DESIGN.md §16): the
+/// pipeline publishes lock-free, a watcher (SortScheduler::status(), the
+/// balsortd ticker) reads lock-free. Wall-clock observability only — no
+/// model quantity ever reads these.
+struct ProgressSink {
+    /// Records appended to the output run so far (base-case + emit paths).
+    std::atomic<std::uint64_t> records_emitted{0};
+    /// Total records the sort will emit (n), set at pipeline entry.
+    std::atomic<std::uint64_t> records_total{0};
+    /// Current pipeline stage: 0 = not started, 1 pivot, 2 balance,
+    /// 3 base-case, 4 emit, 5 done.
+    std::atomic<std::uint32_t> phase_id{0};
+
+    static constexpr std::uint32_t kIdle = 0, kPivot = 1, kBalance = 2, kBaseCase = 3,
+                                   kEmit = 4, kDone = 5;
+
+    /// Viewer-facing stage label.
+    static const char* phase_name(std::uint32_t id) {
+        switch (id) {
+            case kPivot: return "pivot";
+            case kBalance: return "balance";
+            case kBaseCase: return "base-case";
+            case kEmit: return "emit";
+            case kDone: return "done";
+            default: return "idle";
+        }
+    }
+};
 
 struct PhaseProfile {
     // --- per-stage wall clock (driver-thread intervals, disjoint) ---
@@ -38,6 +68,30 @@ struct PhaseProfile {
     std::uint64_t compute_tasks = 0;  ///< chunks executed for this job
     std::uint64_t compute_stolen = 0; ///< ran on a worker other than the deque's owner
     std::uint64_t compute_helped = 0; ///< ran inline on the submitting/joining thread
+
+    // --- wall-clock time budget (DESIGN.md §16) ---
+    // Splits the sort's elapsed wall-clock into attributable wait buckets;
+    // whatever is not a measured wait is compute. Filled by balance_sort
+    // from the bound channels' wait accumulators. All real-machine
+    // quantities: the budget varies run to run, the model numbers never do.
+    /// Seconds the driver spent blocked on the async engine (reap stalls —
+    /// the engine_stall_seconds the job's I/O channel accumulated).
+    double io_wait_seconds = 0;
+    /// Seconds the job spent parked in the service's I/O fairness gate
+    /// (DRR arbiter; 0 outside the sort service).
+    double gate_wait_seconds = 0;
+    /// Seconds the driver thread spent parked in Executor::join waiting on
+    /// pool workers (ComputeChannel::wait_ns).
+    double pool_wait_seconds = 0;
+
+    /// The derived compute bucket: elapsed minus every measured wait,
+    /// clamped at zero. With `other` covering non-sort work the caller did
+    /// (input generation, verification), the budget sums to elapsed by
+    /// construction.
+    double compute_seconds(double elapsed) const {
+        const double c = elapsed - io_wait_seconds - gate_wait_seconds - pool_wait_seconds;
+        return c > 0 ? c : 0;
+    }
 
     /// Sum of the per-stage driver-thread intervals. The stages are
     /// disjoint wall-clock spans, so a sort's total elapsed time is always

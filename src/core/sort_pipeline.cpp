@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/partition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 #include "pram/parallel_sort.hpp"
 #include "util/math.hpp"
@@ -117,6 +118,8 @@ PivotSet PivotPhase::run(const std::function<std::unique_ptr<RecordSource>()>& t
     if (premade != nullptr && !premade->keys.empty()) {
         return *premade; // parent's sketch: skip the read pass
     }
+    st_.progress_phase(ProgressSink::kPivot);
+    flight_note("pivot", "phase", static_cast<std::int64_t>(n));
     PhaseSpan span(st_, "pivot", st_.lane_pivot, n);
     auto src = take_source();
     return compute_pivots_sampling(*src, n, st_.cfg.m, s_target, st_.pool, &st_.meter, &st_.cost,
@@ -127,6 +130,8 @@ std::vector<BucketOutput> BalancePhase::run(
     const std::function<std::unique_ptr<RecordSource>()>& take_source, const PivotSet& pivots,
     std::uint32_t sketch_child_s, std::uint64_t n, std::uint32_t depth, std::uint32_t s_target) {
     PhaseTimer timer(st_.profile.balance_seconds);
+    st_.progress_phase(ProgressSink::kBalance);
+    flight_note("balance", "phase", static_cast<std::int64_t>(n));
     PhaseSpan span(st_, "balance", st_.lane_balance, n);
     BalanceStats bstats;
     std::vector<BucketOutput> buckets;
@@ -163,6 +168,8 @@ std::vector<BucketOutput> BalancePhase::run(
 void BaseCasePhase::run(RecordSource& src, std::uint64_t n,
                         const std::function<void()>& after_load) {
     PhaseTimer timer(st_.profile.base_case_seconds);
+    st_.progress_phase(ProgressSink::kBaseCase);
+    flight_note("base_case", "phase", static_cast<std::int64_t>(n));
     PhaseSpan span(st_, "base_case", st_.lane_base, n);
     auto buf = BufferPool::acquire_from(st_.buffer_pool(), static_cast<std::size_t>(n));
     const std::uint64_t got = src.read(*buf);
@@ -176,11 +183,14 @@ void BaseCasePhase::run(RecordSource& src, std::uint64_t n,
         parallel_merge_sort(*buf, st_.pool, &st_.meter, &st_.cost);
     }
     st_.out.append(std::span<const Record>(*buf));
+    st_.progress_emitted(got);
     if (st_.report != nullptr) st_.report->base_cases += 1;
 }
 
 void EmitPhase::stream_copy(RecordSource& src) {
     PhaseTimer timer(st_.profile.emit_seconds);
+    st_.progress_phase(ProgressSink::kEmit);
+    flight_note("stream_copy", "phase", static_cast<std::int64_t>(src.remaining()));
     PhaseSpan span(st_, "stream_copy", st_.lane_emit, src.remaining());
     auto buf = BufferPool::acquire_from(
         st_.buffer_pool(),
@@ -190,6 +200,7 @@ void EmitPhase::stream_copy(RecordSource& src) {
         const std::uint64_t got = src.read(*buf);
         BS_MODEL_CHECK(got == buf->size(), "stream_copy: short read");
         st_.out.append(std::span<const Record>(buf->data(), got));
+        st_.progress_emitted(got);
         st_.meter.add_moves(got);
     }
 }
@@ -234,7 +245,12 @@ SortPipeline::SortPipeline(DriverState& st)
     : st_(st), pivot_(st), balance_(st), base_(st), emit_(st) {}
 
 void SortPipeline::run(const SourceFactory& top, std::uint64_t n, ResumeCursor* resume) {
+    if (st_.opt.progress != nullptr) {
+        st_.opt.progress->records_total.store(n, std::memory_order_relaxed);
+        st_.opt.progress->records_emitted.store(0, std::memory_order_relaxed);
+    }
     process_node(top, nullptr, n, 0, nullptr, {}, resume);
+    st_.progress_phase(ProgressSink::kDone);
     BS_MODEL_CHECK(resume == nullptr || resume->frames.empty(),
                    "resume: checkpoint frames left unconsumed (record does not match this sort)");
 }

@@ -123,6 +123,18 @@ struct DriverState {
     /// and between buckets — boundaries where the array holds no partially
     /// transferred state, so the caller can reclaim scratch safely.
     void check_cancelled() const;
+
+    /// Live-progress publication (DESIGN.md §16): no-ops without a
+    /// SortOptions::progress sink. Relaxed stores — watchers tolerate any
+    /// interleaving; no model quantity reads these.
+    void progress_phase(std::uint32_t id) const {
+        if (opt.progress != nullptr) opt.progress->phase_id.store(id, std::memory_order_relaxed);
+    }
+    void progress_emitted(std::uint64_t n_records) const {
+        if (opt.progress != nullptr) {
+            opt.progress->records_emitted.fetch_add(n_records, std::memory_order_relaxed);
+        }
+    }
 };
 
 /// Accumulates wall-clock into one PhaseProfile field for the lifetime of

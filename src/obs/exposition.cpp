@@ -1,0 +1,73 @@
+#include "obs/exposition.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace balsort {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's
+/// dotted names ("executor.queue_depth") map '.' — and anything else
+/// illegal — to '_', under a "balsort_" prefix.
+std::string mangle(const std::string& name) {
+    std::string out = "balsort_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+void write_exposition(const MetricsRegistry& reg, std::ostream& os) {
+    const MetricsRegistry::Snapshot snap = reg.snapshot();
+    for (const auto& [name, c] : snap.counters) {
+        const std::string p = mangle(name) + "_total";
+        os << "# TYPE " << p << " counter\n" << p << ' ' << c->value() << '\n';
+    }
+    for (const auto& [name, g] : snap.gauges) {
+        const std::string p = mangle(name);
+        os << "# TYPE " << p << " gauge\n" << p << ' ' << g->value() << '\n';
+    }
+    for (const auto& [name, h] : snap.histograms) {
+        const std::string p = mangle(name);
+        os << "# TYPE " << p << " histogram\n";
+        // One pass over the fixed buckets; cumulative counts as the
+        // exposition format requires. Only non-empty buckets get their
+        // own `le` line — `+Inf` always closes the series.
+        std::uint64_t cum = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+            const std::uint64_t n = h->bucket_count(b);
+            if (n == 0) continue;
+            cum += n;
+            os << p << "_bucket{le=\"" << Histogram::bucket_upper_bound(b) << "\"} " << cum
+               << '\n';
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << cum << '\n'
+           << p << "_sum " << h->sum() << '\n'
+           << p << "_count " << h->count() << '\n';
+    }
+}
+
+std::string exposition_text(const MetricsRegistry& reg) {
+    std::ostringstream os;
+    write_exposition(reg, os);
+    return os.str();
+}
+
+bool write_exposition_file(const MetricsRegistry& reg, const std::string& path) {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    write_exposition(reg, os);
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+} // namespace balsort

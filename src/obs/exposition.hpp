@@ -1,0 +1,28 @@
+#pragma once
+// Prometheus text exposition (format 0.0.4) for a MetricsRegistry.
+//
+// Rendering rules:
+//   - every metric name is prefixed "balsort_" and '.' becomes '_'
+//     (other characters illegal in Prometheus names also map to '_');
+//   - counters render as `# TYPE ... counter` with a `_total` suffix;
+//   - gauges render as `# TYPE ... gauge`;
+//   - histograms render as cumulative `_bucket{le="..."}` series over the
+//     registry's 65 power-of-two buckets (non-empty buckets plus the
+//     mandatory `le="+Inf"`), with `_sum` and `_count`.
+//
+// The output is a point-in-time snapshot: instrument values are read
+// once each with relaxed loads, so a scrape racing live recording sees
+// values at most one update stale — fine for a stats endpoint.
+#include <iosfwd>
+#include <string>
+
+namespace balsort {
+
+class MetricsRegistry;
+
+/// Renders `reg` in Prometheus text exposition format 0.0.4.
+void write_exposition(const MetricsRegistry& reg, std::ostream& os);
+std::string exposition_text(const MetricsRegistry& reg);
+bool write_exposition_file(const MetricsRegistry& reg, const std::string& path);
+
+} // namespace balsort

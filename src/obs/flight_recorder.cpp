@@ -1,0 +1,163 @@
+#include "obs/flight_recorder.hpp"
+
+#ifndef BALSORT_NO_OBS
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace balsort {
+
+namespace {
+thread_local void* tl_flight_ring = nullptr;
+} // namespace
+
+struct FlightRecorder::Ring {
+    Slot slots[kRingSlots];
+    std::atomic<std::uint64_t> head{0}; // next slot ordinal (pre-wrap)
+    std::uint32_t tid = 0;              // 1-based registration order
+};
+
+struct FlightRecorder::Impl {
+    std::chrono::steady_clock::time_point base = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> seq{0}; // global note ordinal
+    mutable std::mutex mu_;            // ring registry + dump path
+    std::vector<std::unique_ptr<Ring>> rings;
+    std::string dump_path;
+    bool dump_path_set = false;
+};
+
+FlightRecorder::FlightRecorder() : impl_(new Impl) {}
+
+FlightRecorder& FlightRecorder::instance() {
+    // Leaked on purpose: threads may note() during static destruction.
+    static FlightRecorder* const rec = new FlightRecorder();
+    return *rec;
+}
+
+std::int64_t FlightRecorder::now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - impl_->base)
+        .count();
+}
+
+FlightRecorder::Ring* FlightRecorder::local_ring() {
+    if (tl_flight_ring != nullptr) return static_cast<Ring*>(tl_flight_ring);
+    auto ring = std::make_unique<Ring>();
+    Ring* raw = ring.get();
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu_);
+        impl_->rings.push_back(std::move(ring));
+        raw->tid = static_cast<std::uint32_t>(impl_->rings.size());
+    }
+    tl_flight_ring = raw;
+    return raw;
+}
+
+void FlightRecorder::note(const char* name, const char* cat, std::int64_t a0, std::int64_t a1) {
+    Ring* ring = local_ring();
+    const std::uint64_t pos = ring->head.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = ring->slots[pos & (kRingSlots - 1)];
+    const std::uint64_t ordinal = impl_->seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    s.name.store(name, std::memory_order_relaxed);
+    s.cat.store(cat, std::memory_order_relaxed);
+    s.ts_us.store(now_us(), std::memory_order_relaxed);
+    s.a0.store(a0, std::memory_order_relaxed);
+    s.a1.store(a1, std::memory_order_relaxed);
+    s.seq.store(ordinal, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::note_count() const {
+    return impl_->seq.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s) {
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << ' ';
+        } else {
+            os << c;
+        }
+    }
+}
+
+} // namespace
+
+void FlightRecorder::dump(std::ostream& os) const {
+    // Snapshot the ring registry, then read slots without stopping
+    // writers. A slot whose seq is 0 was never written; a slot racing a
+    // wrap can mix two notes' fields — every field is still valid.
+    std::vector<Ring*> rings;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu_);
+        rings.reserve(impl_->rings.size());
+        for (const auto& r : impl_->rings) rings.push_back(r.get());
+    }
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (Ring* ring : rings) {
+        os << (first ? "" : ",") << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << ring->tid << ",\"args\":{\"name\":\"flight " << ring->tid << "\"}}";
+        first = false;
+        for (std::uint32_t i = 0; i < kRingSlots; ++i) {
+            const Slot& s = ring->slots[i];
+            const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+            if (seq == 0) continue;
+            const char* name = s.name.load(std::memory_order_relaxed);
+            const char* cat = s.cat.load(std::memory_order_relaxed);
+            if (name == nullptr) continue;
+            os << ",{\"name\":\"";
+            write_escaped(os, name);
+            os << "\",\"cat\":\"";
+            write_escaped(os, cat != nullptr ? cat : "flight");
+            os << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << ring->tid
+               << ",\"ts\":" << s.ts_us.load(std::memory_order_relaxed)
+               << ",\"args\":{\"seq\":" << seq << ",\"a0\":" << s.a0.load(std::memory_order_relaxed)
+               << ",\"a1\":" << s.a1.load(std::memory_order_relaxed) << "}}";
+        }
+    }
+    os << "]}";
+}
+
+bool FlightRecorder::dump_file(const std::string& path) const {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    dump(os);
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+void FlightRecorder::set_auto_dump_path(const std::string& path) {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    impl_->dump_path = path;
+    impl_->dump_path_set = true;
+}
+
+std::string FlightRecorder::auto_dump_path() const {
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu_);
+        if (impl_->dump_path_set) return impl_->dump_path;
+    }
+    const char* env = std::getenv("BALSORT_FLIGHT_DUMP");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+bool FlightRecorder::auto_dump(const char* why) {
+    note("flight.dump", why);
+    const std::string path = auto_dump_path();
+    if (path.empty()) return false;
+    return dump_file(path);
+}
+
+} // namespace balsort
+
+#endif // BALSORT_NO_OBS

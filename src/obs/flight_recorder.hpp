@@ -1,0 +1,117 @@
+#pragma once
+// Flight recorder: an always-on, bounded, lock-free per-thread ring of
+// trace notes — the cheap sibling of the Tracer (tracer.hpp).
+//
+// The Tracer answers "what happened during this run I chose to trace";
+// the flight recorder answers "what were the last few thousand things
+// each thread did before the fault I did not expect". It is on by
+// default in every build (except BALSORT_NO_OBS), costs a handful of
+// relaxed atomic stores per note, never allocates on the hot path after
+// a thread's first note, and never grows: each thread owns a fixed ring
+// and new notes overwrite the oldest.
+//
+// Dumping: `dump()` serializes the surviving notes of every thread as
+// Chrome trace_event JSON (instant events), loadable in Perfetto next
+// to a Tracer export. `auto_dump(why)` writes to the configured path —
+// set explicitly via set_auto_dump_path() or through the
+// BALSORT_FLIGHT_DUMP environment variable — and is the hook the fault
+// ladder, the deadline watchdog, and the scheduler's job-failure path
+// call so a crash scene is preserved without anyone asking for it.
+//
+// Concurrency model: ring slots are structs of relaxed atomics with a
+// release-published sequence number. Writers never block (after the
+// one-time ring registration) and dumpers never stop writers; a dump
+// racing a wrap-around can observe a slot mixing two notes' fields,
+// which is acceptable for post-mortem forensics — every field is still
+// a valid value (name/cat strings must have static storage duration,
+// exactly like the Tracer's).
+//
+// The recorder deliberately has no install slot and no epoch check: it
+// is a process singleton, constructed on first use, alive until exit.
+// BALSORT_NO_OBS compiles the free helpers to no-ops so instrumented
+// call sites dead-code eliminate the same way tracer()/metrics() do.
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace balsort {
+
+#ifndef BALSORT_NO_OBS
+
+class FlightRecorder {
+  public:
+    /// Slots per thread ring. Power of two so the wrap is a mask.
+    static constexpr std::uint32_t kRingSlots = 2048;
+
+    static FlightRecorder& instance();
+
+    /// Appends one note to the calling thread's ring (lock-free after the
+    /// thread's first note). `name`/`cat` must be static-lifetime strings.
+    void note(const char* name, const char* cat, std::int64_t a0 = 0, std::int64_t a1 = 0);
+
+    /// Serializes every surviving note as Chrome trace_event JSON
+    /// ({"traceEvents":[...]}). Safe concurrently with note().
+    void dump(std::ostream& os) const;
+    bool dump_file(const std::string& path) const;
+
+    /// Where auto_dump() writes. An explicit set wins over the
+    /// BALSORT_FLIGHT_DUMP environment variable; empty disables.
+    void set_auto_dump_path(const std::string& path);
+    std::string auto_dump_path() const;
+
+    /// Records a "flight.dump" note tagged with `why`, then dumps to the
+    /// configured path. Returns false (and does nothing beyond the note)
+    /// when no path is configured. `why` must be a static-lifetime string.
+    bool auto_dump(const char* why);
+
+    /// Total notes ever recorded (monotonic; includes overwritten ones).
+    std::uint64_t note_count() const;
+
+    /// Microseconds since recorder construction (steady clock).
+    std::int64_t now_us() const;
+
+  private:
+    FlightRecorder();
+    ~FlightRecorder() = delete; // process singleton, never destroyed
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    struct Slot {
+        std::atomic<const char*> name{nullptr};
+        std::atomic<const char*> cat{nullptr};
+        std::atomic<std::int64_t> ts_us{0};
+        std::atomic<std::int64_t> a0{0};
+        std::atomic<std::int64_t> a1{0};
+        /// 0 = never written; otherwise 1-based global note ordinal,
+        /// stored with release semantics after the payload fields.
+        std::atomic<std::uint64_t> seq{0};
+    };
+
+    struct Ring;
+
+    Ring* local_ring();
+
+    struct Impl;
+    Impl* impl_;
+};
+
+/// One note in the calling thread's flight ring (no-op under
+/// BALSORT_NO_OBS). Strings must have static storage duration.
+inline void flight_note(const char* name, const char* cat, std::int64_t a0 = 0,
+                        std::int64_t a1 = 0) {
+    FlightRecorder::instance().note(name, cat, a0, a1);
+}
+
+/// Dump the flight rings to the configured auto-dump path, tagging the
+/// dump with `why`. Returns false when no path is configured.
+inline bool flight_auto_dump(const char* why) { return FlightRecorder::instance().auto_dump(why); }
+
+#else // BALSORT_NO_OBS
+
+inline void flight_note(const char*, const char*, std::int64_t = 0, std::int64_t = 0) {}
+inline bool flight_auto_dump(const char*) { return false; }
+
+#endif // BALSORT_NO_OBS
+
+} // namespace balsort

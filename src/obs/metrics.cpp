@@ -67,6 +67,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
     return *slot;
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.get());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.get());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h.get());
+    return snap;
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
     std::lock_guard<std::mutex> lk(mu_);
     os << "{\"counters\":{";

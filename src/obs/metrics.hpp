@@ -25,6 +25,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace balsort {
 
@@ -110,6 +112,17 @@ class MetricsRegistry {
     void write_json(std::ostream& os) const;
     std::string to_json() const;
     bool write_json_file(const std::string& path) const;
+
+    /// Name→instrument listing for exporters (exposition.hpp). Instruments
+    /// live for the registry's lifetime, so the pointers stay valid after
+    /// the call; the listing itself is a point-in-time copy of the name
+    /// sets, taken under the registry mutex.
+    struct Snapshot {
+        std::vector<std::pair<std::string, const Counter*>> counters;
+        std::vector<std::pair<std::string, const Gauge*>> gauges;
+        std::vector<std::pair<std::string, const Histogram*>> histograms;
+    };
+    Snapshot snapshot() const;
 
   private:
     mutable std::mutex mu_;

@@ -62,6 +62,9 @@ void RunManifest::write_json(std::ostream& os) const {
        << ",\"emit_seconds\":" << ph.emit_seconds
        << ",\"staged_prefetches\":" << ph.staged_prefetches
        << ",\"overlap_hidden_seconds\":" << ph.overlap_hidden_seconds
+       << ",\"io_wait_seconds\":" << ph.io_wait_seconds
+       << ",\"gate_wait_seconds\":" << ph.gate_wait_seconds
+       << ",\"pool_wait_seconds\":" << ph.pool_wait_seconds
        << ",\"pool_hits\":" << ph.pool_hits << ",\"pool_misses\":" << ph.pool_misses
        << ",\"pool_hit_rate\":" << ph.pool_hit_rate()
        << ",\"compute_tasks\":" << ph.compute_tasks

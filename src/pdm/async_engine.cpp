@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "util/common.hpp"
@@ -173,6 +174,16 @@ std::uint64_t AsyncEngine::timeouts() const {
     return timeouts_;
 }
 
+std::vector<std::uint32_t> AsyncEngine::per_disk_in_flight() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint32_t> depth(disks_.size(), 0);
+    for (std::size_t d = 0; d < disks_.size(); ++d) {
+        depth[d] = static_cast<std::uint32_t>(queues_[d].size()) +
+                   (executing_[d] != nullptr ? 1u : 0u);
+    }
+    return depth;
+}
+
 void AsyncEngine::worker_loop(std::uint32_t disk_index) {
     for (;;) {
         std::shared_ptr<WorkItem> item;
@@ -256,6 +267,9 @@ void AsyncEngine::watchdog_loop() {
             ++timeouts_;
             --item->batch->remaining;
             fired = true;
+            flight_note("io.deadline_expired", "watchdog",
+                        static_cast<std::int64_t>(item->request.disk),
+                        static_cast<std::int64_t>(item->request.block));
             return true;
         };
         for (auto& q : queues_) {
@@ -266,7 +280,15 @@ void AsyncEngine::watchdog_loop() {
             }
         }
         for (auto& item : executing_) expire(item);
-        if (fired) cv_done_.notify_all();
+        if (fired) {
+            cv_done_.notify_all();
+            // Preserve the crash scene while the timeout is fresh. The
+            // dump does file I/O, so drop the engine mutex around it —
+            // the watchdog holds no other state across the gap.
+            lock.unlock();
+            flight_auto_dump("io.deadline");
+            lock.lock();
+        }
     }
 }
 

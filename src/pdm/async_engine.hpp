@@ -159,6 +159,11 @@ public:
     /// Reads abandoned by the watchdog (completed with TimedOutIo).
     std::uint64_t timeouts() const;
 
+    /// Per-disk in-flight depth right now: queued requests plus the one a
+    /// worker is executing. Live-gauge source for the stats endpoint
+    /// (DESIGN.md §16); takes the engine mutex briefly.
+    std::vector<std::uint32_t> per_disk_in_flight() const;
+
 private:
     struct WorkItem;
     struct ExecResult;

@@ -40,19 +40,27 @@ ChecksummedDisk::ChecksummedDisk(std::unique_ptr<Disk> inner, std::uint32_t disk
 }
 
 void ChecksummedDisk::read_block(std::uint64_t index, std::span<Record> out) const {
-    if (index < lost_.size() && lost_[index]) {
-        std::ostringstream os;
-        os << "corrupt block: disk " << disk_id_ << " block " << index
-           << " holds a stale image (last write never landed)";
-        throw CorruptBlock(os.str(), disk_id_, index);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (index < lost_.size() && lost_[index]) {
+            std::ostringstream os;
+            os << "corrupt block: disk " << disk_id_ << " block " << index
+               << " holds a stale image (last write never landed)";
+            throw CorruptBlock(os.str(), disk_id_, index);
+        }
     }
-    inner_->read_block(index, out);
-    if (!has_checksum(index)) return;
+    inner_->read_block(index, out); // outside the lock: this can hang
+    std::uint32_t expected = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!(index < has_crc_.size() && has_crc_[index])) return;
+        expected = crcs_[index];
+    }
     const std::uint32_t actual = crc32_records(out);
-    if (actual != crcs_[index]) {
+    if (actual != expected) {
         std::ostringstream os;
         os << "corrupt block: disk " << disk_id_ << " block " << index << " crc "
-           << std::hex << actual << " != recorded " << crcs_[index];
+           << std::hex << actual << " != recorded " << expected;
         throw CorruptBlock(os.str(), disk_id_, index);
     }
 }
@@ -60,6 +68,7 @@ void ChecksummedDisk::read_block(std::uint64_t index, std::span<Record> out) con
 void ChecksummedDisk::write_block(std::uint64_t index, std::span<const Record> in) {
     const std::uint32_t crc = crc32_records(in);
     inner_->write_block(index, in); // may throw: keep sidecar untouched then
+    std::lock_guard<std::mutex> lock(mu_);
     if (index >= has_crc_.size()) {
         has_crc_.resize(index + 1, false);
         crcs_.resize(index + 1, 0);
@@ -70,6 +79,7 @@ void ChecksummedDisk::write_block(std::uint64_t index, std::span<const Record> i
 }
 
 void ChecksummedDisk::mark_lost(std::uint64_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (index >= lost_.size()) lost_.resize(index + 1, false);
     lost_[index] = true;
 }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pdm/disk.hpp"
@@ -59,9 +60,13 @@ public:
     void mark_lost(std::uint64_t index);
 
     bool has_checksum(std::uint64_t index) const {
+        std::lock_guard<std::mutex> lock(mu_);
         return index < has_crc_.size() && has_crc_[index];
     }
-    std::uint32_t stored_checksum(std::uint64_t index) const { return crcs_[index]; }
+    std::uint32_t stored_checksum(std::uint64_t index) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return crcs_[index];
+    }
 
     /// The in-memory sidecar, for checkpoint/restore (DESIGN.md §13): the
     /// sidecar is process state, so a resumed process must re-load it or
@@ -71,8 +76,12 @@ public:
         std::vector<bool> has_crc;
         std::vector<bool> lost;
     };
-    Sidecar export_sidecar() const { return {crcs_, has_crc_, lost_}; }
+    Sidecar export_sidecar() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return {crcs_, has_crc_, lost_};
+    }
     void import_sidecar(const Sidecar& s) {
+        std::lock_guard<std::mutex> lock(mu_);
         crcs_ = s.crcs;
         has_crc_ = s.has_crc;
         lost_ = s.lost;
@@ -84,6 +93,12 @@ public:
 private:
     std::unique_ptr<Disk> inner_;
     std::uint32_t disk_id_;
+    // Guards the sidecar vectors: after a deadline failover (DESIGN.md
+    // §13) the main thread's degraded writes resize/update the sidecar
+    // while an abandoned hung read is still consulting it on its engine
+    // worker. The lock covers only sidecar access — never the inner I/O,
+    // which can hang — so single-threaded behaviour is unchanged.
+    mutable std::mutex mu_;
     std::vector<std::uint32_t> crcs_;
     std::vector<bool> has_crc_;
     std::vector<bool> lost_;

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "pdm/checksum.hpp"
@@ -35,10 +36,18 @@ namespace {
 /// Exception label for the parity device (it has no data-disk index).
 constexpr std::uint32_t kParityDiskId = 0xfffffffeu;
 
-/// One tick on the "faults" trace lane when tracing is on. Fault paths are
-/// rare, so reading the installed-tracer atomic here is free in the common
-/// case and the lane lookup only ever runs during actual recovery.
+/// One tick on the "faults" trace lane when tracing is on, plus a note in
+/// the always-on flight recorder. Fault paths are rare, so reading the
+/// installed-tracer atomic here is free in the common case and the lane
+/// lookup only ever runs during actual recovery. This is the single choke
+/// point every rung of the PR-1 fault ladder reports through, so it is
+/// also where the flight recorder preserves the crash scene
+/// (DESIGN.md §16): the note is always recorded; the auto-dump fires only
+/// when a dump path is configured.
 void fault_instant(const char* name, std::uint32_t disk, std::uint64_t block) {
+    flight_note(name, "fault", static_cast<std::int64_t>(disk),
+                static_cast<std::int64_t>(block));
+    flight_auto_dump(name);
     if (Tracer* t = tracer(); t != nullptr) {
         t->instant(name, "fault", t->lane("faults"),
                    {{"disk", static_cast<std::int64_t>(disk)},
@@ -708,6 +717,12 @@ void DiskArray::set_async(bool enabled) {
     // only ever touched synchronously (see write_step).
     engine_ = std::make_unique<AsyncEngine>(std::move(tops), ft_.max_retries, ft_.backoff_base_us,
                                             ft_.deadline_us, ft_.backoff_jitter);
+}
+
+std::vector<std::uint32_t> DiskArray::async_in_flight() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    if (engine_ == nullptr) return {};
+    return engine_->per_disk_in_flight();
 }
 
 void DiskArray::drain_async() {

@@ -287,6 +287,11 @@ public:
     /// is safe. No-op when the engine is off.
     void drain_async();
 
+    /// Per-disk in-flight request depth of the async engine (empty when
+    /// the engine is off) — live-gauge source for the stats endpoint.
+    /// Wall-clock observability only; touches no model state.
+    std::vector<std::uint32_t> async_in_flight() const;
+
     /// Asynchronous read_step: charges one parallel read step now, submits
     /// the transfers, returns a ticket. `dest` must stay valid until the
     /// ticket is completed. Recovery (retry exhaustion, corruption, death)

@@ -46,7 +46,8 @@ FaultInjectingDisk::FaultInjectingDisk(std::unique_ptr<Disk> inner, const FaultS
                "FaultSpec: rates must be probabilities in [0, 1]");
 }
 
-void FaultInjectingDisk::count_op_and_check_death(const char* what, std::uint64_t index) const {
+void FaultInjectingDisk::count_op_and_check_death_locked(const char* what,
+                                                         std::uint64_t index) const {
     ++ops_;
     if (!dead_ && spec_.die_after_ops > 0 && ops_ > spec_.die_after_ops) dead_ = true;
     if (dead_) {
@@ -58,72 +59,88 @@ void FaultInjectingDisk::count_op_and_check_death(const char* what, std::uint64_
 }
 
 void FaultInjectingDisk::read_block(std::uint64_t index, std::span<Record> out) const {
-    count_op_and_check_death("read", index);
-    const double u = read_rng_.uniform01();
-    if (u < spec_.read_transient_rate) {
-        ++injected_read_errors_;
-        std::ostringstream os;
-        os << "injected transient read error: disk " << disk_id_ << " block " << index;
-        throw TransientIoError(os.str(), disk_id_, index);
-    }
-    if (spec_.read_hang_rate > 0 || spec_.hang_every_ops > 0) {
-        ++hang_ops_;
-        bool hang = spec_.hang_every_ops > 0 && hang_ops_ % spec_.hang_every_ops == 0;
-        if (!hang && spec_.read_hang_rate > 0) hang = hang_rng_.uniform01() < spec_.read_hang_rate;
-        if (hang && spec_.hang_duration_us > 0) {
-            // The read *succeeds* after the stall: no error ever surfaces,
-            // so only a deadline above us can notice (DESIGN.md §13).
-            ++injected_hangs_;
-            std::this_thread::sleep_for(std::chrono::microseconds(spec_.hang_duration_us));
+    // Decision under inject_mu_ (deadline failover reads race the hung
+    // worker, §13); the stall and the inner I/O happen outside it.
+    std::uint64_t hang_us = 0;
+    {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        count_op_and_check_death_locked("read", index);
+        const double u = read_rng_.uniform01();
+        if (u < spec_.read_transient_rate) {
+            ++injected_read_errors_;
+            std::ostringstream os;
+            os << "injected transient read error: disk " << disk_id_ << " block " << index;
+            throw TransientIoError(os.str(), disk_id_, index);
         }
+        if (spec_.read_hang_rate > 0 || spec_.hang_every_ops > 0) {
+            ++hang_ops_;
+            bool hang = spec_.hang_every_ops > 0 && hang_ops_ % spec_.hang_every_ops == 0;
+            if (!hang && spec_.read_hang_rate > 0) {
+                hang = hang_rng_.uniform01() < spec_.read_hang_rate;
+            }
+            if (hang && spec_.hang_duration_us > 0) {
+                ++injected_hangs_;
+                hang_us = spec_.hang_duration_us;
+            }
+        }
+    }
+    if (hang_us > 0) {
+        // The read *succeeds* after the stall: no error ever surfaces,
+        // so only a deadline above us can notice (DESIGN.md §13).
+        std::this_thread::sleep_for(std::chrono::microseconds(hang_us));
     }
     inner_->read_block(index, out);
 }
 
 void FaultInjectingDisk::write_block(std::uint64_t index, std::span<const Record> in) {
-    count_op_and_check_death("write", index);
-    const double u_err = write_rng_.uniform01();
-    const double u_torn = write_rng_.uniform01();
-    const double u_flip = write_rng_.uniform01();
-    if (u_err < spec_.write_transient_rate) {
-        ++injected_write_errors_;
-        std::ostringstream os;
-        os << "injected transient write error: disk " << disk_id_ << " block " << index;
-        throw TransientIoError(os.str(), disk_id_, index);
-    }
-    if (u_torn < spec_.torn_write_rate) {
-        // A torn write persists an intact prefix; the tail keeps whatever
-        // pattern the head left behind. Silent — only a checksum layer
-        // above can notice.
-        ++injected_torn_writes_;
-        std::vector<Record> torn(in.begin(), in.end());
-        const std::size_t keep = write_rng_.below(in.size()); // [0, size): at least one record torn
-        for (std::size_t i = keep; i < torn.size(); ++i) {
-            torn[i].key ^= 0xdeadbeefdeadbeefULL;
-            torn[i].payload ^= 0xfeedfacefeedfaceULL;
+    std::vector<Record> altered;
+    {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        count_op_and_check_death_locked("write", index);
+        const double u_err = write_rng_.uniform01();
+        const double u_torn = write_rng_.uniform01();
+        const double u_flip = write_rng_.uniform01();
+        if (u_err < spec_.write_transient_rate) {
+            ++injected_write_errors_;
+            std::ostringstream os;
+            os << "injected transient write error: disk " << disk_id_ << " block " << index;
+            throw TransientIoError(os.str(), disk_id_, index);
         }
-        inner_->write_block(index, torn);
-        return;
-    }
-    if (u_flip < spec_.bit_flip_rate) {
-        // Silent single-bit rot in the written image.
-        ++injected_bit_flips_;
-        std::vector<Record> flipped(in.begin(), in.end());
-        const std::uint64_t bit = write_rng_.below(in.size() * 128); // 128 bits per record
-        auto& rec = flipped[bit / 128];
-        const std::uint64_t b = bit % 128;
-        if (b < 64) {
-            rec.key ^= 1ULL << b;
-        } else {
-            rec.payload ^= 1ULL << (b - 64);
+        if (u_torn < spec_.torn_write_rate) {
+            // A torn write persists an intact prefix; the tail keeps whatever
+            // pattern the head left behind. Silent — only a checksum layer
+            // above can notice.
+            ++injected_torn_writes_;
+            altered.assign(in.begin(), in.end());
+            const std::size_t keep =
+                write_rng_.below(in.size()); // [0, size): at least one record torn
+            for (std::size_t i = keep; i < altered.size(); ++i) {
+                altered[i].key ^= 0xdeadbeefdeadbeefULL;
+                altered[i].payload ^= 0xfeedfacefeedfaceULL;
+            }
+        } else if (u_flip < spec_.bit_flip_rate) {
+            // Silent single-bit rot in the written image.
+            ++injected_bit_flips_;
+            altered.assign(in.begin(), in.end());
+            const std::uint64_t bit = write_rng_.below(in.size() * 128); // 128 bits per record
+            auto& rec = altered[bit / 128];
+            const std::uint64_t b = bit % 128;
+            if (b < 64) {
+                rec.key ^= 1ULL << b;
+            } else {
+                rec.payload ^= 1ULL << (b - 64);
+            }
         }
-        inner_->write_block(index, flipped);
+    }
+    if (!altered.empty()) {
+        inner_->write_block(index, altered);
         return;
     }
     inner_->write_block(index, in);
 }
 
 FaultInjectingDisk::State FaultInjectingDisk::export_state() const {
+    std::lock_guard<std::mutex> lock(inject_mu_);
     State s;
     s.read_rng = read_rng_.state();
     s.write_rng = write_rng_.state();
@@ -140,6 +157,7 @@ FaultInjectingDisk::State FaultInjectingDisk::export_state() const {
 }
 
 void FaultInjectingDisk::import_state(const State& s) {
+    std::lock_guard<std::mutex> lock(inject_mu_);
     read_rng_.set_state(s.read_rng);
     write_rng_.set_state(s.write_rng);
     hang_rng_.set_state(s.hang_rng);

@@ -27,6 +27,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "pdm/disk.hpp"
 #include "util/random.hpp"
@@ -73,15 +74,36 @@ public:
     void read_block(std::uint64_t index, std::span<Record> out) const override;
     void write_block(std::uint64_t index, std::span<const Record> in) override;
 
-    bool alive() const { return !dead_; }
+    bool alive() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return !dead_;
+    }
 
     // ---- observability (tests assert on these) ----
-    std::uint64_t ops_issued() const { return ops_; }
-    std::uint64_t injected_read_errors() const { return injected_read_errors_; }
-    std::uint64_t injected_write_errors() const { return injected_write_errors_; }
-    std::uint64_t injected_torn_writes() const { return injected_torn_writes_; }
-    std::uint64_t injected_bit_flips() const { return injected_bit_flips_; }
-    std::uint64_t injected_hangs() const { return injected_hangs_; }
+    std::uint64_t ops_issued() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return ops_;
+    }
+    std::uint64_t injected_read_errors() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return injected_read_errors_;
+    }
+    std::uint64_t injected_write_errors() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return injected_write_errors_;
+    }
+    std::uint64_t injected_torn_writes() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return injected_torn_writes_;
+    }
+    std::uint64_t injected_bit_flips() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return injected_bit_flips_;
+    }
+    std::uint64_t injected_hangs() const {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        return injected_hangs_;
+    }
 
     /// Complete injection state, for checkpoint/restore: a resumed run must
     /// replay the *same* fault sequence the interrupted run would have seen
@@ -102,13 +124,21 @@ public:
     const Disk& inner() const { return *inner_; }
 
 private:
-    void count_op_and_check_death(const char* what, std::uint64_t index) const;
+    /// Caller must hold inject_mu_.
+    void count_op_and_check_death_locked(const char* what, std::uint64_t index) const;
 
     std::unique_ptr<Disk> inner_;
     FaultSpec spec_;
     std::uint32_t disk_id_;
+    // The injection decision state (RNG streams, op clocks, counters) is
+    // shared between an engine worker and the main thread during deadline
+    // failover (§13: the main thread reconstructs around a hung read while
+    // the worker is still inside it), so it lives under inject_mu_. The
+    // lock covers only the decision — never the injected stall or the
+    // inner I/O — and a single-threaded run draws the identical sequence.
     // Mutable: read_block is const in the Disk interface, but injection
     // consumes the RNG stream and advances the op clock.
+    mutable std::mutex inject_mu_;
     mutable Xoshiro256 read_rng_;
     Xoshiro256 write_rng_;
     mutable Xoshiro256 hang_rng_;

@@ -27,6 +27,7 @@
 /// read them directly while the job runs — use DiskArray::job_stats() /
 /// channel_stats().
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -49,6 +50,12 @@ struct JobIoChannel {
     /// its internal lock — a starved job blocks here without holding any
     /// array state, so neighbors keep flowing. Null = ungated.
     std::function<void(std::uint64_t steps)> gate;
+
+    /// Nanoseconds this job's thread spent blocked inside `gate` — the
+    /// "arbiter-wait" bucket of the job's time budget (DESIGN.md §16).
+    /// Atomic, unlike the mutex-guarded fields below: the scheduler's gate
+    /// wrapper adds on the job thread while status() reads live.
+    std::atomic<std::uint64_t> gate_wait_ns{0};
 
     /// Channel-scoped release quarantine (DiskArray::set_release_quarantine
     /// routes here while the channel is bound).

@@ -10,11 +10,15 @@ MemDisk::MemDisk(std::size_t block_size) : block_size_(block_size) {
     BS_REQUIRE(block_size >= 1, "MemDisk: block size must be >= 1");
 }
 
-std::uint64_t MemDisk::size_blocks() const { return data_.size() / block_size_; }
+std::uint64_t MemDisk::size_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.size() / block_size_;
+}
 
 void MemDisk::read_block(std::uint64_t index, std::span<Record> out) const {
     BS_REQUIRE(out.size() == block_size_, "read_block: buffer size != block size");
-    BS_MODEL_CHECK(index < size_blocks(), "read_block: reading unallocated block");
+    std::lock_guard<std::mutex> lock(mu_);
+    BS_MODEL_CHECK(index * block_size_ < data_.size(), "read_block: reading unallocated block");
     const Record* src = data_.data() + index * block_size_;
     std::copy(src, src + block_size_, out.begin());
 }
@@ -22,11 +26,13 @@ void MemDisk::read_block(std::uint64_t index, std::span<Record> out) const {
 void MemDisk::set_image(std::vector<Record> img) {
     BS_REQUIRE(img.size() % block_size_ == 0,
                "set_image: image size must be a whole number of blocks");
+    std::lock_guard<std::mutex> lock(mu_);
     data_ = std::move(img);
 }
 
 void MemDisk::write_block(std::uint64_t index, std::span<const Record> in) {
     BS_REQUIRE(in.size() == block_size_, "write_block: buffer size != block size");
+    std::lock_guard<std::mutex> lock(mu_);
     if ((index + 1) * block_size_ > data_.size()) {
         data_.resize((index + 1) * block_size_);
     }

@@ -2,6 +2,7 @@
 /// \file mem_disk.hpp
 /// In-memory disk backend: fastest for tests and cost-model benches.
 
+#include <mutex>
 #include <vector>
 
 #include "pdm/disk.hpp"
@@ -21,11 +22,21 @@ public:
     /// unlike file scratch, which survives a crash on its own, a memory
     /// backend's images must travel inside the checkpoint record for a
     /// resume to find the interrupted run's blocks.
-    const std::vector<Record>& image() const { return data_; }
+    std::vector<Record> image() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return data_;
+    }
     void set_image(std::vector<Record> img);
 
 private:
     std::size_t block_size_;
+    // Guards data_: after a deadline failover (DESIGN.md §13) the main
+    // thread issues degraded writes — which may resize, i.e. reallocate —
+    // while an abandoned hung read is still walking the same vector on its
+    // engine worker. A file backend gets this isolation from pread/pwrite;
+    // the memory backend needs the lock. Per-disk and all but uncontended
+    // (each disk has one engine worker), so the cost is noise.
+    mutable std::mutex mu_;
     std::vector<Record> data_; // contiguous blocks
 };
 

@@ -39,6 +39,17 @@ Executor::~Executor() {
     park_cv_.notify_all();
     for (auto& t : threads_) t.join();
     publish_metrics();
+    // Per-worker distribution histograms are recorded here only: unlike
+    // the gauges above they accumulate samples, so re-recording them from
+    // a live stats path would multiply the sample count.
+    if (MetricsRegistry* m = metrics(); m != nullptr) {
+        Histogram& ht = m->histogram("executor.worker_tasks");
+        Histogram& hb = m->histogram("executor.worker_busy_us");
+        for (const WorkerStats& ws : worker_stats_) {
+            ht.record(ws.tasks.load(std::memory_order_relaxed));
+            hb.record(ws.busy_ns.load(std::memory_order_relaxed) / 1000);
+        }
+    }
 }
 
 void Executor::wake_all() {
@@ -230,7 +241,20 @@ void Executor::join(JobBase& job) {
         // return after the signaller has released the lock, on every exit
         // path — including when this thread ran the final chunk itself.
         std::unique_lock<std::mutex> l(job.m_);
-        job.cv_.wait(l, [&] { return job.done_; });
+        if (!job.done_ && !is_worker && job.channel_ != nullptr) {
+            // Time the park for the job's own driver thread only: that is
+            // the job's "pool-wait" budget bucket. A pool worker helping a
+            // nested join is pool-internal scheduling, not job wait.
+            const auto t0 = std::chrono::steady_clock::now();
+            job.cv_.wait(l, [&] { return job.done_; });
+            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            job.channel_->wait_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                                            std::memory_order_relaxed);
+        } else {
+            job.cv_.wait(l, [&] { return job.done_; });
+        }
     }
     if (job.error_) {
         std::exception_ptr e = job.error_;
@@ -245,18 +269,28 @@ Executor::Stats Executor::stats() const {
                  parks_.load(std::memory_order_relaxed)};
 }
 
+std::size_t Executor::queue_depth() const {
+    std::size_t n = 0;
+    for (const WorkerDeque& d : deques_) {
+        std::lock_guard<std::mutex> l(d.m);
+        n += d.q.size();
+    }
+    return n;
+}
+
 void Executor::publish_metrics() const {
     MetricsRegistry* m = metrics();
     if (m == nullptr) return;
-    m->counter("executor.tasks").add(tasks_run_.load(std::memory_order_relaxed));
-    m->counter("executor.steals").add(steals_.load(std::memory_order_relaxed));
-    m->counter("executor.parks").add(parks_.load(std::memory_order_relaxed));
-    Histogram& ht = m->histogram("executor.worker_tasks");
-    Histogram& hb = m->histogram("executor.worker_busy_us");
-    for (const WorkerStats& ws : worker_stats_) {
-        ht.record(ws.tasks.load(std::memory_order_relaxed));
-        hb.record(ws.busy_ns.load(std::memory_order_relaxed) / 1000);
-    }
+    // Gauges set to the running totals, never added: calling this from a
+    // live stats path any number of times (and again at destruction) is
+    // idempotent, where the old counter-based publish double-counted.
+    m->gauge("executor.tasks").set(
+        static_cast<std::int64_t>(tasks_run_.load(std::memory_order_relaxed)));
+    m->gauge("executor.steals").set(
+        static_cast<std::int64_t>(steals_.load(std::memory_order_relaxed)));
+    m->gauge("executor.parks").set(
+        static_cast<std::int64_t>(parks_.load(std::memory_order_relaxed)));
+    m->gauge("executor.queue_depth").set(static_cast<std::int64_t>(queue_depth()));
 }
 
 // ---------------------------------------------------------------------------

@@ -49,6 +49,12 @@ struct ComputeChannel {
     std::atomic<std::uint64_t> tasks{0};  ///< chunks executed for this job
     std::atomic<std::uint64_t> stolen{0}; ///< ran on a worker other than the deque's owner
     std::atomic<std::uint64_t> helped{0}; ///< ran inline on the submitting/joining thread
+    /// Nanoseconds this job's *external* joiners (the job's own driver
+    /// thread, never a pool worker helping a nested join) spent parked in
+    /// Executor::join waiting for the pool to finish — the "pool-wait"
+    /// bucket of the job's time budget (DESIGN.md §16). Wall-clock only;
+    /// no model quantity reads it.
+    std::atomic<std::uint64_t> wait_ns{0};
 };
 
 /// A schedulable unit of fork-join work: `run_task(i)` executes chunk i.
@@ -106,9 +112,18 @@ class Executor {
     };
     Stats stats() const;
 
-    /// Publish executor counters and per-worker task/busy histograms to the
-    /// installed MetricsRegistry (no-op when none is installed). Also runs
-    /// automatically at destruction.
+    /// Tasks currently queued across all worker deques (live, un-run work).
+    /// Takes each per-deque mutex briefly; meant for stats paths, not hot
+    /// loops.
+    std::size_t queue_depth() const;
+
+    /// Publish a point-in-time snapshot of the executor gauges
+    /// (executor.tasks / steals / parks / queue_depth) to the installed
+    /// MetricsRegistry (no-op when none is installed). Idempotent — gauges
+    /// are set, never added — so a long-lived shared executor can be
+    /// re-published from a stats path any number of times without
+    /// double-counting. The per-worker task/busy histograms are recorded
+    /// exactly once, at destruction.
     void publish_metrics() const;
 
   private:
@@ -118,7 +133,7 @@ class Executor {
         std::uint32_t home = 0; ///< deque the task was pushed to
     };
     struct WorkerDeque {
-        std::mutex m;
+        mutable std::mutex m; // mutable: queue_depth() reads under lock from const paths
         std::deque<Task> q;
     };
     struct WorkerStats {

@@ -87,4 +87,19 @@ IoArbiter::Stats IoArbiter::stats() const {
     return stats_;
 }
 
+std::vector<IoArbiter::LaneInfo> IoArbiter::lanes() const {
+    std::vector<LaneInfo> out;
+    if (base_quantum_ == 0) return out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(lanes_.size());
+    for (const auto& [id, lane] : lanes_) {
+        LaneInfo info;
+        info.job = id;
+        info.deficit = lane.deficit;
+        info.weight = lane.weight;
+        out.push_back(info);
+    }
+    return out;
+}
+
 } // namespace balsort

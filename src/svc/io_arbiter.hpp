@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <vector>
 
 namespace balsort {
 
@@ -48,6 +49,16 @@ public:
         std::uint64_t refills = 0; ///< refill rounds completed
     };
     Stats stats() const;
+
+    /// Point-in-time view of one registered lane (DESIGN.md §16): the live
+    /// DRR deficit is the service's per-job fairness gauge.
+    struct LaneInfo {
+        std::uint64_t job = 0;
+        std::int64_t deficit = 0;
+        std::uint32_t weight = 1;
+    };
+    /// Snapshot of every registered lane (empty when arbitration is off).
+    std::vector<LaneInfo> lanes() const;
 
 private:
     void refill_locked();

@@ -64,6 +64,45 @@ inline const char* to_string(JobState s) {
     return "?";
 }
 
+/// Live progress of one job (DESIGN.md §16): which pipeline phase it is
+/// in, how much of the output has landed, and a phase-weighted ETA.
+/// Observability only — none of this feeds model accounting.
+struct JobProgress {
+    /// Pipeline phase name ("idle", "pivot", "balance", "base-case",
+    /// "emit", "done"); recursion revisits phases, so this oscillates.
+    std::string phase = "idle";
+    std::uint64_t records_emitted = 0; ///< records appended to the output so far
+    std::uint64_t records_total = 0;   ///< the job's N (0 until the sort starts)
+    std::uint64_t io_steps = 0;        ///< model steps charged so far
+    /// Estimated seconds to completion; < 0 means unknown (not started, or
+    /// too early for the completion fraction to be meaningful).
+    double eta_seconds = -1;
+};
+
+/// Where one job's wall-clock went (DESIGN.md §16). The buckets partition
+/// `elapsed_seconds`: the measured waits (gate, engine, pool) and the
+/// service's own overhead come first, and `compute_seconds` is the
+/// remainder — so the budget sums to elapsed by construction:
+///
+///   compute + io_wait + gate_wait + pool_wait + other == elapsed.
+struct TimeBudget {
+    double elapsed_seconds = 0;
+    /// Derived remainder (clamped >= 0): time the job's threads were
+    /// actually sorting rather than waiting on shared infrastructure.
+    double compute_seconds = 0;
+    /// Engine I/O stalls attributed to this job's channel (consumption
+    /// waited on a physical read/write).
+    double io_wait_seconds = 0;
+    /// Time blocked in the IoArbiter fairness gate.
+    double gate_wait_seconds = 0;
+    /// Time external joins parked on the shared Executor waiting for
+    /// another job's tasks to drain.
+    double pool_wait_seconds = 0;
+    /// Service overhead outside the sort proper: input generation,
+    /// verification + hashing, manifest writing.
+    double other_seconds = 0;
+};
+
 /// A point-in-time view of one job. For running jobs `io` is a live
 /// snapshot of the job's channel; for terminal jobs it is final.
 struct JobStatus {
@@ -82,6 +121,17 @@ struct JobStatus {
     SortReport report;
     std::uint64_t output_hash = 0;
     double elapsed_seconds = 0;
+    /// Live progress + ETA (kRunning: updated as the pipeline advances;
+    /// terminal: frozen at the final phase).
+    JobProgress progress;
+    /// Wall-clock split (kRunning: live partial view; terminal: final and
+    /// closed — the buckets sum to elapsed_seconds).
+    TimeBudget budget;
+    /// kQueued only: 0-based position in the admission queue.
+    std::uint64_t queue_position = 0;
+    /// kQueued only: why the job has not started (slots busy, exclusive
+    /// job holding or waiting for the array, ...).
+    std::string waiting_reason;
 };
 
 /// Order-sensitive FNV-1a over (key, payload) pairs — the service's output

@@ -5,11 +5,51 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/run_manifest.hpp"
 #include "pdm/striping.hpp"
 #include "util/math.hpp"
 
 namespace balsort {
+
+namespace {
+
+/// Fill a status's live progress from the job's sink (DESIGN.md §16).
+/// The completion fraction is phase-weighted: the pivot/balance front work
+/// is ~kFrontWeight of a typical run's wall-clock (the PhaseProfile splits
+/// across the test matrix), and the emitted-records fraction anchors the
+/// rest. `records_emitted` is monotone, so the estimate only moves forward
+/// even though the recursion revisits phases.
+void fill_progress(JobStatus& s, const ProgressSink& sink, double elapsed) {
+    const std::uint32_t phase = sink.phase_id.load(std::memory_order_relaxed);
+    s.progress.phase = ProgressSink::phase_name(phase);
+    s.progress.records_emitted = sink.records_emitted.load(std::memory_order_relaxed);
+    s.progress.records_total = sink.records_total.load(std::memory_order_relaxed);
+    s.progress.io_steps = s.io.io_steps();
+    constexpr double kFrontWeight = 0.35;
+    double frac = 0;
+    switch (phase) {
+        case ProgressSink::kIdle: frac = 0; break;
+        case ProgressSink::kPivot: frac = 0.1 * kFrontWeight; break;
+        case ProgressSink::kBalance: frac = 0.6 * kFrontWeight; break;
+        default: frac = kFrontWeight; break;
+    }
+    if (s.progress.records_total > 0) {
+        const double emit_frac = static_cast<double>(s.progress.records_emitted) /
+                                 static_cast<double>(s.progress.records_total);
+        frac = std::max(frac, kFrontWeight + (1.0 - kFrontWeight) * emit_frac);
+    }
+    if (phase == ProgressSink::kDone) frac = 1;
+    if (frac >= 1) {
+        s.progress.eta_seconds = 0;
+    } else if (frac > 0.02) {
+        s.progress.eta_seconds = elapsed * (1 - frac) / frac;
+    } else {
+        s.progress.eta_seconds = -1;
+    }
+}
+
+} // namespace
 
 SortScheduler::SortScheduler(DiskArray& disks, SchedulerConfig cfg)
     : disks_(disks),
@@ -143,6 +183,7 @@ void SortScheduler::maybe_start_locked() {
         }
         queue_.pop_front();
         job->state = JobState::kRunning;
+        job->started_at = std::chrono::steady_clock::now();
         ++active_;
         arbiter_.add(job->id, job->spec.priority);
         job->worker = std::thread([this, job]() { run_job(*job); });
@@ -164,6 +205,13 @@ void SortScheduler::run_job(Job& job) {
         terminal = JobState::kFailed;
         error = "unknown exception";
     }
+    if (terminal == JobState::kFailed) {
+        // Preserve the flight recorder's view of how the job died: the
+        // note lands in this worker's ring, and the dump (when a path is
+        // configured) snapshots every thread's recent history.
+        flight_note("job.failed", "svc", static_cast<std::int64_t>(job.id));
+        flight_auto_dump("job.failed");
+    }
     // The channel is unbound here (execute's binding is scoped); return
     // whatever the job still owns — everything, after a failure or
     // cancellation mid-phase — to the shared allocator.
@@ -181,6 +229,7 @@ void SortScheduler::run_job(Job& job) {
 }
 
 void SortScheduler::execute(Job& job) {
+    const auto t_enter = std::chrono::steady_clock::now();
     const JobSpec& spec = job.spec;
     std::vector<Record> input =
         spec.records.empty() ? generate(spec.workload, spec.n, spec.seed) : spec.records;
@@ -200,11 +249,22 @@ void SortScheduler::execute(Job& job) {
     if (executor_ != nullptr) {
         cfg.compute_policy.shared_executor = executor_.get();
     }
-    const SortOptions opt = cfg.options();
+    SortOptions opt = cfg.options();
+    opt.progress = &job.progress;
 
     // Fairness: every charged step passes the arbiter before the array's
-    // internal lock (the gate contract).
-    job.channel.gate = [this, id = job.id](std::uint64_t steps) { arbiter_.charge(id, steps); };
+    // internal lock (the gate contract). The wrapper times the charge —
+    // that wall-clock is the job's arbiter-gate-wait budget bucket
+    // (DESIGN.md §16); the arbiter itself shapes interleaving only.
+    job.channel.gate = [this, &job](std::uint64_t steps) {
+        const auto t0 = std::chrono::steady_clock::now();
+        arbiter_.charge(job.id, steps);
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        job.channel.gate_wait_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                                           std::memory_order_relaxed);
+    };
 
     Tracer* tr = tracer();
     const std::uint32_t lane = tr != nullptr ? tr->lane("job:" + spec.name) : 0;
@@ -214,9 +274,32 @@ void SortScheduler::execute(Job& job) {
 
     JobChannelBinding bind(disks_, &job.channel);
     std::vector<Record> sorted;
+    // Wall-clock the gate + engine waits this channel has accrued so far,
+    // so the service segments below can be accounted net of them (a wait
+    // during striping belongs to its own budget bucket, not to "other").
+    auto waited = [this, &job]() {
+        return static_cast<double>(job.channel.gate_wait_ns.load(std::memory_order_relaxed)) *
+                   1e-9 +
+               disks_.channel_stats(job.channel).engine_stall_seconds;
+    };
+    std::chrono::steady_clock::time_point t_post{};
+    double waited_at_post = 0;
     try {
         BlockRun in_run = write_striped(disks_, input);
+        // Pre-sort service segment: input generation + striping. Written
+        // under mu_: status() reads other_seconds for the live budget.
+        {
+            const double seg = std::max(
+                0.0,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t_enter)
+                        .count() -
+                    waited());
+            std::lock_guard<std::mutex> lock(mu_);
+            job.other_seconds += seg;
+        }
         BlockRun out = balance_sort(disks_, in_run, pdm, opt, &job.report);
+        t_post = std::chrono::steady_clock::now();
+        waited_at_post = waited();
         sorted = read_run(disks_, out);
         for (const BlockOp& op : in_run.blocks) disks_.release(op);
         for (const BlockOp& op : out.blocks) disks_.release(op);
@@ -250,6 +333,16 @@ void SortScheduler::execute(Job& job) {
         path << cfg_.manifest_dir << "/job-" << job.id << '-' << spec.name << ".json";
         mani.write_json_file(path.str());
     }
+
+    // Post-sort service segment: read-back + release, output hash, verify,
+    // manifest — again net of the waits the read-back itself spent.
+    {
+        const double seg = std::max(
+            0.0, std::chrono::duration<double>(std::chrono::steady_clock::now() - t_post).count() -
+                     (waited() - waited_at_post));
+        std::lock_guard<std::mutex> lock(mu_);
+        job.other_seconds += seg;
+    }
 }
 
 void SortScheduler::finish(Job& job, JobState terminal, const std::string& error) {
@@ -258,6 +351,14 @@ void SortScheduler::finish(Job& job, JobState terminal, const std::string& error
         job.state = terminal;
         job.error = error;
         job.final_io = disks_.channel_stats(job.channel);
+        // Close the wall-clock budget while the final accounting is at
+        // hand. pool-wait only exists when the sort completed (the report
+        // carries it out of the driver); a job that died mid-sort reports
+        // the remainder as compute.
+        job.budget = budget_locked(job, job.elapsed_seconds, job.final_io.engine_stall_seconds,
+                                   terminal == JobState::kSucceeded
+                                       ? job.report.phases.pool_wait_seconds
+                                       : 0.0);
         --active_;
         if (job.exclusive) exclusive_running_ = false;
         scratch_committed_ -= job.scratch_estimate;
@@ -274,13 +375,27 @@ JobStatus SortScheduler::snapshot_locked(const Job& job) const {
     s.state = job.state;
     s.error = job.error;
     switch (job.state) {
-        case JobState::kQueued:
+        case JobState::kQueued: {
+            const auto it = std::find(queue_.begin(), queue_.end(), &job);
+            if (it != queue_.end()) {
+                s.queue_position = static_cast<std::uint64_t>(it - queue_.begin());
+            }
+            s.waiting_reason = waiting_reason_locked(job);
             break;
+        }
         case JobState::kRunning: {
             s.io = disks_.channel_stats(job.channel);
             const auto fp = disks_.channel_footprint(job.channel);
             s.scratch_blocks_live = fp.blocks_live;
             s.scratch_blocks_high_water = fp.blocks_high_water;
+            const double elapsed = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() - job.started_at)
+                                       .count();
+            s.elapsed_seconds = elapsed;
+            // Live budget: pool-wait is only visible once the driver hands
+            // its report back, so mid-run it rides inside compute.
+            s.budget = budget_locked(job, elapsed, s.io.engine_stall_seconds, 0.0);
+            fill_progress(s, job.progress, elapsed);
             break;
         }
         case JobState::kSucceeded:
@@ -291,9 +406,98 @@ JobStatus SortScheduler::snapshot_locked(const Job& job) const {
             s.output_hash = job.output_hash;
             s.elapsed_seconds = job.elapsed_seconds;
             s.scratch_blocks_high_water = job.channel.blocks_high_water;
+            s.budget = job.budget;
+            fill_progress(s, job.progress, job.elapsed_seconds);
+            if (job.state == JobState::kSucceeded) s.progress.eta_seconds = 0;
             break;
     }
     return s;
+}
+
+std::string SortScheduler::waiting_reason_locked(const Job& job) const {
+    std::ostringstream os;
+    if (exclusive_running_) {
+        os << "an exclusive (checkpointing) job holds the array";
+        return os.str();
+    }
+    const Job* head = queue_.empty() ? nullptr : queue_.front();
+    if (head == &job) {
+        if (job.exclusive && active_ > 0) {
+            os << "exclusive job waiting for the array to drain (" << active_
+               << " job(s) still active)";
+        } else if (active_ >= cfg_.max_active) {
+            os << "all " << cfg_.max_active << " active slots are busy";
+        } else {
+            os << "start pending";
+        }
+        return os.str();
+    }
+    const auto it = std::find(queue_.begin(), queue_.end(), &job);
+    const auto pos = it != queue_.end() ? it - queue_.begin() : 0;
+    os << "behind " << pos << " queued job(s)";
+    if (head != nullptr && head->exclusive) {
+        os << " (head-of-line exclusive job runs solo)";
+    } else if (active_ >= cfg_.max_active) {
+        os << " (all " << cfg_.max_active << " active slots are busy)";
+    }
+    return os.str();
+}
+
+TimeBudget SortScheduler::budget_locked(const Job& job, double elapsed, double io_wait,
+                                        double pool_wait) const {
+    TimeBudget b;
+    b.elapsed_seconds = elapsed;
+    b.io_wait_seconds = io_wait;
+    b.gate_wait_seconds =
+        static_cast<double>(job.channel.gate_wait_ns.load(std::memory_order_relaxed)) * 1e-9;
+    b.pool_wait_seconds = pool_wait;
+    // Independent timers can overshoot the envelope by their own overhead;
+    // scale the waits into it rather than report a >100% split, then
+    // derive compute as the remainder so the budget closes exactly:
+    // compute + io + gate + pool + other == elapsed.
+    double waits = b.io_wait_seconds + b.gate_wait_seconds + b.pool_wait_seconds;
+    if (waits > elapsed && waits > 0) {
+        const double scale = elapsed / waits;
+        b.io_wait_seconds *= scale;
+        b.gate_wait_seconds *= scale;
+        b.pool_wait_seconds *= scale;
+        waits = elapsed;
+    }
+    b.other_seconds = std::max(0.0, std::min(job.other_seconds, elapsed - waits));
+    b.compute_seconds = std::max(0.0, elapsed - waits - b.other_seconds);
+    return b;
+}
+
+void SortScheduler::publish_stats() {
+    MetricsRegistry* reg = metrics();
+    if (reg == nullptr) return;
+    if (executor_ != nullptr) executor_->publish_metrics();
+    for (const auto& lane : arbiter_.lanes()) {
+        reg->gauge("svc.job." + std::to_string(lane.job) + ".drr_deficit").set(lane.deficit);
+    }
+    const std::vector<std::uint32_t> inflight = disks_.async_in_flight();
+    for (std::size_t d = 0; d < inflight.size(); ++d) {
+        reg->gauge("svc.disk." + std::to_string(d) + ".in_flight")
+            .set(static_cast<std::int64_t>(inflight[d]));
+    }
+    const BufferPool::Stats pool = shared_pool_.stats();
+    reg->gauge("svc.pool.retained_records")
+        .set(static_cast<std::int64_t>(pool.retained_records));
+    reg->gauge("svc.pool.high_water_records")
+        .set(static_cast<std::int64_t>(pool.high_water_records));
+    std::lock_guard<std::mutex> lock(mu_);
+    reg->gauge("svc.jobs_active").set(static_cast<std::int64_t>(active_));
+    reg->gauge("svc.jobs_queued").set(static_cast<std::int64_t>(queue_.size()));
+    for (const auto& [id, job] : jobs_) {
+        if (job->state != JobState::kRunning) continue;
+        const std::string prefix = "svc.job." + std::to_string(id);
+        reg->gauge(prefix + ".records_emitted")
+            .set(static_cast<std::int64_t>(
+                job->progress.records_emitted.load(std::memory_order_relaxed)));
+        reg->gauge(prefix + ".records_total")
+            .set(static_cast<std::int64_t>(
+                job->progress.records_total.load(std::memory_order_relaxed)));
+    }
 }
 
 JobStatus SortScheduler::status(std::uint64_t id) const {

@@ -28,6 +28,7 @@
 /// the fairness gate always blocks *outside* that lock.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/phase_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "pdm/disk_array.hpp"
@@ -140,6 +142,15 @@ public:
     /// Fairness-gate observability (waits, refill rounds).
     IoArbiter::Stats arbiter_stats() const { return arbiter_.stats(); }
 
+    /// Publish a point-in-time view of the service's live gauges into the
+    /// installed MetricsRegistry (DESIGN.md §16): executor queue depth /
+    /// steals (via Executor::publish_metrics), per-job DRR deficit and
+    /// progress, per-disk async in-flight depth, shared-pool occupancy,
+    /// and the active/queued job counts. No-op without a registry.
+    /// balsortd's stats endpoint calls this before rendering exposition
+    /// text, so a scrape always sees fresh values.
+    void publish_stats();
+
 private:
     struct Job {
         std::uint64_t id = 0;
@@ -156,6 +167,17 @@ private:
         std::uint64_t output_hash = 0;
         double elapsed_seconds = 0;
         IoStats final_io; ///< channel accounting frozen at termination
+        /// Live pipeline progress, written by the sort's driver via
+        /// SortOptions::progress (DESIGN.md §16).
+        ProgressSink progress;
+        /// Worker start time (kRunning: the live-elapsed origin).
+        std::chrono::steady_clock::time_point started_at{};
+        /// Wall-clock of the non-sort service segments of execute() —
+        /// input generation, verify + hash, manifest — net of the gate /
+        /// engine waits those segments themselves incurred.
+        double other_seconds = 0;
+        /// Final wall-clock split, filled at termination.
+        TimeBudget budget;
     };
 
     /// Start queued jobs while slots allow (mu_ held). Exclusive jobs wait
@@ -168,6 +190,12 @@ private:
     void execute(Job& job);
     JobStatus snapshot_locked(const Job& job) const;
     void finish(Job& job, JobState terminal, const std::string& error);
+    /// Why a queued job has not started yet (mu_ held).
+    std::string waiting_reason_locked(const Job& job) const;
+    /// The job's wall-clock split (mu_ held): measured waits first, compute
+    /// as the clamped remainder so the buckets always sum to elapsed.
+    TimeBudget budget_locked(const Job& job, double elapsed, double io_wait,
+                             double pool_wait) const;
 
     DiskArray& disks_;
     SchedulerConfig cfg_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/balance_sort.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_manifest.hpp"
 #include "pdm/disk_array.hpp"
@@ -198,6 +199,46 @@ void hang_scenario(const fs::path& dir) {
               << rep.io.reconstructions << " reconstructions\n";
 }
 
+#ifndef BALSORT_NO_OBS
+/// Flight recorder (DESIGN.md §16): a deadline expiry mid-sort must
+/// auto-dump every thread's recent trace ring to the configured path — the
+/// post-mortem artifact the service relies on after a fault. The dump must
+/// exist, be non-empty, and be well-formed Chrome-trace JSON (CI re-checks
+/// it with `python3 -m json.tool`).
+void flight_dump_scenario(const fs::path& dir) {
+    const fs::path dump_path = dir / "flight.json";
+    fs::remove(dump_path);
+    FlightRecorder::instance().set_auto_dump_path(dump_path.string());
+
+    FaultTolerance ft;
+    ft.inject.seed = 77;
+    ft.inject.hang_every_ops = 50;
+    ft.inject.hang_duration_us = 30000;
+    ft.deadline_us = 2000;
+    ft.parity = true;
+    ft.checksums = true;
+    DiskArray disks(kCfg.d, kCfg.b, DiskBackend::kFile, dir.string(),
+                    Constraint::kIndependentDisks, ft);
+    auto records = generate(Workload::kUniform, kCfg.n, kInputSeed);
+    SortReport rep;
+    const auto sorted = balance_sort_records(disks, std::move(records), kCfg, {}, &rep);
+    FlightRecorder::instance().set_auto_dump_path(""); // disarm for later scenarios
+
+    check(sorted.size() == kCfg.n, "flight scenario: output size wrong");
+    check(rep.io.io_timeouts > 0, "flight scenario: no deadline ever fired");
+    check(fs::exists(dump_path), "flight scenario: no dump produced on deadline expiry");
+    std::ifstream is(dump_path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const std::string json = buf.str();
+    check(json.size() > 2, "flight scenario: dump is empty");
+    check(json.rfind("{\"traceEvents\":[", 0) == 0, "flight scenario: dump is not a trace JSON");
+    check(json.find("io.deadline_expired") != std::string::npos,
+          "flight scenario: dump lacks the deadline event");
+    std::cout << "flight dump: " << json.size() << " bytes at " << dump_path << "\n";
+}
+#endif
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +316,11 @@ int main(int argc, char** argv) {
 
     reset(dir);
     hang_scenario(dir);
+
+#ifndef BALSORT_NO_OBS
+    reset(dir);
+    flight_dump_scenario(dir);
+#endif
 
     fs::remove_all(dir);
     if (failures != 0) {

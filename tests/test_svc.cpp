@@ -11,15 +11,21 @@
 // BufferPool retention cap ride along.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/sort_config.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "pdm/disk_array.hpp"
 #include "svc/sort_scheduler.hpp"
@@ -28,6 +34,23 @@
 
 namespace balsort {
 namespace {
+
+/// The time-budget guarantee (DESIGN.md §16): every bucket is non-negative
+/// and the split sums to the job's elapsed wall-clock within 1%.
+void expect_budget_closed(const JobStatus& st) {
+    const TimeBudget& b = st.budget;
+    EXPECT_GE(b.compute_seconds, 0.0);
+    EXPECT_GE(b.io_wait_seconds, 0.0);
+    EXPECT_GE(b.gate_wait_seconds, 0.0);
+    EXPECT_GE(b.pool_wait_seconds, 0.0);
+    EXPECT_GE(b.other_seconds, 0.0);
+    EXPECT_NEAR(b.elapsed_seconds, st.elapsed_seconds, 1e-9);
+    const double sum = b.compute_seconds + b.io_wait_seconds + b.gate_wait_seconds +
+                       b.pool_wait_seconds + b.other_seconds;
+    EXPECT_NEAR(sum, b.elapsed_seconds, 0.01 * std::max(b.elapsed_seconds, 1e-6))
+        << st.name << ": budget does not close (sum " << sum << " vs elapsed "
+        << b.elapsed_seconds << ")";
+}
 
 DiskArray make_array(DiskBackend backend) {
     return backend == DiskBackend::kFile
@@ -93,6 +116,10 @@ void expect_concurrent_matches_solo(DiskBackend backend, bool async_io, std::siz
         EXPECT_EQ(conc[i].report.io.blocks_written, solo[i].report.io.blocks_written);
         EXPECT_EQ(conc[i].report.s_used, solo[i].report.s_used);
         EXPECT_EQ(conc[i].report.levels, solo[i].report.levels);
+        // Every job's wall-clock budget must close, solo and concurrent
+        // alike (DESIGN.md §16).
+        expect_budget_closed(solo[i]);
+        expect_budget_closed(conc[i]);
     }
 }
 
@@ -482,6 +509,175 @@ TEST(SvcAdmissionTest, ScratchBudgetChargesAndReleases) {
     EXPECT_TRUE(again.admitted) << again.reason;
     EXPECT_EQ(sched.wait(again.id).state, JobState::kSucceeded);
 }
+
+// ---------------------------------------------------------------------------
+// Live observatory (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+TEST(SvcObservatoryTest, QueuedStatusReportsPositionAndReason) {
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 1;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+
+    const AdmissionResult running = sched.submit(big_spec("running"));
+    ASSERT_TRUE(running.admitted) << running.reason;
+    const AdmissionResult first = sched.submit(small_spec("first-queued"));
+    ASSERT_TRUE(first.admitted) << first.reason;
+    const AdmissionResult second = sched.submit(small_spec("second-queued"));
+    ASSERT_TRUE(second.admitted) << second.reason;
+
+    const JobStatus head = sched.status(first.id);
+    if (head.state == JobState::kQueued) {
+        EXPECT_EQ(head.queue_position, 0u);
+        EXPECT_NE(head.waiting_reason.find("active slots"), std::string::npos)
+            << head.waiting_reason;
+    }
+    const JobStatus tail = sched.status(second.id);
+    if (tail.state == JobState::kQueued) {
+        EXPECT_EQ(tail.queue_position, 1u);
+        EXPECT_NE(tail.waiting_reason.find("behind 1 queued job"), std::string::npos)
+            << tail.waiting_reason;
+    }
+    // A running job reports no queue diagnostics.
+    const JobStatus active = sched.status(running.id);
+    if (active.state == JobState::kRunning) {
+        EXPECT_TRUE(active.waiting_reason.empty());
+    }
+
+    sched.cancel(running.id);
+    sched.cancel(first.id);
+    sched.cancel(second.id);
+    sched.wait_all();
+}
+
+TEST(SvcObservatoryTest, ProgressAdvancesAndFreezesAtDone) {
+    DiskArray disks(8, 64);
+    SchedulerConfig cfg;
+    cfg.max_active = 1;
+    cfg.async_io = false;
+    SortScheduler sched(disks, cfg);
+    const AdmissionResult adm = sched.submit(big_spec("tracked"));
+    ASSERT_TRUE(adm.admitted) << adm.reason;
+
+    // Progress must move through real pipeline phases while running. Poll
+    // for the whole life of the job (generous cap only as a hang guard):
+    // under slowdowns like TSan the first live phase can appear seconds in.
+    bool saw_live_phase = false;
+    for (int i = 0; i < 120'000; ++i) {
+        const JobStatus st = sched.status(adm.id);
+        if (st.state != JobState::kQueued && st.state != JobState::kRunning) break;
+        if (st.state == JobState::kRunning && st.progress.records_total > 0 &&
+            st.progress.phase != "idle") {
+            saw_live_phase = true;
+            EXPECT_LE(st.progress.records_emitted, st.progress.records_total);
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const JobStatus done = sched.wait(adm.id);
+    ASSERT_EQ(done.state, JobState::kSucceeded) << done.error;
+    EXPECT_TRUE(saw_live_phase);
+    EXPECT_EQ(done.progress.phase, "done");
+    EXPECT_EQ(done.progress.records_emitted, done.progress.records_total);
+    EXPECT_EQ(done.progress.records_total, big_spec("tracked").n);
+    EXPECT_EQ(done.progress.eta_seconds, 0.0);
+    EXPECT_GT(done.progress.io_steps, 0u);
+    expect_budget_closed(done);
+}
+
+// Compiled out with obs: the publish paths guard on metrics(), which is
+// constexpr nullptr under BALSORT_NO_OBS, so the registry never fills and
+// there is nothing to scrape.
+#ifndef BALSORT_NO_OBS
+TEST(SvcObservatoryTest, ExpositionServesMidRunDuringConcurrentSort) {
+    DiskArray disks(8, 64);
+    MetricsRegistry registry;
+    SchedulerConfig cfg;
+    cfg.max_active = 4;
+    cfg.async_io = false;
+    cfg.metrics = &registry;
+    SortScheduler sched(disks, cfg);
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+        AdmissionResult adm = sched.submit(big_spec("expo" + std::to_string(i)));
+        ASSERT_TRUE(adm.admitted) << adm.reason;
+        ids.push_back(adm.id);
+    }
+    // Scrape mid-run: wait until at least one job is running, then render.
+    std::string mid;
+    for (int i = 0; i < 2000 && mid.empty(); ++i) {
+        for (std::uint64_t id : ids) {
+            if (sched.status(id).state == JobState::kRunning) {
+                sched.publish_stats();
+                mid = exposition_text(registry);
+                break;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_FALSE(mid.empty()) << "no job was ever observed running";
+    EXPECT_NE(mid.find("# TYPE balsort_svc_jobs_active gauge"), std::string::npos);
+    EXPECT_NE(mid.find("balsort_executor_queue_depth"), std::string::npos);
+    // Exposition format sanity: every non-comment line is "name value" with
+    // a parseable numeric value.
+    std::istringstream lines(mid);
+    std::string line;
+    std::size_t samples = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string value = line.substr(space + 1);
+        char* end = nullptr;
+        std::strtod(value.c_str(), &end);
+        EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+        ++samples;
+    }
+    EXPECT_GT(samples, 10u);
+
+    for (const JobStatus& st : sched.wait_all()) {
+        EXPECT_EQ(st.state, JobState::kSucceeded) << st.name << ": " << st.error;
+    }
+    // After the last job, the live gauges settle back to idle.
+    sched.publish_stats();
+    const std::string after = exposition_text(registry);
+    EXPECT_NE(after.find("balsort_svc_jobs_active 0"), std::string::npos);
+    EXPECT_NE(after.find("balsort_svc_jobs_queued 0"), std::string::npos);
+}
+#endif // BALSORT_NO_OBS
+
+#ifndef BALSORT_NO_OBS
+TEST(SvcObservatoryTest, FlightRecorderOverheadGuard) {
+    // The flight recorder is always on — this is the overhead guard: with
+    // the recorder demonstrably recording (note_count advances), every
+    // model quantity stays byte-identical across repeat runs, and the dump
+    // is well-formed Chrome-trace JSON.
+    const std::uint64_t notes_before = FlightRecorder::instance().note_count();
+    const auto specs = make_specs(2);
+    const auto a = run_schedule(specs, DiskBackend::kMemory, /*async_io=*/true, 2);
+    const auto b = run_schedule(specs, DiskBackend::kMemory, /*async_io=*/true, 2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        ASSERT_EQ(a[i].state, JobState::kSucceeded) << a[i].error;
+        ASSERT_EQ(b[i].state, JobState::kSucceeded) << b[i].error;
+        EXPECT_EQ(a[i].io.io_steps(), b[i].io.io_steps());
+        EXPECT_EQ(a[i].output_hash, b[i].output_hash);
+    }
+    EXPECT_GT(FlightRecorder::instance().note_count(), notes_before)
+        << "recorder saw no events during two schedules";
+
+    std::ostringstream dump;
+    FlightRecorder::instance().dump(dump);
+    const std::string json = dump.str();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 40);
+    EXPECT_EQ(json.substr(json.size() - 2), "]}");
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+#endif
 
 // ---------------------------------------------------------------------------
 // SortJobConfig policy validation
