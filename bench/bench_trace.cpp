@@ -8,6 +8,7 @@
 #include "baselines/striped_merge.hpp"
 #include "bench_common.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "pdm/trace.hpp"
 
 #include <chrono>
@@ -39,16 +40,20 @@ TraceRow traced(const PdmConfig& cfg, const std::vector<Record>& input, SortFn&&
     return row;
 }
 
-// One rung of the flight-recorder overhead ladder: the same sort, plus an
-// explicit dose of ring traffic (`notes` synthetic events) and optionally a
-// full Chrome-trace dump inside the timed region. The model quantities come
-// from the sort alone, so they must be byte-identical across rungs — that is
-// the guard the gated baseline enforces: the recorder may cost wall time,
-// never I/O steps.
+// One rung of the observability overhead ladder: the same sort, plus an
+// explicit dose of instrumentation — ring traffic (`notes` synthetic flight
+// events), optionally a full Chrome-trace dump inside the timed region, and
+// optionally the sampling profiler armed for the sort's duration. The model
+// quantities come from the sort alone, so they must be byte-identical
+// across rungs — that is the guard the gated baseline enforces: observers
+// may cost wall time, never I/O steps.
 BenchResult ladder_rung(const char* variant, const PdmConfig& cfg, std::uint64_t notes,
-                        bool dump) {
+                        bool dump, bool profile = false) {
     const auto t0 = std::chrono::steady_clock::now();
-    SortReport rep = run_balance_sort(cfg, Workload::kUniform, 5);
+    Profiler profiler;
+    SortOptions opt;
+    if (profile) opt.profiler = &profiler;
+    SortReport rep = run_balance_sort(cfg, Workload::kUniform, 5, opt);
     for (std::uint64_t i = 0; i < notes; ++i) {
         flight_note("bench.tick", "bench", static_cast<std::int64_t>(i));
     }
@@ -133,25 +138,27 @@ int main(int argc, char** argv) {
     }
 
     {
-        // Flight-recorder overhead ladder. The recorder is always on, so the
-        // rungs dose it: baseline (the sort's own notes only), ring (plus a
-        // burst of synthetic ring writes), ring+dump (plus a full
-        // Chrome-trace serialization). Model quantities are identical by
+        // Observability overhead ladder. The flight recorder is always on,
+        // so the rungs dose it: baseline (the sort's own notes only), ring
+        // (plus a burst of synthetic ring writes), ring+dump (plus a full
+        // Chrome-trace serialization), profiler (SIGPROF sampling armed for
+        // the sort's duration). Model quantities are identical by
         // construction; the gate pins them byte-exactly and tolerance-bands
-        // the wall clock — the recorder must stay off the model ledger.
+        // the wall clock — observers must stay off the model ledger.
         PdmConfig lcfg{.n = smoke ? (1u << 15) : (1u << 17), .m = 1 << 11, .d = 8, .b = 16, .p = 1};
         const std::uint64_t notes = smoke ? 50'000 : 500'000;
         BenchSuite suite = make_suite("trace", smoke);
         suite.results.push_back(ladder_rung("recorder=baseline", lcfg, 0, false));
         suite.results.push_back(ladder_rung("recorder=ring", lcfg, notes, false));
         suite.results.push_back(ladder_rung("recorder=ring+dump", lcfg, notes, true));
+        suite.results.push_back(ladder_rung("recorder=profiler", lcfg, 0, false, true));
 
         Table l({"rung", "I/O steps", "wall (s)"});
         for (const auto& r : suite.results) {
             l.add_row({r.variant, Table::num(r.io_steps), Table::fixed(r.wall_seconds, 3)});
         }
-        std::cout << "\nFlight-recorder overhead ladder (N=" << lcfg.n << ", " << notes
-                  << " synthetic notes per dosed rung):\n";
+        std::cout << "\nObservability overhead ladder (N=" << lcfg.n << ", " << notes
+                  << " synthetic notes per dosed ring rung):\n";
         l.print(std::cout);
 
         if (!write_suite(suite, json_path)) return 1;

@@ -16,20 +16,33 @@
 //           or a variant appeared/disappeared.
 //   ok    — everything matches.
 //
+// Beyond the point-in-time gate, benchgate also keeps the *trend* layer
+// (DESIGN.md §17): `--append-history DIR` folds a suite's run into
+// DIR/<bench>.jsonl as one canonical provenance-stamped line (model
+// quantities kept as their raw source tokens, so the history preserves
+// the byte-exact channel), and `--trend PATH` renders per-variant
+// wall/model trajectories from a history file or directory, flagging the
+// runs where a model quantity changed. CI appends after every perf run,
+// so the history accumulates across commits.
+//
 // Exit codes: 0 pass (warnings allowed), 1 fail, 2 usage/IO error.
 //
 // Usage:
 //   benchgate [options] --baseline-dir DIR RESULT.json...
 //   benchgate [options] --baseline BASE.json RESULT.json
 //   benchgate --validate FILE.json...     # schema validity only
+//   benchgate --append-history DIR RESULT.json...
+//   benchgate --trend DIR|FILE.jsonl      # render history trajectories
 //   benchgate --self-check                # gate-the-gate unit test
 // Options:
 //   --wall-tolerance F   relative wall-clock band (default 0.25)
 //   --strict-wall        wall drift fails instead of warns
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -49,6 +62,8 @@ using balsort::JsonValue;
 struct Options {
     std::string baseline_dir;
     std::string baseline_file;
+    std::string history_dir; ///< --append-history: fold inputs into DIR/<bench>.jsonl
+    std::string trend_path;  ///< --trend: render trajectories from a file or dir
     std::vector<std::string> inputs;
     double wall_tolerance = 0.25;
     bool strict_wall = false;
@@ -61,6 +76,8 @@ int usage(const char* argv0) {
               << "         --baseline-dir DIR RESULT.json...\n"
               << "       " << argv0 << " [options] --baseline BASE.json RESULT.json\n"
               << "       " << argv0 << " --validate FILE.json...\n"
+              << "       " << argv0 << " --append-history DIR RESULT.json...\n"
+              << "       " << argv0 << " --trend DIR|FILE.jsonl\n"
               << "       " << argv0 << " --self-check\n";
     return 2;
 }
@@ -84,25 +101,24 @@ struct Row {
     const JsonValue* model = nullptr;
     const JsonValue* invariants = nullptr;
     double wall_seconds = 0;
+    std::string wall_raw; ///< verbatim source token, so history re-emits it untouched
     bool has_wall = false;
 };
 
 struct Suite {
     std::string bench;
+    std::string git_describe; ///< provenance, empty when the harness had none
+    std::string timestamp;
     bool smoke = false;
     std::vector<Row> rows;
     JsonValue doc; // owns the tree the Row pointers reference
 };
 
-/// Parse + schema-check one balsort-bench-v1 file. Returns nullopt and
-/// prints the reason on stderr when the document is not a valid suite.
-std::optional<Suite> load_suite(const std::string& path) {
-    auto text = slurp(path);
-    if (!text) {
-        std::cerr << "benchgate: cannot read " << path << "\n";
-        return std::nullopt;
-    }
-    auto doc = JsonValue::parse(*text);
+/// Parse + schema-check one balsort-bench-v1 document. Returns nullopt and
+/// prints the reason on stderr when the text is not a valid suite; `path`
+/// only labels the messages.
+std::optional<Suite> parse_suite(const std::string& text, const std::string& path) {
+    auto doc = JsonValue::parse(text);
     if (!doc) {
         std::cerr << "benchgate: " << path << ": not valid JSON\n";
         return std::nullopt;
@@ -122,6 +138,12 @@ std::optional<Suite> load_suite(const std::string& path) {
         return std::nullopt;
     }
     suite.bench = bench->as_string();
+    if (const JsonValue* g = root.find("git_describe"); g != nullptr && g->is_string()) {
+        suite.git_describe = g->as_string();
+    }
+    if (const JsonValue* t = root.find("timestamp"); t != nullptr && t->is_string()) {
+        suite.timestamp = t->as_string();
+    }
     if (const JsonValue* smoke = root.find("smoke"); smoke != nullptr && smoke->is_bool()) {
         suite.smoke = smoke->as_bool();
     }
@@ -178,12 +200,22 @@ std::optional<Suite> load_suite(const std::string& path) {
         }
         if (const JsonValue* w = r.find("wall_seconds"); w != nullptr && w->is_number()) {
             row.wall_seconds = w->as_double();
+            row.wall_raw = w->raw_number();
             row.has_wall = true;
         }
         suite.rows.push_back(std::move(row));
         ++idx;
     }
     return suite;
+}
+
+std::optional<Suite> load_suite(const std::string& path) {
+    auto text = slurp(path);
+    if (!text) {
+        std::cerr << "benchgate: cannot read " << path << "\n";
+        return std::nullopt;
+    }
+    return parse_suite(*text, path);
 }
 
 const Row* find_row(const Suite& s, const std::string& variant) {
@@ -299,6 +331,274 @@ int gate_one(const std::string& baseline_path, const std::string& result_path,
 }
 
 // -------------------------------------------------------------------------
+// History + trend (DESIGN.md §17). One perf run folds into one canonical
+// JSONL line per suite:
+//
+//   {"schema":"balsort-history-v1","bench":ID,"git_describe":S,
+//    "timestamp":S,"smoke":B,"variants":[
+//      {"variant":S,"config":{n,m,d,b,p},"model":{io_steps,...},
+//       "invariants":{invariant1,invariant2},"wall_seconds":F}]}
+//
+// Numeric fields are re-emitted from their raw source tokens, so the
+// history preserves the byte-exact model channel: `--trend` can flag the
+// precise run where a model quantity moved, commits later.
+
+const char* const kHistConfigKeys[] = {"n", "m", "d", "b", "p"};
+const char* const kHistModelKeys[] = {"io_steps",    "read_steps", "write_steps",
+                                      "blocks",      "pram_time",  "work_ratio"};
+
+void write_tokens(std::ostream& os, const JsonValue& obj, const char* const* keys,
+                  std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const JsonValue* v = obj.find(keys[i]);
+        os << (i != 0 ? "," : "") << '"' << keys[i]
+           << "\":" << (v != nullptr ? v->raw_number() : "0");
+    }
+}
+
+void write_history_line(const Suite& s, std::ostream& os) {
+    os << "{\"schema\":\"balsort-history-v1\",\"bench\":\"";
+    balsort::write_json_escaped(os, s.bench);
+    os << "\",\"git_describe\":\"";
+    balsort::write_json_escaped(os, s.git_describe);
+    os << "\",\"timestamp\":\"";
+    balsort::write_json_escaped(os, s.timestamp);
+    os << "\",\"smoke\":" << balsort::json_bool(s.smoke) << ",\"variants\":[";
+    bool first = true;
+    for (const Row& r : s.rows) {
+        os << (first ? "" : ",") << "{\"variant\":\"";
+        first = false;
+        balsort::write_json_escaped(os, r.variant);
+        os << "\",\"config\":{";
+        write_tokens(os, *r.config, kHistConfigKeys, 5);
+        os << "},\"model\":{";
+        write_tokens(os, *r.model, kHistModelKeys, 6);
+        os << "},\"invariants\":{\"invariant1\":"
+           << balsort::json_bool(r.invariants->find("invariant1")->as_bool())
+           << ",\"invariant2\":"
+           << balsort::json_bool(r.invariants->find("invariant2")->as_bool()) << "}";
+        if (r.has_wall) os << ",\"wall_seconds\":" << r.wall_raw;
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+int append_history(const std::string& dir, const std::vector<std::string>& inputs) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::cerr << "benchgate: cannot create history dir " << dir << ": " << ec.message()
+                  << "\n";
+        return 2;
+    }
+    for (const std::string& path : inputs) {
+        auto s = load_suite(path);
+        if (!s) return 2;
+        const std::string out = dir + "/" + s->bench + ".jsonl";
+        std::ofstream os(out, std::ios::app | std::ios::binary);
+        if (os) write_history_line(*s, os);
+        os.flush();
+        if (!os) {
+            std::cerr << "benchgate: cannot append to " << out << "\n";
+            return 2;
+        }
+        std::cout << "history: appended \"" << s->bench << "\" (" << s->rows.size()
+                  << " variants";
+        if (!s->git_describe.empty()) std::cout << ", " << s->git_describe;
+        std::cout << ") -> " << out << "\n";
+    }
+    return 0;
+}
+
+struct TrendStats {
+    int runs = 0;
+    int bad_lines = 0;
+    int model_changes = 0; ///< variant-runs whose model/config tokens moved
+};
+
+/// One variant's state in one history line, reduced to what the trend view
+/// needs: the comparison key (every config+model raw token, joined) and
+/// the wall clock.
+struct TrendSnap {
+    std::string tokens;
+    std::string io_steps;
+    std::string wall_raw;
+    double wall = 0;
+    bool has_wall = false;
+};
+
+struct TrendRun {
+    std::string git;
+    std::string timestamp;
+    std::vector<std::pair<std::string, TrendSnap>> variants; // line order
+};
+
+/// Parse one history stream (one suite's .jsonl) and render per-variant
+/// trajectories. Malformed lines are reported and counted, never fatal —
+/// a half-written line from a crashed CI run must not hide the rest.
+TrendStats trend_stream(const std::string& label, std::istream& is, std::ostream& os) {
+    TrendStats stats;
+    std::string bench;
+    std::vector<TrendRun> runs;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        auto doc = JsonValue::parse(line);
+        const JsonValue* variants = nullptr;
+        bool ok = doc.has_value();
+        if (ok) {
+            const JsonValue* schema = doc->find("schema");
+            const JsonValue* b = doc->find("bench");
+            variants = doc->find("variants");
+            ok = schema != nullptr && schema->is_string() &&
+                 schema->as_string() == "balsort-history-v1" && b != nullptr && b->is_string() &&
+                 variants != nullptr && variants->is_array();
+            if (ok && bench.empty()) bench = b->as_string();
+        }
+        if (!ok) {
+            os << "  BAD " << label << ":" << lineno << ": not a balsort-history-v1 line\n";
+            ++stats.bad_lines;
+            continue;
+        }
+        TrendRun run;
+        if (const JsonValue* g = doc->find("git_describe"); g != nullptr && g->is_string()) {
+            run.git = g->as_string();
+        }
+        if (const JsonValue* t = doc->find("timestamp"); t != nullptr && t->is_string()) {
+            run.timestamp = t->as_string();
+        }
+        for (const JsonValue& v : variants->items()) {
+            const JsonValue* name = v.find("variant");
+            const JsonValue* config = v.find("config");
+            const JsonValue* model = v.find("model");
+            if (name == nullptr || !name->is_string() || config == nullptr || model == nullptr) {
+                os << "  BAD " << label << ":" << lineno << ": malformed variant entry\n";
+                ++stats.bad_lines;
+                continue;
+            }
+            TrendSnap snap;
+            std::ostringstream key;
+            write_tokens(key, *config, kHistConfigKeys, 5);
+            key << ";";
+            write_tokens(key, *model, kHistModelKeys, 6);
+            snap.tokens = key.str();
+            if (const JsonValue* io = model->find("io_steps"); io != nullptr && io->is_number()) {
+                snap.io_steps = io->raw_number();
+            }
+            if (const JsonValue* w = v.find("wall_seconds"); w != nullptr && w->is_number()) {
+                snap.wall = w->as_double();
+                snap.wall_raw = w->raw_number();
+                snap.has_wall = true;
+            }
+            run.variants.emplace_back(name->as_string(), std::move(snap));
+        }
+        runs.push_back(std::move(run));
+        ++stats.runs;
+    }
+
+    os << "trend \"" << (bench.empty() ? "?" : bench) << "\" — " << stats.runs << " run(s) ("
+       << label << "):\n";
+
+    // Variants in first-seen order across all runs.
+    std::vector<std::string> order;
+    for (const TrendRun& run : runs) {
+        for (const auto& [name, snap] : run.variants) {
+            if (std::find(order.begin(), order.end(), name) == order.end()) {
+                order.push_back(name);
+            }
+        }
+    }
+    for (const std::string& name : order) {
+        os << "  " << name << ":\n";
+        const TrendSnap* prev = nullptr;
+        const TrendSnap* first_wall = nullptr;
+        const TrendSnap* last_wall = nullptr;
+        int k = 0;
+        for (const TrendRun& run : runs) {
+            ++k;
+            const TrendSnap* snap = nullptr;
+            for (const auto& [n, s] : run.variants) {
+                if (n == name) {
+                    snap = &s;
+                    break;
+                }
+            }
+            if (snap == nullptr) continue;
+            os << "    #" << k << "  " << (run.timestamp.empty() ? "-" : run.timestamp) << "  "
+               << (run.git.empty() ? "-" : run.git) << "  io_steps="
+               << (snap->io_steps.empty() ? "?" : snap->io_steps);
+            if (snap->has_wall) {
+                os << "  wall=" << snap->wall_raw << "s";
+                if (prev != nullptr && prev->has_wall && prev->wall > 0) {
+                    const double rel = (snap->wall - prev->wall) / prev->wall;
+                    os << " (" << (rel >= 0 ? "+" : "") << static_cast<int>(rel * 100) << "%)";
+                }
+                if (first_wall == nullptr) first_wall = snap;
+                last_wall = snap;
+            }
+            if (prev != nullptr && prev->tokens != snap->tokens) {
+                os << "  MODEL CHANGE";
+                ++stats.model_changes;
+            }
+            os << "\n";
+            prev = snap;
+        }
+        if (first_wall != nullptr && last_wall != nullptr && first_wall != last_wall &&
+            first_wall->wall > 0) {
+            const double rel = (last_wall->wall - first_wall->wall) / first_wall->wall;
+            os << "    wall first->last: " << first_wall->wall_raw << "s -> "
+               << last_wall->wall_raw << "s (" << (rel >= 0 ? "+" : "")
+               << static_cast<int>(rel * 100) << "%)\n";
+        }
+    }
+    return stats;
+}
+
+int trend_main(const std::string& path) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        std::cerr << "benchgate: no such history: " << path << "\n";
+        return 2;
+    }
+    std::vector<fs::path> files;
+    if (fs::is_directory(path, ec)) {
+        for (const auto& entry : fs::directory_iterator(path, ec)) {
+            if (entry.path().extension() == ".jsonl") files.push_back(entry.path());
+        }
+        std::sort(files.begin(), files.end());
+        if (files.empty()) {
+            std::cerr << "benchgate: no .jsonl history files in " << path << "\n";
+            return 2;
+        }
+    } else {
+        files.emplace_back(path);
+    }
+    TrendStats total;
+    for (const fs::path& f : files) {
+        std::ifstream is(f);
+        if (!is) {
+            std::cerr << "benchgate: cannot read " << f.string() << "\n";
+            return 2;
+        }
+        TrendStats ts = trend_stream(f.string(), is, std::cout);
+        total.runs += ts.runs;
+        total.bad_lines += ts.bad_lines;
+        total.model_changes += ts.model_changes;
+    }
+    std::cout << "benchgate trend: " << total.runs << " run(s) across " << files.size()
+              << " suite(s), " << total.model_changes << " model change(s)";
+    if (total.bad_lines > 0) {
+        std::cout << ", " << total.bad_lines << " malformed line(s)\n";
+        return 1;
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+// -------------------------------------------------------------------------
 // --self-check: the gate gates a synthetic suite against perturbed copies
 // of itself, so CI can prove the comparator actually bites before trusting
 // a green run.
@@ -356,32 +656,8 @@ int self_check() {
         // Route through the same loader/comparator the CLI uses, via
         // temp-free in-memory parsing.
         Tally tally;
-        auto parse_mem = [](const BenchSuite& s) -> std::optional<Suite> {
-            Suite out;
-            auto doc = JsonValue::parse(s.to_json());
-            if (!doc) return std::nullopt;
-            out.doc = std::move(*doc);
-            // Reuse the navigation logic by re-walking results.
-            const JsonValue* results = out.doc.find("results");
-            if (results == nullptr) return std::nullopt;
-            const JsonValue* bench = out.doc.find("bench");
-            if (bench != nullptr) out.bench = bench->as_string();
-            for (const JsonValue& r : results->items()) {
-                Row row;
-                row.variant = r.find("variant")->as_string();
-                row.config = r.find("config");
-                row.model = r.find("model");
-                row.invariants = r.find("invariants");
-                if (const JsonValue* w = r.find("wall_seconds")) {
-                    row.wall_seconds = w->as_double();
-                    row.has_wall = true;
-                }
-                out.rows.push_back(row);
-            }
-            return out;
-        };
-        auto a = parse_mem(base);
-        auto b = parse_mem(got);
+        auto a = parse_suite(base.to_json(), "<mem:base>");
+        auto b = parse_suite(got.to_json(), "<mem:got>");
         if (!a || !b) return Tally{1, 0};
         compare_suites(*a, *b, o, tally);
         return tally;
@@ -430,6 +706,55 @@ int self_check() {
         Tally t = run_gate(suite, extra, opt);
         expect(t.fails == 0 && t.warns > 0, "new variant warns, does not fail");
     }
+    {
+        // History layer: three appended runs, the third with a model drift.
+        // The trend view must count three runs, flag exactly one change,
+        // and the appended lines must round-trip the raw model tokens.
+        std::ostringstream hist;
+        auto s1 = parse_suite(suite.to_json(), "<mem:run1>");
+        expect(s1.has_value(), "synthetic suite loads for history append");
+        if (s1) write_history_line(*s1, hist);
+
+        BenchSuite warmer = suite;
+        warmer.timestamp = "2026-01-02T00:00:00Z";
+        warmer.results[0].wall_seconds = 0.6;
+        auto s2 = parse_suite(warmer.to_json(), "<mem:run2>");
+        if (s2) write_history_line(*s2, hist);
+
+        BenchSuite drift = warmer;
+        drift.timestamp = "2026-01-03T00:00:00Z";
+        drift.results[0].io_steps += 1;
+        auto s3 = parse_suite(drift.to_json(), "<mem:run3>");
+        if (s3) write_history_line(*s3, hist);
+
+        {
+            std::istringstream first_line(hist.str().substr(0, hist.str().find('\n')));
+            auto line = JsonValue::parse(first_line.str());
+            bool round_trip = false;
+            if (line) {
+                const JsonValue* variants = line->find("variants");
+                if (variants != nullptr && variants->is_array() && !variants->items().empty()) {
+                    const JsonValue* model = variants->items()[0].find("model");
+                    const JsonValue* io = model != nullptr ? model->find("io_steps") : nullptr;
+                    round_trip = io != nullptr && io->raw_number() == "1327";
+                }
+            }
+            expect(round_trip, "history line preserves the raw io_steps token");
+        }
+
+        std::istringstream in(hist.str());
+        std::ostringstream render;
+        TrendStats ts = trend_stream("<mem:history>", in, render);
+        expect(ts.runs == 3 && ts.bad_lines == 0, "three clean history lines parse");
+        expect(ts.model_changes == 1, "trend flags exactly the io_steps drift");
+        expect(render.str().find("MODEL CHANGE") != std::string::npos,
+               "trend renders the MODEL CHANGE marker");
+
+        std::istringstream garbage("not json at all\n");
+        std::ostringstream render2;
+        TrendStats tg = trend_stream("<mem:bad>", garbage, render2);
+        expect(tg.bad_lines == 1 && tg.runs == 0, "malformed history line is counted, not fatal");
+    }
 
     if (failures == 0) {
         std::cout << "benchgate self-check: all checks passed\n";
@@ -455,6 +780,10 @@ int main(int argc, char** argv) {
             opt.strict_wall = true;
         } else if (std::strcmp(a, "--validate") == 0) {
             opt.validate_only = true;
+        } else if (std::strcmp(a, "--append-history") == 0 && i + 1 < argc) {
+            opt.history_dir = argv[++i];
+        } else if (std::strcmp(a, "--trend") == 0 && i + 1 < argc) {
+            opt.trend_path = argv[++i];
         } else if (std::strcmp(a, "--self-check") == 0) {
             opt.self_check = true;
         } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
@@ -469,6 +798,16 @@ int main(int argc, char** argv) {
     }
 
     if (opt.self_check) return self_check();
+
+    if (!opt.trend_path.empty()) {
+        if (!opt.inputs.empty() || !opt.history_dir.empty()) return usage(argv[0]);
+        return trend_main(opt.trend_path);
+    }
+
+    if (!opt.history_dir.empty()) {
+        if (opt.inputs.empty()) return usage(argv[0]);
+        return append_history(opt.history_dir, opt.inputs);
+    }
 
     if (opt.validate_only) {
         if (opt.inputs.empty()) return usage(argv[0]);

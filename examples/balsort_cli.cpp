@@ -8,6 +8,7 @@
 //               [--block RECORDS] [--scratch DIR] [--algo balance|greed|merge]
 //               [--sketch] [--stats] [--trace OUT.json] [--metrics-json OUT.json]
 //               [--manifest OUT.json] [--balance-timeline OUT.json]
+//               [--profile OUT.folded] [--profile-hz N]
 //               [--checkpoint FILE] [--resume]
 //
 //   balsort_cli --selftest        # generate, sort, verify, clean up
@@ -17,12 +18,19 @@
 // --manifest a RunManifest bundling config, report, and metrics
 // (DESIGN.md §11), and --balance-timeline the per-track balance-quality
 // recorder (DESIGN.md §12; balance algo only — it also rides along inside
-// the manifest when both flags are given).
+// the manifest when both flags are given). --profile samples the run's
+// CPU stacks (SIGPROF, DESIGN.md §17) into a collapsed/folded-stack file
+// (flamegraph.pl / speedscope ready); with --trace the samples also land
+// on "profile N" lanes of the timeline. Sampling changes no model
+// quantity. --selftest composes with the artifact flags: the generated
+// run writes the same trace/manifest/profile outputs, which is how CI
+// produces its reference artifacts.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "balsort.hpp"
@@ -45,11 +53,16 @@ struct CliOptions {
     std::string algo = "balance";
     std::uint32_t threads = 0; ///< compute lanes; 0 = the library default
     std::string trace_path, metrics_path, manifest_path, timeline_path;
+    std::string profile_path;
+    std::uint32_t profile_hz = 997;
     std::string checkpoint;
     bool resume = false;
     bool sketch = false;
     bool stats = false;
     bool selftest = false;
+    // Whether the size knobs came from the command line (selftest keeps
+    // its small defaults otherwise).
+    bool mem_set = false, disks_set = false, block_set = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -58,7 +71,8 @@ struct CliOptions {
                  "          [--scratch DIR] [--algo balance|greed|merge] [--threads T]\n"
                  "          [--sketch] [--stats]\n"
                  "          [--trace OUT.json] [--metrics-json OUT.json] [--manifest OUT.json]\n"
-                 "          [--balance-timeline OUT.json] [--checkpoint FILE] [--resume]\n"
+                 "          [--balance-timeline OUT.json] [--profile OUT.folded] [--profile-hz N]\n"
+                 "          [--checkpoint FILE] [--resume]\n"
                  "       "
               << argv0 << " --selftest\n";
     std::exit(2);
@@ -75,10 +89,13 @@ CliOptions parse(int argc, char** argv) {
         };
         if (a == "--mem") {
             o.mem = std::strtoull(next().c_str(), nullptr, 10);
+            o.mem_set = true;
         } else if (a == "--disks") {
             o.disks = static_cast<std::uint32_t>(std::stoul(next()));
+            o.disks_set = true;
         } else if (a == "--block") {
             o.block = static_cast<std::uint32_t>(std::stoul(next()));
+            o.block_set = true;
         } else if (a == "--scratch") {
             o.scratch = next();
         } else if (a == "--algo") {
@@ -93,6 +110,10 @@ CliOptions parse(int argc, char** argv) {
             o.manifest_path = next();
         } else if (a == "--balance-timeline") {
             o.timeline_path = next();
+        } else if (a == "--profile") {
+            o.profile_path = next();
+        } else if (a == "--profile-hz") {
+            o.profile_hz = static_cast<std::uint32_t>(std::stoul(next()));
         } else if (a == "--checkpoint") {
             o.checkpoint = next();
         } else if (a == "--resume") {
@@ -190,6 +211,14 @@ int run(const CliOptions& o) {
     MetricsRegistry metrics_reg;
     TracerInstallGuard trace_guard(o.trace_path.empty() ? nullptr : &tracer);
     MetricsInstallGuard metrics_guard(want_metrics ? &metrics_reg : nullptr);
+    // --profile: one sampler for the whole run; the sort's own
+    // ProfilerScope nests by refcount inside the scope below.
+    std::unique_ptr<Profiler> profiler;
+    if (!o.profile_path.empty()) {
+        ProfilerConfig pcfg;
+        pcfg.hz = o.profile_hz;
+        profiler = std::make_unique<Profiler>(pcfg);
+    }
 
     Timer timer;
     BlockRun run_in;
@@ -222,7 +251,8 @@ int run(const CliOptions& o) {
         job.balance(bal)
             .observability(ObsPolicy{}
                                .tracer(o.trace_path.empty() ? nullptr : &tracer)
-                               .registry(want_metrics ? &metrics_reg : nullptr));
+                               .registry(want_metrics ? &metrics_reg : nullptr)
+                               .sampler(profiler.get()));
         DurabilityPolicy dur;
         dur.checkpoint(o.checkpoint);
         if (o.resume) dur.resume(o.checkpoint);
@@ -233,11 +263,13 @@ int run(const CliOptions& o) {
         sort_elapsed = report.elapsed_seconds;
         have_phases = true;
     } else if (o.algo == "greed") {
+        ProfilerScope profile_scope(profiler.get());
         GreedSortReport rep;
         run_out = greed_sort(disks, run_in, cfg, &rep);
         io = rep.io;
         report.io = io;
     } else if (o.algo == "merge") {
+        ProfilerScope profile_scope(profiler.get());
         StripedMergeReport rep;
         run_out = striped_merge_sort(disks, run_in, cfg, &rep);
         io = rep.io;
@@ -271,6 +303,15 @@ int run(const CliOptions& o) {
         std::filesystem::remove(o.checkpoint + ".tmp", ec);
     }
 
+    if (profiler != nullptr) {
+        // Samples land in the trace too (one "profile N" lane per sampled
+        // thread) — before the trace file below is serialized.
+        if (!o.trace_path.empty()) profiler->emit_to_tracer(&tracer);
+        if (!profiler->folded_file(o.profile_path)) {
+            std::cerr << "cannot write " << o.profile_path << '\n';
+            return 1;
+        }
+    }
     if (!o.trace_path.empty()) tracer.write_chrome_trace_file(o.trace_path);
     if (!o.metrics_path.empty()) metrics_reg.write_json_file(o.metrics_path);
     if (want_timeline) {
@@ -315,23 +356,37 @@ int run(const CliOptions& o) {
             t.add_row({"staged prefetches", Table::num(phases.staged_prefetches)});
             t.add_row({"overlap hidden (s)", Table::fixed(phases.overlap_hidden_seconds, 3)});
             t.add_row({"pool hit rate", Table::fixed(100.0 * phases.pool_hit_rate(), 1) + "%"});
+            // Stall-attribution budget (DESIGN.md §16): the same
+            // compute/wait split balsortd's result table shows per job.
+            t.add_row({"budget: compute (s)", Table::fixed(phases.compute_seconds(sort_elapsed), 2)});
+            t.add_row({"budget: io-wait (s)", Table::fixed(phases.io_wait_seconds, 2)});
+            t.add_row({"budget: gate-wait (s)", Table::fixed(phases.gate_wait_seconds, 2)});
+            t.add_row({"budget: pool-wait (s)", Table::fixed(phases.pool_wait_seconds, 2)});
+        }
+        if (profiler != nullptr) {
+            t.add_row({"profile samples", Table::num(profiler->sample_count())});
+            t.add_row({"profile dropped", Table::num(profiler->dropped_samples())});
         }
         t.print(std::cout);
     }
     return 0;
 }
 
-int selftest() {
+int selftest(const CliOptions& parsed) {
     const std::string in = "/tmp/balsort_cli_selftest_in.bin";
     const std::string out = "/tmp/balsort_cli_selftest_out.bin";
     auto data = generate(Workload::kZipf, 200000, 1);
     write_file(in, data);
-    CliOptions o;
+    // Artifact and shape flags ride along (CI generates its reference
+    // trace/manifest/profile via `--selftest --disks 8 --trace ...`);
+    // only memory shrinks to selftest scale unless explicitly set.
+    CliOptions o = parsed;
+    o.selftest = false;
     o.input = in;
     o.output = out;
-    o.mem = 1 << 13;
-    o.disks = 4;
-    o.block = 64;
+    if (!o.mem_set) o.mem = 1 << 13;
+    if (!o.disks_set) o.disks = 4;
+    if (!o.block_set) o.block = 64;
     o.stats = true;
     if (int rc = run(o); rc != 0) return rc;
     auto sorted = read_file(out);
@@ -346,5 +401,5 @@ int selftest() {
 
 int main(int argc, char** argv) {
     const CliOptions o = parse(argc, argv);
-    return o.selftest ? selftest() : run(o);
+    return o.selftest ? selftest(o) : run(o);
 }

@@ -27,6 +27,10 @@
 //   seed=<u64>  m=<records>  p=<cpus>  priority=<weight>  verify=<0|1>
 //   threads=<lanes>  (compute lanes on the scheduler's shared executor;
 //   0/default = min(p, executor workers + 1))
+//   profile=<OUT.folded>  (sample the job's CPU stacks — SIGPROF,
+//   DESIGN.md §17 — and write collapsed/folded stacks to this path after
+//   the jobs drain; one process-wide sampler is shared, so overlapping
+//   profiled jobs each get the union of samples)
 //
 // Example job-file (4 mixed jobs):
 //   name=alpha n=200000 workload=uniform seed=1 m=8192 p=2
@@ -276,6 +280,8 @@ std::vector<JobSpec> parse_job_file(const std::string& path) {
                 spec.config.threads(static_cast<std::uint32_t>(std::stoul(val)));
             } else if (key == "verify") {
                 spec.verify = val != "0";
+            } else if (key == "profile") {
+                spec.profile_path = val;
             } else {
                 std::cerr << path << ':' << lineno << ": unknown key '" << key << "'\n";
                 std::exit(2);
@@ -298,9 +304,24 @@ int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfi
     if (reg != nullptr && (stats.port >= 0 || !stats.file.empty())) {
         server = std::make_unique<StatsService>(sched, *reg, stats);
     }
+    // profile= jobs share one process-wide sampler; each job's sort holds
+    // a nested ProfilerScope, so sampling covers exactly the union of the
+    // profiled jobs' extents.
+    std::unique_ptr<Profiler> profiler;
+    for (const JobSpec& spec : specs) {
+        if (!spec.profile_path.empty()) {
+            profiler = std::make_unique<Profiler>();
+            break;
+        }
+    }
     std::vector<std::uint64_t> ids;
     for (const JobSpec& spec : specs) {
-        AdmissionResult adm = sched.submit(spec);
+        AdmissionResult adm = [&] {
+            if (spec.profile_path.empty()) return sched.submit(spec);
+            JobSpec profiled = spec;
+            profiled.config.obs_policy.profiler = profiler.get();
+            return sched.submit(profiled);
+        }();
         if (!adm.admitted) {
             std::cerr << "job '" << spec.name << "' rejected: " << adm.reason << '\n';
             continue;
@@ -338,6 +359,17 @@ int run_jobs(const std::vector<JobSpec>& specs, DiskArray& disks, SchedulerConfi
     }
     done.store(true, std::memory_order_relaxed);
     if (ticker.joinable()) ticker.join();
+    if (profiler != nullptr) {
+        for (const JobSpec& spec : specs) {
+            if (spec.profile_path.empty()) continue;
+            if (profiler->folded_file(spec.profile_path)) {
+                std::cerr << "profile: " << profiler->sample_count() << " samples -> "
+                          << spec.profile_path << '\n';
+            } else {
+                std::cerr << "profile: cannot write " << spec.profile_path << '\n';
+            }
+        }
+    }
     const double secs = wall.seconds();
     t.print(std::cout);
     const IoArbiter::Stats arb = sched.arbiter_stats();

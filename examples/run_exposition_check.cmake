@@ -1,0 +1,21 @@
+# ctest driver registering ci/check_exposition.py as a test: run the
+# balsortd selftest with the stats service attached, then validate the
+# Prometheus text-exposition snapshot with the same checker (and the same
+# required series) the CI perf job uses. Invoked as
+#   cmake -DBALSORTD=... -DPYTHON=... -DCHECKER=... -DOUT=... -P ...
+execute_process(
+  COMMAND "${BALSORTD}" --selftest --stats-file "${OUT}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "balsortd --selftest failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}" --min-samples 50
+          --require balsort_svc_jobs_active
+          --require balsort_svc_jobs_queued
+          --require balsort_executor_queue_depth
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_exposition.py rejected the snapshot (rc=${rc}):\n${out}")
+endif()
+message(STATUS "exposition snapshot valid")

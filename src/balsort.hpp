@@ -42,6 +42,7 @@
 #include "core/hier_sort.hpp"
 #include "core/sort_config.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/tracer.hpp"
 #include "pdm/config.hpp"

@@ -9,6 +9,7 @@
 #include "core/checkpoint.hpp"
 #include "core/sort_pipeline.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 #include "util/math.hpp"
 
@@ -120,6 +121,9 @@ BlockRun balance_sort(DiskArray& disks, const BlockRun& input, const PdmConfig& 
     // installation (e.g. the CLI's whole-run guard) untouched.
     TracerInstallGuard trace_guard(opt.trace);
     MetricsInstallGuard metrics_guard(opt.metrics);
+    // Sampling covers exactly the sort's extent; start()/stop() nest by
+    // refcount, so concurrent scheduler jobs sharing one profiler stack.
+    ProfilerScope profile_guard(opt.profiler);
     DriverState st(disks, cfg, opt, dv, threads, report);
     Span sort_span(st.tracer, "balance_sort", "sort",
                    st.tracer != nullptr ? st.tracer->lane("sort") : 0);

@@ -30,6 +30,7 @@ namespace balsort {
 
 class BufferPool;
 class MetricsRegistry;
+class Profiler;
 class Tracer;
 
 /// How each level's partition elements are obtained.
@@ -148,6 +149,14 @@ struct SortOptions {
     /// are bit-identical with these on or off (tested).
     Tracer* trace = nullptr;
     MetricsRegistry* metrics = nullptr;
+    /// Sampling CPU profiler (DESIGN.md §17), off (null) by default. When
+    /// set, balance_sort holds a ProfilerScope for the sort's duration:
+    /// SIGPROF samples every thread's stacks into the profiler's rings.
+    /// Sampling observes CPU time only — model quantities and the output
+    /// are bit-identical with it on or off (overhead-guard tested). The
+    /// caller owns the profiler and dumps it (folded stacks / trace lane)
+    /// after the sort returns.
+    Profiler* profiler = nullptr;
     /// Crash consistency (DESIGN.md §13), off ("") by default. When set,
     /// the sort writes a crash-consistent checkpoint record to this path
     /// at every pipeline boundary (after the pivot pass, after Balance,

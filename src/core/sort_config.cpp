@@ -61,6 +61,7 @@ SortOptions SortJobConfig::options() const {
     o.shared_pool = io_policy.shared_pool;
     o.trace = obs_policy.trace;
     o.metrics = obs_policy.metrics;
+    o.profiler = obs_policy.profiler;
     o.checkpoint_path = durability_policy.checkpoint_path;
     o.resume_from = durability_policy.resume_from;
     o.on_checkpoint = durability_policy.on_checkpoint;

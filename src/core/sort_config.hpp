@@ -115,9 +115,13 @@ struct ComputePolicy {
 struct ObsPolicy {
     Tracer* trace = nullptr;
     MetricsRegistry* metrics = nullptr;
+    /// Sampling CPU profiler (DESIGN.md §17); the sort holds a
+    /// ProfilerScope for its duration. Caller-owned, like the tracer.
+    Profiler* profiler = nullptr;
 
     ObsPolicy& tracer(Tracer* t) { trace = t; return *this; }
     ObsPolicy& registry(MetricsRegistry* m) { metrics = m; return *this; }
+    ObsPolicy& sampler(Profiler* p) { profiler = p; return *this; }
 
     void validate() const;
 };

@@ -1,0 +1,539 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace balsort {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic on microsecond spans. Everything downstream — busy
+// unions, hidden/exposed overlap, critical-path segmentation — reduces to
+// unions and intersections of [start, end) intervals.
+
+using Iv = std::pair<std::int64_t, std::int64_t>;
+
+/// Sorts and merges overlapping/adjacent intervals into a disjoint union.
+std::vector<Iv> merge_union(std::vector<Iv> v) {
+    std::sort(v.begin(), v.end());
+    std::vector<Iv> out;
+    for (const Iv& iv : v) {
+        if (iv.second <= iv.first) continue;
+        if (!out.empty() && iv.first <= out.back().second) {
+            out.back().second = std::max(out.back().second, iv.second);
+        } else {
+            out.push_back(iv);
+        }
+    }
+    return out;
+}
+
+std::int64_t total_us(const std::vector<Iv>& v) {
+    std::int64_t t = 0;
+    for (const Iv& iv : v) t += iv.second - iv.first;
+    return t;
+}
+
+/// Intersection of two disjoint sorted unions.
+std::vector<Iv> intersect(const std::vector<Iv>& a, const std::vector<Iv>& b) {
+    std::vector<Iv> out;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        const std::int64_t lo = std::max(a[i].first, b[j].first);
+        const std::int64_t hi = std::min(a[i].second, b[j].second);
+        if (lo < hi) out.emplace_back(lo, hi);
+        if (a[i].second < b[j].second) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return out;
+}
+
+/// True when `t` lies inside the disjoint sorted union `v`.
+bool covers(const std::vector<Iv>& v, std::int64_t t) {
+    auto it = std::upper_bound(v.begin(), v.end(), Iv{t, std::numeric_limits<std::int64_t>::max()});
+    if (it == v.begin()) return false;
+    --it;
+    return t >= it->first && t < it->second;
+}
+
+double us_to_s(std::int64_t us) { return static_cast<double>(us) / 1e6; }
+
+// ---------------------------------------------------------------------------
+// Trace ingestion.
+
+struct PhaseIv {
+    std::string name;
+    Iv iv;
+};
+
+std::int64_t event_i64(const JsonValue& ev, const char* key, std::int64_t dflt = 0) {
+    const JsonValue* v = ev.find(key);
+    return v != nullptr && v->is_number() ? static_cast<std::int64_t>(v->as_double()) : dflt;
+}
+
+std::string event_str(const JsonValue& ev, const char* key) {
+    const JsonValue* v = ev.find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+double manifest_num(const JsonValue& root, const char* section, const char* key,
+                    double dflt = 0) {
+    const JsonValue* s = root.find(section);
+    if (s == nullptr) return dflt;
+    const JsonValue* v = s->find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : dflt;
+}
+
+} // namespace
+
+std::optional<AnalyzeReport> analyze_run(const std::string& trace_json,
+                                         const std::string& manifest_json, std::string* err) {
+    auto trace = JsonValue::parse(trace_json);
+    if (!trace || !trace->is_object()) {
+        if (err != nullptr) *err = "trace: not valid JSON";
+        return std::nullopt;
+    }
+    const JsonValue* events = trace->find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+        if (err != nullptr) *err = "trace: missing traceEvents array";
+        return std::nullopt;
+    }
+    auto manifest = JsonValue::parse(manifest_json);
+    if (!manifest || !manifest->is_object()) {
+        if (err != nullptr) *err = "manifest: not valid JSON";
+        return std::nullopt;
+    }
+
+    AnalyzeReport r;
+    r.tool = event_str(*manifest, "tool");
+    r.algo = event_str(*manifest, "algo");
+    r.n = static_cast<std::int64_t>(manifest_num(*manifest, "config", "n"));
+    r.d = static_cast<std::int64_t>(manifest_num(*manifest, "config", "d"));
+    r.p = static_cast<std::int64_t>(manifest_num(*manifest, "config", "p"));
+    r.manifest_elapsed_seconds = manifest_num(*manifest, "report", "elapsed_seconds");
+
+    // ---- pass 1: lane names (thread_name metadata precedes span events
+    // for named lanes, but don't rely on ordering — collect first).
+    std::map<std::int64_t, std::string> lane_name;
+    for (const JsonValue& ev : events->items()) {
+        if (event_str(ev, "ph") == "M" && event_str(ev, "name") == "thread_name") {
+            const JsonValue* args = ev.find("args");
+            if (args != nullptr) {
+                lane_name[event_i64(ev, "tid")] = event_str(*args, "name");
+            }
+        }
+    }
+
+    // ---- pass 2: span graph.
+    std::vector<PhaseIv> phases;
+    std::map<std::string, std::vector<Iv>> disk_ivs; // lane name -> spans
+    Iv sort_extent{0, 0};
+    std::int64_t trace_min = std::numeric_limits<std::int64_t>::max();
+    std::int64_t trace_max = std::numeric_limits<std::int64_t>::min();
+    for (const JsonValue& ev : events->items()) {
+        const std::string ph = event_str(ev, "ph");
+        if (ph == "M") continue;
+        ++r.trace_events;
+        const std::int64_t ts = event_i64(ev, "ts");
+        const std::int64_t dur = ph == "X" ? event_i64(ev, "dur") : 0;
+        trace_min = std::min(trace_min, ts);
+        trace_max = std::max(trace_max, ts + dur);
+        const std::string cat = event_str(ev, "cat");
+        if (ph == "X") {
+            if (cat == "phase") {
+                phases.push_back({event_str(ev, "name"), {ts, ts + dur}});
+            } else if (cat == "sort" && event_str(ev, "name") == "balance_sort") {
+                // Widest sort span wins if a trace ever holds several runs.
+                if (dur > sort_extent.second - sort_extent.first) sort_extent = {ts, ts + dur};
+                r.have_sort_span = true;
+            } else {
+                const auto it = lane_name.find(event_i64(ev, "tid"));
+                if (it != lane_name.end() && it->second.rfind("disk ", 0) == 0) {
+                    disk_ivs[it->second].emplace_back(ts, ts + dur);
+                }
+            }
+        } else if (ph == "b") {
+            if (cat == "prefetch") ++r.prefetch_pairs;
+            if (cat == "staging") ++r.staged_pairs;
+        } else if (ph == "i" && cat == "profile") {
+            ++r.profile_samples;
+        }
+    }
+    if (r.trace_events == 0) {
+        if (err != nullptr) *err = "trace: no events";
+        return std::nullopt;
+    }
+    if (!r.have_sort_span) {
+        sort_extent = {trace_min, trace_max};
+        r.warnings.push_back("no balance_sort span; using whole-trace extent");
+    }
+    const std::int64_t S = sort_extent.first;
+    const std::int64_t E = sort_extent.second;
+    r.span_elapsed_seconds = us_to_s(E - S);
+
+    // ---- overlap attribution.
+    std::vector<Iv> phase_cover_raw;
+    phase_cover_raw.reserve(phases.size());
+    for (const PhaseIv& p : phases) phase_cover_raw.push_back(p.iv);
+    const std::vector<Iv> phase_cover = merge_union(std::move(phase_cover_raw));
+
+    std::vector<Iv> disk_all_raw;
+    for (auto& [lane, ivs] : disk_ivs) {
+        std::vector<Iv> merged = merge_union(ivs);
+        r.disks.push_back({lane, us_to_s(total_us(merged))});
+        disk_all_raw.insert(disk_all_raw.end(), merged.begin(), merged.end());
+    }
+    std::sort(r.disks.begin(), r.disks.end(),
+              [](const DiskBusy& a, const DiskBusy& b) { return a.lane < b.lane; });
+    const std::vector<Iv> io_busy = merge_union(std::move(disk_all_raw));
+    r.io_busy_seconds = us_to_s(total_us(io_busy));
+    r.io_hidden_seconds = us_to_s(total_us(intersect(io_busy, phase_cover)));
+    r.io_exposed_seconds = r.io_busy_seconds - r.io_hidden_seconds;
+    r.overlap_efficiency =
+        r.io_busy_seconds > 0 ? r.io_hidden_seconds / r.io_busy_seconds : 1.0;
+    if (r.disks.empty()) r.warnings.push_back("no per-disk engine spans in trace");
+
+    // ---- disk skew (Invariant-1 ideal: every disk equally busy).
+    if (!r.disks.empty()) {
+        double max_busy = 0, sum_busy = 0;
+        for (const DiskBusy& d : r.disks) {
+            max_busy = std::max(max_busy, d.busy_seconds);
+            sum_busy += d.busy_seconds;
+        }
+        const double mean = sum_busy / static_cast<double>(r.disks.size());
+        r.disk_skew = mean > 0 ? max_busy / mean : 1.0;
+    }
+
+    // ---- critical path: segment [S, E) at every span boundary and
+    // attribute each elementary segment to the innermost active phase,
+    // else exposed I/O, else "other". Sums to the extent by construction.
+    std::vector<std::int64_t> cuts{S, E};
+    auto add_cut = [&](std::int64_t t) {
+        if (t > S && t < E) cuts.push_back(t);
+    };
+    for (const PhaseIv& p : phases) {
+        add_cut(p.iv.first);
+        add_cut(p.iv.second);
+    }
+    for (const Iv& iv : io_busy) {
+        add_cut(iv.first);
+        add_cut(iv.second);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::map<std::string, std::int64_t> segments;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        const std::int64_t lo = cuts[i];
+        const std::int64_t hi = cuts[i + 1];
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        const PhaseIv* active = nullptr;
+        for (const PhaseIv& p : phases) {
+            if (mid < p.iv.first || mid >= p.iv.second) continue;
+            // Innermost = latest start (phase spans nest, never interleave).
+            if (active == nullptr || p.iv.first > active->iv.first) active = &p;
+        }
+        const std::string key = active != nullptr ? "phase:" + active->name
+                                : covers(io_busy, mid) ? std::string("exposed_io")
+                                                       : std::string("other");
+        segments[key] += hi - lo;
+    }
+    for (const auto& [name, us] : segments) {
+        r.critical_path.push_back({name, us_to_s(us)});
+        r.critical_path_seconds += us_to_s(us);
+    }
+    std::sort(r.critical_path.begin(), r.critical_path.end(),
+              [](const AnalyzeRow& a, const AnalyzeRow& b) {
+                  if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                  return a.name < b.name;
+              });
+
+    // ---- stall budget (manifest, PR-9): the scheduler-eye view that the
+    // trace cannot see (waits inside phases).
+    const double io_wait = manifest_num(*manifest, "phases", "io_wait_seconds");
+    const double gate_wait = manifest_num(*manifest, "phases", "gate_wait_seconds");
+    const double pool_wait = manifest_num(*manifest, "phases", "pool_wait_seconds");
+    const double compute = std::max(
+        0.0, r.manifest_elapsed_seconds - io_wait - gate_wait - pool_wait);
+    r.stalls = {{"compute", compute},
+                {"io-wait", io_wait},
+                {"gate-wait", gate_wait},
+                {"pool-wait", pool_wait}};
+    std::sort(r.stalls.begin(), r.stalls.end(), [](const AnalyzeRow& a, const AnalyzeRow& b) {
+        if (a.seconds != b.seconds) return a.seconds > b.seconds;
+        return a.name < b.name;
+    });
+    return r;
+}
+
+void write_analyze_text(std::ostream& os, const AnalyzeReport& r) {
+    os << "balsort_analyze: " << r.tool << " / " << r.algo << "  n=" << r.n << " d=" << r.d
+       << " p=" << r.p << "\n";
+    os << "  trace events        " << r.trace_events << "  (profile samples " << r.profile_samples
+       << ", prefetch pairs " << r.prefetch_pairs << ", staged pairs " << r.staged_pairs << ")\n";
+    os << "  elapsed             span " << r.span_elapsed_seconds << " s, manifest "
+       << r.manifest_elapsed_seconds << " s\n";
+    os << "critical path (" << r.critical_path_seconds << " s total)\n";
+    for (const AnalyzeRow& row : r.critical_path) {
+        const double pct =
+            r.critical_path_seconds > 0 ? 100.0 * row.seconds / r.critical_path_seconds : 0;
+        os << "  " << row.name << "  " << row.seconds << " s  (" << pct << "%)\n";
+    }
+    os << "overlap\n";
+    os << "  io busy             " << r.io_busy_seconds << " s\n";
+    os << "  hidden under phases " << r.io_hidden_seconds << " s\n";
+    os << "  exposed             " << r.io_exposed_seconds << " s\n";
+    os << "  overlap efficiency  " << r.overlap_efficiency << "\n";
+    os << "disks (skew " << r.disk_skew << ", ideal 1.0)\n";
+    for (const DiskBusy& d : r.disks) {
+        os << "  " << d.lane << "  busy " << d.busy_seconds << " s\n";
+    }
+    os << "stall budget (manifest)\n";
+    for (const AnalyzeRow& row : r.stalls) {
+        const double pct = r.manifest_elapsed_seconds > 0
+                               ? 100.0 * row.seconds / r.manifest_elapsed_seconds
+                               : 0;
+        os << "  " << row.name << "  " << row.seconds << " s  (" << pct << "%)\n";
+    }
+    for (const std::string& w : r.warnings) os << "warning: " << w << "\n";
+}
+
+void write_analyze_json(std::ostream& os, const AnalyzeReport& r) {
+    os << "{\"schema\":\"balsort-analyze-v1\",\"tool\":\"";
+    write_json_escaped(os, r.tool);
+    os << "\",\"algo\":\"";
+    write_json_escaped(os, r.algo);
+    os << "\",\"config\":{\"n\":" << r.n << ",\"d\":" << r.d << ",\"p\":" << r.p << "}";
+    os << ",\"trace_events\":" << r.trace_events << ",\"profile_samples\":" << r.profile_samples
+       << ",\"prefetch_pairs\":" << r.prefetch_pairs << ",\"staged_pairs\":" << r.staged_pairs;
+    os << ",\"span_elapsed_seconds\":";
+    write_json_double(os, r.span_elapsed_seconds);
+    os << ",\"manifest_elapsed_seconds\":";
+    write_json_double(os, r.manifest_elapsed_seconds);
+    os << ",\"critical_path_seconds\":";
+    write_json_double(os, r.critical_path_seconds);
+    os << ",\"critical_path\":[";
+    for (std::size_t i = 0; i < r.critical_path.size(); ++i) {
+        if (i > 0) os << ',';
+        os << "{\"name\":\"";
+        write_json_escaped(os, r.critical_path[i].name);
+        os << "\",\"seconds\":";
+        write_json_double(os, r.critical_path[i].seconds);
+        os << "}";
+    }
+    os << "],\"io_busy_seconds\":";
+    write_json_double(os, r.io_busy_seconds);
+    os << ",\"io_hidden_seconds\":";
+    write_json_double(os, r.io_hidden_seconds);
+    os << ",\"io_exposed_seconds\":";
+    write_json_double(os, r.io_exposed_seconds);
+    os << ",\"overlap_efficiency\":";
+    write_json_double(os, r.overlap_efficiency);
+    os << ",\"disk_skew\":";
+    write_json_double(os, r.disk_skew);
+    os << ",\"disks\":[";
+    for (std::size_t i = 0; i < r.disks.size(); ++i) {
+        if (i > 0) os << ',';
+        os << "{\"lane\":\"";
+        write_json_escaped(os, r.disks[i].lane);
+        os << "\",\"busy_seconds\":";
+        write_json_double(os, r.disks[i].busy_seconds);
+        os << "}";
+    }
+    os << "],\"stalls\":[";
+    for (std::size_t i = 0; i < r.stalls.size(); ++i) {
+        if (i > 0) os << ',';
+        os << "{\"name\":\"";
+        write_json_escaped(os, r.stalls[i].name);
+        os << "\",\"seconds\":";
+        write_json_double(os, r.stalls[i].seconds);
+        os << "}";
+    }
+    os << "],\"warnings\":[";
+    for (std::size_t i = 0; i < r.warnings.size(); ++i) {
+        if (i > 0) os << ',';
+        os << '"';
+        write_json_escaped(os, r.warnings[i]);
+        os << '"';
+    }
+    os << "]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Diff: the benchgate philosophy applied pairwise. Model quantities are
+// deterministic — compared on raw JSON number tokens, any difference is
+// drift. Wall-clock quantities only have to stay inside a relative band,
+// and even then the drift is advisory (reported, not gating).
+
+namespace {
+
+bool is_bench_suite(const JsonValue& v) {
+    const JsonValue* s = v.find("schema");
+    return s != nullptr && s->is_string() && s->as_string() == "balsort-bench-v1";
+}
+
+bool is_manifest(const JsonValue& v) {
+    return v.find("tool") != nullptr && v.find("report") != nullptr;
+}
+
+/// Byte-exact comparison of one model token at `section.key`.
+void diff_exact(const JsonValue* a_sec, const JsonValue* b_sec, const std::string& where,
+                const char* key, DiffResult* out) {
+    const JsonValue* av = a_sec != nullptr ? a_sec->find(key) : nullptr;
+    const JsonValue* bv = b_sec != nullptr ? b_sec->find(key) : nullptr;
+    if (av == nullptr && bv == nullptr) return;
+    if (av == nullptr || bv == nullptr) {
+        out->model_drift = true;
+        out->lines.push_back("MODEL " + where + "." + key + ": present in only one document");
+        return;
+    }
+    std::string at;
+    std::string bt;
+    if (av->is_number()) {
+        at = av->raw_number();
+    } else if (av->is_bool()) {
+        at = json_bool(av->as_bool());
+    } else if (av->is_string()) {
+        at = av->as_string();
+    }
+    if (bv->is_number()) {
+        bt = bv->raw_number();
+    } else if (bv->is_bool()) {
+        bt = json_bool(bv->as_bool());
+    } else if (bv->is_string()) {
+        bt = bv->as_string();
+    }
+    if (at != bt) {
+        out->model_drift = true;
+        out->lines.push_back("MODEL " + where + "." + key + ": " + at + " -> " + bt);
+    }
+}
+
+/// Banded comparison of a wall-clock quantity.
+void diff_banded(const JsonValue* a_sec, const JsonValue* b_sec, const std::string& where,
+                 const char* key, double band, DiffResult* out) {
+    const JsonValue* av = a_sec != nullptr ? a_sec->find(key) : nullptr;
+    const JsonValue* bv = b_sec != nullptr ? b_sec->find(key) : nullptr;
+    if (av == nullptr || bv == nullptr || !av->is_number() || !bv->is_number()) return;
+    const double a = av->as_double();
+    const double b = bv->as_double();
+    const double ref = std::max(std::abs(a), 1e-9);
+    const double rel = std::abs(b - a) / ref;
+    std::ostringstream line;
+    line << "wall  " << where << "." << key << ": " << a << " -> " << b << "  ("
+         << (b >= a ? "+" : "") << 100.0 * (b - a) / ref << "%)";
+    if (rel > band) {
+        out->wall_drift = true;
+        line << "  OUTSIDE +/-" << 100.0 * band << "% band";
+    }
+    out->lines.push_back(line.str());
+}
+
+void diff_bench_suites(const JsonValue& a, const JsonValue& b, double band, DiffResult* out) {
+    auto index_rows = [](const JsonValue& doc) {
+        std::map<std::string, const JsonValue*> rows;
+        const JsonValue* results = doc.find("results");
+        if (results != nullptr && results->is_array()) {
+            for (const JsonValue& row : results->items()) {
+                const JsonValue* bench = row.find("bench");
+                const JsonValue* variant = row.find("variant");
+                if (bench != nullptr && variant != nullptr) {
+                    rows[bench->as_string() + "/" + variant->as_string()] = &row;
+                }
+            }
+        }
+        return rows;
+    };
+    const auto a_rows = index_rows(a);
+    const auto b_rows = index_rows(b);
+    std::set<std::string> keys;
+    for (const auto& [k, v] : a_rows) keys.insert(k);
+    for (const auto& [k, v] : b_rows) keys.insert(k);
+    for (const std::string& k : keys) {
+        const auto ai = a_rows.find(k);
+        const auto bi = b_rows.find(k);
+        if (ai == a_rows.end() || bi == b_rows.end()) {
+            out->model_drift = true;
+            out->lines.push_back("MODEL row " + k + ": present in only one suite");
+            continue;
+        }
+        const JsonValue* ar = ai->second;
+        const JsonValue* br = bi->second;
+        for (const char* key : {"n", "m", "d", "b", "p"}) {
+            diff_exact(ar->find("config"), br->find("config"), k + ".config", key, out);
+        }
+        for (const char* key :
+             {"io_steps", "read_steps", "write_steps", "blocks", "pram_time", "work_ratio"}) {
+            diff_exact(ar->find("model"), br->find("model"), k + ".model", key, out);
+        }
+        for (const char* key : {"invariant1", "invariant2"}) {
+            diff_exact(ar->find("invariants"), br->find("invariants"), k + ".invariants", key,
+                       out);
+        }
+        diff_banded(ar, br, k, "wall_seconds", band, out);
+    }
+}
+
+void diff_manifests(const JsonValue& a, const JsonValue& b, double band, DiffResult* out) {
+    // Deterministic model quantities: byte-exact. Runtime-dependent
+    // counters (pool hits, steal counts, retry totals) are deliberately
+    // absent — they vary run to run without any model drift.
+    for (const char* key : {"n", "m", "d", "b", "p"}) {
+        diff_exact(a.find("config"), b.find("config"), "config", key, out);
+    }
+    for (const char* key : {"read_steps", "write_steps", "io_steps", "blocks_read",
+                            "blocks_written", "parity_blocks_written", "recovery_blocks"}) {
+        diff_exact(a.find("io"), b.find("io"), "io", key, out);
+    }
+    for (const char* key :
+         {"optimal_ios", "io_ratio", "comparisons", "moves", "pram_time", "optimal_work",
+          "work_ratio", "s_used", "d_virtual", "levels", "base_cases", "max_bucket_records",
+          "bucket_bound"}) {
+        diff_exact(a.find("report"), b.find("report"), "report", key, out);
+    }
+    for (const char* key : {"tracks", "direct_blocks", "matched_blocks", "deferred_blocks",
+                            "rearrange_rounds", "max_rounds_per_track", "match_draws",
+                            "invariant1_held", "invariant2_held"}) {
+        diff_exact(a.find("balance"), b.find("balance"), "balance", key, out);
+    }
+    diff_banded(a.find("report"), b.find("report"), "report", "elapsed_seconds", band, out);
+    for (const char* key : {"pivot_seconds", "balance_seconds", "base_case_seconds",
+                            "emit_seconds", "io_wait_seconds", "gate_wait_seconds",
+                            "pool_wait_seconds", "overlap_hidden_seconds"}) {
+        diff_banded(a.find("phases"), b.find("phases"), "phases", key, band, out);
+    }
+}
+
+} // namespace
+
+std::optional<DiffResult> diff_documents(const JsonValue& a, const JsonValue& b, double wall_band,
+                                         std::string* err) {
+    DiffResult out;
+    if (is_bench_suite(a) && is_bench_suite(b)) {
+        diff_bench_suites(a, b, wall_band, &out);
+        return out;
+    }
+    if (is_manifest(a) && is_manifest(b)) {
+        diff_manifests(a, b, wall_band, &out);
+        return out;
+    }
+    if (err != nullptr) {
+        *err = "documents are not a diffable pair (need two balsort-bench-v1 suites "
+               "or two run manifests)";
+    }
+    return std::nullopt;
+}
+
+} // namespace balsort

@@ -8,7 +8,10 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <vector>
+
+#include <unistd.h>
 
 namespace balsort {
 
@@ -29,6 +32,8 @@ struct FlightRecorder::Impl {
     std::vector<std::unique_ptr<Ring>> rings;
     std::string dump_path;
     bool dump_path_set = false;
+    std::atomic<std::uint64_t> auto_dump_ordinal{0};
+    std::string last_auto_dump;
 };
 
 FlightRecorder::FlightRecorder() : impl_(new Impl) {}
@@ -151,11 +156,37 @@ std::string FlightRecorder::auto_dump_path() const {
     return env != nullptr ? std::string(env) : std::string();
 }
 
-bool FlightRecorder::auto_dump(const char* why) {
+std::string FlightRecorder::auto_dump(const char* why) {
     note("flight.dump", why);
-    const std::string path = auto_dump_path();
-    if (path.empty()) return false;
-    return dump_file(path);
+    const std::string configured = auto_dump_path();
+    if (configured.empty()) return {};
+    // Unique per dump: "<stem>.<pid>.<k>.<ext>". The pid separates
+    // concurrent processes (chaos-replay forks) sharing one configured
+    // path; the per-process ordinal separates successive dumps (several
+    // failing jobs in one daemon).
+    const std::uint64_t k =
+        impl_->auto_dump_ordinal.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::size_t slash = configured.find_last_of('/');
+    const std::size_t dot = configured.find_last_of('.');
+    std::ostringstream name;
+    if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+        name << configured.substr(0, dot) << '.' << ::getpid() << '.' << k
+             << configured.substr(dot);
+    } else {
+        name << configured << '.' << ::getpid() << '.' << k;
+    }
+    const std::string path = name.str();
+    if (!dump_file(path)) return {};
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu_);
+        impl_->last_auto_dump = path;
+    }
+    return path;
+}
+
+std::string FlightRecorder::last_auto_dump_path() const {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    return impl_->last_auto_dump;
 }
 
 } // namespace balsort

@@ -55,15 +55,25 @@ class FlightRecorder {
     void dump(std::ostream& os) const;
     bool dump_file(const std::string& path) const;
 
-    /// Where auto_dump() writes. An explicit set wins over the
-    /// BALSORT_FLIGHT_DUMP environment variable; empty disables.
+    /// Where auto_dump() derives its output name from. An explicit set
+    /// wins over the BALSORT_FLIGHT_DUMP environment variable; empty
+    /// disables.
     void set_auto_dump_path(const std::string& path);
     std::string auto_dump_path() const;
 
-    /// Records a "flight.dump" note tagged with `why`, then dumps to the
-    /// configured path. Returns false (and does nothing beyond the note)
-    /// when no path is configured. `why` must be a static-lifetime string.
-    bool auto_dump(const char* why);
+    /// Records a "flight.dump" note tagged with `why`, then dumps next to
+    /// the configured path under a unique name: "<stem>.<pid>.<k>.<ext>",
+    /// where k counts this process's auto-dumps. Concurrent failing jobs
+    /// (or chaos-replay forks sharing one configured path) therefore never
+    /// clobber each other's crash scene. Returns the path actually
+    /// written, empty when no path is configured or the write failed.
+    /// `why` must be a static-lifetime string.
+    std::string auto_dump(const char* why);
+
+    /// The path the most recent successful auto_dump() wrote (this
+    /// process), empty if none yet — how tests and post-mortem tooling
+    /// find the suffixed file.
+    std::string last_auto_dump_path() const;
 
     /// Total notes ever recorded (monotonic; includes overwritten ones).
     std::uint64_t note_count() const;
@@ -103,14 +113,17 @@ inline void flight_note(const char* name, const char* cat, std::int64_t a0 = 0,
     FlightRecorder::instance().note(name, cat, a0, a1);
 }
 
-/// Dump the flight rings to the configured auto-dump path, tagging the
-/// dump with `why`. Returns false when no path is configured.
-inline bool flight_auto_dump(const char* why) { return FlightRecorder::instance().auto_dump(why); }
+/// Dump the flight rings to a uniquely-suffixed file next to the
+/// configured auto-dump path, tagging the dump with `why`. Returns the
+/// path actually written (empty when unconfigured or the write failed).
+inline std::string flight_auto_dump(const char* why) {
+    return FlightRecorder::instance().auto_dump(why);
+}
 
 #else // BALSORT_NO_OBS
 
 inline void flight_note(const char*, const char*, std::int64_t = 0, std::int64_t = 0) {}
-inline bool flight_auto_dump(const char*) { return false; }
+inline std::string flight_auto_dump(const char*) { return {}; }
 
 #endif // BALSORT_NO_OBS
 

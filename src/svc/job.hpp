@@ -43,6 +43,13 @@ struct JobSpec {
     /// Verify the output is a sorted permutation of the input before
     /// declaring success (costs a copy of the input on the worker).
     bool verify = true;
+    /// Front-end hint (balsortd `profile=` key): where to write this job's
+    /// folded CPU stacks after the run. The scheduler itself ignores it —
+    /// the front end wires a shared Profiler into obs_policy.profiler
+    /// (start/stop nest by refcount, so concurrent profiled jobs compose)
+    /// and dumps to this path once the jobs drain. Samples are process-
+    /// wide: with overlapping profiled jobs each dump covers the union.
+    std::string profile_path;
 };
 
 enum class JobState : std::uint8_t {

@@ -226,8 +226,16 @@ void flight_dump_scenario(const fs::path& dir) {
 
     check(sorted.size() == kCfg.n, "flight scenario: output size wrong");
     check(rep.io.io_timeouts > 0, "flight scenario: no deadline ever fired");
-    check(fs::exists(dump_path), "flight scenario: no dump produced on deadline expiry");
-    std::ifstream is(dump_path);
+    // auto_dump() writes under a pid+ordinal-suffixed name so concurrent
+    // failing processes can't clobber each other; the recorder reports
+    // the actual path it wrote.
+    const fs::path written = FlightRecorder::instance().last_auto_dump_path();
+    check(!written.empty(), "flight scenario: no dump produced on deadline expiry");
+    check(fs::exists(written), "flight scenario: reported dump path does not exist");
+    check(written.parent_path() == dump_path.parent_path() &&
+              written.filename().string().rfind("flight.", 0) == 0,
+          "flight scenario: dump name not derived from the configured path");
+    std::ifstream is(written);
     std::stringstream buf;
     buf << is.rdbuf();
     const std::string json = buf.str();
@@ -235,7 +243,7 @@ void flight_dump_scenario(const fs::path& dir) {
     check(json.rfind("{\"traceEvents\":[", 0) == 0, "flight scenario: dump is not a trace JSON");
     check(json.find("io.deadline_expired") != std::string::npos,
           "flight scenario: dump lacks the deadline event");
-    std::cout << "flight dump: " << json.size() << " bytes at " << dump_path << "\n";
+    std::cout << "flight dump: " << json.size() << " bytes at " << written << "\n";
 }
 #endif
 

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "pram/executor.hpp"
 #include "pram/parallel_sort.hpp"
 #include "pram/selection.hpp"
@@ -284,6 +285,39 @@ TEST(ParallelClassification, BucketOfMatchesSerial) {
     EXPECT_EQ(par, serial);
     EXPECT_EQ(par_meter.comparisons(), serial_meter.comparisons());
 }
+
+#ifndef BALSORT_NO_OBS
+// Signal-safety smoke, run under TSan by CI: SIGPROF sampling hammers the
+// executor's workers mid-steal while a parallel sort runs. The handler's
+// contract (no locks, no allocation, relaxed ring stores) means TSan must
+// stay silent and the sorted output must be exactly what an unprofiled
+// run produces. A high prime hz maximizes handler/steal interleavings.
+TEST(Executor, SamplingProfilerIsSignalSafeAcrossWorkers) {
+    Xoshiro256 rng(99);
+    std::vector<Record> recs(200000);
+    for (auto& r : recs) r.key = rng.below(1u << 30);
+    std::vector<Record> expected = recs;
+    std::sort(expected.begin(), expected.end(),
+              [](const Record& a, const Record& b) { return a.key < b.key; });
+
+    ProfilerConfig cfg;
+    cfg.hz = 4999; // well above the default: stress the handler path
+    cfg.ring_slots = 256;
+    Profiler profiler(cfg);
+    std::vector<Record> sorted = recs;
+    {
+        ProfilerScope scope(&profiler);
+        Executor exec(4);
+        Parallel pool(4, &exec);
+        WorkMeter meter;
+        parallel_merge_sort(sorted, pool, &meter);
+    }
+    EXPECT_EQ(sorted, expected);
+    // No samples may have been lost to a blocked handler; drops are only
+    // legal for ring exhaustion, which 4 threads cannot hit (64 rings).
+    EXPECT_EQ(profiler.dropped_samples(), 0u);
+}
+#endif // BALSORT_NO_OBS
 
 } // namespace
 } // namespace balsort

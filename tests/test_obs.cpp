@@ -17,6 +17,7 @@
 #include "obs/bench_result.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/tracer.hpp"
 #include "util/workload.hpp"
@@ -653,6 +654,142 @@ TEST(ObservabilityAcceptance, SyncPathHistogramsAndFaultInstants) {
     EXPECT_TRUE(contains(trace, "\"cat\":\"fault\""));
     EXPECT_TRUE(contains(trace, "\"name\":\"transient_retry\""));
     EXPECT_TRUE(contains(trace, "\"s\":\"t\"")); // thread-scoped instants
+}
+
+} // namespace
+} // namespace balsort
+
+// ---------------------------------------------------------------------------
+// Sampling profiler (obs/profiler.hpp, DESIGN.md §17).
+
+// Fabricated stack frames for record_sample_for_test. External linkage +
+// ENABLE_EXPORTS puts them in the dynamic symbol table, so dladdr
+// symbolization resolves real names; extern "C" keeps those names exact.
+extern "C" {
+int balsort_prof_frame_root() { return 1; }
+int balsort_prof_frame_mid() { return 2; }
+int balsort_prof_frame_leaf() { return 3; }
+}
+
+namespace balsort {
+namespace {
+
+void* frame_addr(int (*fn)()) { return reinterpret_cast<void*>(fn); }
+
+TEST(ProfilerTest, FoldedStacksAggregateRootFirstAndDeterministically) {
+    ProfilerConfig cfg;
+    cfg.ring_slots = 64;
+    cfg.max_threads = 2;
+    Profiler p(cfg);
+    // backtrace order is leaf-first; folded output must flip to root-first.
+    void* deep[3] = {frame_addr(&balsort_prof_frame_leaf), frame_addr(&balsort_prof_frame_mid),
+                     frame_addr(&balsort_prof_frame_root)};
+    void* shallow[1] = {frame_addr(&balsort_prof_frame_root)};
+    for (int i = 0; i < 3; ++i) p.record_sample_for_test(deep, 3);
+    p.record_sample_for_test(shallow, 1);
+
+    const std::string folded = p.folded_string();
+    EXPECT_EQ(folded, p.folded_string()); // byte-identical re-dump
+
+    // Two unique stacks, descending count: the 3-sample stack first.
+    std::istringstream lines(folded);
+    std::string first, second, extra;
+    ASSERT_TRUE(static_cast<bool>(std::getline(lines, first)));
+    ASSERT_TRUE(static_cast<bool>(std::getline(lines, second)));
+    EXPECT_FALSE(static_cast<bool>(std::getline(lines, extra)));
+    EXPECT_TRUE(first.size() > 2 && first.substr(first.size() - 2) == " 3") << first;
+    EXPECT_TRUE(second.size() > 2 && second.substr(second.size() - 2) == " 1") << second;
+    // Root-first ordering with dladdr-resolved names.
+    EXPECT_TRUE(contains(first, "balsort_prof_frame_root;")) << first;
+    EXPECT_TRUE(contains(first, ";balsort_prof_frame_leaf ")) << first;
+    EXPECT_TRUE(contains(second, "balsort_prof_frame_root ")) << second;
+}
+
+TEST(ProfilerTest, RingWrapOverwritesOldestButCountsEverySample) {
+    ProfilerConfig cfg;
+    cfg.ring_slots = 8; // tiny ring: 20 samples force wrap-around
+    cfg.max_threads = 1;
+    Profiler p(cfg);
+    void* frames[2] = {frame_addr(&balsort_prof_frame_leaf),
+                       frame_addr(&balsort_prof_frame_root)};
+    for (int i = 0; i < 20; ++i) p.record_sample_for_test(frames, 2);
+    EXPECT_EQ(p.sample_count(), 20u);
+    EXPECT_EQ(p.dropped_samples(), 0u);
+    // Only ring_slots samples survive; all share the one unique stack.
+    const std::string folded = p.folded_string();
+    EXPECT_TRUE(contains(folded, " 8\n")) << folded;
+}
+
+TEST(ProfilerTest, RingPoolExhaustionDropsInsteadOfBlocking) {
+    ProfilerConfig cfg;
+    cfg.ring_slots = 8;
+    cfg.max_threads = 1; // one ring: the second thread must be turned away
+    Profiler p(cfg);
+    void* frames[1] = {frame_addr(&balsort_prof_frame_root)};
+    p.record_sample_for_test(frames, 1); // claims the only ring
+    std::thread other([&] { p.record_sample_for_test(frames, 1); });
+    other.join();
+    EXPECT_EQ(p.sample_count(), 1u);
+    EXPECT_EQ(p.dropped_samples(), 1u);
+}
+
+TEST(ProfilerTest, StartStopNestAndSecondProfilerIsRejected) {
+    Profiler p;
+    p.start();
+    p.start(); // nested: refcounted, not re-armed
+    EXPECT_TRUE(p.running());
+    Profiler q;
+    EXPECT_THROW(q.start(), std::runtime_error); // one process-wide sampler
+    p.stop();
+    EXPECT_TRUE(p.running()); // inner stop only decrements
+    p.stop();
+    EXPECT_FALSE(p.running());
+    q.start(); // slot free again
+    q.stop();
+}
+
+TEST(ProfilerTest, LiveSamplingCapturesRealStacks) {
+    ProfilerConfig cfg;
+    cfg.hz = 997;
+    Profiler p(cfg);
+    p.start();
+    // Burn CPU until a few SIGPROF ticks land (ITIMER_PROF counts CPU
+    // time, so this cannot hang on an idle machine — only on a stopped
+    // clock). Cap the spin to keep a worst-case bound.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 2'000'000'000ull && p.sample_count() < 5; ++i) sink += i;
+    p.stop();
+    EXPECT_GE(p.sample_count(), 5u);
+    const std::string folded = p.folded_string();
+    EXPECT_FALSE(folded.empty());
+    // Every line is "stack count" with a positive trailing count.
+    std::istringstream lines(folded);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto space = line.find_last_of(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    }
+}
+
+TEST(ProfilerTest, EmitToTracerLandsSamplesOnProfileLanes) {
+    ProfilerConfig cfg;
+    cfg.ring_slots = 16;
+    Profiler p(cfg);
+    void* frames[2] = {frame_addr(&balsort_prof_frame_leaf),
+                       frame_addr(&balsort_prof_frame_root)};
+    for (int i = 0; i < 4; ++i) p.record_sample_for_test(frames, 2);
+
+    Tracer tracer;
+    EXPECT_EQ(p.emit_to_tracer(&tracer), 4u);
+    EXPECT_EQ(p.emit_to_tracer(nullptr), 0u);
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    const std::string trace = os.str();
+    ASSERT_TRUE(JsonChecker(trace).valid());
+    EXPECT_TRUE(contains(trace, "\"cat\":\"profile\""));
+    EXPECT_TRUE(contains(trace, "profile ")); // per-thread lane metadata
+    EXPECT_TRUE(contains(trace, "balsort_prof_frame_leaf")); // leaf-named instants
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include "core/balance_sort.hpp"
 #include "core/hier_sort.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/workload.hpp"
@@ -220,6 +221,33 @@ TEST(ObservabilityGuard, TracingChangesNoModelQuantity) {
     EXPECT_GT(tracer.event_count(), 0u);
     EXPECT_GT(metrics.histogram("pool.acquire_records").count(), 0u);
 #endif
+}
+
+// The sampling profiler is the most invasive observer — SIGPROF fires at
+// the default rate throughout the sort, interrupting the pipeline at
+// arbitrary points — and must still leave every model quantity, the full
+// step-observer sequence, and the sorted output byte-identical. This is
+// the overhead-guard acceptance test for `balsort_cli --profile`.
+TEST(ObservabilityGuard, SamplingProfilerChangesNoModelQuantity) {
+    PdmConfig cfg{.n = 20000, .m = 1024, .d = 4, .b = 8, .p = 2};
+    const SortTrace plain = traced_sort(Workload::kUniform, cfg, {}, DiskBackend::kMemory);
+
+    Profiler profiler; // default config = the CLI's default rate (997 Hz)
+    SortOptions opt;
+    opt.profiler = &profiler;
+    const SortTrace prof = traced_sort(Workload::kUniform, cfg, opt, DiskBackend::kMemory);
+
+    EXPECT_EQ(prof.io.io_steps(), plain.io.io_steps());
+    EXPECT_EQ(prof.io.read_steps, plain.io.read_steps);
+    EXPECT_EQ(prof.io.write_steps, plain.io.write_steps);
+    EXPECT_EQ(prof.io.blocks_read, plain.io.blocks_read);
+    EXPECT_EQ(prof.io.blocks_written, plain.io.blocks_written);
+    EXPECT_EQ(prof.report.comparisons, plain.report.comparisons);
+    EXPECT_EQ(prof.levels, plain.levels);
+    EXPECT_EQ(prof.base_cases, plain.base_cases);
+    EXPECT_EQ(prof.s_used, plain.s_used);
+    EXPECT_EQ(prof.step_hash, plain.step_hash);
+    EXPECT_EQ(prof.out_hash, plain.out_hash);
 }
 
 // The balance timeline (DESIGN.md §12) is the same kind of pure observer:

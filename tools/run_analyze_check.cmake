@@ -1,0 +1,27 @@
+# ctest driver for the analyzer acceptance check (DESIGN.md §17): run the
+# D=8 reference sort with trace + manifest + profiler on, then require
+# balsort_analyze to reconstruct a critical path within 5% of the
+# manifest's elapsed_seconds. Invoked as
+#   cmake -DCLI=... -DANALYZE=... -DOUT_DIR=... -P run_analyze_check.cmake
+file(MAKE_DIRECTORY "${OUT_DIR}")
+execute_process(
+  COMMAND "${CLI}" --selftest --disks 8
+          --trace "${OUT_DIR}/ref_trace.json"
+          --manifest "${OUT_DIR}/ref_manifest.json"
+          --profile "${OUT_DIR}/ref.folded"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "balsort_cli --selftest failed (rc=${rc})")
+endif()
+foreach(artifact ref_trace.json ref_manifest.json ref.folded)
+  if(NOT EXISTS "${OUT_DIR}/${artifact}")
+    message(FATAL_ERROR "reference run left no ${artifact}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${ANALYZE}" "${OUT_DIR}/ref_trace.json" "${OUT_DIR}/ref_manifest.json"
+          --assert-critical-path-within 0.05
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "balsort_analyze critical-path check failed (rc=${rc})")
+endif()

@@ -1,0 +1,30 @@
+# ctest driver for `balsort_analyze --diff` exit-code semantics: the diff
+# must exit non-zero exactly when a model quantity differs. Three committed
+# fixture pairs pin the contract:
+#   identity            -> 0 (identical model quantities)
+#   io_steps 1327->1328 -> 1 (model drift)
+#   wall 0.5s->5.0s     -> 0 (wall drift is advisory, model identical)
+# Invoked as cmake -DANALYZE=... -DFIXTURES=... -P run_diff_checks.cmake
+execute_process(
+  COMMAND "${ANALYZE}" --diff "${FIXTURES}/diff_base.json" "${FIXTURES}/diff_base.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identity diff must exit 0, got ${rc}:\n${out}")
+endif()
+execute_process(
+  COMMAND "${ANALYZE}" --diff "${FIXTURES}/diff_base.json" "${FIXTURES}/diff_model.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "model drift (io_steps +1) must exit 1, got ${rc}:\n${out}")
+endif()
+execute_process(
+  COMMAND "${ANALYZE}" --diff "${FIXTURES}/diff_base.json" "${FIXTURES}/diff_wall.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wall-only drift must exit 0 (advisory), got ${rc}:\n${out}")
+endif()
+string(FIND "${out}" "wall drift" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "wall-only diff must report the banded drift:\n${out}")
+endif()
+message(STATUS "balsort_analyze --diff exit-code contract holds")
